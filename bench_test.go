@@ -1,0 +1,286 @@
+package dynstream
+
+// Benchmark harness: one testing.B benchmark per experiment in
+// DESIGN.md §4 / EXPERIMENTS.md. Each benchmark runs the same pipeline
+// as the corresponding `cmd/spannerbench` table at a fixed workload and
+// reports the paper-relevant quantities as custom metrics
+// (stretch/size/space/ε) next to ns/op and allocations.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"math"
+	"testing"
+
+	"dynstream/internal/baseline"
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/linalg"
+	"dynstream/internal/lowerbound"
+	"dynstream/internal/sketch"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+	"dynstream/internal/verify"
+)
+
+const benchSeed = 0xbe7c
+
+// BenchmarkE1TwoPassSpanner measures the two-pass 2^k-spanner pipeline
+// (Theorem 1) end to end on a churned dynamic stream.
+func BenchmarkE1TwoPassSpanner(b *testing.B) {
+	g := graph.ConnectedGNP(128, 0.07, benchSeed)
+	st := stream.WithChurn(g, 2*g.M(), benchSeed+1)
+	var res *spanner.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = spanner.BuildTwoPass(st, spanner.Config{K: 2, Seed: benchSeed + uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep := verify.Stretch(g, res.Spanner, 8)
+	b.ReportMetric(rep.MaxStretch, "maxStretch")
+	b.ReportMetric(float64(res.Spanner.M()), "spannerEdges")
+}
+
+// BenchmarkE2SpannerSize reports spanner size against the Lemma 12
+// bound k·n^{1+1/k}·log n.
+func BenchmarkE2SpannerSize(b *testing.B) {
+	const n, k = 192, 2
+	g := graph.ConnectedGNP(n, 0.06, benchSeed+2)
+	st := stream.FromGraph(g, benchSeed+3)
+	var res *spanner.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = spanner.BuildTwoPass(st, spanner.Config{K: k, Seed: benchSeed + 4 + uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	bound := float64(k) * math.Pow(n, 1+1.0/k) * math.Log2(n)
+	b.ReportMetric(float64(res.Spanner.M()), "edges")
+	b.ReportMetric(float64(res.Spanner.M())/bound, "edgesOverBound")
+}
+
+// BenchmarkE3SpannerSpace reports the sketch footprint against the
+// Theorem 1 space bound.
+func BenchmarkE3SpannerSpace(b *testing.B) {
+	const n, k = 192, 3
+	g := graph.ConnectedGNP(n, 0.06, benchSeed+5)
+	st := stream.FromGraph(g, benchSeed+6)
+	var res *spanner.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = spanner.BuildTwoPass(st, spanner.Config{K: k, Seed: benchSeed + 7 + uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	l := math.Log2(float64(n))
+	b.ReportMetric(float64(res.SpaceWords), "spaceWords")
+	b.ReportMetric(float64(res.SpaceWords)/(float64(k)*math.Pow(n, 1+1.0/k)*l*l*l), "spaceOverBound")
+}
+
+// BenchmarkE4AdditiveSpanner measures the single-pass additive spanner
+// (Theorem 3) on a dense churned stream.
+func BenchmarkE4AdditiveSpanner(b *testing.B) {
+	const n, d = 128, 4
+	g := graph.ConnectedGNP(n, 0.16, benchSeed+8)
+	st := stream.WithChurn(g, g.M(), benchSeed+9)
+	var res *spanner.AdditiveResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = spanner.BuildAdditive(st, spanner.AdditiveConfig{
+			D: d, DegreeFactor: 0.5, Seed: benchSeed + 10 + uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rep := verify.Additive(g, res.Spanner, 8)
+	b.ReportMetric(float64(rep.MaxError), "maxAdditiveErr")
+	b.ReportMetric(float64(n/d), "errBound")
+	b.ReportMetric(float64(res.Spanner.M()), "spannerEdges")
+}
+
+// BenchmarkE5LowerBound plays the Theorem 4 INDEX game at matched
+// space and reports the success rate (should be ~1).
+func BenchmarkE5LowerBound(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.Play(lowerbound.GameConfig{
+			Blocks: 6, BlockSize: 12, AlgD: 12, Trials: 4,
+			Seed: benchSeed + 11 + uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.SuccessRate()
+	}
+	b.ReportMetric(rate, "successRate")
+}
+
+// BenchmarkE6Sparsifier measures the two-pass spectral sparsifier
+// (Corollary 2) on K16 and reports exact spectral error.
+func BenchmarkE6Sparsifier(b *testing.B) {
+	g := graph.Complete(16)
+	st := stream.FromGraph(g, benchSeed+12)
+	var res *sparsify.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = sparsify.Sparsify(st, sparsify.Config{
+			K: 1, Z: 32, Seed: benchSeed + 13 + uint64(i),
+			Estimate: sparsify.EstimateConfig{
+				K: 1, J: 3, T: 8, Delta: 0.34, Seed: benchSeed + 14 + uint64(i),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	eps, err := linalg.SpectralEpsilon(g, res.Sparsifier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(eps, "spectralEps")
+	b.ReportMetric(float64(res.Sparsifier.M()), "edges")
+}
+
+// BenchmarkE7SSBaseline measures the offline Spielman–Srivastava
+// baseline (Theorem 7) at the same instance family as E6.
+func BenchmarkE7SSBaseline(b *testing.B) {
+	g := graph.Complete(64)
+	var h *graph.Graph
+	for i := 0; i < b.N; i++ {
+		h = sparsify.SpielmanSrivastava(g, 0.5, 1.0, benchSeed+15+uint64(i))
+	}
+	eps, err := linalg.SpectralEpsilon(g, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(eps, "spectralEps")
+	b.ReportMetric(float64(h.M()), "edges")
+}
+
+// BenchmarkE8AGMForest measures spanning-forest extraction from AGM
+// sketches (Theorem 10) under heavy churn.
+func BenchmarkE8AGMForest(b *testing.B) {
+	g := graph.ConnectedGNP(128, 0.05, benchSeed+16)
+	st := stream.WithChurn(g, 2*g.M(), benchSeed+17)
+	success := 0.0
+	var space int
+	for i := 0; i < b.N; i++ {
+		sk := NewForestSketch(benchSeed+18+uint64(i), g.N(), ForestConfig{})
+		if err := st.Replay(func(u stream.Update) error { sk.AddUpdate(u); return nil }); err != nil {
+			b.Fatal(err)
+		}
+		forest, err := sk.SpanningForest(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		space = sk.SpaceWords()
+		uf := graph.NewUnionFind(g.N())
+		for _, e := range forest {
+			uf.Union(e.U, e.V)
+		}
+		if uf.Sets() == 1 {
+			success++
+		}
+	}
+	b.ReportMetric(success/float64(b.N), "successRate")
+	b.ReportMetric(float64(space), "spaceWords")
+}
+
+// BenchmarkE9Baselines measures the offline Baswana–Sen baseline at the
+// E9 workload (compare with BenchmarkE1TwoPassSpanner).
+func BenchmarkE9Baselines(b *testing.B) {
+	g := graph.ConnectedGNP(128, 0.1, benchSeed+19)
+	var h *graph.Graph
+	for i := 0; i < b.N; i++ {
+		h = baseline.BaswanaSen(g, 2, benchSeed+20+uint64(i))
+	}
+	rep := verify.Stretch(g, h, 8)
+	b.ReportMetric(rep.MaxStretch, "maxStretch")
+	b.ReportMetric(float64(h.M()), "edges")
+}
+
+// BenchmarkA1Levels ablates the E_j level count in Algorithm 1.
+func BenchmarkA1Levels(b *testing.B) {
+	g := graph.ConnectedGNP(96, 0.1, benchSeed+21)
+	st := stream.FromGraph(g, benchSeed+22)
+	for _, levels := range []int{4, 15} {
+		b.Run(map[bool]string{true: "levels4", false: "levels15"}[levels == 4], func(b *testing.B) {
+			var res *spanner.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = spanner.BuildTwoPass(st, spanner.Config{
+					K: 2, Levels: levels, Seed: benchSeed + 23 + uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep := verify.Stretch(g, res.Spanner, 8)
+			b.ReportMetric(rep.MaxStretch, "maxStretch")
+			b.ReportMetric(float64(rep.Disconnected), "disconnected")
+		})
+	}
+}
+
+// BenchmarkA2SketchBudget ablates IBLT load: decode success at exact
+// capacity vs 3x overload.
+func BenchmarkA2SketchBudget(b *testing.B) {
+	for _, load := range []int{1, 3} {
+		name := map[int]string{1: "load1x", 3: "load3x"}[load]
+		b.Run(name, func(b *testing.B) {
+			const capacity = 16
+			ok := 0
+			for i := 0; i < b.N; i++ {
+				s := sketch.NewSketchB(benchSeed+24+uint64(i), capacity)
+				rng := hashing.NewSplitMix64(uint64(i))
+				items := load * capacity
+				seen := map[uint64]bool{}
+				for len(seen) < items {
+					k := rng.Next() % 1000003
+					if !seen[k] {
+						seen[k] = true
+						s.Add(k, 1)
+					}
+				}
+				if got, decoded := s.Decode(); decoded && len(got) == items {
+					ok++
+				}
+			}
+			b.ReportMetric(float64(ok)/float64(b.N), "decodeRate")
+		})
+	}
+}
+
+// BenchmarkA3Oracles ablates ESTIMATE oracle kind: sketch vs exact.
+func BenchmarkA3Oracles(b *testing.B) {
+	g := graph.Complete(14)
+	st := stream.FromGraph(g, benchSeed+25)
+	for _, exact := range []bool{false, true} {
+		name := map[bool]string{false: "sketch", true: "exact"}[exact]
+		b.Run(name, func(b *testing.B) {
+			var res *sparsify.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sparsify.Sparsify(st, sparsify.Config{
+					K: 1, Z: 16, Seed: benchSeed + 26 + uint64(i),
+					Estimate: sparsify.EstimateConfig{
+						K: 1, J: 3, T: 7, Delta: 0.34,
+						Seed: benchSeed + 27 + uint64(i), ExactOracles: exact,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			eps, err := linalg.SpectralEpsilon(g, res.Sparsifier)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(eps, "spectralEps")
+		})
+	}
+}

@@ -1,0 +1,189 @@
+// Command dynstream runs the paper's streaming algorithms over a
+// dynamic edge stream read from stdin (or a file) in the text format
+//
+//	n <vertices>
+//	+ <u> <v> [w]     insert
+//	- <u> <v> [w]     delete
+//
+// and writes the resulting edge set to stdout as "u v w" lines, with a
+// summary on stderr.
+//
+// Subcommands:
+//
+//	spanner   -k K       two-pass 2^K-spanner (Theorem 1)
+//	additive  -d D       one-pass n/D-additive spanner (Theorem 3)
+//	sparsify  -k K -z Z  two-pass spectral sparsifier (Corollary 2)
+//	forest               AGM spanning forest (Theorem 10)
+//	kcert     -k K       k-edge-connectivity certificate
+//	msf                  (1+γ)-approximate minimum spanning forest
+//	bipartite            bipartiteness test (prints verdict)
+//
+// Example:
+//
+//	dynstream spanner -k 2 -seed 7 < graph.txt > spanner.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynstream/internal/agm"
+	"dynstream/internal/graph"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dynstream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dynstream <spanner|additive|sparsify|forest|kcert|msf|bipartite> [flags] < stream.txt")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		k     = fs.Int("k", 2, "stretch/connectivity parameter")
+		d     = fs.Int("d", 4, "additive spanner space parameter")
+		z     = fs.Int("z", 32, "sparsifier repetitions")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		input = fs.String("in", "", "input file (default stdin)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	in := stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	st, err := stream.ReadText(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "stream: n=%d, %d updates\n", st.N(), st.Len())
+
+	switch cmd {
+	case "spanner":
+		res, err := spanner.BuildTwoPass(st, spanner.Config{K: *k, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "2^%d-spanner: %d edges, %d sketch words\n",
+			*k, res.Spanner.M(), res.SpaceWords)
+		return writeEdges(stdout, res.Spanner)
+
+	case "additive":
+		res, err := spanner.BuildAdditive(st, spanner.AdditiveConfig{D: *d, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "n/%d-additive spanner: %d edges, %d centers, %d sketch words\n",
+			*d, res.Spanner.M(), res.Centers, res.SpaceWords)
+		return writeEdges(stdout, res.Spanner)
+
+	case "sparsify":
+		res, err := sparsify.Sparsify(st, sparsify.Config{K: *k, Z: *z, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "sparsifier: %d edges from %d samples, %d sketch words\n",
+			res.Sparsifier.M(), res.Samples, res.SpaceWords)
+		return writeEdges(stdout, res.Sparsifier)
+
+	case "forest":
+		sk := agm.New(*seed, st.N(), agm.Config{})
+		if err := st.Replay(func(u stream.Update) error { sk.AddUpdate(u); return nil }); err != nil {
+			return err
+		}
+		forest, err := sk.SpanningForest(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "spanning forest: %d edges, %d sketch words\n",
+			len(forest), sk.SpaceWords())
+		g := graph.New(st.N())
+		for _, e := range forest {
+			g.AddUnitEdge(e.U, e.V)
+		}
+		return writeEdges(stdout, g)
+
+	case "kcert":
+		kc := agm.NewKConnectivity(*seed, st.N(), *k)
+		if err := st.Replay(func(u stream.Update) error { kc.AddUpdate(u); return nil }); err != nil {
+			return err
+		}
+		cert, err := kc.CertificateGraph()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "%d-connectivity certificate: %d edges, %d sketch words\n",
+			*k, cert.M(), kc.SpaceWords())
+		return writeEdges(stdout, cert)
+
+	case "msf":
+		// Upper-bound weight scan to size the class prefixes.
+		wmax := 1.0
+		if err := st.Replay(func(u stream.Update) error {
+			if u.W > wmax {
+				wmax = u.W
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		m := agm.NewMSF(*seed, st.N(), wmax, 0.5)
+		if err := st.Replay(func(u stream.Update) error { m.AddUpdate(u); return nil }); err != nil {
+			return err
+		}
+		forest, err := m.Forest()
+		if err != nil {
+			return err
+		}
+		total := 0.0
+		g := graph.New(st.N())
+		for _, e := range forest {
+			g.AddEdge(e.U, e.V, e.W)
+			total += e.W
+		}
+		fmt.Fprintf(stderr, "approximate MSF: %d edges, class-weight total %g, %d sketch words\n",
+			len(forest), total, m.SpaceWords())
+		return writeEdges(stdout, g)
+
+	case "bipartite":
+		b := agm.NewBipartiteness(*seed, st.N())
+		if err := st.Replay(func(u stream.Update) error { b.AddUpdate(u); return nil }); err != nil {
+			return err
+		}
+		bip, err := b.IsBipartite()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "bipartite: %v\n", bip)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func writeEdges(w io.Writer, g *graph.Graph) error {
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "%d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testStream = `n 6
++ 0 1
++ 1 2
++ 2 3
++ 3 4
++ 4 5
++ 0 5
++ 0 3
+- 0 3
+`
+
+func runCLI(t *testing.T, args []string, in string) (string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run(args, strings.NewReader(in), &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errOut.String())
+	}
+	return out.String(), errOut.String()
+}
+
+func TestCLISpanner(t *testing.T) {
+	out, errOut := runCLI(t, []string{"spanner", "-k", "2", "-seed", "3"}, testStream)
+	if !strings.Contains(errOut, "spanner") {
+		t.Errorf("stderr missing summary: %q", errOut)
+	}
+	if strings.Contains(out, "0 3") {
+		t.Error("deleted edge appeared in output")
+	}
+	if len(strings.Fields(out)) == 0 {
+		t.Error("no edges emitted")
+	}
+}
+
+func TestCLIForest(t *testing.T) {
+	out, _ := runCLI(t, []string{"forest", "-seed", "4"}, testStream)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // 6-cycle: spanning tree has 5 edges
+		t.Errorf("forest has %d edges, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestCLIAdditive(t *testing.T) {
+	out, _ := runCLI(t, []string{"additive", "-d", "2", "-seed", "5"}, testStream)
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestCLIBipartite(t *testing.T) {
+	out, _ := runCLI(t, []string{"bipartite", "-seed", "6"}, testStream)
+	if !strings.Contains(out, "bipartite: true") { // 6-cycle is bipartite
+		t.Errorf("output %q", out)
+	}
+	odd := "n 3\n+ 0 1\n+ 1 2\n+ 0 2\n"
+	out, _ = runCLI(t, []string{"bipartite", "-seed", "7"}, odd)
+	if !strings.Contains(out, "bipartite: false") {
+		t.Errorf("triangle output %q", out)
+	}
+}
+
+func TestCLIKCert(t *testing.T) {
+	out, _ := runCLI(t, []string{"kcert", "-k", "2", "-seed", "8"}, testStream)
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, strings.NewReader(testStream), &out, &errOut); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"spanner"}, strings.NewReader("garbage"), &out, &errOut); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+func TestCLIMSF(t *testing.T) {
+	weighted := "n 5\n+ 0 1 1\n+ 1 2 1\n+ 2 3 1\n+ 3 4 1\n+ 0 4 50\n"
+	out, errOut := runCLI(t, []string{"msf", "-seed", "9"}, weighted)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("MSF has %d edges, want 4:\n%s", len(lines), out)
+	}
+	if strings.Contains(out, "0 4 ") {
+		t.Error("MSF used the heavy edge")
+	}
+	if !strings.Contains(errOut, "MSF") {
+		t.Errorf("stderr: %q", errOut)
+	}
+}

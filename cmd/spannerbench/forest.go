@@ -1,0 +1,18 @@
+package main
+
+import "dynstream/internal/agm"
+
+// newForest wraps agm.New with the experiment defaults.
+func newForest(seed uint64, n int) *agm.Sketch {
+	return agm.New(seed, n, agm.Config{})
+}
+
+// newKConn wraps agm.NewKConnectivity.
+func newKConn(seed uint64, n, k int) *agm.KConnectivity {
+	return agm.NewKConnectivity(seed, n, k)
+}
+
+// newBipartite wraps agm.NewBipartiteness.
+func newBipartite(seed uint64, n int) *agm.Bipartiteness {
+	return agm.NewBipartiteness(seed, n)
+}

@@ -1,0 +1,67 @@
+package dynstream_test
+
+import (
+	"fmt"
+
+	"dynstream"
+)
+
+// ExampleBuildSpanner builds a 4-spanner of a small graph delivered as
+// a dynamic stream with a deletion.
+func ExampleBuildSpanner() {
+	st := dynstream.NewMemoryStream(5)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
+	for _, e := range edges {
+		_ = st.Append(dynstream.Update{U: e[0], V: e[1], Delta: 1})
+	}
+	// Insert then delete a chord: it must not appear in the spanner.
+	_ = st.Append(dynstream.Update{U: 0, V: 2, Delta: 1})
+	_ = st.Append(dynstream.Update{U: 0, V: 2, Delta: -1})
+
+	res, err := dynstream.BuildSpanner(st, dynstream.SpannerConfig{K: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("spanner has deleted chord:", res.Spanner.HasEdge(0, 2))
+	fmt.Println("spanner connected:", res.Spanner.Connected())
+	// Output:
+	// spanner has deleted chord: false
+	// spanner connected: true
+}
+
+// ExampleNewForestSketch extracts a spanning forest from a linear
+// sketch after deletions.
+func ExampleNewForestSketch() {
+	const n = 4
+	fs := dynstream.NewForestSketch(3, n, dynstream.ForestConfig{})
+	fs.AddEdge(0, 1, 1)
+	fs.AddEdge(1, 2, 1)
+	fs.AddEdge(2, 3, 1)
+	fs.AddEdge(0, 3, 1)
+	fs.AddEdge(0, 3, -1) // delete the cycle-closing edge
+
+	forest, err := fs.SpanningForest(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("forest edges:", len(forest))
+	// Output:
+	// forest edges: 3
+}
+
+// ExampleNewBipartiteness decides bipartiteness from sketches alone.
+func ExampleNewBipartiteness() {
+	const n = 5
+	b := dynstream.NewBipartiteness(11, n)
+	// A 5-cycle (odd): not bipartite.
+	for i := 0; i < n; i++ {
+		b.AddUpdate(dynstream.Update{U: i, V: (i + 1) % n, Delta: 1})
+	}
+	bip, err := b.IsBipartite()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("odd cycle bipartite:", bip)
+	// Output:
+	// odd cycle bipartite: false
+}

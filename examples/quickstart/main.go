@@ -1,0 +1,52 @@
+// Quickstart: build a two-pass 2^k-spanner of a random graph delivered
+// as a dynamic stream (insertions and deletions), then answer distance
+// queries from the spanner and compare with exact distances.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynstream"
+	"dynstream/internal/graph"
+)
+
+func main() {
+	const (
+		n    = 96
+		k    = 2 // stretch 2^k = 4
+		seed = 42
+	)
+
+	// The "true" graph exists only to generate a stream and verify
+	// results; the algorithm itself sees nothing but updates.
+	g := graph.ConnectedGNP(n, 0.12, seed)
+	st := dynstream.StreamWithChurn(g, 500, seed+1) // 500 insert+delete pairs of noise
+	fmt.Printf("graph: n=%d m=%d; stream length %d updates (with churn)\n",
+		g.N(), g.M(), st.Len())
+
+	res, err := dynstream.BuildSpanner(st, dynstream.SpannerConfig{K: k, Seed: seed + 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spanner: %d of %d edges kept (%.1f%%), sketch space %d words\n",
+		res.Spanner.M(), g.M(), 100*float64(res.Spanner.M())/float64(g.M()),
+		res.SpaceWords)
+
+	// Distance queries: spanner distances are within a factor 2^k.
+	fmt.Println("\nsample distance queries (u, v, exact, spanner):")
+	for _, pair := range [][2]int{{0, n - 1}, {1, n / 2}, {3, 2 * n / 3}} {
+		dg := g.BFS(pair[0])[pair[1]]
+		dh := res.Spanner.BFS(pair[0])[pair[1]]
+		fmt.Printf("  d(%2d,%2d) exact=%d spanner=%d\n", pair[0], pair[1], dg, dh)
+	}
+
+	rep := dynstream.VerifyStretch(g, res.Spanner, 16)
+	fmt.Printf("\nverification over %d pairs: max stretch %.2f (bound %d), mean %.2f\n",
+		rep.Pairs, rep.MaxStretch, 1<<k, rep.MeanStretch)
+	if rep.Disconnected > 0 || rep.Shortcuts > 0 {
+		log.Fatalf("invalid spanner: %+v", rep)
+	}
+}

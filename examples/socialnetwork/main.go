@@ -1,0 +1,64 @@
+// Social-network scenario: a heavy-tailed (preferential-attachment)
+// friendship graph with churn — edges appear and disappear over time —
+// compressed in a single pass by the additive spanner of Theorem 3.
+// This is the workload family the paper's introduction motivates:
+// "search engines and social networks require supporting various
+// queries on large-scale graphs ... without having to store the entire
+// graph in memory".
+//
+// Run: go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynstream"
+	"dynstream/internal/graph"
+)
+
+func main() {
+	const (
+		n    = 300
+		d    = 6 // space knob: Õ(nd) space, n/d additive error
+		seed = 7
+	)
+
+	g := graph.PreferentialAttachment(n, 3, seed)
+	st := dynstream.StreamWithChurn(g, 2000, seed+1)
+	fmt.Printf("social graph: n=%d m=%d (max degree %d), stream %d updates\n",
+		g.N(), g.M(), maxDegree(g), st.Len())
+
+	res, err := dynstream.BuildAdditiveSpanner(st, dynstream.AdditiveConfig{D: d, Seed: seed + 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("additive spanner: %d of %d edges, %d centers, %d low-degree vertices, %d words\n",
+		res.Spanner.M(), g.M(), res.Centers, res.LowDegree, res.SpaceWords)
+
+	// "Degrees of separation" queries.
+	fmt.Println("\nsample queries (u, v, exact hops, spanner hops):")
+	for _, pair := range [][2]int{{0, n - 1}, {5, n - 10}, {50, 200}} {
+		dg := g.BFS(pair[0])[pair[1]]
+		dh := res.Spanner.BFS(pair[0])[pair[1]]
+		fmt.Printf("  d(%3d,%3d) exact=%d spanner=%d (additive error %d, bound %d)\n",
+			pair[0], pair[1], dg, dh, dh-dg, n/d)
+	}
+
+	rep := dynstream.VerifyAdditive(g, res.Spanner, 20)
+	fmt.Printf("\nverification over %d pairs: max additive error %d (bound O(n/d) = %d), mean %.2f\n",
+		rep.Pairs, rep.MaxError, n/d, rep.MeanError)
+	if rep.Disconnected > 0 || rep.Shortcuts > 0 {
+		log.Fatalf("invalid spanner: %+v", rep)
+	}
+}
+
+func maxDegree(g *dynstream.Graph) int {
+	m := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > m {
+			m = g.Degree(v)
+		}
+	}
+	return m
+}

@@ -1,0 +1,177 @@
+// Package agm implements the graph-connectivity sketch of Ahn, Guha and
+// McGregor [AGM12a] — the paper's Theorem 10 substrate: a single-pass
+// linear sketch from which a spanning forest of the streamed graph can
+// be extracted with high probability.
+//
+// Each vertex v keeps L0-samplers of its signed edge-incidence vector:
+// edge {a, b} with a < b contributes +1 at coordinate enc(a,b) of a's
+// vector and −1 of b's. Summing the vectors of a vertex set S cancels
+// internal edges exactly, leaving the edge boundary ∂S — so Borůvka
+// rounds can repeatedly sample outgoing edges of current components and
+// merge. The two linearity properties the paper exploits are explicit
+// here: SubtractEdges (used by Algorithm 3 to remove E_low before
+// computing the forest) and the ability to run the forest on supernode
+// groups (collapsing clusters T_u).
+package agm
+
+import (
+	"fmt"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/sketch"
+	"dynstream/internal/stream"
+)
+
+// Sketch is the per-graph AGM connectivity sketch: `rounds` independent
+// L0-samplers per vertex, one consumed per Borůvka round.
+type Sketch struct {
+	seed   uint64
+	n      int
+	rounds int
+	samp   [][]*sketch.L0Sampler // samp[r][v]
+	perLvl int
+}
+
+// Config tunes the sketch.
+type Config struct {
+	// Rounds is the number of Borůvka rounds (default ceil(log2 n)+2).
+	Rounds int
+	// PerLevel is the sparse-recovery budget per L0 level (default 4).
+	PerLevel int
+}
+
+// New creates an AGM sketch for a graph on n vertices.
+func New(seed uint64, n int, cfg Config) *Sketch {
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = 2
+		for x := 1; x < n; x *= 2 {
+			rounds++
+		}
+	}
+	perLvl := cfg.PerLevel
+	if perLvl == 0 {
+		perLvl = 4
+	}
+	s := &Sketch{seed: seed, n: n, rounds: rounds, perLvl: perLvl}
+	universe := uint64(n) * uint64(n)
+	s.samp = make([][]*sketch.L0Sampler, rounds)
+	for r := 0; r < rounds; r++ {
+		s.samp[r] = make([]*sketch.L0Sampler, n)
+		// All vertices share one projection per round: summing vertex
+		// sketches must equal sketching the summed incidence vectors,
+		// so the hash functions are a function of the round only.
+		roundSeed := hashing.Mix(seed, uint64(r))
+		for v := 0; v < n; v++ {
+			s.samp[r][v] = sketch.NewL0Sampler(roundSeed, universe, perLvl)
+		}
+	}
+	return s
+}
+
+// N returns the vertex count.
+func (s *Sketch) N() int { return s.n }
+
+// AddEdge folds an update for edge {u, v} with multiplicity delta into
+// both endpoint sketches with opposite signs.
+func (s *Sketch) AddEdge(u, v int, delta int64) {
+	if u == v {
+		return
+	}
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	key := stream.PairKey(a, b, s.n)
+	for r := 0; r < s.rounds; r++ {
+		s.samp[r][a].Add(key, delta)
+		s.samp[r][b].Add(key, -delta)
+	}
+}
+
+// AddUpdate folds a stream update.
+func (s *Sketch) AddUpdate(u stream.Update) {
+	s.AddEdge(u.U, u.V, int64(u.Delta))
+}
+
+// SubtractEdges removes an explicit edge set from the sketch — the
+// linear operation Algorithm 3 uses to form G' = G − E_low after the
+// stream has ended.
+func (s *Sketch) SubtractEdges(edges []graph.Edge) {
+	for _, e := range edges {
+		s.AddEdge(e.U, e.V, -1)
+	}
+}
+
+// SpanningForest extracts a spanning forest of the sketched graph. If
+// groups is non-nil, each group of vertices is first collapsed into a
+// supernode (clusters T_u of Algorithm 3); vertices absent from every
+// group stay singletons. The returned edges are original graph edges
+// whose endpoints lie in different (super)components, forming a forest
+// over the contraction.
+func (s *Sketch) SpanningForest(groups [][]int) ([]graph.Edge, error) {
+	uf := graph.NewUnionFind(s.n)
+	for gi, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		for _, v := range grp {
+			if v < 0 || v >= s.n {
+				return nil, fmt.Errorf("agm: group %d contains out-of-range vertex %d", gi, v)
+			}
+			uf.Union(grp[0], v)
+		}
+	}
+
+	var forest []graph.Edge
+	for r := 0; r < s.rounds; r++ {
+		if uf.Sets() == 1 {
+			break
+		}
+		// Gather members per current component.
+		members := map[int][]int{}
+		for v := 0; v < s.n; v++ {
+			root := uf.Find(v)
+			members[root] = append(members[root], v)
+		}
+		type found struct{ a, b int }
+		var picks []found
+		for _, m := range members {
+			merged := s.samp[r][m[0]].Clone()
+			for _, v := range m[1:] {
+				if err := merged.Merge(s.samp[r][v]); err != nil {
+					return nil, fmt.Errorf("agm: merge: %w", err)
+				}
+			}
+			key, _, ok := merged.Sample()
+			if !ok {
+				continue // isolated component (or decode failure)
+			}
+			a, b := stream.DecodePairKey(key, s.n)
+			picks = append(picks, found{a, b})
+		}
+		progress := false
+		for _, p := range picks {
+			if uf.Union(p.a, p.b) {
+				forest = append(forest, graph.Edge{U: p.a, V: p.b, W: 1}.Canon())
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return forest, nil
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (s *Sketch) SpaceWords() int {
+	w := 2
+	for _, row := range s.samp {
+		for _, sp := range row {
+			w += sp.SpaceWords()
+		}
+	}
+	return w
+}

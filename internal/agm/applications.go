@@ -1,0 +1,153 @@
+package agm
+
+import (
+	"fmt"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/stream"
+)
+
+// This file implements the two classical applications of the AGM
+// connectivity sketch beyond a single spanning forest — both from
+// [AGM12a], which the paper cites as the foundation of dynamic graph
+// streaming ("properties such as bipartiteness, connectivity,
+// k-connectivity ... with near linear space"):
+//
+//   - KConnectivity: a k-edge-connectivity certificate from k
+//     independent sketches, peeling one spanning forest at a time and
+//     subtracting it (linearity) from the next sketch.
+//   - Bipartiteness: via the bipartite double cover — G is bipartite
+//     iff its double cover has exactly twice as many connected
+//     components as G.
+
+// KConnectivity maintains k independent AGM sketches of the same
+// stream and extracts k edge-disjoint spanning forests F_1..F_k; their
+// union is a k-edge-connectivity certificate: every cut of value < k
+// in G has exactly its G-value in the certificate.
+type KConnectivity struct {
+	k        int
+	n        int
+	sketches []*Sketch
+}
+
+// NewKConnectivity creates the certificate sketch for a graph on n
+// vertices with connectivity parameter k >= 1.
+func NewKConnectivity(seed uint64, n, k int) *KConnectivity {
+	if k < 1 {
+		k = 1
+	}
+	kc := &KConnectivity{k: k, n: n, sketches: make([]*Sketch, k)}
+	for i := 0; i < k; i++ {
+		kc.sketches[i] = New(hashing.Mix(seed, 0x6c, uint64(i)), n, Config{})
+	}
+	return kc
+}
+
+// AddUpdate folds a stream update into all k sketches.
+func (kc *KConnectivity) AddUpdate(u stream.Update) {
+	for _, s := range kc.sketches {
+		s.AddUpdate(u)
+	}
+}
+
+// AddEdge folds an explicit edge with multiplicity delta.
+func (kc *KConnectivity) AddEdge(u, v int, delta int64) {
+	for _, s := range kc.sketches {
+		s.AddEdge(u, v, delta)
+	}
+}
+
+// Certificate extracts k edge-disjoint spanning forests. Forest F_i is
+// computed from sketch i after subtracting F_1..F_{i-1} — each sketch's
+// randomness is consumed exactly once, so the whp guarantee of
+// Theorem 10 applies per forest.
+func (kc *KConnectivity) Certificate() ([][]graph.Edge, error) {
+	var prior []graph.Edge
+	out := make([][]graph.Edge, 0, kc.k)
+	for i, s := range kc.sketches {
+		s.SubtractEdges(prior)
+		f, err := s.SpanningForest(nil)
+		if err != nil {
+			return nil, fmt.Errorf("agm: certificate forest %d: %w", i, err)
+		}
+		out = append(out, f)
+		prior = append(prior, f...)
+	}
+	return out, nil
+}
+
+// CertificateGraph returns the union of the certificate forests as a
+// graph — the sparse subgraph preserving all cuts up to value k.
+func (kc *KConnectivity) CertificateGraph() (*graph.Graph, error) {
+	forests, err := kc.Certificate()
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(kc.n)
+	for _, f := range forests {
+		for _, e := range f {
+			g.AddUnitEdge(e.U, e.V)
+		}
+	}
+	return g, nil
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (kc *KConnectivity) SpaceWords() int {
+	w := 0
+	for _, s := range kc.sketches {
+		w += s.SpaceWords()
+	}
+	return w
+}
+
+// Bipartiteness tests whether the streamed graph is bipartite using
+// the double-cover reduction: the cover has vertices (v, 0), (v, 1)
+// and, for every edge {u, v}, edges {(u,0),(v,1)} and {(u,1),(v,0)}.
+// A connected non-bipartite component's cover is connected (one
+// component), a bipartite one's cover splits in two — so G is
+// bipartite iff components(cover) = 2·components(G).
+type Bipartiteness struct {
+	n     int
+	base  *Sketch // sketch of G on n vertices
+	cover *Sketch // sketch of the double cover on 2n vertices
+}
+
+// NewBipartiteness creates the tester for a graph on n vertices.
+func NewBipartiteness(seed uint64, n int) *Bipartiteness {
+	return &Bipartiteness{
+		n:     n,
+		base:  New(hashing.Mix(seed, 0xb1), n, Config{}),
+		cover: New(hashing.Mix(seed, 0xb2), 2*n, Config{}),
+	}
+}
+
+// AddUpdate folds a stream update into both sketches.
+func (b *Bipartiteness) AddUpdate(u stream.Update) {
+	b.base.AddUpdate(u)
+	d := int64(u.Delta)
+	// Double cover: (u,0)=u, (u,1)=u+n.
+	b.cover.AddEdge(u.U, u.V+b.n, d)
+	b.cover.AddEdge(u.U+b.n, u.V, d)
+}
+
+// IsBipartite decides bipartiteness whp from the sketches alone.
+func (b *Bipartiteness) IsBipartite() (bool, error) {
+	fBase, err := b.base.SpanningForest(nil)
+	if err != nil {
+		return false, err
+	}
+	fCover, err := b.cover.SpanningForest(nil)
+	if err != nil {
+		return false, err
+	}
+	compG := b.n - len(fBase)
+	compCover := 2*b.n - len(fCover)
+	return compCover == 2*compG, nil
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (b *Bipartiteness) SpaceWords() int {
+	return b.base.SpaceWords() + b.cover.SpaceWords()
+}

@@ -1,0 +1,115 @@
+package agm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const tagAGM uint64 = 0xd15c_0003
+
+var errCorrupt = errors.New("agm: corrupt serialized data")
+
+// MarshalBinary encodes the sketch so that a remote party can
+// reconstruct and merge it — the wire format for the distributed
+// protocol of the paper's introduction (servers send Sx^i, the
+// coordinator sums them).
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var out []byte
+	u64 := func(v uint64) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	u64(tagAGM)
+	u64(s.seed)
+	u64(uint64(s.n))
+	u64(uint64(s.rounds))
+	u64(uint64(s.perLvl))
+	for r := 0; r < s.rounds; r++ {
+		for v := 0; v < s.n; v++ {
+			enc, err := s.samp[r][v].MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			u64(uint64(len(enc)))
+			out = append(out, enc...)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary reconstructs a sketch encoded with MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	pos := 0
+	u64 := func() (uint64, error) {
+		if len(data)-pos < 8 {
+			return 0, errCorrupt
+		}
+		v := binary.LittleEndian.Uint64(data[pos : pos+8])
+		pos += 8
+		return v, nil
+	}
+	tag, err := u64()
+	if err != nil || tag != tagAGM {
+		return fmt.Errorf("agm: not an AGM sketch encoding: %w", errCorrupt)
+	}
+	seed, err := u64()
+	if err != nil {
+		return err
+	}
+	n, err := u64()
+	if err != nil {
+		return err
+	}
+	rounds, err := u64()
+	if err != nil {
+		return err
+	}
+	perLvl, err := u64()
+	if err != nil {
+		return err
+	}
+	if n == 0 || n > 1<<24 || rounds == 0 || rounds > 256 {
+		return errCorrupt
+	}
+	rebuilt := New(seed, int(n), Config{Rounds: int(rounds), PerLevel: int(perLvl)})
+	for r := 0; r < rebuilt.rounds; r++ {
+		for v := 0; v < rebuilt.n; v++ {
+			ln, err := u64()
+			if err != nil {
+				return err
+			}
+			if uint64(len(data)-pos) < ln {
+				return errCorrupt
+			}
+			if err := rebuilt.samp[r][v].UnmarshalBinary(data[pos : pos+int(ln)]); err != nil {
+				return err
+			}
+			pos += int(ln)
+		}
+	}
+	if pos != len(data) {
+		return errCorrupt
+	}
+	*s = *rebuilt
+	return nil
+}
+
+// Merge adds another sketch built with the same seed and geometry; the
+// result sketches the union (sum) of both update streams — the
+// coordinator-side operation of the distributed protocol.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.seed != o.seed || s.n != o.n || s.rounds != o.rounds {
+		return fmt.Errorf("agm: merging incompatible sketches (seed %d/%d n %d/%d)",
+			s.seed, o.seed, s.n, o.n)
+	}
+	for r := 0; r < s.rounds; r++ {
+		for v := 0; v < s.n; v++ {
+			if err := s.samp[r][v].Merge(o.samp[r][v]); err != nil {
+				return fmt.Errorf("agm: merge round %d vertex %d: %w", r, v, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package agm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/stream"
+)
+
+// MSF computes a (1+gamma)-approximate minimum spanning forest from
+// linear sketches — the remaining [AGM12a] application the paper lists
+// ("minimum spanning trees"). Edge weights are rounded into geometric
+// classes; one connectivity sketch is kept per class *prefix* (edges of
+// weight at most the class bound), and the forest is assembled
+// Kruskal-style: the lightest prefix contributes its spanning forest,
+// each heavier prefix then extends it on the contraction of what is
+// already connected. Within a class, weights differ by at most a
+// (1+gamma) factor, so the result is a (1+gamma)-approximate MSF.
+type MSF struct {
+	n         int
+	gamma     float64
+	maxClass  int
+	prefixes  []*Sketch // prefixes[c] sketches edges with class <= c
+	classSeen []bool
+}
+
+// NewMSF creates the sketch for a graph on n vertices whose edge
+// weights lie in [1, wmax], with class ratio 1+gamma.
+func NewMSF(seed uint64, n int, wmax, gamma float64) *MSF {
+	if gamma <= 0 {
+		gamma = 1
+	}
+	base := 1 + gamma
+	maxClass := stream.WeightClassOf(wmax, base) + 1
+	m := &MSF{
+		n:        n,
+		gamma:    gamma,
+		maxClass: maxClass,
+		prefixes: make([]*Sketch, maxClass+1),
+	}
+	for c := 0; c <= maxClass; c++ {
+		m.prefixes[c] = New(hashing.Mix(seed, 0x3f, uint64(c)), n, Config{})
+	}
+	return m
+}
+
+// AddUpdate folds a weighted update into every prefix sketch whose
+// class bound covers the edge's weight class.
+func (m *MSF) AddUpdate(u stream.Update) {
+	c := stream.WeightClassOf(u.W, 1+m.gamma)
+	if c > m.maxClass {
+		c = m.maxClass
+	}
+	for p := c; p <= m.maxClass; p++ {
+		m.prefixes[p].AddEdge(u.U, u.V, int64(u.Delta))
+	}
+}
+
+// Forest extracts the approximate MSF: edges tagged with the upper
+// bound of their weight class (so the returned total weight is within
+// (1+gamma) of exact, assuming the per-class forests succeed whp).
+func (m *MSF) Forest() ([]graph.Edge, error) {
+	uf := graph.NewUnionFind(m.n)
+	var out []graph.Edge
+	base := 1 + m.gamma
+	for c := 0; c <= m.maxClass; c++ {
+		if uf.Sets() == 1 {
+			break
+		}
+		// Current groups: components connected by lighter classes.
+		groups := map[int][]int{}
+		for v := 0; v < m.n; v++ {
+			r := uf.Find(v)
+			groups[r] = append(groups[r], v)
+		}
+		groupList := make([][]int, 0, len(groups))
+		// Deterministic order for reproducibility.
+		roots := make([]int, 0, len(groups))
+		for r := range groups {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		for _, r := range roots {
+			groupList = append(groupList, groups[r])
+		}
+		f, err := m.prefixes[c].SpanningForest(groupList)
+		if err != nil {
+			return nil, fmt.Errorf("agm: msf class %d: %w", c, err)
+		}
+		w := math.Pow(base, float64(c+1))
+		for _, e := range f {
+			if uf.Union(e.U, e.V) {
+				out = append(out, graph.Edge{U: e.U, V: e.V, W: w})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (m *MSF) SpaceWords() int {
+	w := 0
+	for _, s := range m.prefixes {
+		w += s.SpaceWords()
+	}
+	return w
+}

@@ -1,0 +1,195 @@
+// Package baseline implements the offline comparators the paper is
+// positioned against: the Baswana–Sen randomized (2k−1)-spanner [BS07]
+// (whose stretch/space point the paper's Theorem 1 trades passes for)
+// and the greedy (2k−1)-spanner of Althöfer et al. (the classical
+// quality ceiling). Both assume random access to the graph — exactly
+// the capability dynamic streaming removes — so they serve as quality
+// baselines in experiment E9, not as competitors in the model.
+package baseline
+
+import (
+	"math"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+)
+
+// Greedy returns the greedy (2k−1)-spanner: scan edges, keep an edge
+// iff the current spanner has no path of length ≤ 2k−1 between its
+// endpoints. For unweighted graphs this yields a (2k−1)-spanner of
+// size O(n^{1+1/k}).
+func Greedy(g *graph.Graph, k int) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	t := 2*k - 1
+	h := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if !withinHops(h, e.U, e.V, t) {
+			h.AddEdge(e.U, e.V, e.W)
+		}
+	}
+	return h
+}
+
+// withinHops reports whether v is reachable from u in at most t hops in
+// h, via a depth-limited BFS.
+func withinHops(h *graph.Graph, u, v, t int) bool {
+	if u == v {
+		return true
+	}
+	dist := map[int]int{u: 0}
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if dist[x] >= t {
+			continue
+		}
+		for _, y := range h.Neighbors(x) {
+			if _, seen := dist[y]; seen {
+				continue
+			}
+			if y == v {
+				return true
+			}
+			dist[y] = dist[x] + 1
+			queue = append(queue, y)
+		}
+	}
+	return false
+}
+
+// BaswanaSen returns a (2k−1)-spanner of an unweighted graph via the
+// randomized clustering algorithm of Baswana and Sen [BS07]. Expected
+// size O(k·n^{1+1/k}).
+func BaswanaSen(g *graph.Graph, k int, seed uint64) *graph.Graph {
+	n := g.N()
+	if k < 1 {
+		k = 1
+	}
+	h := graph.New(n)
+	rng := hashing.NewSplitMix64(seed)
+	sampleRate := math.Pow(float64(n), -1.0/float64(k))
+
+	// cluster[v] = center id of v's cluster, or -1 once v has been
+	// discarded from clustering (its inter-cluster edges were added).
+	cluster := make([]int, n)
+	for v := range cluster {
+		cluster[v] = v
+	}
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	// Remaining edges considered by the algorithm.
+	type edge struct{ u, v int }
+	edges := map[edge]bool{}
+	for _, e := range g.Edges() {
+		edges[edge{e.U, e.V}] = true
+	}
+	for phase := 0; phase < k-1; phase++ {
+		// Sample surviving cluster centers.
+		centers := map[int]bool{}
+		for v := 0; v < n; v++ {
+			if active[v] && cluster[v] == v {
+				if rng.Float64() < sampleRate {
+					centers[v] = true
+				}
+			}
+		}
+		newCluster := make([]int, n)
+		for v := range newCluster {
+			newCluster[v] = -1
+		}
+		// Vertices already in a sampled cluster stay.
+		for v := 0; v < n; v++ {
+			if active[v] && centers[cluster[v]] {
+				newCluster[v] = cluster[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !active[v] || newCluster[v] != -1 {
+				continue
+			}
+			// Group v's remaining edges by neighbor cluster.
+			type best struct{ to int }
+			byCluster := map[int]best{}
+			for _, u := range g.Neighbors(v) {
+				if !active[u] {
+					continue
+				}
+				e := edge{min(u, v), max(u, v)}
+				if !edges[e] {
+					continue
+				}
+				c := cluster[u]
+				if _, ok := byCluster[c]; !ok {
+					byCluster[c] = best{to: u}
+				}
+			}
+			// Adjacent to a sampled cluster? Join the first one found
+			// (deterministic order over cluster ids for reproducibility).
+			joined := -1
+			for c := range byCluster {
+				if centers[c] && (joined == -1 || c < joined) {
+					joined = c
+				}
+			}
+			if joined != -1 {
+				u := byCluster[joined].to
+				h.AddUnitEdge(v, u)
+				newCluster[v] = joined
+				// Remove edges from v to the joined cluster.
+				for _, u2 := range g.Neighbors(v) {
+					if active[u2] && cluster[u2] == joined {
+						delete(edges, edge{min(u2, v), max(u2, v)})
+					}
+				}
+				continue
+			}
+			// No sampled neighbor cluster: add one edge per adjacent
+			// cluster and retire v.
+			for c, b := range byCluster {
+				h.AddUnitEdge(v, b.to)
+				for _, u2 := range g.Neighbors(v) {
+					if active[u2] && cluster[u2] == c {
+						delete(edges, edge{min(u2, v), max(u2, v)})
+					}
+				}
+			}
+			active[v] = false
+		}
+		for v := 0; v < n; v++ {
+			if active[v] {
+				cluster[v] = newCluster[v]
+				if cluster[v] == -1 {
+					active[v] = false
+				}
+			}
+		}
+	}
+
+	// Phase 2: vertex-cluster joining — every surviving vertex adds one
+	// edge to each adjacent surviving cluster.
+	for v := 0; v < n; v++ {
+		byCluster := map[int]int{}
+		for _, u := range g.Neighbors(v) {
+			if !active[u] {
+				continue
+			}
+			e := edge{min(u, v), max(u, v)}
+			if !edges[e] {
+				continue
+			}
+			c := cluster[u]
+			if _, ok := byCluster[c]; !ok {
+				byCluster[c] = u
+			}
+		}
+		for _, u := range byCluster {
+			h.AddUnitEdge(v, u)
+		}
+	}
+	return h
+}

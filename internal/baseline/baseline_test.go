@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"dynstream/internal/graph"
+)
+
+func checkStretch(t *testing.T, g, h *graph.Graph, bound float64, sources int) {
+	t.Helper()
+	n := g.N()
+	step := 1
+	if sources > 0 && n > sources {
+		step = n / sources
+	}
+	for src := 0; src < n; src += step {
+		dg := g.BFS(src)
+		dh := h.BFS(src)
+		for v := 0; v < n; v++ {
+			if dg[v] <= 0 {
+				continue
+			}
+			if dh[v] == -1 || float64(dh[v]) > bound*float64(dg[v]) {
+				t.Fatalf("stretch violated at (%d,%d): d_H=%d d_G=%d bound=%v",
+					src, v, dh[v], dg[v], bound)
+			}
+		}
+	}
+}
+
+func TestGreedySubgraphAndStretch(t *testing.T) {
+	g := graph.ConnectedGNP(60, 0.2, 1)
+	for _, k := range []int{1, 2, 3} {
+		h := Greedy(g, k)
+		if !h.IsSubgraphOf(g) {
+			t.Fatalf("k=%d: not a subgraph", k)
+		}
+		checkStretch(t, g, h, float64(2*k-1), 15)
+	}
+}
+
+func TestGreedyK1IsWholeGraphOnTriangleFree(t *testing.T) {
+	// With k=1 (stretch 1), every edge must be kept.
+	g := graph.Grid(5, 5)
+	h := Greedy(g, 1)
+	if h.M() != g.M() {
+		t.Errorf("1-spanner dropped edges: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestGreedySizeBound(t *testing.T) {
+	// Greedy (2k-1)-spanner has girth > 2k, so size O(n^{1+1/k}).
+	n := 80
+	g := graph.GNP(n, 0.4, 2)
+	h := Greedy(g, 2)
+	bound := 3 * math.Pow(float64(n), 1.5)
+	if float64(h.M()) > bound {
+		t.Errorf("greedy size %d above bound %v", h.M(), bound)
+	}
+}
+
+func TestGreedyCompressesComplete(t *testing.T) {
+	g := graph.Complete(40)
+	h := Greedy(g, 2)
+	if h.M() >= g.M()/2 {
+		t.Errorf("no compression: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestBaswanaSenSubgraphAndStretch(t *testing.T) {
+	g := graph.ConnectedGNP(70, 0.15, 3)
+	for _, k := range []int{2, 3} {
+		worstViolations := 0
+		for seed := uint64(0); seed < 5; seed++ {
+			h := BaswanaSen(g, k, seed)
+			if !h.IsSubgraphOf(g) {
+				t.Fatalf("k=%d seed=%d: not a subgraph", k, seed)
+			}
+			bound := float64(2*k - 1)
+			violated := false
+			for src := 0; src < g.N(); src += 10 {
+				dg := g.BFS(src)
+				dh := h.BFS(src)
+				for v := 0; v < g.N(); v++ {
+					if dg[v] <= 0 {
+						continue
+					}
+					if dh[v] == -1 || float64(dh[v]) > bound*float64(dg[v]) {
+						violated = true
+					}
+				}
+			}
+			if violated {
+				worstViolations++
+			}
+		}
+		// Randomized construction: allow a rare stretch miss but not a
+		// systematic one.
+		if worstViolations > 1 {
+			t.Errorf("k=%d: stretch bound violated on %d/5 seeds", k, worstViolations)
+		}
+	}
+}
+
+func TestBaswanaSenK1KeepsEverything(t *testing.T) {
+	// k=1: no clustering phases; every vertex joins every adjacent
+	// cluster (= neighbor), i.e. the whole graph survives.
+	g := graph.ConnectedGNP(30, 0.2, 4)
+	h := BaswanaSen(g, 1, 5)
+	if h.M() != g.M() {
+		t.Errorf("k=1 kept %d of %d edges", h.M(), g.M())
+	}
+}
+
+func TestBaswanaSenCompresses(t *testing.T) {
+	g := graph.Complete(60)
+	h := BaswanaSen(g, 2, 6)
+	if h.M() >= g.M()/2 {
+		t.Errorf("no compression: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestBaswanaSenConnectivityPreserved(t *testing.T) {
+	g := graph.ConnectedGNP(50, 0.1, 7)
+	h := BaswanaSen(g, 3, 8)
+	_, cG := g.Components()
+	_, cH := h.Components()
+	if cG != cH {
+		t.Errorf("components %d vs %d", cH, cG)
+	}
+}
+
+func TestBaswanaSenDisconnected(t *testing.T) {
+	g := graph.New(20)
+	for i := 0; i < 9; i++ {
+		g.AddUnitEdge(i, i+1)
+		g.AddUnitEdge(10+i, 11+i)
+	}
+	h := BaswanaSen(g, 2, 9)
+	if !h.IsSubgraphOf(g) {
+		t.Fatal("not a subgraph")
+	}
+	_, c := h.Components()
+	if c != 2 {
+		t.Errorf("components = %d, want 2", c)
+	}
+}
+
+func TestGreedyBeatsOrMatchesBaswanaSenSize(t *testing.T) {
+	// Greedy is the quality ceiling: its spanner should not be larger
+	// than Baswana-Sen's by more than a small factor (sanity of both).
+	g := graph.GNP(60, 0.3, 10)
+	greedy := Greedy(g, 2)
+	bs := BaswanaSen(g, 2, 11)
+	if greedy.M() > 2*bs.M()+20 {
+		t.Errorf("greedy %d vs baswana-sen %d — greedy should be competitive",
+			greedy.M(), bs.M())
+	}
+}

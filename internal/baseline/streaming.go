@@ -1,0 +1,41 @@
+package baseline
+
+import (
+	"fmt"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/stream"
+)
+
+// StreamingGreedy is the classical single-pass insertion-only spanner
+// baseline (the model of [Bas08] and the Ω(nd) lower bound's setting):
+// each arriving edge is kept iff the spanner built so far has no path
+// of length ≤ 2k−1 between its endpoints. The result is a
+// (2k−1)-spanner with girth > 2k, hence O(n^{1+1/k}) edges.
+//
+// It refuses deletion updates: that inability is precisely the gap the
+// paper's linear sketches close, and the integration tests use it to
+// document the contrast.
+func StreamingGreedy(st stream.Stream, k int) (*graph.Graph, error) {
+	if k < 1 {
+		k = 1
+	}
+	t := 2*k - 1
+	h := graph.New(st.N())
+	err := st.Replay(func(u stream.Update) error {
+		if u.Delta < 0 {
+			return fmt.Errorf("baseline: StreamingGreedy is insertion-only; saw deletion of (%d,%d)", u.U, u.V)
+		}
+		if h.HasEdge(u.U, u.V) {
+			return nil // multigraph duplicate
+		}
+		if !withinHops(h, u.U, u.V, t) {
+			h.AddEdge(u.U, u.V, u.W)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/stream"
+)
+
+func TestStreamingGreedyStretch(t *testing.T) {
+	g := graph.ConnectedGNP(60, 0.2, 1)
+	st := stream.FromGraph(g, 2)
+	h, err := StreamingGreedy(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSubgraphOf(g) {
+		t.Fatal("not a subgraph")
+	}
+	for src := 0; src < g.N(); src += 10 {
+		dg := g.BFS(src)
+		dh := h.BFS(src)
+		for v := 0; v < g.N(); v++ {
+			if dg[v] <= 0 {
+				continue
+			}
+			if dh[v] == -1 || dh[v] > 3*dg[v] {
+				t.Fatalf("stretch violated at (%d,%d): %d vs %d", src, v, dh[v], dg[v])
+			}
+		}
+	}
+}
+
+func TestStreamingGreedyRejectsDeletions(t *testing.T) {
+	st := stream.NewMemoryStream(4)
+	_ = st.Append(stream.Update{U: 0, V: 1, Delta: 1})
+	_ = st.Append(stream.Update{U: 0, V: 1, Delta: -1})
+	if _, err := StreamingGreedy(st, 2); err == nil {
+		t.Error("deletion accepted by insertion-only baseline")
+	}
+}
+
+func TestStreamingGreedyOrderIndependentValidity(t *testing.T) {
+	// Different stream orders give different spanners, but all valid.
+	g := graph.Complete(24)
+	sizes := map[int]bool{}
+	for seed := uint64(0); seed < 4; seed++ {
+		st := stream.FromGraph(g, seed)
+		h, err := StreamingGreedy(st, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[h.M()] = true
+		if !h.Connected() {
+			t.Fatalf("seed %d: spanner disconnected", seed)
+		}
+		if h.M() >= g.M()/2 {
+			t.Fatalf("seed %d: no compression (%d of %d)", seed, h.M(), g.M())
+		}
+	}
+}
+
+func TestStreamingGreedyMultigraphDuplicates(t *testing.T) {
+	st := stream.NewMemoryStream(3)
+	_ = st.Append(stream.Update{U: 0, V: 1, Delta: 1})
+	_ = st.Append(stream.Update{U: 0, V: 1, Delta: 1}) // duplicate insert
+	h, err := StreamingGreedy(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != 1 {
+		t.Errorf("M = %d, want 1", h.M())
+	}
+}

@@ -1,0 +1,28 @@
+package field
+
+import "testing"
+
+func BenchmarkMul(b *testing.B) {
+	x, y := uint64(0x123456789abcdef), uint64(0xfedcba987654321)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Mul(x, sink^y)
+	}
+	_ = sink
+}
+
+func BenchmarkPow(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Pow(31337, uint64(i)&0xfffff)
+	}
+	_ = sink
+}
+
+func BenchmarkInv(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Inv(uint64(i) + 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,91 @@
+// Package field implements arithmetic over the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime). All sketch fingerprints in this
+// repository are computed over this field: it is large enough that the
+// polynomial-identity fingerprint tests used by the sparse-recovery
+// sketches fail with probability at most poly(n)/p, and Mersenne
+// reduction keeps multiplication branch-free and fast.
+package field
+
+import "math/bits"
+
+// P is the field modulus 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) uint64 {
+	// x = hi*2^61 + lo with 2^61 ≡ 1 (mod P).
+	x = (x >> 61) + (x & P)
+	if x >= P {
+		x -= P
+	}
+	return x
+}
+
+// Add returns (a + b) mod P. Inputs must already be in [0, P).
+func Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns (a - b) mod P. Inputs must already be in [0, P).
+func Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns (-a) mod P. Input must be in [0, P).
+func Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns (a * b) mod P using a 128-bit product followed by
+// Mersenne reduction. Inputs must be in [0, P).
+func Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod P),
+	// split lo into its top 3 bits and low 61 bits.
+	r := (hi << 3) | (lo >> 61)
+	return Reduce(r + (lo & P))
+}
+
+// Pow returns a^e mod P by binary exponentiation.
+func Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := Reduce(a)
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a mod P. It panics on a == 0
+// after reduction, which indicates a programming error in the caller:
+// inverses are only requested for provably nonzero counts.
+func Inv(a uint64) uint64 {
+	a = Reduce(a)
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	// Fermat: a^(P-2) = a^{-1}.
+	return Pow(a, P-2)
+}
+
+// FromInt64 maps a signed integer into the field.
+func FromInt64(v int64) uint64 {
+	if v >= 0 {
+		return Reduce(uint64(v))
+	}
+	return Neg(Reduce(uint64(-v)))
+}

@@ -1,0 +1,179 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceRange(t *testing.T) {
+	cases := []uint64{0, 1, P - 1, P, P + 1, 1 << 62, ^uint64(0)}
+	for _, c := range cases {
+		if got := Reduce(c); got >= P {
+			t.Errorf("Reduce(%d) = %d, want < P", c, got)
+		}
+	}
+}
+
+func TestReduceIdentityOnSmall(t *testing.T) {
+	for _, c := range []uint64{0, 1, 2, 12345, P - 1} {
+		if got := Reduce(c); got != c {
+			t.Errorf("Reduce(%d) = %d, want %d", c, got, c)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := Reduce(rng.Uint64())
+		b := Reduce(rng.Uint64())
+		if got := Sub(Add(a, b), b); got != a {
+			t.Fatalf("Sub(Add(%d,%d),%d) = %d, want %d", a, b, b, got, a)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a := Reduce(rng.Uint64())
+		if got := Add(a, Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) = %d, want 0 (a=%d)", got, a)
+		}
+	}
+	if Neg(0) != 0 {
+		t.Errorf("Neg(0) = %d, want 0", Neg(0))
+	}
+}
+
+func TestMulAgainstBigIntStyle(t *testing.T) {
+	// Verify Mul against the naive schoolbook computation on 32-bit
+	// halves, which cannot overflow.
+	mulNaive := func(a, b uint64) uint64 {
+		// Decompose a = a1*2^32 + a0.
+		a1, a0 := a>>32, a&0xffffffff
+		// a*b mod P = (a1*2^32 mod P)*b + a0*b, each term reduced.
+		t1 := Reduce(a1)
+		for i := 0; i < 32; i++ {
+			t1 = Add(t1, t1)
+		}
+		// t1 = a1*2^32 mod P; now multiply by b via doubling over bits of b.
+		res := uint64(0)
+		base := Add(t1, Reduce(a0))
+		for i := 63; i >= 0; i-- {
+			res = Add(res, res)
+			if b&(1<<uint(i)) != 0 {
+				res = Add(res, base)
+			}
+		}
+		return res
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a := Reduce(rng.Uint64())
+		b := Reduce(rng.Uint64())
+		if got, want := Mul(a, b), mulNaive(a, b); got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a := Reduce(rng.Uint64())
+		if Mul(a, 1) != a {
+			t.Fatalf("Mul(%d, 1) != %d", a, a)
+		}
+		if Mul(a, 0) != 0 {
+			t.Fatalf("Mul(%d, 0) != 0", a)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 61); got != 1 {
+		// 2^61 = P + 1 ≡ 1.
+		t.Errorf("Pow(2, 61) = %d, want 1", got)
+	}
+	if got := Pow(3, 0); got != 1 {
+		t.Errorf("Pow(3, 0) = %d, want 1", got)
+	}
+	// Fermat's little theorem: a^(P-1) = 1 for a != 0.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		a := Reduce(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if got := Pow(a, P-1); got != 1 {
+			t.Fatalf("Pow(%d, P-1) = %d, want 1", a, got)
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		a := Reduce(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if got := Mul(a, Inv(a)); got != 1 {
+			t.Fatalf("a * a^-1 = %d, want 1 (a=%d)", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestFromInt64(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{-1, P - 1},
+		{42, 42},
+		{-42, P - 42},
+	}
+	for _, c := range cases {
+		if got := FromInt64(c.in); got != c.want {
+			t.Errorf("FromInt64(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromInt64RoundTripAddition(t *testing.T) {
+	// Property: FromInt64(a) + FromInt64(b) == FromInt64(a+b) for small
+	// values where a+b does not overflow.
+	f := func(a, b int32) bool {
+		lhs := Add(FromInt64(int64(a)), FromInt64(int64(b)))
+		rhs := FromInt64(int64(a) + int64(b))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(102))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributes(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		a, b, c = Reduce(a), Reduce(b), Reduce(c)
+		lhs := Mul(a, Add(b, c))
+		rhs := Add(Mul(a, b), Mul(a, c))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Error(err)
+	}
+}

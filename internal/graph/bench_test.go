@@ -1,0 +1,45 @@
+package graph
+
+import "testing"
+
+func BenchmarkBFS(b *testing.B) {
+	g := ConnectedGNP(512, 0.02, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := RandomWeighted(ConnectedGNP(512, 0.02, 2), 1, 100, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i % g.N())
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	g := GNP(512, 0.01, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Components()
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		uf := NewUnionFind(1024)
+		for v := 1; v < 1024; v++ {
+			uf.Union(v-1, v)
+		}
+		if uf.Sets() != 1 {
+			b.Fatal("union-find broken")
+		}
+	}
+}
+
+func BenchmarkGNPGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GNP(256, 0.05, uint64(i))
+	}
+}

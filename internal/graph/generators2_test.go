@@ -1,0 +1,84 @@
+package graph
+
+import "testing"
+
+func TestRingOfCliques(t *testing.T) {
+	g := RingOfCliques(4, 5)
+	if g.N() != 20 {
+		t.Errorf("N = %d", g.N())
+	}
+	// 4 cliques of C(5,2)=10 edges + 4 ring edges.
+	if g.M() != 44 {
+		t.Errorf("M = %d, want 44", g.M())
+	}
+	if !g.Connected() {
+		t.Error("disconnected")
+	}
+	// Clique interior edge and ring edge both present.
+	if !g.HasEdge(0, 4) || !g.HasEdge(4, 5) {
+		t.Error("expected edges missing")
+	}
+}
+
+func TestRingOfCliquesSingle(t *testing.T) {
+	g := RingOfCliques(1, 4)
+	if g.M() != 6 { // one K4, no ring edge to itself
+		t.Errorf("M = %d, want 6", g.M())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(100, 4, 0.1, 1)
+	if g.N() != 100 {
+		t.Errorf("N = %d", g.N())
+	}
+	// ~n·k/2 edges.
+	if g.M() < 150 || g.M() > 220 {
+		t.Errorf("M = %d, want ~200", g.M())
+	}
+	if !g.Connected() {
+		t.Error("small-world graph disconnected at beta=0.1")
+	}
+}
+
+func TestWattsStrogatzNoRewire(t *testing.T) {
+	g := WattsStrogatz(20, 4, 0, 2)
+	// Pure ring lattice: every vertex has degree 4.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRandomRegularDegrees(t *testing.T) {
+	g := RandomRegular(60, 6, 3)
+	if g.N() != 60 {
+		t.Errorf("N = %d", g.N())
+	}
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d > 6 {
+			t.Fatalf("vertex %d degree %d > 6", v, d)
+		}
+		total += d
+	}
+	// Pairing drops a few collisions; demand ≥ 90% of stubs survive.
+	if total < 60*6*90/100 {
+		t.Errorf("total degree %d, want >= %d", total, 60*6*90/100)
+	}
+}
+
+func TestGenerators2Deterministic(t *testing.T) {
+	a := WattsStrogatz(50, 4, 0.2, 7)
+	b := WattsStrogatz(50, 4, 0.2, 7)
+	if a.M() != b.M() || !a.IsSubgraphOf(b) {
+		t.Error("WattsStrogatz not deterministic")
+	}
+	c := RandomRegular(30, 4, 8)
+	d := RandomRegular(30, 4, 8)
+	if c.M() != d.M() || !c.IsSubgraphOf(d) {
+		t.Error("RandomRegular not deterministic")
+	}
+}

@@ -1,0 +1,38 @@
+package hashing
+
+import "testing"
+
+func BenchmarkSplitMix64(b *testing.B) {
+	rng := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = rng.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkPolyHashDegree6(b *testing.B) {
+	h := NewPoly(2, 6)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkPolyLevel(b *testing.B) {
+	h := NewPoly(3, 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = h.Level(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMix(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Mix(4, uint64(i), 7)
+	}
+	_ = sink
+}

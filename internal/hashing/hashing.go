@@ -1,0 +1,149 @@
+// Package hashing provides the seeded pseudorandomness used by every
+// sketch in this repository: a splitmix64 PRNG, k-wise independent
+// polynomial hash families over GF(2^61-1), and Bernoulli / geometric-
+// level samplers derived from them.
+//
+// The paper (Section 3.2) notes that O(log n)-wise independence suffices
+// for the sampled vertex sets C_i and edge sets E_j; the polynomial
+// family below gives exactly d-wise independence for a degree-(d-1)
+// polynomial with random coefficients. Section 6.3 replaces truly random
+// bits with Nisan's generator purely to keep the random seed small; we
+// obtain the same effect by deriving every random object from a single
+// 64-bit seed through splitmix64 streams, so the "seed" stored by an
+// algorithm is O(1) words.
+package hashing
+
+import "dynstream/internal/field"
+
+// SplitMix64 is a tiny, fast, seedable PRNG with a 64-bit state. It is
+// used to derive independent sub-seeds for the many hash functions an
+// algorithm instantiates, so that the entire random tape of a run is a
+// function of one root seed.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a PRNG seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudorandom 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a pseudorandom float64 in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / float64(1<<53)
+}
+
+// Intn returns a pseudorandom int in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("hashing: Intn with non-positive bound")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Perm returns a pseudorandom permutation of [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Mix deterministically combines a seed with a stream index, yielding an
+// independent-looking sub-seed. It is used to derive per-(r,j) hash
+// seeds as in the paper's SKETCH^{r,j} superscript notation.
+func Mix(seed uint64, index ...uint64) uint64 {
+	s := SplitMix64{state: seed}
+	out := s.Next()
+	for _, ix := range index {
+		s.state ^= ix * 0xff51afd7ed558ccd
+		out ^= s.Next()
+	}
+	return out
+}
+
+// Poly is a k-wise independent hash function h(x) = sum c_i x^i over
+// GF(2^61-1). A polynomial of degree d-1 with uniformly random
+// coefficients is exactly d-wise independent on field inputs.
+type Poly struct {
+	coeffs []uint64 // coeffs[i] multiplies x^i
+}
+
+// NewPoly returns a hash function with the given independence degree
+// (>= 2) derived deterministically from seed.
+func NewPoly(seed uint64, independence int) *Poly {
+	if independence < 2 {
+		independence = 2
+	}
+	rng := NewSplitMix64(seed)
+	coeffs := make([]uint64, independence)
+	for i := range coeffs {
+		coeffs[i] = field.Reduce(rng.Next())
+	}
+	// The leading coefficient must be nonzero for full independence.
+	if coeffs[len(coeffs)-1] == 0 {
+		coeffs[len(coeffs)-1] = 1
+	}
+	return &Poly{coeffs: coeffs}
+}
+
+// Hash evaluates the polynomial at x via Horner's rule, returning a
+// value in [0, P).
+func (p *Poly) Hash(x uint64) uint64 {
+	x = field.Reduce(x)
+	acc := uint64(0)
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc = field.Add(field.Mul(acc, x), p.coeffs[i])
+	}
+	return acc
+}
+
+// Bucket maps x to one of m buckets.
+func (p *Poly) Bucket(x uint64, m int) int {
+	return int(p.Hash(x) % uint64(m))
+}
+
+// Bernoulli reports whether x is sampled at probability rate in [0, 1].
+// The decision is a deterministic function of (hash, x), so replaying a
+// stream yields identical sample sets — the property Section 6.3 needs.
+func (p *Poly) Bernoulli(x uint64, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	threshold := uint64(rate * float64(field.P))
+	return p.Hash(x) < threshold
+}
+
+// Level returns the geometric level of x: the number of leading zero
+// bits of a uniform hash of x, so P(Level >= j) = 2^-j. An item x
+// belongs to the nested sample set E_j iff Level(x) >= j. The paper
+// samples each E_j independently; nested geometric sampling is the
+// standard space-saving variant (as in [AGM12a]) and preserves the only
+// property the analysis uses — that E[|S ∩ E_j|] = |S| 2^-j at each j.
+func (p *Poly) Level(x uint64) int {
+	h := p.Hash(x)
+	// Use the top 60 bits of the field element as the uniform string.
+	level := 0
+	for bit := uint(60); bit > 0; bit-- {
+		if h&(1<<(bit-1)) != 0 {
+			break
+		}
+		level++
+	}
+	return level
+}

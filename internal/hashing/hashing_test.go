@@ -1,0 +1,205 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynstream/internal/field"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitMix64DifferentSeeds(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	rng := NewSplitMix64(7)
+	for i := 0; i < 1000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	rng := NewSplitMix64(8)
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSplitMix64(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := NewSplitMix64(9)
+	p := rng.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixDistinctStreams(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := Mix(123, i)
+		if seen[v] {
+			t.Fatalf("Mix collision at index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixMultiIndex(t *testing.T) {
+	if Mix(1, 2, 3) == Mix(1, 3, 2) {
+		t.Error("Mix should depend on index order")
+	}
+	if Mix(1, 2) == Mix(2, 2) {
+		t.Error("Mix should depend on seed")
+	}
+}
+
+func TestPolyDeterministic(t *testing.T) {
+	h1 := NewPoly(5, 4)
+	h2 := NewPoly(5, 4)
+	for x := uint64(0); x < 100; x++ {
+		if h1.Hash(x) != h2.Hash(x) {
+			t.Fatal("same-seed hash functions disagree")
+		}
+	}
+}
+
+func TestPolyRange(t *testing.T) {
+	h := NewPoly(6, 4)
+	for x := uint64(0); x < 1000; x++ {
+		if h.Hash(x) >= field.P {
+			t.Fatalf("hash out of field range at x=%d", x)
+		}
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	h := NewPoly(10, 4)
+	for x := uint64(0); x < 1000; x++ {
+		b := h.Bucket(x, 7)
+		if b < 0 || b >= 7 {
+			t.Fatalf("bucket out of range: %d", b)
+		}
+	}
+}
+
+func TestBucketRoughlyUniform(t *testing.T) {
+	h := NewPoly(11, 6)
+	const m, trials = 10, 20000
+	counts := make([]int, m)
+	for x := uint64(0); x < trials; x++ {
+		counts[h.Bucket(x, m)]++
+	}
+	want := float64(trials) / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Errorf("bucket %d has %d items, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		h := NewPoly(Mix(12, uint64(rate*100)), 6)
+		const trials = 20000
+		hit := 0
+		for x := uint64(0); x < trials; x++ {
+			if h.Bernoulli(x, rate) {
+				hit++
+			}
+		}
+		got := float64(hit) / trials
+		if math.Abs(got-rate) > 0.03 {
+			t.Errorf("Bernoulli(rate=%v) empirical %v", rate, got)
+		}
+	}
+}
+
+func TestBernoulliEdgeRates(t *testing.T) {
+	h := NewPoly(13, 4)
+	if !h.Bernoulli(5, 1.0) {
+		t.Error("rate 1 must always sample")
+	}
+	if h.Bernoulli(5, 0.0) {
+		t.Error("rate 0 must never sample")
+	}
+}
+
+func TestLevelDistribution(t *testing.T) {
+	h := NewPoly(14, 8)
+	const trials = 40000
+	counts := make([]int, 16)
+	for x := uint64(0); x < trials; x++ {
+		l := h.Level(x)
+		if l < len(counts) {
+			counts[l]++
+		}
+	}
+	// P(level >= j) = 2^-j, so P(level == j) = 2^-(j+1) for small j.
+	for j := 0; j <= 4; j++ {
+		want := float64(trials) / math.Pow(2, float64(j+1))
+		got := float64(counts[j])
+		if math.Abs(got-want) > 0.2*want+20 {
+			t.Errorf("level %d: got %v want ~%v", j, got, want)
+		}
+	}
+}
+
+func TestLevelNonNegative(t *testing.T) {
+	f := func(seed, x uint64) bool {
+		h := NewPoly(seed, 4)
+		l := h.Level(x)
+		return l >= 0 && l <= 60
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(103))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyIndependenceFloor(t *testing.T) {
+	// Degree is clamped to >= 2 (pairwise).
+	h := NewPoly(15, 0)
+	if len(h.coeffs) != 2 {
+		t.Errorf("independence floor not applied: %d coeffs", len(h.coeffs))
+	}
+}

@@ -1,0 +1,338 @@
+// Package linalg provides the dense linear algebra used to *verify* the
+// paper's spectral claims and to implement the Spielman–Srivastava
+// baseline (Theorem 7): symmetric matrices, Laplacians, a cyclic Jacobi
+// eigensolver, pseudoinverses, conjugate gradient, effective
+// resistances, and the spectral-approximation measure
+// ε(G, H) = max |x^T L_H x / x^T L_G x − 1| over x ⟂ null(L_G),
+// computed exactly through the eigendecomposition of the pencil.
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"dynstream/internal/graph"
+)
+
+// Sym is a dense symmetric n×n matrix stored row-major.
+type Sym struct {
+	N    int
+	Data []float64
+}
+
+// NewSym returns a zero symmetric matrix.
+func NewSym(n int) *Sym {
+	return &Sym{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Sym) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set sets elements (i, j) and (j, i).
+func (m *Sym) Set(i, j int, v float64) {
+	m.Data[i*m.N+j] = v
+	m.Data[j*m.N+i] = v
+}
+
+// Add adds v to elements (i, j) and (j, i) (only once on the diagonal).
+func (m *Sym) Add(i, j int, v float64) {
+	m.Data[i*m.N+j] += v
+	if i != j {
+		m.Data[j*m.N+i] += v
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Sym) Clone() *Sym {
+	c := NewSym(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatVec computes y = M x.
+func (m *Sym) MatVec(x []float64) []float64 {
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.Data[i*m.N : (i+1)*m.N]
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Quad computes the quadratic form x^T M x.
+func (m *Sym) Quad(x []float64) float64 {
+	s := 0.0
+	for i, yi := range m.MatVec(x) {
+		s += x[i] * yi
+	}
+	return s
+}
+
+// Laplacian returns the graph Laplacian L(i,i) = Σ_j w_ij,
+// L(i,j) = −w_ij.
+func Laplacian(g *graph.Graph) *Sym {
+	m := NewSym(g.N())
+	for _, e := range g.Edges() {
+		m.Add(e.U, e.U, e.W)
+		m.Add(e.V, e.V, e.W)
+		m.Add(e.U, e.V, -e.W)
+	}
+	return m
+}
+
+// Eigen holds an eigendecomposition M = Q diag(Values) Q^T with
+// orthonormal columns Q (stored row-major: Q[i*N+k] is component i of
+// eigenvector k). Values are sorted ascending.
+type Eigen struct {
+	N      int
+	Values []float64
+	Q      []float64
+}
+
+// EigenDecompose runs cyclic Jacobi until off-diagonal mass is
+// negligible. Intended for the verification scale (n up to a few
+// hundred).
+func EigenDecompose(m *Sym) *Eigen {
+	n := m.N
+	a := make([]float64, n*n)
+	copy(a, m.Data)
+	q := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		q[i*n+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i*n+j] * a[i*n+j]
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for r := p + 1; r < n; r++ {
+				apr := a[p*n+r]
+				if math.Abs(apr) < 1e-300 {
+					continue
+				}
+				app, arr := a[p*n+p], a[r*n+r]
+				theta := (arr - app) / (2 * apr)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and r of a.
+				for k := 0; k < n; k++ {
+					akp, akr := a[k*n+p], a[k*n+r]
+					a[k*n+p] = c*akp - s*akr
+					a[k*n+r] = s*akp + c*akr
+				}
+				for k := 0; k < n; k++ {
+					apk, ark := a[p*n+k], a[r*n+k]
+					a[p*n+k] = c*apk - s*ark
+					a[r*n+k] = s*apk + c*ark
+				}
+				for k := 0; k < n; k++ {
+					qkp, qkr := q[k*n+p], q[k*n+r]
+					q[k*n+p] = c*qkp - s*qkr
+					q[k*n+r] = s*qkp + c*qkr
+				}
+			}
+		}
+	}
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = a[i*n+i]
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && values[idx[j]] < values[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	sortedQ := make([]float64, n*n)
+	for k, src := range idx {
+		sortedVals[k] = values[src]
+		for i := 0; i < n; i++ {
+			sortedQ[i*n+k] = q[i*n+src]
+		}
+	}
+	return &Eigen{N: n, Values: sortedVals, Q: sortedQ}
+}
+
+// rankTol is the relative cutoff below which an eigenvalue is treated
+// as part of the null space.
+func (e *Eigen) rankTol() float64 {
+	maxAbs := 0.0
+	for _, v := range e.Values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1e-12
+	}
+	return 1e-9 * maxAbs
+}
+
+// PinvVec computes M^+ b via the eigendecomposition.
+func (e *Eigen) PinvVec(b []float64) []float64 {
+	n := e.N
+	tol := e.rankTol()
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		if math.Abs(e.Values[k]) <= tol {
+			continue
+		}
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += e.Q[i*n+k] * b[i]
+		}
+		scale := dot / e.Values[k]
+		for i := 0; i < n; i++ {
+			out[i] += scale * e.Q[i*n+k]
+		}
+	}
+	return out
+}
+
+// EffectiveResistance returns R_uv = (e_u − e_v)^T L^+ (e_u − e_v)
+// given the eigendecomposition of the Laplacian.
+func (e *Eigen) EffectiveResistance(u, v int) float64 {
+	b := make([]float64, e.N)
+	b[u], b[v] = 1, -1
+	x := e.PinvVec(b)
+	return x[u] - x[v]
+}
+
+// EffectiveResistances returns R_e for every edge of g, in the order of
+// g.Edges().
+func EffectiveResistances(g *graph.Graph) []float64 {
+	eig := EigenDecompose(Laplacian(g))
+	edges := g.Edges()
+	out := make([]float64, len(edges))
+	for i, e := range edges {
+		out[i] = eig.EffectiveResistance(e.U, e.V)
+	}
+	return out
+}
+
+// SpectralEpsilon returns the smallest ε such that
+// (1−ε) x^T L_G x ≤ x^T L_H x ≤ (1+ε) x^T L_G x for all x orthogonal to
+// the null space of L_G. It requires null(L_G) ⊆ null(L_H) (H supported
+// on the components of G), else the reported ε reflects the violation.
+func SpectralEpsilon(g, h *graph.Graph) (float64, error) {
+	if g.N() != h.N() {
+		return 0, fmt.Errorf("linalg: size mismatch %d vs %d", g.N(), h.N())
+	}
+	lg, lh := Laplacian(g), Laplacian(h)
+	eg := EigenDecompose(lg)
+	tol := eg.rankTol()
+	// Collect range-space columns scaled by λ^{-1/2}.
+	n := eg.N
+	var cols []int
+	for k := 0; k < n; k++ {
+		if eg.Values[k] > tol {
+			cols = append(cols, k)
+		}
+	}
+	r := len(cols)
+	if r == 0 {
+		return 0, nil // empty graph: everything is null space
+	}
+	// B = Q_r Λ_r^{-1/2} (n×r); M = B^T L_H B (r×r symmetric).
+	b := make([]float64, n*r)
+	for c, k := range cols {
+		s := 1 / math.Sqrt(eg.Values[k])
+		for i := 0; i < n; i++ {
+			b[i*r+c] = eg.Q[i*n+k] * s
+		}
+	}
+	// tmp = L_H B (n×r).
+	tmp := make([]float64, n*r)
+	for i := 0; i < n; i++ {
+		for c := 0; c < r; c++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += lh.Data[i*n+j] * b[j*r+c]
+			}
+			tmp[i*r+c] = s
+		}
+	}
+	m := NewSym(r)
+	for c1 := 0; c1 < r; c1++ {
+		for c2 := c1; c2 < r; c2++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += b[i*r+c1] * tmp[i*r+c2]
+			}
+			m.Set(c1, c2, s)
+		}
+	}
+	em := EigenDecompose(m)
+	eps := 0.0
+	for _, v := range em.Values {
+		if d := math.Abs(v - 1); d > eps {
+			eps = d
+		}
+	}
+	return eps, nil
+}
+
+// CG solves M x = b for a PSD matrix M by conjugate gradient, with b
+// projected onto range(M) assumptions left to the caller (for
+// Laplacians of connected graphs, pass b with Σb = 0). It stops at
+// relative residual tol or maxIter.
+func CG(m *Sym, b []float64, tol float64, maxIter int) []float64 {
+	n := m.N
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, b)
+	rs := dot(r, r)
+	bNorm := math.Sqrt(dot(b, b))
+	if bNorm == 0 {
+		return x
+	}
+	for it := 0; it < maxIter; it++ {
+		mp := m.MatVec(p)
+		den := dot(p, mp)
+		if den <= 0 {
+			break
+		}
+		alpha := rs / den
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * mp[i]
+		}
+		rsNew := dot(r, r)
+		if math.Sqrt(rsNew) <= tol*bNorm {
+			break
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

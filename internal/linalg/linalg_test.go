@@ -1,0 +1,268 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+)
+
+func TestSymSetAddAt(t *testing.T) {
+	m := NewSym(3)
+	m.Set(0, 2, 5)
+	if m.At(2, 0) != 5 || m.At(0, 2) != 5 {
+		t.Error("Set not symmetric")
+	}
+	m.Add(1, 1, 2)
+	if m.At(1, 1) != 2 {
+		t.Error("diagonal Add wrong")
+	}
+	m.Add(0, 1, 3)
+	if m.At(1, 0) != 3 {
+		t.Error("off-diagonal Add not symmetric")
+	}
+}
+
+func TestLaplacianBasics(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	l := Laplacian(g)
+	want := [][]float64{{2, -2, 0}, {-2, 5, -3}, {0, -3, 3}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if l.At(i, j) != want[i][j] {
+				t.Errorf("L[%d][%d] = %v, want %v", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+	// Row sums zero.
+	ones := []float64{1, 1, 1}
+	for _, v := range l.MatVec(ones) {
+		if math.Abs(v) > 1e-12 {
+			t.Error("L·1 != 0")
+		}
+	}
+}
+
+func TestQuadIsCutForBinaryVectors(t *testing.T) {
+	g := graph.Complete(5)
+	l := Laplacian(g)
+	x := []float64{1, 1, 0, 0, 0}
+	// Cut between {0,1} and rest of K5 has 6 edges.
+	if q := l.Quad(x); math.Abs(q-6) > 1e-9 {
+		t.Errorf("quad = %v, want 6", q)
+	}
+}
+
+func TestEigenOnDiagonal(t *testing.T) {
+	m := NewSym(3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	e := EigenDecompose(m)
+	want := []float64{1, 2, 3}
+	for i, v := range e.Values {
+		if math.Abs(v-want[i]) > 1e-10 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestEigenReconstruction(t *testing.T) {
+	// Random symmetric matrix: Q diag(v) Q^T must reproduce M.
+	rng := hashing.NewSplitMix64(7)
+	const n = 8
+	m := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			m.Set(i, j, rng.Float64()*2-1)
+		}
+	}
+	e := EigenDecompose(m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += e.Q[i*n+k] * e.Values[k] * e.Q[j*n+k]
+			}
+			if math.Abs(s-m.At(i, j)) > 1e-8 {
+				t.Fatalf("reconstruction M[%d][%d]: %v vs %v", i, j, s, m.At(i, j))
+			}
+		}
+	}
+	// Orthonormality.
+	for k1 := 0; k1 < n; k1++ {
+		for k2 := k1; k2 < n; k2++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += e.Q[i*n+k1] * e.Q[i*n+k2]
+			}
+			want := 0.0
+			if k1 == k2 {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-8 {
+				t.Fatalf("Q^T Q [%d][%d] = %v", k1, k2, s)
+			}
+		}
+	}
+}
+
+func TestLaplacianPSDAndNullSpace(t *testing.T) {
+	g := graph.ConnectedGNP(20, 0.2, 3)
+	e := EigenDecompose(Laplacian(g))
+	if e.Values[0] < -1e-9 {
+		t.Errorf("Laplacian has negative eigenvalue %v", e.Values[0])
+	}
+	if math.Abs(e.Values[0]) > 1e-9 {
+		t.Errorf("smallest eigenvalue %v, want 0", e.Values[0])
+	}
+	// Connected graph: exactly one zero eigenvalue.
+	if math.Abs(e.Values[1]) < 1e-9 {
+		t.Error("connected graph has multiple zero eigenvalues")
+	}
+}
+
+func TestEffectiveResistancePath(t *testing.T) {
+	// On a unit path, R(0, j) = j (series resistors).
+	g := graph.Path(6)
+	e := EigenDecompose(Laplacian(g))
+	for j := 1; j < 6; j++ {
+		if r := e.EffectiveResistance(0, j); math.Abs(r-float64(j)) > 1e-8 {
+			t.Errorf("R(0,%d) = %v, want %d", j, r, j)
+		}
+	}
+}
+
+func TestEffectiveResistanceParallel(t *testing.T) {
+	// Two parallel unit edges: R = 1/2. Model as cycle of length 2 is
+	// disallowed (simple graph), so use the 3-cycle: R across one edge
+	// of a triangle = 2/3 (1 in parallel with 2).
+	g := graph.Cycle(3)
+	e := EigenDecompose(Laplacian(g))
+	if r := e.EffectiveResistance(0, 1); math.Abs(r-2.0/3) > 1e-8 {
+		t.Errorf("triangle R = %v, want 2/3", r)
+	}
+}
+
+func TestEffectiveResistancesSumFosterOnTree(t *testing.T) {
+	// On any tree, every edge has R_e = 1 exactly.
+	g := graph.Star(10)
+	rs := EffectiveResistances(g)
+	for i, r := range rs {
+		if math.Abs(r-1) > 1e-8 {
+			t.Errorf("tree edge %d has R=%v, want 1", i, r)
+		}
+	}
+}
+
+func TestFosterTheorem(t *testing.T) {
+	// Foster: Σ_e R_e = n − #components for unweighted graphs.
+	g := graph.ConnectedGNP(16, 0.3, 4)
+	rs := EffectiveResistances(g)
+	sum := 0.0
+	for _, r := range rs {
+		sum += r
+	}
+	if math.Abs(sum-float64(g.N()-1)) > 1e-6 {
+		t.Errorf("Foster sum = %v, want %d", sum, g.N()-1)
+	}
+}
+
+func TestSpectralEpsilonIdentical(t *testing.T) {
+	g := graph.ConnectedGNP(15, 0.3, 5)
+	eps, err := SpectralEpsilon(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps > 1e-8 {
+		t.Errorf("ε(G,G) = %v, want 0", eps)
+	}
+}
+
+func TestSpectralEpsilonScaled(t *testing.T) {
+	// H = (1.5)·G has ε exactly 0.5.
+	g := graph.Complete(8)
+	h := graph.New(8)
+	for _, e := range g.Edges() {
+		h.AddEdge(e.U, e.V, 1.5)
+	}
+	eps, err := SpectralEpsilon(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-0.5) > 1e-8 {
+		t.Errorf("ε = %v, want 0.5", eps)
+	}
+}
+
+func TestSpectralEpsilonDroppedBridge(t *testing.T) {
+	// Removing a bridge sends some quadratic form to 0: ε = 1.
+	g := graph.Path(5)
+	h := g.Clone()
+	h.RemoveEdge(2, 3)
+	eps, err := SpectralEpsilon(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-1) > 1e-8 {
+		t.Errorf("ε = %v, want 1", eps)
+	}
+}
+
+func TestSpectralEpsilonMismatch(t *testing.T) {
+	if _, err := SpectralEpsilon(graph.Path(4), graph.Path(5)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestSpectralEpsilonDisconnected(t *testing.T) {
+	// Two components; H identical: ε = 0 despite rank deficiency 2.
+	g := graph.New(8)
+	for i := 0; i < 3; i++ {
+		g.AddUnitEdge(i, i+1)
+		g.AddUnitEdge(4+i, 5+i)
+	}
+	eps, err := SpectralEpsilon(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps > 1e-8 {
+		t.Errorf("ε = %v, want 0", eps)
+	}
+}
+
+func TestCGSolvesLaplacianSystem(t *testing.T) {
+	g := graph.ConnectedGNP(20, 0.3, 6)
+	l := Laplacian(g)
+	// b = e_0 - e_5 (zero sum, in range).
+	b := make([]float64, 20)
+	b[0], b[5] = 1, -1
+	x := CG(l, b, 1e-10, 2000)
+	// Check residual.
+	r := l.MatVec(x)
+	for i := range r {
+		if math.Abs(r[i]-b[i]) > 1e-6 {
+			t.Fatalf("residual[%d] = %v", i, r[i]-b[i])
+		}
+	}
+	// Effective resistance from CG matches eigen route.
+	eig := EigenDecompose(l)
+	rCG := x[0] - x[5]
+	rEig := eig.EffectiveResistance(0, 5)
+	if math.Abs(rCG-rEig) > 1e-6 {
+		t.Errorf("CG resistance %v vs eigen %v", rCG, rEig)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	l := Laplacian(graph.Path(5))
+	x := CG(l, make([]float64, 5), 1e-10, 100)
+	for _, v := range x {
+		if v != 0 {
+			t.Error("CG(0) != 0")
+		}
+	}
+}

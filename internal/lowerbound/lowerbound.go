@@ -1,0 +1,153 @@
+// Package lowerbound implements the Ω(nd) space lower bound experiment
+// of Theorem 4 (Section 5): a two-player INDEX game reduced to
+// single-pass additive-spanner construction.
+//
+// Alice holds s = Θ(n/d) disjoint random graphs G_1..G_s, each drawn
+// from G(d, 1/2); her bit string X is their edge indicators. Bob holds
+// an index — a pair {U, V} inside block J — and must output X_I. Alice
+// streams her edges through the spanner algorithm and sends its state;
+// Bob appends path edges {V_ℓ, U_{ℓ+1}} linking his per-block pairs,
+// finishes the computation, and answers "edge present" iff {U, V}
+// appears in the returned spanner. If the spanner has additive
+// distortion ≤ n/d, Bob wins with probability ≥ 2/3, so the state must
+// be Ω(nd) bits [KNR99]. Empirically: the success rate stays near 1
+// while the algorithm's space budget matches Θ(nd) and degrades toward
+// coin-flipping as the budget shrinks below the block size.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"dynstream/internal/hashing"
+	"dynstream/internal/spanner"
+	"dynstream/internal/stream"
+)
+
+// GameConfig parameterizes the INDEX game instance.
+type GameConfig struct {
+	// Blocks is s, the number of disjoint G(d, 1/2) blocks.
+	Blocks int
+	// BlockSize is d, vertices per block.
+	BlockSize int
+	// AlgD is the d-parameter given to the additive-spanner algorithm —
+	// its space knob (space Θ(n·AlgD)). The theorem predicts success
+	// iff AlgD is at least around BlockSize.
+	AlgD int
+	// Trials is the number of independent games to play.
+	Trials int
+	// Seed selects all randomness.
+	Seed uint64
+}
+
+// GameResult summarizes Trials plays of the game.
+type GameResult struct {
+	// Successes counts trials where Bob answered X_I correctly.
+	Successes int
+	// Trials echoes the number of games played.
+	Trials int
+	// SpaceWords is the algorithm state size of the last trial (what
+	// Alice "sends" — the object the lower bound measures).
+	SpaceWords int
+	// InstanceBits is the entropy of Alice's input, s·(d choose 2) —
+	// the Ω(nd) yardstick.
+	InstanceBits int
+}
+
+// SuccessRate returns the empirical success probability.
+func (r GameResult) SuccessRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Trials)
+}
+
+// Play runs the INDEX game Trials times and reports Bob's success rate.
+func Play(cfg GameConfig) (GameResult, error) {
+	if cfg.Blocks < 1 || cfg.BlockSize < 2 {
+		return GameResult{}, fmt.Errorf("lowerbound: need Blocks >= 1, BlockSize >= 2, got %d/%d",
+			cfg.Blocks, cfg.BlockSize)
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	if cfg.AlgD < 1 {
+		cfg.AlgD = cfg.BlockSize
+	}
+	s, d := cfg.Blocks, cfg.BlockSize
+	n := s * d
+	res := GameResult{Trials: cfg.Trials, InstanceBits: s * d * (d - 1) / 2}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng := hashing.NewSplitMix64(hashing.Mix(cfg.Seed, uint64(trial)))
+
+		// Alice's input: the blocks' edge indicators.
+		type pair struct{ a, b int }
+		alice := map[pair]bool{}
+		aliceStream := stream.NewMemoryStream(n)
+		for blk := 0; blk < s; blk++ {
+			base := blk * d
+			for i := 0; i < d; i++ {
+				for j := i + 1; j < d; j++ {
+					present := rng.Next()&1 == 1
+					alice[pair{base + i, base + j}] = present
+					if present {
+						if err := aliceStream.Append(stream.Update{U: base + i, V: base + j, Delta: 1}); err != nil {
+							return res, err
+						}
+					}
+				}
+			}
+		}
+
+		// Bob's index: block J and a pair {U, V} within it; plus random
+		// pairs in the other blocks.
+		blockJ := rng.Intn(s)
+		us := make([]int, s)
+		vs := make([]int, s)
+		for blk := 0; blk < s; blk++ {
+			base := blk * d
+			u := rng.Intn(d)
+			v := rng.Intn(d - 1)
+			if v >= u {
+				v++
+			}
+			us[blk], vs[blk] = base+u, base+v
+		}
+		queryU, queryV := us[blockJ], vs[blockJ]
+
+		// One-pass streaming: Alice's updates then Bob's path edges
+		// {V_ℓ, U_{ℓ+1}} on the same algorithm state.
+		// DegreeFactor cancels the default d·log n cutoff scaling so
+		// that AlgD is the low-degree threshold itself: the algorithm's
+		// per-vertex sketch budget (hence total space) tracks AlgD
+		// directly, which is the knob the lower bound sweeps.
+		log2n := math.Ceil(math.Log2(float64(n + 1)))
+		alg := spanner.NewAdditive(n, spanner.AdditiveConfig{
+			D:            cfg.AlgD,
+			DegreeFactor: 1 / log2n,
+			Seed:         hashing.Mix(cfg.Seed, 0xb0b, uint64(trial)),
+		})
+		if err := aliceStream.Replay(alg.Update); err != nil {
+			return res, err
+		}
+		for blk := 0; blk+1 < s; blk++ {
+			if err := alg.Update(stream.Update{U: vs[blk], V: us[blk+1], Delta: 1}); err != nil {
+				return res, err
+			}
+		}
+		out, err := alg.Finish()
+		if err != nil {
+			return res, err
+		}
+		res.SpaceWords = out.SpaceWords
+
+		// Bob outputs 1 iff the queried pair occurs in the spanner.
+		answer := out.Spanner.HasEdge(queryU, queryV)
+		truth := alice[pair{min(queryU, queryV), max(queryU, queryV)}]
+		if answer == truth {
+			res.Successes++
+		}
+	}
+	return res, nil
+}

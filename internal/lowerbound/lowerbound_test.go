@@ -1,0 +1,74 @@
+package lowerbound
+
+import "testing"
+
+func TestPlayValidation(t *testing.T) {
+	if _, err := Play(GameConfig{Blocks: 0, BlockSize: 4}); err == nil {
+		t.Error("Blocks=0 accepted")
+	}
+	if _, err := Play(GameConfig{Blocks: 2, BlockSize: 1}); err == nil {
+		t.Error("BlockSize=1 accepted")
+	}
+}
+
+func TestPlayAmpleSpaceSucceeds(t *testing.T) {
+	// With AlgD ≈ BlockSize the additive spanner keeps all low-degree
+	// edges (every block vertex has degree < d), so Bob recovers X_I
+	// essentially always.
+	res, err := Play(GameConfig{Blocks: 6, BlockSize: 8, AlgD: 8, Trials: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.SuccessRate(); rate < 0.9 {
+		t.Errorf("success rate %v with ample space, want >= 0.9", rate)
+	}
+	if res.SpaceWords <= 0 || res.InstanceBits <= 0 {
+		t.Error("diagnostics not filled")
+	}
+}
+
+func TestPlayStarvedSpaceDegrades(t *testing.T) {
+	// With AlgD far below the block size the per-vertex neighborhood
+	// sketches cannot hold the blocks, so Bob's answer degrades toward
+	// guessing: success well below the ample-space regime.
+	ample, err := Play(GameConfig{Blocks: 6, BlockSize: 16, AlgD: 16, Trials: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved, err := Play(GameConfig{Blocks: 6, BlockSize: 16, AlgD: 1, Trials: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.SuccessRate() >= ample.SuccessRate() {
+		t.Errorf("starved rate %v not below ample rate %v",
+			starved.SuccessRate(), ample.SuccessRate())
+	}
+	if starved.SpaceWords >= ample.SpaceWords {
+		t.Errorf("starved space %d not below ample space %d",
+			starved.SpaceWords, ample.SpaceWords)
+	}
+}
+
+func TestPlayDeterministicForSeed(t *testing.T) {
+	a, err := Play(GameConfig{Blocks: 4, BlockSize: 6, AlgD: 6, Trials: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Play(GameConfig{Blocks: 4, BlockSize: 6, AlgD: 6, Trials: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Successes != b.Successes {
+		t.Error("same seed produced different outcomes")
+	}
+}
+
+func TestPlayDefaultsApplied(t *testing.T) {
+	res, err := Play(GameConfig{Blocks: 2, BlockSize: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 1 {
+		t.Errorf("default trials = %d, want 1", res.Trials)
+	}
+}

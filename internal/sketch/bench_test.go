@@ -1,0 +1,128 @@
+package sketch
+
+import (
+	"testing"
+
+	"dynstream/internal/hashing"
+)
+
+func BenchmarkSketchBAdd(b *testing.B) {
+	s := NewSketchB(1, 32)
+	rng := hashing.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Next()%(1<<40), 1)
+	}
+}
+
+func BenchmarkSketchBDecode(b *testing.B) {
+	s := NewSketchB(3, 32)
+	rng := hashing.NewSplitMix64(4)
+	for j := 0; j < 32; j++ {
+		s.Add(rng.Next()%(1<<40), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Decode(); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkSketchBMerge(b *testing.B) {
+	x := NewSketchB(5, 32)
+	y := NewSketchB(5, 32)
+	rng := hashing.NewSplitMix64(6)
+	for j := 0; j < 32; j++ {
+		y.Add(rng.Next()%(1<<40), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Merge(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkL0SamplerAdd(b *testing.B) {
+	s := NewL0Sampler(7, 1<<40, 4)
+	rng := hashing.NewSplitMix64(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Next()%(1<<40), 1)
+	}
+}
+
+func BenchmarkL0SamplerSample(b *testing.B) {
+	s := NewL0Sampler(9, 1<<40, 4)
+	rng := hashing.NewSplitMix64(10)
+	for j := 0; j < 1000; j++ {
+		s.Add(rng.Next()%(1<<40), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := s.Sample(); !ok {
+			b.Fatal("sample failed")
+		}
+	}
+}
+
+func BenchmarkF0Add(b *testing.B) {
+	f := NewF0(11, 1<<40)
+	rng := hashing.NewSplitMix64(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(rng.Next()%(1<<40), 1)
+	}
+}
+
+func BenchmarkCountSketchAdd(b *testing.B) {
+	cs := NewCountSketch(13, 32)
+	rng := hashing.NewSplitMix64(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Add(rng.Next()%(1<<40), 1)
+	}
+}
+
+func BenchmarkCountSketchQuery(b *testing.B) {
+	cs := NewCountSketch(15, 32)
+	rng := hashing.NewSplitMix64(16)
+	keys := make([]uint64, 32)
+	for j := range keys {
+		keys[j] = rng.Next() % (1 << 40)
+		cs.Add(keys[j], int64(j+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Query(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkKeyedEdgeSketchAdd(b *testing.B) {
+	t := NewKeyedEdgeSketch(17, 1024, 64)
+	rng := hashing.NewSplitMix64(18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Add(rng.Intn(1024), rng.Intn(1024), 1)
+	}
+}
+
+func BenchmarkMarshalRoundTrip(b *testing.B) {
+	s := NewSketchB(19, 64)
+	rng := hashing.NewSplitMix64(20)
+	for j := 0; j < 64; j++ {
+		s.Add(rng.Next()%(1<<40), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back SketchB
+		if err := back.UnmarshalBinary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package sketch
+
+import (
+	"testing"
+
+	"dynstream/internal/field"
+	"dynstream/internal/hashing"
+)
+
+const testFingBase = 31337
+
+func fkey(key uint64) uint64 {
+	return field.Pow(testFingBase, field.Reduce(key))
+}
+
+func TestCellZero(t *testing.T) {
+	var c Cell
+	if !c.IsZero() {
+		t.Error("fresh cell not zero")
+	}
+	if _, _, ok := c.Decode(testFingBase); ok {
+		t.Error("zero cell decoded")
+	}
+}
+
+func TestCellOneSparse(t *testing.T) {
+	var c Cell
+	c.Update(97, 5, fkey(97))
+	key, w, ok := c.Decode(testFingBase)
+	if !ok || key != 97 || w != 5 {
+		t.Errorf("decode = (%d,%d,%v), want (97,5,true)", key, w, ok)
+	}
+}
+
+func TestCellNegativeWeight(t *testing.T) {
+	var c Cell
+	c.Update(12, -3, fkey(12))
+	key, w, ok := c.Decode(testFingBase)
+	if !ok || key != 12 || w != -3 {
+		t.Errorf("decode = (%d,%d,%v), want (12,-3,true)", key, w, ok)
+	}
+}
+
+func TestCellCancellation(t *testing.T) {
+	var c Cell
+	c.Update(55, 2, fkey(55))
+	c.Update(55, -2, fkey(55))
+	if !c.IsZero() {
+		t.Error("cancelled cell should be zero")
+	}
+}
+
+func TestCellRejectsTwoSparse(t *testing.T) {
+	var c Cell
+	c.Update(10, 1, fkey(10))
+	c.Update(20, 1, fkey(20))
+	if _, _, ok := c.Decode(testFingBase); ok {
+		t.Error("two-sparse cell must not decode as one-sparse")
+	}
+}
+
+func TestCellRejectsManyRandom(t *testing.T) {
+	rng := hashing.NewSplitMix64(99)
+	misdecodes := 0
+	for trial := 0; trial < 500; trial++ {
+		var c Cell
+		for i := 0; i < 5; i++ {
+			k := rng.Next() % 100000
+			c.Update(k, 1, fkey(k))
+		}
+		if _, _, ok := c.Decode(testFingBase); ok {
+			misdecodes++
+		}
+	}
+	if misdecodes > 0 {
+		t.Errorf("%d/500 dense cells mis-decoded as one-sparse", misdecodes)
+	}
+}
+
+func TestCellMergeSub(t *testing.T) {
+	var a, b Cell
+	a.Update(7, 3, fkey(7))
+	b.Update(9, 2, fkey(9))
+	a.Merge(b)
+	a.Sub(b)
+	key, w, ok := a.Decode(testFingBase)
+	if !ok || key != 7 || w != 3 {
+		t.Errorf("merge+sub broke cell: (%d,%d,%v)", key, w, ok)
+	}
+}
+
+func TestCellMergeResolvesToOne(t *testing.T) {
+	// a has keys {1, 2}; b has key 2 with negative weight. Sum is
+	// one-sparse on key 1.
+	var a, b Cell
+	a.Update(1, 4, fkey(1))
+	a.Update(2, 6, fkey(2))
+	b.Update(2, -6, fkey(2))
+	a.Merge(b)
+	key, w, ok := a.Decode(testFingBase)
+	if !ok || key != 1 || w != 4 {
+		t.Errorf("decode = (%d,%d,%v), want (1,4,true)", key, w, ok)
+	}
+}

@@ -1,0 +1,136 @@
+package sketch
+
+import (
+	"math"
+
+	"dynstream/internal/field"
+	"dynstream/internal/hashing"
+)
+
+// F0 estimates the number of distinct keys with nonzero net weight in a
+// dynamic (insert/delete) stream — the paper's Theorem 9 primitive
+// [KNW10]. The paper uses it solely as a decodability guard for
+// SKETCH_B: "declare the sketch not decodable when the number of
+// distinct elements is estimated to be above 2B".
+//
+// Implementation: geometric level sampling. Level j holds K fingerprint
+// buckets over the keys sampled at rate 2^-j; a bucket is empty iff its
+// fingerprint accumulator is zero (whp — a random linear combination of
+// the net weights). At the level where occupancy is moderate, linear
+// counting (−K·ln(empty fraction)·2^j) estimates F0 within a constant
+// factor, which is all the guard needs.
+type F0 struct {
+	levels    int
+	buckets   int
+	acc       [][]uint64 // acc[j][b]: field accumulator
+	levelHash *hashing.Poly
+	bucketFns []*hashing.Poly
+	coeffFns  []*hashing.Poly
+}
+
+// NewF0 creates an estimator for keys drawn from a universe of size at
+// most universe (used to bound the number of levels).
+func NewF0(seed uint64, universe uint64) *F0 {
+	levels := 1
+	for u := universe; u > 1; u >>= 1 {
+		levels++
+	}
+	const buckets = 32
+	f := &F0{
+		levels:    levels,
+		buckets:   buckets,
+		acc:       make([][]uint64, levels),
+		levelHash: hashing.NewPoly(hashing.Mix(seed, 0xf0), 8),
+		bucketFns: make([]*hashing.Poly, levels),
+		coeffFns:  make([]*hashing.Poly, levels),
+	}
+	for j := 0; j < levels; j++ {
+		f.acc[j] = make([]uint64, buckets)
+		f.bucketFns[j] = hashing.NewPoly(hashing.Mix(seed, 0xb0, uint64(j)), 6)
+		f.coeffFns[j] = hashing.NewPoly(hashing.Mix(seed, 0xc0, uint64(j)), 6)
+	}
+	return f
+}
+
+// Add folds x[key] += delta into the estimator.
+func (f *F0) Add(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	lv := f.levelHash.Level(key)
+	if lv >= f.levels {
+		lv = f.levels - 1
+	}
+	d := field.FromInt64(delta)
+	for j := 0; j <= lv; j++ {
+		b := f.bucketFns[j].Bucket(key, f.buckets)
+		coeff := f.coeffFns[j].Hash(key)
+		f.acc[j][b] = field.Add(f.acc[j][b], field.Mul(d, coeff))
+	}
+}
+
+// Merge adds another estimator built with the same seed.
+func (f *F0) Merge(o *F0) {
+	for j := range f.acc {
+		for b := range f.acc[j] {
+			f.acc[j][b] = field.Add(f.acc[j][b], o.acc[j][b])
+		}
+	}
+}
+
+// Sub subtracts another estimator built with the same seed.
+func (f *F0) Sub(o *F0) {
+	for j := range f.acc {
+		for b := range f.acc[j] {
+			f.acc[j][b] = field.Sub(f.acc[j][b], o.acc[j][b])
+		}
+	}
+}
+
+func (f *F0) occupied(j int) int {
+	n := 0
+	for _, v := range f.acc[j] {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Estimate returns an estimate of the number of distinct keys with
+// nonzero net weight, within a constant factor whp.
+func (f *F0) Estimate() float64 {
+	k := float64(f.buckets)
+	// Use the densest level that is still below the linear-counting
+	// saturation band: occupancy there is large enough for a reliable
+	// estimate (sparser levels have O(1) survivors and huge variance).
+	for j := 0; j < f.levels; j++ {
+		occ := float64(f.occupied(j))
+		if occ > 0.7*k {
+			continue // saturated, go sparser
+		}
+		if occ == 0 {
+			if j == 0 {
+				return 0
+			}
+			// Previous level was saturated yet this one is empty — a
+			// low-probability sampling fluke. Report a conservative
+			// estimate from the saturated level below.
+			return 0.7 * k * math.Pow(2, float64(j-1))
+		}
+		return -k * math.Log(1-occ/k) * math.Pow(2, float64(j))
+	}
+	// Every level saturated: the support is enormous.
+	return 8 * k * math.Pow(2, float64(f.levels))
+}
+
+// ExceedsThreshold reports whether the estimated support is above t.
+// This is the decodability guard used in front of SKETCH_B decoding.
+func (f *F0) ExceedsThreshold(t int) bool {
+	return f.Estimate() > float64(t)
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (f *F0) SpaceWords() int {
+	return f.levels*f.buckets + 4
+}

@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"testing"
+
+	"dynstream/internal/hashing"
+)
+
+func TestF0Empty(t *testing.T) {
+	f := NewF0(1, 1<<20)
+	if est := f.Estimate(); est != 0 {
+		t.Errorf("empty estimate = %v, want 0", est)
+	}
+	if f.ExceedsThreshold(0) {
+		t.Error("empty estimator exceeds threshold 0")
+	}
+}
+
+func TestF0ConstantFactor(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 20000} {
+		f := NewF0(hashing.Mix(2, uint64(n)), 1<<30)
+		for k := uint64(0); k < uint64(n); k++ {
+			f.Add(k*7919, 1)
+		}
+		est := f.Estimate()
+		if est < float64(n)/3 || est > float64(n)*3 {
+			t.Errorf("n=%d: estimate %v outside 3x band", n, est)
+		}
+	}
+}
+
+func TestF0IgnoresMultiplicity(t *testing.T) {
+	f := NewF0(3, 1<<20)
+	for k := uint64(0); k < 50; k++ {
+		f.Add(k, 100) // huge multiplicities, still 50 distinct
+	}
+	est := f.Estimate()
+	if est < 15 || est > 150 {
+		t.Errorf("estimate %v for 50 distinct keys", est)
+	}
+}
+
+func TestF0Deletions(t *testing.T) {
+	f := NewF0(4, 1<<20)
+	for k := uint64(0); k < 1000; k++ {
+		f.Add(k, 1)
+	}
+	for k := uint64(0); k < 990; k++ {
+		f.Add(k, -1)
+	}
+	est := f.Estimate()
+	if est < 2 || est > 40 {
+		t.Errorf("estimate %v after deletions, want ~10", est)
+	}
+}
+
+func TestF0FullCancellation(t *testing.T) {
+	f := NewF0(5, 1<<20)
+	for k := uint64(0); k < 500; k++ {
+		f.Add(k, 3)
+		f.Add(k, -3)
+	}
+	if est := f.Estimate(); est != 0 {
+		t.Errorf("fully cancelled estimate = %v, want 0", est)
+	}
+}
+
+func TestF0GuardUsage(t *testing.T) {
+	// The decodability guard: with 4B distinct items, ExceedsThreshold(2B)
+	// must fire; with B/4 items it must not (using the 3x error band).
+	const b = 64
+	f := NewF0(6, 1<<20)
+	for k := uint64(0); k < 4*b; k++ {
+		f.Add(k, 1)
+	}
+	if !f.ExceedsThreshold(2 * b) {
+		t.Error("guard failed to fire at 4B distinct items vs 2B threshold")
+	}
+	g := NewF0(7, 1<<20)
+	for k := uint64(0); k < b/4; k++ {
+		g.Add(k, 1)
+	}
+	if g.ExceedsThreshold(2 * b) {
+		t.Error("guard fired at B/4 items vs 2B threshold")
+	}
+}
+
+func TestF0MergeSub(t *testing.T) {
+	a := NewF0(8, 1<<20)
+	b := NewF0(8, 1<<20)
+	for k := uint64(0); k < 100; k++ {
+		a.Add(k, 1)
+	}
+	for k := uint64(100); k < 200; k++ {
+		b.Add(k, 1)
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	if est < 60 || est > 600 {
+		t.Errorf("merged estimate %v, want ~200", est)
+	}
+	a.Sub(b)
+	est = a.Estimate()
+	if est < 30 || est > 300 {
+		t.Errorf("after sub estimate %v, want ~100", est)
+	}
+}
+
+func TestF0SpaceWords(t *testing.T) {
+	f := NewF0(9, 1<<20)
+	if f.SpaceWords() <= 0 {
+		t.Error("space must be positive")
+	}
+}

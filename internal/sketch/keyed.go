@@ -1,0 +1,222 @@
+package sketch
+
+import (
+	"dynstream/internal/field"
+	"dynstream/internal/hashing"
+)
+
+// KeyedEdgeSketch is the "linear hash table" H^u_j of Algorithm 2. For a
+// terminal cluster T_u it ingests stream updates for edges (w, v) with
+// w ∈ T_u ∩ Y_j and v ∉ T_u, keyed by the outside endpoint v, and
+// supports the query: "give me one edge from v into T_u". The paper
+// implements it as a table with Õ(n^{(i+1)/k}) cells, each holding a
+// polylog-bit sketch of N(v) ∩ T_u ∩ Y_j; decodability of the whole
+// table is guaranteed because a terminal node has |N(T_u)| =
+// O(n^{(i+1)/k} log n) distinct outside neighbors (Claim 11).
+//
+// Implementation: rows × cells buckets, each accumulating, over the
+// edge updates routed to it by hashing the key v,
+//
+//	edgeCount = Σ δ
+//	keySum    = Σ δ·v,     keyFing  = Σ δ·r1^v      (field)
+//	edgeSum   = Σ δ·e,     edgeFing = Σ δ·r2^e      (field)
+//
+// where e encodes the ordered pair (w, v). Because every edge of a key
+// hashes to the same bucket per row, a key-pure bucket (detected by the
+// fingerprint test) holds that key's complete aggregate, which can be
+// peeled out of the key's buckets in the other rows — exactly the
+// sparse-recovery decoding of the paper's hash table. The recovered
+// per-key aggregate is a one-sparse edge sketch: at the subsampling
+// level Y_j where v has a single surviving neighbor in T_u it decodes
+// to a concrete edge, mirroring SKETCH_{O(log n)}(N(v) ∩ T_u ∩ Y_j).
+type KeyedEdgeSketch struct {
+	n        int
+	rows     int
+	cells    int
+	buckets  []keyedBucket
+	rowHash  []*hashing.Poly
+	keyBase  uint64
+	edgeBase uint64
+
+	recovered map[uint64]keyedBucket
+	dirty     bool
+}
+
+type keyedBucket struct {
+	edgeCount int64
+	keySum    uint64
+	keyFing   uint64
+	edgeSum   uint64
+	edgeFing  uint64
+}
+
+func (b *keyedBucket) isZero() bool {
+	return b.edgeCount == 0 && b.keySum == 0 && b.keyFing == 0 &&
+		b.edgeSum == 0 && b.edgeFing == 0
+}
+
+func (b *keyedBucket) merge(o keyedBucket) {
+	b.edgeCount += o.edgeCount
+	b.keySum = field.Add(b.keySum, o.keySum)
+	b.keyFing = field.Add(b.keyFing, o.keyFing)
+	b.edgeSum = field.Add(b.edgeSum, o.edgeSum)
+	b.edgeFing = field.Add(b.edgeFing, o.edgeFing)
+}
+
+func (b *keyedBucket) sub(o keyedBucket) {
+	b.edgeCount -= o.edgeCount
+	b.keySum = field.Sub(b.keySum, o.keySum)
+	b.keyFing = field.Sub(b.keyFing, o.keyFing)
+	b.edgeSum = field.Sub(b.edgeSum, o.edgeSum)
+	b.edgeFing = field.Sub(b.edgeFing, o.edgeFing)
+}
+
+// pureKey reports whether all mass in the bucket belongs to a single
+// key, and returns that key. It is a polynomial-identity fingerprint
+// test, sound except with probability ≤ poly(n)/p.
+func (b *keyedBucket) pureKey(keyBase uint64) (key uint64, ok bool) {
+	if b.edgeCount == 0 {
+		return 0, false
+	}
+	cf := field.FromInt64(b.edgeCount)
+	key = field.Mul(b.keySum, field.Inv(cf))
+	if b.keyFing != field.Mul(cf, field.Pow(keyBase, key)) {
+		return 0, false
+	}
+	return key, true
+}
+
+// NewKeyedEdgeSketch creates a table able to serve about `capacity`
+// distinct outside keys, over a graph with n vertices.
+func NewKeyedEdgeSketch(seed uint64, n, capacity int) *KeyedEdgeSketch {
+	const rows = 3
+	cells := 2 * capacity
+	if cells < 8 {
+		cells = 8
+	}
+	t := &KeyedEdgeSketch{
+		n:        n,
+		rows:     rows,
+		cells:    cells,
+		buckets:  make([]keyedBucket, rows*cells),
+		rowHash:  make([]*hashing.Poly, rows),
+		keyBase:  field.Reduce(hashing.Mix(seed, 0xaa)),
+		edgeBase: field.Reduce(hashing.Mix(seed, 0xbb)),
+		dirty:    true,
+	}
+	if t.keyBase < 2 {
+		t.keyBase = 2
+	}
+	if t.edgeBase < 2 {
+		t.edgeBase = 2
+	}
+	for r := 0; r < rows; r++ {
+		t.rowHash[r] = hashing.NewPoly(hashing.Mix(seed, 0xcc, uint64(r)), 6)
+	}
+	return t
+}
+
+func (t *KeyedEdgeSketch) encode(w, v int) uint64 {
+	return uint64(w)*uint64(t.n) + uint64(v)
+}
+
+// Add folds an update for edge (w, v) — w inside the cluster, v the
+// outside key — with multiplicity delta.
+func (t *KeyedEdgeSketch) Add(w, v int, delta int64) {
+	if delta == 0 {
+		return
+	}
+	t.dirty = true
+	key := uint64(v)
+	e := t.encode(w, v)
+	d := field.FromInt64(delta)
+	upd := keyedBucket{
+		edgeCount: delta,
+		keySum:    field.Mul(d, field.Reduce(key)),
+		keyFing:   field.Mul(d, field.Pow(t.keyBase, key)),
+		edgeSum:   field.Mul(d, field.Reduce(e)),
+		edgeFing:  field.Mul(d, field.Pow(t.edgeBase, field.Reduce(e))),
+	}
+	for r := 0; r < t.rows; r++ {
+		t.buckets[r*t.cells+t.rowHash[r].Bucket(key, t.cells)].merge(upd)
+	}
+}
+
+// peel decodes the whole table: it repeatedly finds a key-pure bucket,
+// records that key's aggregate, and subtracts it from the key's buckets
+// in every row, until no further progress. Results are cached until the
+// next Add.
+func (t *KeyedEdgeSketch) peel() {
+	if !t.dirty {
+		return
+	}
+	work := make([]keyedBucket, len(t.buckets))
+	copy(work, t.buckets)
+	t.recovered = make(map[uint64]keyedBucket)
+	for {
+		progress := false
+		for i := range work {
+			if work[i].isZero() {
+				continue
+			}
+			key, ok := work[i].pureKey(t.keyBase)
+			if !ok {
+				continue
+			}
+			agg := work[i]
+			for r := 0; r < t.rows; r++ {
+				work[r*t.cells+t.rowHash[r].Bucket(key, t.cells)].sub(agg)
+			}
+			prev := t.recovered[key]
+			prev.merge(agg)
+			if prev.isZero() {
+				delete(t.recovered, key)
+			} else {
+				t.recovered[key] = prev
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	t.dirty = false
+}
+
+// DecodeKey attempts to recover one edge (w, v) for the outside key v.
+// It succeeds when the table peels and v's aggregate contains a single
+// net edge — which happens whp at the correct subsampling level Y_j.
+func (t *KeyedEdgeSketch) DecodeKey(v int) (w int, ok bool) {
+	t.peel()
+	b, found := t.recovered[uint64(v)]
+	if !found || b.edgeCount == 0 {
+		return 0, false
+	}
+	cf := field.FromInt64(b.edgeCount)
+	e := field.Mul(b.edgeSum, field.Inv(cf))
+	if b.edgeFing != field.Mul(cf, field.Pow(t.edgeBase, e)) {
+		return 0, false
+	}
+	wID := int(e / uint64(t.n))
+	vID := int(e % uint64(t.n))
+	if vID != v || wID < 0 || wID >= t.n {
+		return 0, false
+	}
+	return wID, true
+}
+
+// Keys returns the outside keys recovered by peeling — the keys(H^u_j)
+// iteration of Algorithm 2.
+func (t *KeyedEdgeSketch) Keys() []int {
+	t.peel()
+	out := make([]int, 0, len(t.recovered))
+	for k := range t.recovered {
+		out = append(out, int(k))
+	}
+	return out
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (t *KeyedEdgeSketch) SpaceWords() int {
+	return 5*len(t.buckets) + 6
+}

@@ -1,0 +1,107 @@
+package sketch
+
+import (
+	"testing"
+
+	"dynstream/internal/hashing"
+)
+
+func TestKeyedEmpty(t *testing.T) {
+	k := NewKeyedEdgeSketch(1, 100, 8)
+	if _, ok := k.DecodeKey(5); ok {
+		t.Error("empty table decoded a key")
+	}
+}
+
+func TestKeyedSingleEdgePerKey(t *testing.T) {
+	const n = 200
+	k := NewKeyedEdgeSketch(2, n, 32)
+	// 20 outside keys, each with exactly one inside edge.
+	for v := 0; v < 20; v++ {
+		k.Add(100+v, v, 1)
+	}
+	for v := 0; v < 20; v++ {
+		w, ok := k.DecodeKey(v)
+		if !ok {
+			t.Errorf("key %d failed to decode", v)
+			continue
+		}
+		if w != 100+v {
+			t.Errorf("key %d: got inside endpoint %d, want %d", v, w, 100+v)
+		}
+	}
+}
+
+func TestKeyedAbsentKey(t *testing.T) {
+	const n = 100
+	k := NewKeyedEdgeSketch(3, n, 16)
+	for v := 0; v < 10; v++ {
+		k.Add(50+v, v, 1)
+	}
+	misses := 0
+	for v := 20; v < 40; v++ {
+		if _, ok := k.DecodeKey(v); ok {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d absent keys spuriously decoded", misses)
+	}
+}
+
+func TestKeyedDeletion(t *testing.T) {
+	const n = 100
+	k := NewKeyedEdgeSketch(4, n, 16)
+	k.Add(10, 1, 1)
+	k.Add(11, 1, 1)
+	// Key 1 has two edges: one-sparse recovery must fail...
+	if _, ok := k.DecodeKey(1); ok {
+		t.Error("two-edge key decoded as one-sparse")
+	}
+	// ...until one is deleted.
+	k.Add(11, 1, -1)
+	w, ok := k.DecodeKey(1)
+	if !ok || w != 10 {
+		t.Errorf("after deletion: (%d,%v), want (10,true)", w, ok)
+	}
+}
+
+func TestKeyedMultiplicity(t *testing.T) {
+	const n = 100
+	k := NewKeyedEdgeSketch(5, n, 16)
+	k.Add(10, 2, 3) // multigraph: multiplicity 3, still one distinct edge
+	w, ok := k.DecodeKey(2)
+	if !ok || w != 10 {
+		t.Errorf("multiplicity edge: (%d,%v), want (10,true)", w, ok)
+	}
+}
+
+func TestKeyedManyKeysWithinCapacity(t *testing.T) {
+	const n = 1000
+	const keys = 50
+	decodedTotal := 0
+	for trial := uint64(0); trial < 10; trial++ {
+		k := NewKeyedEdgeSketch(hashing.Mix(6, trial), n, keys)
+		for v := 0; v < keys; v++ {
+			k.Add(500+v, v, 1)
+		}
+		for v := 0; v < keys; v++ {
+			if w, ok := k.DecodeKey(v); ok && w == 500+v {
+				decodedTotal++
+			}
+		}
+	}
+	// Each key succeeds unless all 3 of its buckets collide with other
+	// keys; at 2x capacity that is rare but not impossible. Demand 95%.
+	if decodedTotal < 10*keys*95/100 {
+		t.Errorf("decoded %d/%d key-edge pairs", decodedTotal, 10*keys)
+	}
+}
+
+func TestKeyedSpaceWords(t *testing.T) {
+	small := NewKeyedEdgeSketch(7, 100, 8)
+	large := NewKeyedEdgeSketch(7, 100, 80)
+	if small.SpaceWords() <= 0 || large.SpaceWords() <= small.SpaceWords() {
+		t.Error("space accounting wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"dynstream/internal/hashing"
+)
+
+// L0Sampler recovers one element of the support of a signed integer
+// vector presented as a dynamic stream. The paper references
+// L0-sampling as the alternative to its explicit Y_j sets ("the use of
+// the sets Y_j could be eliminated by using L0-SAMPLER in a similar way
+// as [AGM12a] does"); the AGM spanning-forest substrate (Theorem 10) is
+// built directly on these.
+//
+// Implementation: geometric subsampling levels; level j sketches the
+// coordinates sampled at rate 2^-j with a small SketchB. Sampling walks
+// from the sparsest level down and returns an element of the first
+// level that decodes to a nonempty vector.
+type L0Sampler struct {
+	seed      uint64
+	universe  uint64
+	perLevel  int
+	levels    []*SketchB
+	levelHash *hashing.Poly
+	choiceFn  *hashing.Poly
+}
+
+// NewL0Sampler creates a sampler for keys from a universe of the given
+// size. perLevel is the sparse-recovery budget at each level; 4–8 is
+// plenty because some level has Θ(1) expected survivors.
+func NewL0Sampler(seed uint64, universe uint64, perLevel int) *L0Sampler {
+	nLevels := 2
+	for u := universe; u > 1; u >>= 1 {
+		nLevels++
+	}
+	if perLevel < 2 {
+		perLevel = 2
+	}
+	s := &L0Sampler{
+		seed:      seed,
+		universe:  universe,
+		perLevel:  perLevel,
+		levels:    make([]*SketchB, nLevels),
+		levelHash: hashing.NewPoly(hashing.Mix(seed, 0x10), 8),
+		choiceFn:  hashing.NewPoly(hashing.Mix(seed, 0xc4), 6),
+	}
+	for j := range s.levels {
+		s.levels[j] = NewSketchB(hashing.Mix(seed, 0x1b, uint64(j)), perLevel)
+	}
+	return s
+}
+
+// Add folds x[key] += delta into the sampler.
+func (s *L0Sampler) Add(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	lv := s.levelHash.Level(key)
+	if lv >= len(s.levels) {
+		lv = len(s.levels) - 1
+	}
+	for j := 0; j <= lv; j++ {
+		s.levels[j].Add(key, delta)
+	}
+}
+
+// Merge adds another sampler built with the same seed; the result
+// samples from the support of the summed vectors.
+func (s *L0Sampler) Merge(o *L0Sampler) error {
+	for j := range s.levels {
+		if err := s.levels[j].Merge(o.levels[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sub subtracts another sampler built with the same seed.
+func (s *L0Sampler) Sub(o *L0Sampler) error {
+	for j := range s.levels {
+		if err := s.levels[j].Sub(o.levels[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *L0Sampler) Clone() *L0Sampler {
+	c := &L0Sampler{
+		seed:      s.seed,
+		universe:  s.universe,
+		perLevel:  s.perLevel,
+		levels:    make([]*SketchB, len(s.levels)),
+		levelHash: s.levelHash,
+		choiceFn:  s.choiceFn,
+	}
+	for j := range s.levels {
+		c.levels[j] = s.levels[j].Clone()
+	}
+	return c
+}
+
+// Sample returns one support element (key and net weight). ok=false
+// means the vector is (whp) zero or every level failed to decode — a
+// 1/poly(n) probability event for nonzero vectors.
+func (s *L0Sampler) Sample() (key uint64, weight int64, ok bool) {
+	for j := len(s.levels) - 1; j >= 0; j-- {
+		items, decoded := s.levels[j].Decode()
+		if !decoded {
+			// Overloaded level: denser levels are hopeless too only in
+			// expectation — keep scanning downward since independence
+			// across levels is limited, then give up at j=0.
+			continue
+		}
+		if len(items) == 0 {
+			continue
+		}
+		// Choose the item with the minimum choice-hash so that the
+		// sample is a near-uniform function of the support, not of the
+		// decode order.
+		var (
+			bestKey uint64
+			bestW   int64
+			bestH   uint64
+			first   = true
+		)
+		for k, w := range items {
+			h := s.choiceFn.Hash(k)
+			if first || h < bestH {
+				bestKey, bestW, bestH, first = k, w, h, false
+			}
+		}
+		return bestKey, bestW, true
+	}
+	return 0, 0, false
+}
+
+// SpaceWords returns the memory footprint in 64-bit words.
+func (s *L0Sampler) SpaceWords() int {
+	w := 2
+	for _, lv := range s.levels {
+		w += lv.SpaceWords()
+	}
+	return w
+}

@@ -1,0 +1,182 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary serialization for the linear sketches. The encoding carries
+// the construction parameters (seed + geometry) followed by the raw
+// linear state; hash functions are reconstructed deterministically
+// from the seed on decode. This is what makes the distributed protocol
+// of the paper's introduction concrete: servers exchange sketch bytes,
+// and a sketch decoded from bytes merges with any sketch built from
+// the same seed.
+
+// The magic constants identify the structure kind and version.
+const (
+	tagSketchB   uint64 = 0xd15c_0001
+	tagL0Sampler uint64 = 0xd15c_0002
+)
+
+var errCorrupt = errors.New("sketch: corrupt serialized data")
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	w.b = append(w.b, tmp[:]...)
+}
+
+func (w *wbuf) i64(v int64) { w.u64(uint64(v)) }
+
+type rbuf struct{ b []byte }
+
+func (r *rbuf) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errCorrupt
+	}
+	v := binary.LittleEndian.Uint64(r.b[:8])
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *rbuf) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+// MarshalBinary encodes the sketch: parameters plus linear state.
+func (s *SketchB) MarshalBinary() ([]byte, error) {
+	w := &wbuf{}
+	w.u64(tagSketchB)
+	w.u64(s.seed)
+	w.u64(uint64(s.capacity))
+	w.u64(uint64(s.rows))
+	w.u64(uint64(s.cols))
+	for i := range s.cells {
+		w.i64(s.cells[i].count)
+		w.u64(s.cells[i].keySum)
+		w.u64(s.cells[i].fing)
+	}
+	return w.b, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded with
+// MarshalBinary, reconstructing hash functions from the stored seed.
+func (s *SketchB) UnmarshalBinary(data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagSketchB {
+		return fmt.Errorf("sketch: not a SketchB encoding: %w", errCorrupt)
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return err
+	}
+	capacity, err := r.u64()
+	if err != nil {
+		return err
+	}
+	rows, err := r.u64()
+	if err != nil {
+		return err
+	}
+	cols, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if rows == 0 || cols == 0 || rows > 16 || cols > 1<<30 {
+		return errCorrupt
+	}
+	// Rebuild structure exactly as the constructor would, then adopt
+	// the explicit geometry (which may differ from defaults).
+	rebuilt := NewSketchBConfig(seed, int(capacity), SketchConfig{Rows: int(rows)})
+	rebuilt.cols = int(cols)
+	rebuilt.cells = make([]Cell, int(rows)*int(cols))
+	for i := range rebuilt.cells {
+		c := &rebuilt.cells[i]
+		if c.count, err = r.i64(); err != nil {
+			return err
+		}
+		if c.keySum, err = r.u64(); err != nil {
+			return err
+		}
+		if c.fing, err = r.u64(); err != nil {
+			return err
+		}
+	}
+	if len(r.b) != 0 {
+		return errCorrupt
+	}
+	*s = *rebuilt
+	return nil
+}
+
+// MarshalBinary encodes the sampler: parameters plus per-level states.
+func (s *L0Sampler) MarshalBinary() ([]byte, error) {
+	w := &wbuf{}
+	w.u64(tagL0Sampler)
+	w.u64(s.seed)
+	w.u64(s.universe)
+	w.u64(uint64(s.perLevel))
+	w.u64(uint64(len(s.levels)))
+	for _, lv := range s.levels {
+		enc, err := lv.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.u64(uint64(len(enc)))
+		w.b = append(w.b, enc...)
+	}
+	return w.b, nil
+}
+
+// UnmarshalBinary decodes a sampler encoded with MarshalBinary.
+func (s *L0Sampler) UnmarshalBinary(data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagL0Sampler {
+		return fmt.Errorf("sketch: not an L0Sampler encoding: %w", errCorrupt)
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return err
+	}
+	universe, err := r.u64()
+	if err != nil {
+		return err
+	}
+	perLevel, err := r.u64()
+	if err != nil {
+		return err
+	}
+	nLevels, err := r.u64()
+	if err != nil {
+		return err
+	}
+	rebuilt := NewL0Sampler(seed, universe, int(perLevel))
+	if uint64(len(rebuilt.levels)) != nLevels {
+		return errCorrupt
+	}
+	for j := range rebuilt.levels {
+		ln, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if uint64(len(r.b)) < ln {
+			return errCorrupt
+		}
+		if err := rebuilt.levels[j].UnmarshalBinary(r.b[:ln]); err != nil {
+			return err
+		}
+		r.b = r.b[ln:]
+	}
+	if len(r.b) != 0 {
+		return errCorrupt
+	}
+	*s = *rebuilt
+	return nil
+}

@@ -1,0 +1,111 @@
+package sketch
+
+import (
+	"testing"
+)
+
+func TestSketchBMarshalRoundTrip(t *testing.T) {
+	s := NewSketchB(42, 16)
+	want := map[uint64]int64{5: 1, 777: -3, 123456: 9}
+	for k, v := range want {
+		s.Add(k, v)
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SketchB
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Decode()
+	if !ok || len(got) != len(want) {
+		t.Fatalf("decode after round trip: %v %v", got, ok)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestSketchBMarshalThenMerge(t *testing.T) {
+	// The distributed protocol: shard sketches travel as bytes, then
+	// merge at the coordinator.
+	a := NewSketchB(7, 8)
+	b := NewSketchB(7, 8)
+	a.Add(1, 1)
+	b.Add(2, 2)
+	b.Add(1, -1) // cross-shard deletion
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote SketchB
+	if err := remote.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(&remote); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.Decode()
+	if !ok || len(got) != 1 || got[2] != 2 {
+		t.Errorf("merged decode = %v, %v", got, ok)
+	}
+}
+
+func TestSketchBUnmarshalCorrupt(t *testing.T) {
+	var s SketchB
+	if err := s.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short data accepted")
+	}
+	good := NewSketchB(1, 4)
+	enc, _ := good.MarshalBinary()
+	if err := s.UnmarshalBinary(enc[:len(enc)-5]); err == nil {
+		t.Error("truncated data accepted")
+	}
+	enc[0] ^= 0xff // break the tag
+	if err := s.UnmarshalBinary(enc); err == nil {
+		t.Error("wrong tag accepted")
+	}
+}
+
+func TestL0MarshalRoundTrip(t *testing.T) {
+	s := NewL0Sampler(9, 1<<20, 4)
+	s.Add(314, 2)
+	s.Add(2718, 5)
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back L0Sampler
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	k, w, ok := back.Sample()
+	if !ok || (k != 314 && k != 2718) {
+		t.Errorf("sample after round trip: (%d,%d,%v)", k, w, ok)
+	}
+	// And it still merges with a live sampler of the same seed.
+	live := NewL0Sampler(9, 1<<20, 4)
+	live.Add(314, -2)
+	live.Add(2718, -5)
+	if err := back.Merge(live); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := back.Sample(); ok {
+		t.Error("cancelled sampler still sampled")
+	}
+}
+
+func TestL0UnmarshalCorrupt(t *testing.T) {
+	var s L0Sampler
+	if err := s.UnmarshalBinary(nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	good := NewL0Sampler(1, 1<<10, 2)
+	enc, _ := good.MarshalBinary()
+	if err := s.UnmarshalBinary(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynstream/internal/hashing"
+)
+
+// Property-based tests on the core sketch invariants, driven by
+// testing/quick over random operation sequences.
+
+// opSeq interprets a byte string as a sequence of signed updates over a
+// small key space, returning the reference vector.
+func applyOps(ops []byte, add func(key uint64, delta int64)) map[uint64]int64 {
+	ref := map[uint64]int64{}
+	for i := 0; i+1 < len(ops); i += 2 {
+		key := uint64(ops[i]) % 64
+		delta := int64(int8(ops[i+1]))
+		if delta == 0 {
+			continue
+		}
+		add(key, delta)
+		ref[key] += delta
+		if ref[key] == 0 {
+			delete(ref, key)
+		}
+	}
+	return ref
+}
+
+func TestPropertySketchBMatchesReference(t *testing.T) {
+	// For any operation sequence whose final support fits the budget,
+	// Decode returns exactly the reference vector.
+	f := func(ops []byte) bool {
+		s := NewSketchB(41, 64) // budget covers the whole 64-key space
+		ref := applyOps(ops, s.Add)
+		got, ok := s.Decode()
+		if !ok {
+			return false
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(109))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySketchBAdditivity(t *testing.T) {
+	// sketch(ops1) + sketch(ops2) == sketch(ops1 ++ ops2), cell by cell.
+	f := func(ops1, ops2 []byte) bool {
+		a := NewSketchB(43, 64)
+		b := NewSketchB(43, 64)
+		c := NewSketchB(43, 64)
+		applyOps(ops1, a.Add)
+		applyOps(ops2, b.Add)
+		applyOps(ops1, c.Add)
+		applyOps(ops2, c.Add)
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		// Compare decoded vectors (cells must agree, so vectors do).
+		ga, oka := a.Decode()
+		gc, okc := c.Decode()
+		if oka != okc || len(ga) != len(gc) {
+			return false
+		}
+		for k, v := range gc {
+			if ga[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(110))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySketchBSubIsInverse(t *testing.T) {
+	f := func(ops1, ops2 []byte) bool {
+		a := NewSketchB(47, 64)
+		b := NewSketchB(47, 64)
+		applyOps(ops1, a.Add)
+		applyOps(ops2, b.Add)
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if err := a.Sub(b); err != nil {
+			return false
+		}
+		ref := NewSketchB(47, 64)
+		applyOps(ops1, ref.Add)
+		ga, oka := a.Decode()
+		gr, okr := ref.Decode()
+		if oka != okr || len(ga) != len(gr) {
+			return false
+		}
+		for k, v := range gr {
+			if ga[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(111))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyL0SampleAlwaysInSupport(t *testing.T) {
+	f := func(ops []byte, seed uint64) bool {
+		s := NewL0Sampler(seed, 64, 4)
+		ref := applyOps(ops, s.Add)
+		k, w, ok := s.Sample()
+		if len(ref) == 0 {
+			return !ok
+		}
+		if !ok {
+			// whp failure allowed but should be rare; treat as pass to
+			// keep the property deterministic — correctness is "no
+			// wrong answer", tested here, while success probability is
+			// covered by unit tests.
+			return true
+		}
+		return ref[k] == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(112))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyF0NeverNegative(t *testing.T) {
+	f := func(ops []byte, seed uint64) bool {
+		fo := NewF0(seed, 64)
+		ref := applyOps(ops, fo.Add)
+		est := fo.Estimate()
+		if est < 0 {
+			return false
+		}
+		if len(ref) == 0 && est != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(113))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountSketchQueryMatchesOnIsolatedKeys(t *testing.T) {
+	// A key whose net weight is zero must query to 0 whp; a decode of
+	// an in-budget vector must match the reference.
+	f := func(ops []byte) bool {
+		cs := NewCountSketch(53, 64)
+		ref := applyOps(ops, cs.Add)
+		got, ok := cs.Decode()
+		if !ok {
+			return true // whp failure tolerated, wrong answers are not
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(114))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKeyedSketchNeverInventsEdges(t *testing.T) {
+	// Whatever the update sequence, DecodeKey may fail but must never
+	// return an inside endpoint that was not actually added for the key.
+	f := func(ops []byte, seed uint64) bool {
+		const n = 32
+		ks := NewKeyedEdgeSketch(seed, n, 16)
+		added := map[[2]int]int64{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			w := int(ops[i]) % n
+			v := int(ops[i+1]) % n
+			d := int64(int8(ops[i+2]))
+			if d == 0 {
+				continue
+			}
+			ks.Add(w, v, d)
+			added[[2]int{w, v}] += d
+		}
+		for v := 0; v < n; v++ {
+			w, ok := ks.DecodeKey(v)
+			if !ok {
+				continue
+			}
+			if added[[2]int{w, v}] == 0 {
+				return false // invented or cancelled edge returned
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(115))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMarshalPreservesDecode(t *testing.T) {
+	f := func(ops []byte) bool {
+		s := NewSketchB(59, 64)
+		applyOps(ops, s.Add)
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back SketchB
+		if err := back.UnmarshalBinary(enc); err != nil {
+			return false
+		}
+		g1, ok1 := s.Decode()
+		g2, ok2 := back.Decode()
+		if ok1 != ok2 || len(g1) != len(g2) {
+			return false
+		}
+		for k, v := range g1 {
+			if g2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(116))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Guard against accidental correlation between the sub-seeds Mix hands
+// to sibling sketches: distinct (r, j) pairs must produce sketches that
+// disagree on bucket placement for most keys.
+func TestPropertySeedSeparation(t *testing.T) {
+	base := uint64(77)
+	a := hashing.NewPoly(hashing.Mix(base, 1, 2), 6)
+	b := hashing.NewPoly(hashing.Mix(base, 2, 1), 6)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.Bucket(x, 64) == b.Bucket(x, 64) {
+			same++
+		}
+	}
+	// Independent hashing agrees on ~1/64 of keys.
+	if same > 60 {
+		t.Errorf("sibling seeds correlate: %d/1000 bucket agreements", same)
+	}
+}

@@ -1,0 +1,195 @@
+package sketch
+
+import (
+	"fmt"
+
+	"dynstream/internal/field"
+	"dynstream/internal/hashing"
+)
+
+// SketchB is the paper's SKETCH_B primitive (Theorem 8): a randomized
+// linear projection of a signed integer vector x from which x can be
+// recovered exactly whenever ||x||_0 <= B, with failure probability
+// 1/poly(n). It is implemented as an invertible Bloom lookup table:
+// rows × cols one-sparse cells, each key hashed to one cell per row,
+// decoded by peeling pure cells. The structure is linear, so sketches
+// can be merged (summing vectors) and subtracted — the operations
+// Algorithms 1–3 rely on.
+type SketchB struct {
+	seed     uint64
+	capacity int
+	rows     int
+	cols     int
+	cells    []Cell
+	hashes   []*hashing.Poly
+	fingBase uint64
+	fingHash *hashing.Poly // caches nothing; base only
+}
+
+// SketchConfig tunes the redundancy of sparse recovery. Zero values take
+// defaults suitable for whp recovery at small polynomial scale.
+type SketchConfig struct {
+	// Rows is the number of hash rows (default 3).
+	Rows int
+	// ColsPerItem scales cells per row relative to capacity
+	// (default 1.5). Total cells = Rows * max(MinCols, ColsPerItem*B).
+	ColsPerItem float64
+	// MinCols floors the row width (default 4).
+	MinCols int
+}
+
+func (c SketchConfig) withDefaults() SketchConfig {
+	if c.Rows == 0 {
+		c.Rows = 3
+	}
+	if c.ColsPerItem == 0 {
+		c.ColsPerItem = 1.5
+	}
+	if c.MinCols == 0 {
+		c.MinCols = 4
+	}
+	return c
+}
+
+// NewSketchB creates a sparse-recovery sketch for signals with support
+// size up to capacity, with default redundancy.
+func NewSketchB(seed uint64, capacity int) *SketchB {
+	return NewSketchBConfig(seed, capacity, SketchConfig{})
+}
+
+// NewSketchBConfig creates a sparse-recovery sketch with explicit
+// redundancy parameters.
+func NewSketchBConfig(seed uint64, capacity int, cfg SketchConfig) *SketchB {
+	cfg = cfg.withDefaults()
+	if capacity < 1 {
+		capacity = 1
+	}
+	cols := int(cfg.ColsPerItem * float64(capacity))
+	if cols < cfg.MinCols {
+		cols = cfg.MinCols
+	}
+	s := &SketchB{
+		seed:     seed,
+		capacity: capacity,
+		rows:     cfg.Rows,
+		cols:     cols,
+		cells:    make([]Cell, cfg.Rows*cols),
+		hashes:   make([]*hashing.Poly, cfg.Rows),
+		fingBase: field.Reduce(hashing.Mix(seed, 0xf1f1)),
+	}
+	if s.fingBase < 2 {
+		s.fingBase = 2
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		s.hashes[r] = hashing.NewPoly(hashing.Mix(seed, uint64(r)+1), 6)
+	}
+	return s
+}
+
+// Capacity returns the sparsity budget B the sketch was built for.
+func (s *SketchB) Capacity() int { return s.capacity }
+
+// Seed returns the randomness seed; two sketches are mergeable iff their
+// seeds (and geometry) match.
+func (s *SketchB) Seed() uint64 { return s.seed }
+
+// Add folds a stream update x[key] += delta into the sketch.
+func (s *SketchB) Add(key uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	fkey := field.Pow(s.fingBase, field.Reduce(key))
+	for r := 0; r < s.rows; r++ {
+		idx := r*s.cols + s.hashes[r].Bucket(key, s.cols)
+		s.cells[idx].Update(key, delta, fkey)
+	}
+}
+
+func (s *SketchB) compatible(o *SketchB) error {
+	if s.seed != o.seed || s.rows != o.rows || s.cols != o.cols {
+		return fmt.Errorf("sketch: merging incompatible sketches (seed %d/%d, %dx%d vs %dx%d)",
+			s.seed, o.seed, s.rows, s.cols, o.rows, o.cols)
+	}
+	return nil
+}
+
+// Merge adds another sketch built with the same seed and geometry; the
+// result sketches the sum of the two underlying vectors.
+func (s *SketchB) Merge(o *SketchB) error {
+	if err := s.compatible(o); err != nil {
+		return err
+	}
+	for i := range s.cells {
+		s.cells[i].Merge(o.cells[i])
+	}
+	return nil
+}
+
+// Sub subtracts another compatible sketch.
+func (s *SketchB) Sub(o *SketchB) error {
+	if err := s.compatible(o); err != nil {
+		return err
+	}
+	for i := range s.cells {
+		s.cells[i].Sub(o.cells[i])
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *SketchB) Clone() *SketchB {
+	c := *s
+	c.cells = make([]Cell, len(s.cells))
+	copy(c.cells, s.cells)
+	return &c
+}
+
+// IsZero reports whether the sketch is (whp) of the zero vector.
+func (s *SketchB) IsZero() bool {
+	for i := range s.cells {
+		if !s.cells[i].IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode recovers the sketched vector by peeling. It returns the map of
+// nonzero coordinates and ok=true iff every cell was consumed, i.e. the
+// recovery is (whp) exact. Decoding a zero vector returns an empty map
+// and ok=true. Decode does not mutate the sketch.
+func (s *SketchB) Decode() (map[uint64]int64, bool) {
+	work := s.Clone()
+	out := make(map[uint64]int64)
+	// Peel: repeatedly find a pure cell, extract its item, remove the
+	// item from all rows, until no progress.
+	for {
+		progress := false
+		for i := range work.cells {
+			key, w, ok := work.cells[i].Decode(work.fingBase)
+			if !ok {
+				continue
+			}
+			fkey := field.Pow(work.fingBase, field.Reduce(key))
+			for r := 0; r < work.rows; r++ {
+				idx := r*work.cols + work.hashes[r].Bucket(key, work.cols)
+				work.cells[idx].Update(key, -w, fkey)
+			}
+			out[key] += w
+			if out[key] == 0 {
+				delete(out, key)
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return out, work.IsZero()
+}
+
+// SpaceWords returns the memory footprint in 64-bit words, used by the
+// space-accounting experiments (E3).
+func (s *SketchB) SpaceWords() int {
+	return 3*len(s.cells) + 4 // 3 words per cell + seed/geometry
+}

@@ -1,0 +1,267 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynstream/internal/hashing"
+)
+
+func TestSketchBEmptyDecodes(t *testing.T) {
+	s := NewSketchB(1, 8)
+	m, ok := s.Decode()
+	if !ok || len(m) != 0 {
+		t.Errorf("empty sketch: decode=(%v,%v)", m, ok)
+	}
+	if !s.IsZero() {
+		t.Error("empty sketch not zero")
+	}
+}
+
+func TestSketchBExactRecovery(t *testing.T) {
+	s := NewSketchB(2, 10)
+	want := map[uint64]int64{5: 1, 900: 3, 123456: -2, 42: 7}
+	for k, v := range want {
+		s.Add(k, v)
+	}
+	got, ok := s.Decode()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestSketchBAtCapacity(t *testing.T) {
+	const b = 16
+	fails := 0
+	for trial := uint64(0); trial < 50; trial++ {
+		s := NewSketchB(hashing.Mix(3, trial), b)
+		rng := hashing.NewSplitMix64(trial)
+		want := map[uint64]int64{}
+		for len(want) < b {
+			k := rng.Next() % 1000000
+			if _, dup := want[k]; dup {
+				continue
+			}
+			want[k] = int64(rng.Intn(9) + 1)
+			s.Add(k, want[k])
+		}
+		got, ok := s.Decode()
+		if !ok {
+			fails++
+			continue
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d key %d: got %d want %d", trial, k, got[k], v)
+			}
+		}
+	}
+	if fails > 2 {
+		t.Errorf("decode failed %d/50 trials at exact capacity", fails)
+	}
+}
+
+func TestSketchBOverloadFailsCleanly(t *testing.T) {
+	s := NewSketchB(4, 4)
+	rng := hashing.NewSplitMix64(77)
+	for i := 0; i < 200; i++ {
+		s.Add(rng.Next()%100000, 1)
+	}
+	if _, ok := s.Decode(); ok {
+		// With 200 >> 4 items a full decode would mean recovering far
+		// more than capacity. Peeling can get lucky in principle, but
+		// at 200 items in ~18 cells it cannot.
+		t.Error("overloaded sketch claimed successful decode")
+	}
+}
+
+func TestSketchBDeletions(t *testing.T) {
+	s := NewSketchB(5, 8)
+	// Insert 100 keys, delete all but 3.
+	for k := uint64(0); k < 100; k++ {
+		s.Add(k, 1)
+	}
+	for k := uint64(0); k < 97; k++ {
+		s.Add(k, -1)
+	}
+	got, ok := s.Decode()
+	if !ok {
+		t.Fatal("decode failed after deletions")
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d keys, want 3: %v", len(got), got)
+	}
+	for k := uint64(97); k < 100; k++ {
+		if got[k] != 1 {
+			t.Errorf("key %d: got %d want 1", k, got[k])
+		}
+	}
+}
+
+func TestSketchBFullCancellation(t *testing.T) {
+	s := NewSketchB(6, 8)
+	rng := hashing.NewSplitMix64(6)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Next() % (1 << 40)
+		s.Add(keys[i], 2)
+	}
+	for _, k := range keys {
+		s.Add(k, -2)
+	}
+	if !s.IsZero() {
+		t.Error("fully cancelled sketch should be zero")
+	}
+	m, ok := s.Decode()
+	if !ok || len(m) != 0 {
+		t.Errorf("decode=(%v,%v), want empty success", m, ok)
+	}
+}
+
+func TestSketchBLinearity(t *testing.T) {
+	// Property: sketch(x) merged with sketch(y) decodes to x+y.
+	f := func(xs, ys []uint16) bool {
+		if len(xs) > 6 {
+			xs = xs[:6]
+		}
+		if len(ys) > 6 {
+			ys = ys[:6]
+		}
+		a := NewSketchB(7, 16)
+		b := NewSketchB(7, 16)
+		want := map[uint64]int64{}
+		for _, x := range xs {
+			a.Add(uint64(x), 1)
+			want[uint64(x)]++
+		}
+		for _, y := range ys {
+			b.Add(uint64(y), 2)
+			want[uint64(y)] += 2
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		got, ok := a.Decode()
+		if !ok {
+			// A decode failure is a tolerated whp event; the property
+			// under test is that no *wrong* vector is ever returned.
+			return true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(108))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchBSubtraction(t *testing.T) {
+	a := NewSketchB(8, 8)
+	b := NewSketchB(8, 8)
+	for k := uint64(0); k < 5; k++ {
+		a.Add(k, 1)
+	}
+	b.Add(2, 1)
+	b.Add(3, 1)
+	if err := a.Sub(b); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.Decode()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	want := map[uint64]int64{0: 1, 1: 1, 4: 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestSketchBMergeIncompatible(t *testing.T) {
+	a := NewSketchB(1, 8)
+	b := NewSketchB(2, 8)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different seeds should error")
+	}
+	c := NewSketchB(1, 32)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different geometry should error")
+	}
+}
+
+func TestSketchBDecodeDoesNotMutate(t *testing.T) {
+	s := NewSketchB(9, 8)
+	s.Add(10, 1)
+	s.Add(20, 2)
+	first, ok1 := s.Decode()
+	second, ok2 := s.Decode()
+	if !ok1 || !ok2 || len(first) != len(second) {
+		t.Fatal("decode mutated the sketch")
+	}
+	for k, v := range first {
+		if second[k] != v {
+			t.Fatal("decode results differ")
+		}
+	}
+}
+
+func TestSketchBClone(t *testing.T) {
+	s := NewSketchB(10, 8)
+	s.Add(1, 1)
+	c := s.Clone()
+	c.Add(2, 1)
+	m, ok := s.Decode()
+	if !ok || len(m) != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestSketchBSpaceWords(t *testing.T) {
+	s := NewSketchB(11, 16)
+	if s.SpaceWords() <= 0 {
+		t.Error("space accounting must be positive")
+	}
+	big := NewSketchB(11, 160)
+	if big.SpaceWords() <= s.SpaceWords() {
+		t.Error("bigger capacity should cost more space")
+	}
+}
+
+func TestSketchBLargeKeys(t *testing.T) {
+	// Keys near 2^61 must round-trip (edge encodings are < n^2 but the
+	// structure itself should handle the full field range).
+	s := NewSketchB(12, 8)
+	keys := []uint64{1 << 60, (1 << 61) - 2, 1<<55 + 12345}
+	for _, k := range keys {
+		s.Add(k, 1)
+	}
+	got, ok := s.Decode()
+	if !ok || len(got) != len(keys) {
+		t.Fatalf("decode=(%v,%v)", got, ok)
+	}
+	for _, k := range keys {
+		if got[k] != 1 {
+			t.Errorf("key %d missing", k)
+		}
+	}
+}

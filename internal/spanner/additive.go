@@ -1,0 +1,292 @@
+package spanner
+
+import (
+	"fmt"
+	"math"
+
+	"dynstream/internal/agm"
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/sketch"
+	"dynstream/internal/stream"
+)
+
+// AdditiveConfig parameterizes the single-pass O(n/d)-additive spanner
+// of Theorem 3 (Algorithm 3).
+type AdditiveConfig struct {
+	// D is the space/accuracy knob: Õ(nd) space, n/d additive error.
+	D int
+	// Seed selects all randomness.
+	Seed uint64
+	// DegreeFactor scales the low-degree cutoff C·d·log n; default 1.
+	DegreeFactor float64
+	// CenterFactor scales the center sampling rate C/d; default 2.
+	CenterFactor float64
+	// UseF0Degree switches the degree test from an exact counter to the
+	// paper's Theorem 9 distinct-elements sketch. The counter equals the
+	// distinct degree whenever the stream describes a simple graph (any
+	// multigraph multiplicities are counted with multiplicity); the F0
+	// sketch is the faithful-but-larger choice for true multigraphs.
+	UseF0Degree bool
+}
+
+func (c AdditiveConfig) withDefaults() AdditiveConfig {
+	if c.D < 1 {
+		c.D = 1
+	}
+	if c.DegreeFactor == 0 {
+		c.DegreeFactor = 1
+	}
+	if c.CenterFactor == 0 {
+		c.CenterFactor = 2
+	}
+	return c
+}
+
+// AdditiveResult is the output of the additive spanner construction.
+type AdditiveResult struct {
+	// Spanner is the output subgraph E_low ∪ F ∪ F'.
+	Spanner *graph.Graph
+	// SpaceWords is the sketch footprint in 64-bit words.
+	SpaceWords int
+	// Centers is the number of sampled cluster centers |C| (diagnostics).
+	Centers int
+	// LowDegree is the number of vertices classified low-degree.
+	LowDegree int
+}
+
+// Additive is the single-pass streaming state of Algorithm 3.
+type Additive struct {
+	cfg    AdditiveConfig
+	n      int
+	log2n  int
+	cutoff float64 // low-degree threshold C·d·log n
+
+	inC    []bool // center sample at rate Θ(1/d)
+	zLevel *hashing.Poly
+
+	nbr     []*sketch.SketchB   // S(u) = SKETCH_{Õ(d)}(N(u))
+	centerS [][]*sketch.SketchB // A^r(u) = SKETCH_{O(log n)}(N(u) ∩ C ∩ Z_r)
+	degree  []int64             // exact net degree counter
+	degF0   []*sketch.F0        // optional Theorem 9 degree sketch
+	forest  *agm.Sketch         // AGM sketches (Theorem 10)
+	done    bool
+}
+
+// NewAdditive creates the streaming state for a graph on n vertices.
+func NewAdditive(n int, cfg AdditiveConfig) *Additive {
+	cfg = cfg.withDefaults()
+	log2n := int(math.Ceil(math.Log2(float64(n + 1))))
+	if log2n < 1 {
+		log2n = 1
+	}
+	a := &Additive{
+		cfg:    cfg,
+		n:      n,
+		log2n:  log2n,
+		cutoff: cfg.DegreeFactor * float64(cfg.D) * float64(log2n),
+		inC:    make([]bool, n),
+		zLevel: hashing.NewPoly(hashing.Mix(cfg.Seed, 0x22), 8),
+		nbr:    make([]*sketch.SketchB, n),
+		degree: make([]int64, n),
+		forest: agm.New(hashing.Mix(cfg.Seed, 0x33), n, agm.Config{}),
+	}
+	rate := cfg.CenterFactor / float64(cfg.D)
+	hC := hashing.NewPoly(hashing.Mix(cfg.Seed, 0x44), 8)
+	for u := 0; u < n; u++ {
+		a.inC[u] = hC.Bernoulli(uint64(u), rate)
+	}
+	// Neighborhood sketches sized to recover all edges of a low-degree
+	// vertex: budget 2× the cutoff.
+	nbrBudget := int(2*a.cutoff) + 4
+	a.centerS = make([][]*sketch.SketchB, n)
+	for u := 0; u < n; u++ {
+		a.nbr[u] = sketch.NewSketchB(hashing.Mix(cfg.Seed, 0x55, uint64(u)), nbrBudget)
+		row := make([]*sketch.SketchB, log2n+1)
+		for r := 0; r <= log2n; r++ {
+			row[r] = sketch.NewSketchB(hashing.Mix(cfg.Seed, 0x66, uint64(u), uint64(r)), 8)
+		}
+		a.centerS[u] = row
+	}
+	if cfg.UseF0Degree {
+		a.degF0 = make([]*sketch.F0, n)
+		for u := 0; u < n; u++ {
+			a.degF0[u] = sketch.NewF0(hashing.Mix(cfg.Seed, 0x77, uint64(u)), uint64(n))
+		}
+	}
+	return a
+}
+
+// Update ingests one stream update.
+func (a *Additive) Update(u stream.Update) error {
+	if a.done {
+		return fmt.Errorf("spanner: additive Update after Finish")
+	}
+	d := int64(u.Delta)
+	a.ingestHalf(u.U, u.V, d)
+	a.ingestHalf(u.V, u.U, d)
+	a.forest.AddUpdate(u)
+	return nil
+}
+
+// ingestHalf folds neighbor v into u's per-vertex sketches.
+func (a *Additive) ingestHalf(u, v int, d int64) {
+	a.nbr[u].Add(uint64(v), d)
+	a.degree[u] += d
+	if a.degF0 != nil {
+		a.degF0[u].Add(uint64(v), d)
+	}
+	if a.inC[v] {
+		lvl := a.zLevel.Level(uint64(v))
+		if lvl > a.log2n {
+			lvl = a.log2n
+		}
+		for r := 0; r <= lvl; r++ {
+			a.centerS[u][r].Add(uint64(v), d)
+		}
+	}
+}
+
+func (a *Additive) isLowDegree(u int) bool {
+	if a.degF0 != nil {
+		return !a.degF0[u].ExceedsThreshold(int(a.cutoff))
+	}
+	return float64(a.degree[u]) <= a.cutoff
+}
+
+// Finish runs the post-processing of Algorithm 3: recover E_low, build
+// the star forest F around centers, subtract E_low from the AGM
+// sketches, contract clusters, and extract the spanning forest F'.
+func (a *Additive) Finish() (*AdditiveResult, error) {
+	if a.done {
+		return nil, fmt.Errorf("spanner: additive Finish called twice")
+	}
+	a.done = true
+	n := a.n
+	out := graph.New(n)
+	res := &AdditiveResult{}
+
+	// (1) Low-degree vertices: recover all incident edges.
+	var elow []graph.Edge
+	elowSeen := map[[2]int]int64{} // canonical edge -> multiplicity
+	lowDeg := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if !a.isLowDegree(u) {
+			continue
+		}
+		items, ok := a.nbr[u].Decode()
+		if !ok {
+			// Decode failure (1/poly probability, or a multigraph whose
+			// multiplicities exceed the counter-based estimate): treat
+			// the vertex as high-degree rather than emit garbage.
+			continue
+		}
+		lowDeg[u] = true
+		res.LowDegree++
+		for key, mult := range items {
+			v := int(key)
+			if v < 0 || v >= n || v == u || mult <= 0 {
+				continue
+			}
+			out.AddUnitEdge(u, v)
+			c := [2]int{u, v}
+			if c[0] > c[1] {
+				c[0], c[1] = c[1], c[0]
+			}
+			if _, dup := elowSeen[c]; !dup {
+				elowSeen[c] = mult
+				elow = append(elow, graph.Edge{U: c[0], V: c[1], W: 1})
+			}
+		}
+	}
+
+	// (2) High-degree vertices: attach to a center neighbor, forming
+	// the star forest F.
+	parent := make([]int, n)
+	for u := range parent {
+		parent[u] = -1
+	}
+	for u := 0; u < n; u++ {
+		if lowDeg[u] || a.inC[u] {
+			continue // centers root their own clusters
+		}
+		for r := a.log2n; r >= 0; r-- {
+			items, ok := a.centerS[u][r].Decode()
+			if !ok || len(items) == 0 {
+				continue
+			}
+			for key, mult := range items {
+				w := int(key)
+				if w < 0 || w >= n || w == u || mult <= 0 || !a.inC[w] {
+					continue
+				}
+				parent[u] = w
+				out.AddUnitEdge(u, w)
+				break
+			}
+			if parent[u] != -1 {
+				break
+			}
+		}
+	}
+
+	// (3) G' = G − E_low; contract clusters T_c = {c} ∪ followers.
+	for _, e := range elow {
+		c := [2]int{e.U, e.V}
+		a.forest.AddEdge(e.U, e.V, -elowSeen[c])
+	}
+	groups := map[int][]int{}
+	for u := 0; u < n; u++ {
+		if a.inC[u] {
+			groups[u] = append(groups[u], u)
+			res.Centers++
+		}
+	}
+	for u := 0; u < n; u++ {
+		if p := parent[u]; p != -1 {
+			groups[p] = append(groups[p], u)
+		}
+	}
+	groupList := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		groupList = append(groupList, g)
+	}
+	fprime, err := a.forest.SpanningForest(groupList)
+	if err != nil {
+		return nil, fmt.Errorf("spanner: additive forest: %w", err)
+	}
+	for _, e := range fprime {
+		out.AddUnitEdge(e.U, e.V)
+	}
+
+	res.Spanner = out
+	res.SpaceWords = a.SpaceWords()
+	return res, nil
+}
+
+// SpaceWords returns the sketch footprint in 64-bit words.
+func (a *Additive) SpaceWords() int {
+	w := len(a.degree)
+	for u := 0; u < a.n; u++ {
+		w += a.nbr[u].SpaceWords()
+		for _, s := range a.centerS[u] {
+			w += s.SpaceWords()
+		}
+		if a.degF0 != nil {
+			w += a.degF0[u].SpaceWords()
+		}
+	}
+	w += a.forest.SpaceWords()
+	return w
+}
+
+// BuildAdditive runs the single-pass additive spanner over a stream
+// (Theorem 3): the output H satisfies, for every pair u, v,
+// d_G(u,v) <= d_H(u,v) <= d_G(u,v) + O(n/d), using Õ(nd) space.
+func BuildAdditive(st stream.Stream, cfg AdditiveConfig) (*AdditiveResult, error) {
+	a := NewAdditive(st.N(), cfg)
+	if err := st.Replay(a.Update); err != nil {
+		return nil, fmt.Errorf("spanner: additive pass: %w", err)
+	}
+	return a.Finish()
+}

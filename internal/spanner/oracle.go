@@ -1,0 +1,82 @@
+package spanner
+
+import (
+	"math"
+
+	"dynstream/internal/graph"
+)
+
+// DistanceOracle answers approximate distance queries from a spanner —
+// the query object the paper's introduction motivates ("an important
+// type of query is a distance query between nodes in the graph") and
+// the oracle interface Section 6 plugs into the KP12 reduction:
+// d(u,v) <= Query(u,v) <= Stretch·d(u,v).
+//
+// BFS trees are computed lazily per source and memoized, so a workload
+// of q queries from s distinct sources costs O(s·(n+m_H)) plus O(1)
+// per repeated-source query.
+type DistanceOracle struct {
+	h        *graph.Graph
+	stretch  float64
+	weighted bool
+	hop      map[int][]int
+	wdist    map[int][]float64
+}
+
+// NewDistanceOracle wraps a spanner result with hop-distance queries
+// (unweighted graphs). The stretch bound is 2^k for Theorem 1 spanners.
+func NewDistanceOracle(res *Result, k int) *DistanceOracle {
+	return &DistanceOracle{
+		h:       res.Spanner,
+		stretch: math.Pow(2, float64(k)),
+		hop:     map[int][]int{},
+	}
+}
+
+// NewWeightedDistanceOracle wraps a weighted spanner result (built by
+// BuildTwoPassWeighted) with Dijkstra queries; the stretch bound is
+// classBase·2^k.
+func NewWeightedDistanceOracle(res *Result, k int, classBase float64) *DistanceOracle {
+	return &DistanceOracle{
+		h:        res.Spanner,
+		stretch:  classBase * math.Pow(2, float64(k)),
+		weighted: true,
+		wdist:    map[int][]float64{},
+	}
+}
+
+// Stretch returns the multiplicative error bound of Query.
+func (o *DistanceOracle) Stretch() float64 { return o.stretch }
+
+// Query returns the spanner distance between u and v; +Inf if they are
+// disconnected. The true distance d satisfies d <= Query <= Stretch·d
+// (up to the whp failure probability of the construction).
+func (o *DistanceOracle) Query(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if o.weighted {
+		d, ok := o.wdist[u]
+		if !ok {
+			d = o.h.Dijkstra(u)
+			o.wdist[u] = d
+		}
+		return d[v]
+	}
+	d, ok := o.hop[u]
+	if !ok {
+		d = o.h.BFS(u)
+		o.hop[u] = d
+	}
+	if d[v] < 0 {
+		return math.Inf(1)
+	}
+	return float64(d[v])
+}
+
+// Connected reports whether u and v are connected in the spanner —
+// equal (whp) to connectivity in the original graph, since spanners
+// preserve components exactly.
+func (o *DistanceOracle) Connected(u, v int) bool {
+	return !math.IsInf(o.Query(u, v), 1) && o.Query(u, v) < 1e307
+}

@@ -1,0 +1,132 @@
+package spanner
+
+import (
+	"math"
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/stream"
+)
+
+func TestDistanceOracleUnweighted(t *testing.T) {
+	g := graph.ConnectedGNP(50, 0.15, 1)
+	st := stream.FromGraph(g, 2)
+	res, err := BuildTwoPass(st, Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewDistanceOracle(res, 2)
+	if o.Stretch() != 4 {
+		t.Errorf("stretch = %v", o.Stretch())
+	}
+	for src := 0; src < g.N(); src += 7 {
+		d := g.BFS(src)
+		for v := 0; v < g.N(); v++ {
+			if d[v] <= 0 {
+				continue
+			}
+			est := o.Query(src, v)
+			if est < float64(d[v]) {
+				t.Fatalf("oracle underestimates (%d,%d): %v < %d", src, v, est, d[v])
+			}
+			if est > 4*float64(d[v]) {
+				t.Fatalf("oracle stretch violated (%d,%d): %v > 4·%d", src, v, est, d[v])
+			}
+		}
+	}
+	if o.Query(5, 5) != 0 {
+		t.Error("Query(v,v) != 0")
+	}
+}
+
+func TestDistanceOracleDisconnected(t *testing.T) {
+	g := graph.New(6)
+	g.AddUnitEdge(0, 1)
+	st := stream.FromGraph(g, 4)
+	res, err := BuildTwoPass(st, Config{K: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewDistanceOracle(res, 2)
+	if !math.IsInf(o.Query(0, 5), 1) {
+		t.Errorf("disconnected query = %v", o.Query(0, 5))
+	}
+	if o.Connected(0, 5) {
+		t.Error("Connected(0,5) on disconnected pair")
+	}
+	if !o.Connected(0, 1) {
+		t.Error("Connected(0,1) false on an edge")
+	}
+}
+
+func TestWeightedDistanceOracle(t *testing.T) {
+	base := graph.ConnectedGNP(30, 0.2, 6)
+	g := graph.RandomWeighted(base, 1, 32, 7)
+	st := stream.FromGraph(g, 8)
+	const classBase = 2.0
+	res, err := BuildTwoPassWeighted(st, Config{K: 2, Seed: 9}, classBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewWeightedDistanceOracle(res, 2, classBase)
+	if o.Stretch() != 8 {
+		t.Errorf("weighted stretch bound = %v, want 8", o.Stretch())
+	}
+	for src := 0; src < g.N(); src += 6 {
+		d := g.Dijkstra(src)
+		for v := 0; v < g.N(); v++ {
+			if v == src {
+				continue
+			}
+			est := o.Query(src, v)
+			if est < d[v]-1e-9 {
+				t.Fatalf("weighted oracle underestimates (%d,%d)", src, v)
+			}
+			if est > o.Stretch()*d[v]+1e-9 {
+				t.Fatalf("weighted oracle stretch violated (%d,%d): %v > %v·%v",
+					src, v, est, o.Stretch(), d[v])
+			}
+		}
+	}
+}
+
+// TestTwoPassExhaustiveSmallGraphs: every graph on 5 vertices (1024 of
+// them) gets a valid spanner — an exhaustive correctness sweep over the
+// full space of small inputs.
+func TestTwoPassExhaustiveSmallGraphs(t *testing.T) {
+	const n = 5
+	pairs := [][2]int{}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := graph.New(n)
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				g.AddUnitEdge(p[0], p[1])
+			}
+		}
+		st := stream.FromGraph(g, uint64(mask))
+		res, err := BuildTwoPass(st, Config{K: 2, Seed: uint64(mask)*31 + 7})
+		if err != nil {
+			t.Fatalf("mask %d: %v", mask, err)
+		}
+		if !res.Spanner.IsSubgraphOf(g) {
+			t.Fatalf("mask %d: non-subgraph", mask)
+		}
+		for src := 0; src < n; src++ {
+			dg := g.BFS(src)
+			dh := res.Spanner.BFS(src)
+			for v := 0; v < n; v++ {
+				if dg[v] <= 0 {
+					continue
+				}
+				if dh[v] == -1 || dh[v] < dg[v] || dh[v] > 4*dg[v] {
+					t.Fatalf("mask %d: pair (%d,%d) d_G=%d d_H=%d", mask, src, v, dg[v], dh[v])
+				}
+			}
+		}
+	}
+}

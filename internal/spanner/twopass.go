@@ -1,0 +1,581 @@
+// Package spanner implements the paper's core contributions:
+//
+//   - BuildTwoPass: the two-pass 2^k-multiplicative spanner of Theorem 1
+//     (Algorithms 1 and 2, Section 3) in Õ(n^{1+1/k}) space.
+//   - BuildAdditive: the single-pass O(n/d)-additive spanner of
+//     Theorem 3 (Algorithm 3, Section 4) in Õ(nd) space.
+//
+// Both consume a dynamic stream of edge insertions and deletions and
+// never materialize the graph; every bit of state is a linear sketch
+// plus the O(n)-word cluster bookkeeping the paper allows.
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/sketch"
+	"dynstream/internal/stream"
+)
+
+// Config parameterizes the two-pass spanner. The paper's constants
+// ("C log n" budgets) are exposed as knobs so experiments can trade
+// failure probability against space.
+type Config struct {
+	// K is the stretch exponent: the output is a 2^K-spanner using
+	// Õ(n^{1+1/K}) space. K >= 1.
+	K int
+	// Seed selects all randomness (sample sets and sketches).
+	Seed uint64
+	// Budget is the sparse-recovery budget B of each first-pass sketch
+	// (the paper's O(log n)); default max(8, 2·ceil(log2 n)).
+	Budget int
+	// TableFactor scales the second-pass hash tables relative to the
+	// Claim 11 bound n^{(i+1)/k}·log2(n); default 1.
+	TableFactor float64
+	// Levels overrides the number of edge-subsampling levels E_j
+	// (default 2·ceil(log2 n), the paper's log n²). Exposed for the
+	// ablation experiment A1.
+	Levels int
+	// CollectAugmented records every edge any decoded sketch revealed —
+	// the Ω(R) sets of Claims 16/18/20 needed by the sparsifier.
+	CollectAugmented bool
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.K < 1 {
+		c.K = 1
+	}
+	log2n := int(math.Ceil(math.Log2(float64(n + 1))))
+	if log2n < 1 {
+		log2n = 1
+	}
+	if c.Budget == 0 {
+		c.Budget = 2 * log2n
+		if c.Budget < 8 {
+			c.Budget = 8
+		}
+	}
+	if c.TableFactor == 0 {
+		c.TableFactor = 1
+	}
+	return c
+}
+
+// Result is the output of a spanner construction.
+type Result struct {
+	// Spanner is the subgraph H with the stretch guarantee.
+	Spanner *graph.Graph
+	// Augmented additionally contains every edge of G whose adjacency-
+	// matrix location the algorithm's execution path depended on
+	// (Claim 20). Nil unless Config.CollectAugmented.
+	Augmented *graph.Graph
+	// SpaceWords is the sketch memory footprint in 64-bit words (the
+	// quantity the paper's space bounds describe; cluster bookkeeping
+	// is O(n) words on top).
+	SpaceWords int
+	// Terminals is the number of terminal cluster copies (diagnostics).
+	Terminals int
+	// Stats carries construction diagnostics for the experiments.
+	Stats Stats
+}
+
+// Stats summarizes the cluster structure the first pass built — the
+// quantities Claims 11 and Lemma 12 reason about.
+type Stats struct {
+	// CopiesPerLevel[i] is |C_i| (cluster copies at level i).
+	CopiesPerLevel []int
+	// TerminalsPerLevel[i] counts terminal copies at level i.
+	TerminalsPerLevel []int
+	// MaxClusterSize is the largest terminal cluster's vertex count.
+	MaxClusterSize int
+	// WitnessEdges counts first-pass (non-terminal) spanner edges.
+	WitnessEdges int
+	// RecoveredEdges counts second-pass neighborhood-recovery edges.
+	RecoveredEdges int
+}
+
+// copyNode is one node of the cluster forest F. The forest lives on
+// V × {0..k-1} copies (paper, footnote 2): vertex u has a copy at every
+// level i with u ∈ C_i.
+type copyNode struct {
+	u        int
+	level    int
+	parent   int    // index into copies; -1 if root
+	witness  [2]int // σ(edge to parent): (a, b), a in this tree, b the parent vertex
+	terminal bool
+	members  []int // connectivity members: {u} ∪ children's members, deduped
+}
+
+// TwoPass is the streaming state of Algorithms 1–2. Use BuildTwoPass
+// for the common case; the explicit-passes API (NewTwoPass, Pass1Update,
+// EndPass1, Pass2Update, Finish) exists for callers that drive streams
+// themselves (e.g. the distributed example).
+type TwoPass struct {
+	cfg   Config
+	n     int
+	k     int
+	jMax  int // edge subsampling levels 0..jMax
+	yMax  int // vertex subsampling levels 0..yMax
+	log2n int
+
+	inC       [][]bool // inC[r][u]: u ∈ C_r (inC[0] is all-true)
+	edgeLevel *hashing.Poly
+	yLevel    *hashing.Poly
+
+	// vertexSk[u][r-1][j] = SKETCH^{r,j}(({u} × C_r) ∩ E ∩ E_j),
+	// r ∈ [1, k-1]. Keys are directed pairs u*n + c.
+	vertexSk [][][]*sketch.SketchB
+
+	copies      []copyNode
+	terminalsOf [][]int // per vertex: sorted terminal copy indices containing it
+
+	// tables[t][j] is H^t_j for terminal copy index t (nil for
+	// non-terminal copies).
+	tables map[int][]*sketch.KeyedEdgeSketch
+
+	augmented map[[2]int]bool
+	phase     int // 0 = pass 1, 1 = pass 2, 2 = finished
+}
+
+// NewTwoPass creates the streaming state for a graph on n vertices.
+func NewTwoPass(n int, cfg Config) *TwoPass {
+	cfg = cfg.withDefaults(n)
+	k := cfg.K
+	log2n := int(math.Ceil(math.Log2(float64(n + 1))))
+	if log2n < 1 {
+		log2n = 1
+	}
+	jMax := 2 * log2n
+	if cfg.Levels > 0 {
+		jMax = cfg.Levels - 1
+	}
+	tp := &TwoPass{
+		cfg:       cfg,
+		n:         n,
+		k:         k,
+		jMax:      jMax,
+		yMax:      log2n,
+		log2n:     log2n,
+		edgeLevel: hashing.NewPoly(hashing.Mix(cfg.Seed, 0xe), 8),
+		yLevel:    hashing.NewPoly(hashing.Mix(cfg.Seed, 0x11), 8),
+		augmented: map[[2]int]bool{},
+	}
+	// Sample the center hierarchy C_0 = V ⊇ ... sampled at n^{-r/k}.
+	tp.inC = make([][]bool, k)
+	for r := 0; r < k; r++ {
+		tp.inC[r] = make([]bool, n)
+		rate := math.Pow(float64(n), -float64(r)/float64(k))
+		h := hashing.NewPoly(hashing.Mix(cfg.Seed, 0xc, uint64(r)), 8)
+		for u := 0; u < n; u++ {
+			tp.inC[r][u] = r == 0 || h.Bernoulli(uint64(u), rate)
+		}
+	}
+	// First-pass sketches, shared hash functions per (r, j) so that
+	// summing over cluster members is a sketch of the union.
+	if k > 1 {
+		tp.vertexSk = make([][][]*sketch.SketchB, n)
+		for u := 0; u < n; u++ {
+			tp.vertexSk[u] = make([][]*sketch.SketchB, k-1)
+			for r := 1; r < k; r++ {
+				row := make([]*sketch.SketchB, tp.jMax+1)
+				for j := 0; j <= tp.jMax; j++ {
+					row[j] = sketch.NewSketchB(
+						hashing.Mix(cfg.Seed, 0x5e, uint64(r), uint64(j)), cfg.Budget)
+				}
+				tp.vertexSk[u][r-1] = row
+			}
+		}
+	}
+	return tp
+}
+
+// pairLevel is the geometric level of the unordered pair {a, b}: the
+// pair belongs to E_j iff pairLevel >= j.
+func (tp *TwoPass) pairLevel(a, b int) int {
+	return tp.edgeLevel.Level(stream.PairKey(a, b, tp.n))
+}
+
+// Pass1Update ingests one stream update during the first pass.
+func (tp *TwoPass) Pass1Update(u stream.Update) error {
+	if tp.phase != 0 {
+		return fmt.Errorf("spanner: Pass1Update called in phase %d", tp.phase)
+	}
+	if tp.k == 1 {
+		return nil // no clustering pass needed for k=1
+	}
+	lvl := tp.pairLevel(u.U, u.V)
+	maxJ := lvl
+	if maxJ > tp.jMax {
+		maxJ = tp.jMax
+	}
+	d := int64(u.Delta)
+	for r := 1; r < tp.k; r++ {
+		// Edge {a, b} appears in a's sketch row r iff b ∈ C_r, under
+		// the directed key a*n+b, and vice versa.
+		if tp.inC[r][u.V] {
+			key := uint64(u.U)*uint64(tp.n) + uint64(u.V)
+			for j := 0; j <= maxJ; j++ {
+				tp.vertexSk[u.U][r-1][j].Add(key, d)
+			}
+		}
+		if tp.inC[r][u.U] {
+			key := uint64(u.V)*uint64(tp.n) + uint64(u.U)
+			for j := 0; j <= maxJ; j++ {
+				tp.vertexSk[u.V][r-1][j].Add(key, d)
+			}
+		}
+	}
+	return nil
+}
+
+// EndPass1 runs the offline cluster construction (Algorithm 1, lines
+// 8–20): for each level i and each u ∈ C_i, the summed sketch over the
+// current cluster is decoded from the sparsest subsampling level down,
+// yielding a parent in C_{i+1} and a witness edge, or terminal status.
+func (tp *TwoPass) EndPass1() error {
+	if tp.phase != 0 {
+		return fmt.Errorf("spanner: EndPass1 called in phase %d", tp.phase)
+	}
+	n, k := tp.n, tp.k
+
+	// Copy index layout: level i copies are contiguous.
+	copyIdx := make([]map[int]int, k) // level -> vertex -> copy index
+	for i := 0; i < k; i++ {
+		copyIdx[i] = map[int]int{}
+		for u := 0; u < n; u++ {
+			if tp.inC[i][u] {
+				copyIdx[i][u] = len(tp.copies)
+				tp.copies = append(tp.copies, copyNode{
+					u: u, level: i, parent: -1, members: []int{u},
+				})
+			}
+		}
+	}
+
+	for i := 0; i < k-1; i++ {
+		for u := 0; u < n; u++ {
+			ci, ok := copyIdx[i][u]
+			if !ok {
+				continue
+			}
+			c := &tp.copies[ci]
+			// Q^{i+1}_j(u) = Σ_{v ∈ T_u} S^{i+1}_j(v).
+			r := i + 1
+			attached := false
+			for j := tp.jMax; j >= 0 && !attached; j-- {
+				q := tp.vertexSk[c.members[0]][r-1][j].Clone()
+				for _, v := range c.members[1:] {
+					if err := q.Merge(tp.vertexSk[v][r-1][j]); err != nil {
+						return fmt.Errorf("spanner: pass1 merge: %w", err)
+					}
+				}
+				items, decoded := q.Decode()
+				if !decoded || len(items) == 0 {
+					continue
+				}
+				// Deterministic choice: smallest key; validate support.
+				keys := make([]uint64, 0, len(items))
+				for key := range items {
+					keys = append(keys, key)
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				for _, key := range keys {
+					a := int(key / uint64(n))
+					b := int(key % uint64(n))
+					if a < 0 || a >= n || b < 0 || b >= n || a == b {
+						continue // fingerprint-level corruption; skip
+					}
+					if !tp.inC[r][b] {
+						continue
+					}
+					if tp.cfg.CollectAugmented {
+						tp.recordAugmented(a, b)
+					}
+					if !attached {
+						pi := copyIdx[r][b]
+						c.parent = pi
+						c.witness = [2]int{a, b}
+						attached = true
+						// Fold members into the parent cluster.
+						p := &tp.copies[pi]
+						p.members = dedupeAppend(p.members, c.members)
+					}
+				}
+			}
+			if !attached {
+				c.terminal = true
+			}
+		}
+	}
+	// Level k-1 copies are always terminal.
+	for u := range copyIdx[k-1] {
+		tp.copies[copyIdx[k-1][u]].terminal = true
+	}
+
+	// terminalsOf[a]: terminal copies whose cluster contains a. Copy
+	// (a, i)'s chain ends at the root of its tree, which is terminal.
+	tp.terminalsOf = make([][]int, n)
+	for i := 0; i < k; i++ {
+		for u, ci := range copyIdx[i] {
+			root := ci
+			for tp.copies[root].parent != -1 {
+				root = tp.copies[root].parent
+			}
+			if !tp.copies[root].terminal {
+				return fmt.Errorf("spanner: internal: non-terminal root copy %d", root)
+			}
+			tp.terminalsOf[u] = appendUnique(tp.terminalsOf[u], root)
+		}
+	}
+	for u := range tp.terminalsOf {
+		sort.Ints(tp.terminalsOf[u])
+	}
+
+	// Allocate second-pass hash tables for terminal copies, sized per
+	// Claim 11: |N(T_u)| = O(n^{(i+1)/k} log n) for terminal u ∈ C_i.
+	tp.tables = map[int][]*sketch.KeyedEdgeSketch{}
+	terminals := 0
+	for ci := range tp.copies {
+		c := &tp.copies[ci]
+		if !c.terminal {
+			continue
+		}
+		terminals++
+		capf := tp.cfg.TableFactor * float64(tp.log2n) *
+			math.Pow(float64(n), float64(c.level+1)/float64(k))
+		capacity := int(capf)
+		if capacity < 8 {
+			capacity = 8
+		}
+		if capacity > n {
+			capacity = n // never more keys than vertices
+		}
+		row := make([]*sketch.KeyedEdgeSketch, tp.yMax+1)
+		for j := 0; j <= tp.yMax; j++ {
+			row[j] = sketch.NewKeyedEdgeSketch(
+				hashing.Mix(tp.cfg.Seed, 0x7a, uint64(ci), uint64(j)), n, capacity)
+		}
+		tp.tables[ci] = row
+	}
+	_ = terminals
+	tp.phase = 1
+	return nil
+}
+
+func dedupeAppend(dst []int, src []int) []int {
+	seen := map[int]bool{}
+	for _, v := range dst {
+		seen[v] = true
+	}
+	for _, v := range src {
+		if !seen[v] {
+			seen[v] = true
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func containsInt(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+// Pass2Update ingests one stream update during the second pass
+// (Algorithm 2, lines 10–18): the update for edge (a, b) is routed into
+// H^t_j for every terminal cluster t containing a but not b, at every
+// vertex subsampling level j with a ∈ Y_j — and symmetrically for b.
+func (tp *TwoPass) Pass2Update(u stream.Update) error {
+	if tp.phase != 1 {
+		return fmt.Errorf("spanner: Pass2Update called in phase %d", tp.phase)
+	}
+	tp.routePass2(u.U, u.V, int64(u.Delta))
+	tp.routePass2(u.V, u.U, int64(u.Delta))
+	return nil
+}
+
+func (tp *TwoPass) routePass2(a, b int, delta int64) {
+	aLvl := int(tp.yLevel.Level(uint64(a)))
+	maxJ := aLvl
+	if maxJ > tp.yMax {
+		maxJ = tp.yMax
+	}
+	for _, t := range tp.terminalsOf[a] {
+		if containsInt(tp.terminalsOf[b], t) {
+			continue // b inside the same cluster
+		}
+		row := tp.tables[t]
+		for j := 0; j <= maxJ; j++ {
+			row[j].Add(a, b, delta)
+		}
+	}
+}
+
+func (tp *TwoPass) recordAugmented(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	tp.augmented[[2]int{a, b}] = true
+}
+
+// Finish completes Algorithm 2 (lines 20–33): witness edges for
+// non-terminal copies, plus one recovered edge from every outside
+// neighbor v into each terminal cluster.
+func (tp *TwoPass) Finish() (*Result, error) {
+	if tp.phase != 1 {
+		return nil, fmt.Errorf("spanner: Finish called in phase %d", tp.phase)
+	}
+	tp.phase = 2
+	h := graph.New(tp.n)
+	recovered := 0
+
+	for ci := range tp.copies {
+		c := &tp.copies[ci]
+		if c.terminal {
+			continue
+		}
+		h.AddUnitEdge(c.witness[0], c.witness[1])
+	}
+
+	for ci := range tp.copies {
+		c := &tp.copies[ci]
+		if !c.terminal {
+			continue
+		}
+		row := tp.tables[ci]
+		for v := 0; v < tp.n; v++ {
+			if containsInt(tp.terminalsOf[v], ci) {
+				continue // v inside the cluster
+			}
+			for j := tp.yMax; j >= 0; j-- {
+				w, ok := row[j].DecodeKey(v)
+				if !ok {
+					continue
+				}
+				// The inside endpoint must actually belong to the
+				// cluster; a fingerprint-level miss is discarded.
+				if !containsInt(tp.terminalsOf[w], ci) {
+					continue
+				}
+				h.AddUnitEdge(w, v)
+				recovered++
+				if tp.cfg.CollectAugmented {
+					tp.recordAugmented(w, v)
+				}
+				break
+			}
+		}
+	}
+
+	res := &Result{Spanner: h, SpaceWords: tp.SpaceWords()}
+	res.Stats.CopiesPerLevel = make([]int, tp.k)
+	res.Stats.TerminalsPerLevel = make([]int, tp.k)
+	for ci := range tp.copies {
+		c := &tp.copies[ci]
+		res.Stats.CopiesPerLevel[c.level]++
+		if c.terminal {
+			res.Terminals++
+			res.Stats.TerminalsPerLevel[c.level]++
+			if len(c.members) > res.Stats.MaxClusterSize {
+				res.Stats.MaxClusterSize = len(c.members)
+			}
+		} else {
+			res.Stats.WitnessEdges++
+		}
+	}
+	res.Stats.RecoveredEdges = recovered
+	if tp.cfg.CollectAugmented {
+		aug := h.Clone()
+		for e := range tp.augmented {
+			aug.AddUnitEdge(e[0], e[1])
+		}
+		res.Augmented = aug
+	}
+	return res, nil
+}
+
+// SpaceWords returns the sketch footprint in 64-bit words.
+func (tp *TwoPass) SpaceWords() int {
+	w := 0
+	for _, perR := range tp.vertexSk {
+		for _, row := range perR {
+			for _, s := range row {
+				w += s.SpaceWords()
+			}
+		}
+	}
+	for _, row := range tp.tables {
+		for _, t := range row {
+			w += t.SpaceWords()
+		}
+	}
+	return w
+}
+
+// BuildTwoPass runs both passes of the 2^k-spanner construction over a
+// replayable dynamic stream (Theorem 1). The stream must describe an
+// unweighted (or uniformly weighted) graph; for weighted graphs use
+// BuildTwoPassWeighted.
+func BuildTwoPass(st stream.Stream, cfg Config) (*Result, error) {
+	tp := NewTwoPass(st.N(), cfg)
+	if err := st.Replay(tp.Pass1Update); err != nil {
+		return nil, fmt.Errorf("spanner: pass 1: %w", err)
+	}
+	if err := tp.EndPass1(); err != nil {
+		return nil, err
+	}
+	if err := st.Replay(tp.Pass2Update); err != nil {
+		return nil, fmt.Errorf("spanner: pass 2: %w", err)
+	}
+	return tp.Finish()
+}
+
+// BuildTwoPassWeighted runs the weighted construction of Remark 14:
+// edges are partitioned into geometric weight classes with ratio
+// classBase (> 1), the unweighted construction runs per class, and the
+// union is returned with each spanner edge carrying its class's upper
+// weight bound — so distances in the spanner are between d_G and
+// classBase·2^k·d_G.
+func BuildTwoPassWeighted(st stream.Stream, cfg Config, classBase float64) (*Result, error) {
+	if classBase <= 1 {
+		return nil, fmt.Errorf("spanner: classBase must be > 1, got %v", classBase)
+	}
+	classes, sub := stream.WeightClasses(st, classBase)
+	out := &Result{Spanner: graph.New(st.N())}
+	if cfg.CollectAugmented {
+		out.Augmented = graph.New(st.N())
+	}
+	for _, c := range classes {
+		ccfg := cfg
+		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3c, uint64(c))
+		res, err := BuildTwoPass(sub[c], ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("spanner: weight class %d: %w", c, err)
+		}
+		wUpper := math.Pow(classBase, float64(c+1))
+		for _, e := range res.Spanner.Edges() {
+			out.Spanner.AddEdge(e.U, e.V, wUpper)
+		}
+		if cfg.CollectAugmented && res.Augmented != nil {
+			for _, e := range res.Augmented.Edges() {
+				out.Augmented.AddEdge(e.U, e.V, wUpper)
+			}
+		}
+		out.SpaceWords += res.SpaceWords
+		out.Terminals += res.Terminals
+	}
+	return out, nil
+}

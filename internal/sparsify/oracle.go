@@ -1,0 +1,129 @@
+// Package sparsify implements Section 6 of the paper: the two-pass
+// ε-spectral sparsifier of Corollary 2, obtained by plugging the
+// two-pass 2^k-spanner into the KP12 reduction. Its pieces map onto
+// the paper's pseudocode:
+//
+//   - Estimator (Algorithm 4, ESTIMATE): robust-connectivity estimates
+//     q̂_{α,δ}(e) from J×T spanner-based distance oracles over nested
+//     subsampled edge sets E^j_t.
+//   - SampleOnce (Algorithm 5, SAMPLE-AUGMENTED-SPANNER): one weighted
+//     sample X_s built from H augmented spanners over E_j.
+//   - Sparsify (Algorithm 6, AUGMENTED-SPANNER-SPARSIFY): the average
+//     of Z independent samples.
+//   - SpielmanSrivastava (Theorem 7): the offline effective-resistance
+//     sampling baseline used for quality comparison (experiment E7).
+package sparsify
+
+import (
+	"fmt"
+	"math"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/spanner"
+	"dynstream/internal/stream"
+)
+
+// Oracle estimates hop distances with a known stretch: the true
+// distance d satisfies d <= Dist(u,v) <= Alpha()·d (up to the whp
+// failure of the underlying spanner).
+type Oracle interface {
+	// Dist returns the estimated distance between u and v in hops;
+	// +Inf if they are disconnected in the oracle's subgraph.
+	Dist(u, v int) float64
+	// Alpha returns the stretch bound of the estimate.
+	Alpha() float64
+	// SpaceWords reports the sketch footprint used to build the oracle.
+	SpaceWords() int
+}
+
+// spannerOracle answers distance queries by BFS on a two-pass spanner,
+// memoizing BFS trees per source. This is exactly the paper's oracle:
+// "our multiplicative spanner construction provides such an estimate
+// with α <= 2^k".
+type spannerOracle struct {
+	h     *graph.Graph
+	alpha float64
+	space int
+	memo  map[int][]int
+}
+
+// NewSpannerOracle builds a stretch-2^k distance oracle over a dynamic
+// stream using the two-pass spanner of Theorem 1.
+func NewSpannerOracle(st stream.Stream, k int, seed uint64) (Oracle, error) {
+	res, err := spanner.BuildTwoPass(st, spanner.Config{K: k, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: oracle spanner: %w", err)
+	}
+	return &spannerOracle{
+		h:     res.Spanner,
+		alpha: math.Pow(2, float64(k)),
+		space: res.SpaceWords,
+		memo:  map[int][]int{},
+	}, nil
+}
+
+func (o *spannerOracle) Dist(u, v int) float64 {
+	d, ok := o.memo[u]
+	if !ok {
+		d = o.h.BFS(u)
+		o.memo[u] = d
+	}
+	if d[v] < 0 {
+		return math.Inf(1)
+	}
+	return float64(d[v])
+}
+
+func (o *spannerOracle) Alpha() float64  { return o.alpha }
+func (o *spannerOracle) SpaceWords() int { return o.space }
+
+// exactOracle materializes the substream and answers exactly (stretch
+// 1). It violates the streaming space budget and exists only for the
+// ablation experiment A3 (sketch oracles vs exact oracles).
+type exactOracle struct {
+	g    *graph.Graph
+	memo map[int][]int
+}
+
+// NewExactOracle materializes st and answers by BFS (ablation only).
+func NewExactOracle(st stream.Stream) (Oracle, error) {
+	g, err := stream.Materialize(st)
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: exact oracle: %w", err)
+	}
+	return &exactOracle{g: g, memo: map[int][]int{}}, nil
+}
+
+func (o *exactOracle) Dist(u, v int) float64 {
+	d, ok := o.memo[u]
+	if !ok {
+		d = o.g.BFS(u)
+		o.memo[u] = d
+	}
+	if d[v] < 0 {
+		return math.Inf(1)
+	}
+	return float64(d[v])
+}
+
+func (o *exactOracle) Alpha() float64  { return 1 }
+func (o *exactOracle) SpaceWords() int { return 2 * o.g.M() }
+
+// oracleBuilder abstracts which oracle kind the Estimator constructs.
+type oracleBuilder func(st stream.Stream, seed uint64) (Oracle, error)
+
+func spannerOracleBuilder(k int) oracleBuilder {
+	return func(st stream.Stream, seed uint64) (Oracle, error) {
+		return NewSpannerOracle(st, k, seed)
+	}
+}
+
+func exactOracleBuilder() oracleBuilder {
+	return func(st stream.Stream, seed uint64) (Oracle, error) {
+		_ = seed
+		return NewExactOracle(st)
+	}
+}
+
+var _ = hashing.Mix // used by sibling files

@@ -1,0 +1,156 @@
+package sparsify
+
+import (
+	"fmt"
+	"math"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/spanner"
+	"dynstream/internal/stream"
+)
+
+// Config parameterizes the full sparsification pipeline (Algorithm 6).
+type Config struct {
+	// K is the spanner stretch exponent (α = 2^K). The paper chooses
+	// K = sqrt(log n) for the n^{1+o(1)} bound; experiments sweep it.
+	K int
+	// Z is the number of independent SAMPLE invocations averaged
+	// together; the paper sets Z = Θ(α² log n / ((1−δ)ε³)).
+	Z int
+	// H is the number of geometric sampling rates per invocation
+	// (default 2·log2 n, the paper's log n²).
+	H int
+	// Seed selects all randomness.
+	Seed uint64
+	// Estimate configures the robust-connectivity oracle grid
+	// (Algorithm 4); its K defaults to this Config's K.
+	Estimate EstimateConfig
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.K < 1 {
+		c.K = 2
+	}
+	if c.Z == 0 {
+		c.Z = 8
+	}
+	log2n := int(math.Ceil(math.Log2(float64(n + 1))))
+	if log2n < 1 {
+		log2n = 1
+	}
+	if c.H == 0 {
+		c.H = 2 * log2n
+	}
+	if c.Estimate.K == 0 {
+		c.Estimate.K = c.K
+	}
+	if c.Estimate.Seed == 0 {
+		c.Estimate.Seed = hashing.Mix(c.Seed, 0xe57)
+	}
+	if c.Estimate.T == 0 {
+		c.Estimate.T = c.H // sample rates and estimate rates aligned
+	}
+	return c
+}
+
+// Result is the output of Sparsify.
+type Result struct {
+	// Sparsifier is the weighted graph G' with L_{G'} ≈ (1±O(ε)) L_G.
+	Sparsifier *graph.Graph
+	// SpaceWords is the total sketch footprint (oracle grid plus all
+	// Z·H spanner instances).
+	SpaceWords int
+	// Samples is the number of SAMPLE invocations used (= Z).
+	Samples int
+}
+
+// SampleOnce is Algorithm 5 (SAMPLE-AUGMENTED-SPANNER): for each rate
+// 2^{-j} it builds an augmented spanner of the subsampled stream E_j and
+// keeps the edges whose robust connectivity matches the rate, with
+// weight 2^j. rep indexes the invocation's independent randomness.
+func SampleOnce(st stream.Stream, est *Estimator, cfg Config, rep int) (*graph.Graph, int, error) {
+	cfg = cfg.withDefaults(st.N())
+	out := graph.New(st.N())
+	space := 0
+	for j := 1; j <= cfg.H; j++ {
+		sub := stream.SampledSubstream(st, hashing.Mix(cfg.Seed, 0x5a, uint64(rep)), j)
+		res, err := spanner.BuildTwoPass(sub, spanner.Config{
+			K:                cfg.K,
+			Seed:             hashing.Mix(cfg.Seed, 0x5b, uint64(rep), uint64(j)),
+			CollectAugmented: true,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("sparsify: sample rep=%d j=%d: %w", rep, j, err)
+		}
+		space += res.SpaceWords
+		for _, e := range res.Augmented.Edges() {
+			if est.QExp(e.U, e.V) == j {
+				out.AddEdge(e.U, e.V, math.Pow(2, float64(j)))
+			}
+		}
+	}
+	return out, space, nil
+}
+
+// Sparsify is Algorithm 6 (AUGMENTED-SPANNER-SPARSIFY): it estimates
+// robust connectivities, draws Z independent weighted samples, and
+// returns their average — a (1±O(ε))-spectral sparsifier whp for
+// appropriately scaled Z (Lemma 22).
+func Sparsify(st stream.Stream, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(st.N())
+	est, err := NewEstimator(st, cfg.Estimate)
+	if err != nil {
+		return nil, err
+	}
+	space := est.SpaceWords()
+	acc := map[[2]int]float64{}
+	for s := 0; s < cfg.Z; s++ {
+		x, w, err := SampleOnce(st, est, cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		space += w
+		for _, e := range x.Edges() {
+			acc[[2]int{e.U, e.V}] += e.W
+		}
+	}
+	out := graph.New(st.N())
+	for k, w := range acc {
+		out.AddEdge(k[0], k[1], w/float64(cfg.Z))
+	}
+	return &Result{Sparsifier: out, SpaceWords: space, Samples: cfg.Z}, nil
+}
+
+// SparsifyWeighted extends Sparsify to weighted streams via the
+// weight-class reduction (Remark 14 / Section 6 preamble): each class
+// is sparsified as an unweighted graph and rescaled by its class upper
+// bound, contributing the paper's log(wmax/wmin) factor.
+func SparsifyWeighted(st stream.Stream, cfg Config, classBase float64) (*Result, error) {
+	if classBase <= 1 {
+		return nil, fmt.Errorf("sparsify: classBase must be > 1, got %v", classBase)
+	}
+	classes, sub := stream.WeightClasses(st, classBase)
+	out := graph.New(st.N())
+	total := &Result{Sparsifier: out}
+	for _, c := range classes {
+		ccfg := cfg
+		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3d, uint64(c))
+		ccfg.Estimate.Seed = hashing.Mix(cfg.Seed, 0x3e, uint64(c))
+		res, err := Sparsify(sub[c], ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("sparsify: weight class %d: %w", c, err)
+		}
+		scale := math.Pow(classBase, float64(c+1))
+		for _, e := range res.Sparsifier.Edges() {
+			if w, ok := out.Weight(e.U, e.V); ok {
+				out.AddEdge(e.U, e.V, w+scale*e.W)
+			} else {
+				out.AddEdge(e.U, e.V, scale*e.W)
+			}
+		}
+		total.SpaceWords += res.SpaceWords
+		total.Samples += res.Samples
+	}
+	return total, nil
+}

@@ -1,0 +1,259 @@
+package sparsify
+
+import (
+	"math"
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/linalg"
+	"dynstream/internal/stream"
+)
+
+// testEstimateCfg keeps oracle grids small enough for unit tests.
+func testEstimateCfg(seed uint64, exact bool) EstimateConfig {
+	return EstimateConfig{K: 2, J: 3, T: 8, Delta: 0.34, Seed: seed, ExactOracles: exact}
+}
+
+func TestSpannerOracleStretch(t *testing.T) {
+	g := graph.ConnectedGNP(40, 0.15, 1)
+	st := stream.FromGraph(g, 2)
+	o, err := NewSpannerOracle(st, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Alpha() != 4 {
+		t.Errorf("alpha = %v", o.Alpha())
+	}
+	d := g.BFS(0)
+	for v := 1; v < g.N(); v++ {
+		est := o.Dist(0, v)
+		if d[v] == -1 {
+			continue
+		}
+		if est < float64(d[v])-1e-9 {
+			t.Fatalf("oracle underestimates: %v < %d", est, d[v])
+		}
+		if est > 4*float64(d[v])+1e-9 {
+			t.Fatalf("oracle exceeds stretch: %v > 4·%d", est, d[v])
+		}
+	}
+}
+
+func TestExactOracle(t *testing.T) {
+	g := graph.Path(10)
+	st := stream.FromGraph(g, 4)
+	o, err := NewExactOracle(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Alpha() != 1 {
+		t.Errorf("alpha = %v", o.Alpha())
+	}
+	if o.Dist(0, 9) != 9 {
+		t.Errorf("dist = %v, want 9", o.Dist(0, 9))
+	}
+}
+
+func TestOracleDisconnected(t *testing.T) {
+	g := graph.New(6)
+	g.AddUnitEdge(0, 1)
+	st := stream.FromGraph(g, 5)
+	o, err := NewExactOracle(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(o.Dist(0, 5), 1) {
+		t.Errorf("disconnected dist = %v, want +Inf", o.Dist(0, 5))
+	}
+}
+
+func TestEstimatorBridgeVsCliqueEdge(t *testing.T) {
+	// The defining property of robust connectivity: a bridge
+	// disconnects at mild subsampling (small t*, large q̂), a clique
+	// edge survives deep subsampling (large t*, small q̂).
+	g := graph.Barbell(8, 1) // cliques of 8 joined through one vertex
+	st := stream.FromGraph(g, 6)
+	est, err := NewEstimator(st, testEstimateCfg(7, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge endpoints: vertex 7 (clique A) — 8 (bridge) — 9..16.
+	bridgeT := est.QExp(7, 8)
+	cliqueT := est.QExp(0, 1)
+	if bridgeT >= cliqueT {
+		t.Errorf("bridge t*=%d should be smaller than clique-edge t*=%d", bridgeT, cliqueT)
+	}
+	if q := est.QHat(7, 8); q != math.Pow(2, -float64(bridgeT)) {
+		t.Errorf("QHat inconsistent with QExp: %v vs 2^-%d", q, bridgeT)
+	}
+}
+
+func TestEstimatorSketchOraclesAgreeDirectionally(t *testing.T) {
+	// With sketch-based (stretch-4) oracles the exact ordering should
+	// still hold on the barbell.
+	g := graph.Barbell(6, 1)
+	st := stream.FromGraph(g, 8)
+	est, err := NewEstimator(st, testEstimateCfg(9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stretch-α oracles declare disconnection early, which can shrink
+	// the clique edge's t* by up to log2(α²) = 2K — the α² slop of the
+	// KP12 sampling lemma. Allow that slack.
+	if b, c := est.QExp(5, 6), est.QExp(0, 1); b > c+2 {
+		t.Errorf("sketch-oracle bridge t*=%d > clique t*=%d + slack", b, c)
+	}
+}
+
+func TestSampleOnceOnlyGraphEdges(t *testing.T) {
+	g := graph.ConnectedGNP(24, 0.25, 10)
+	st := stream.FromGraph(g, 11)
+	cfg := Config{K: 2, Z: 1, Seed: 12, Estimate: testEstimateCfg(13, true)}
+	est, err := NewEstimator(st, cfg.Estimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, space, err := SampleOnce(st, est, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space <= 0 {
+		t.Error("sample space accounting must be positive")
+	}
+	for _, e := range x.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("sample invented edge (%d,%d)", e.U, e.V)
+		}
+		if e.W <= 0 {
+			t.Errorf("non-positive weight %v", e.W)
+		}
+	}
+}
+
+func TestSparsifySupportAndWeights(t *testing.T) {
+	g := graph.ConnectedGNP(20, 0.3, 14)
+	st := stream.FromGraph(g, 15)
+	res, err := Sparsify(st, Config{K: 2, Z: 4, Seed: 16, Estimate: testEstimateCfg(17, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 4 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	for _, e := range res.Sparsifier.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("sparsifier invented edge (%d,%d)", e.U, e.V)
+		}
+		if e.W <= 0 {
+			t.Fatalf("weight %v", e.W)
+		}
+	}
+}
+
+func TestSparsifyPreservesBridge(t *testing.T) {
+	// A barbell's bridge carries all cross-cut quadratic form; any
+	// useful sparsifier must keep it (its q̂ is large, so it is sampled
+	// at a dense rate).
+	// The bridge's q̂ is ~2^-3, so each sample captures it with
+	// probability ~1/8; Z must be large enough that missing it across
+	// all samples is a <1% event (Z=40: (7/8)^40 ≈ 0.5%).
+	g := graph.Barbell(6, 1)
+	st := stream.FromGraph(g, 18)
+	res, err := Sparsify(st, Config{K: 2, Z: 40, Seed: 19, Estimate: testEstimateCfg(20, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparsifier.HasEdge(5, 6) || !res.Sparsifier.HasEdge(6, 7) {
+		t.Error("sparsifier dropped a bridge edge")
+	}
+}
+
+func TestSparsifyQualityOnSmallDenseGraph(t *testing.T) {
+	// A loose end-to-end quality bound at test scale: ε < 1 means the
+	// quadratic form is preserved within a factor 2 everywhere — far
+	// from trivial (dropping any bridge would give ε = 1).
+	g := graph.Complete(16)
+	st := stream.FromGraph(g, 21)
+	cfg := Config{K: 1, Z: 48, Seed: 22,
+		Estimate: EstimateConfig{K: 1, J: 3, T: 8, Delta: 0.34, Seed: 23, ExactOracles: true}}
+	res, err := Sparsify(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := linalg.SpectralEpsilon(g, res.Sparsifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps >= 0.8 {
+		t.Errorf("spectral ε = %v on K16 with Z=48", eps)
+	}
+}
+
+func TestSparsifyWeightedClasses(t *testing.T) {
+	base := graph.ConnectedGNP(16, 0.3, 24)
+	g := graph.RandomWeighted(base, 1, 16, 25)
+	st := stream.FromGraph(g, 26)
+	res, err := SparsifyWeighted(st, Config{K: 2, Z: 3, Seed: 27, Estimate: testEstimateCfg(28, true)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Sparsifier.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("weighted sparsifier invented edge (%d,%d)", e.U, e.V)
+		}
+	}
+	if res.SpaceWords <= 0 {
+		t.Error("space accounting")
+	}
+}
+
+func TestSparsifyWeightedBadBase(t *testing.T) {
+	st := stream.NewMemoryStream(4)
+	if _, err := SparsifyWeighted(st, Config{}, 1); err == nil {
+		t.Error("classBase=1 accepted")
+	}
+}
+
+func TestSpielmanSrivastavaQuality(t *testing.T) {
+	g := graph.Complete(40)
+	h := SpielmanSrivastava(g, 0.5, 1.5, 29)
+	eps, err := linalg.SpectralEpsilon(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps > 0.9 {
+		t.Errorf("SS08 ε = %v", eps)
+	}
+	if h.M() == 0 {
+		t.Error("SS08 returned empty graph")
+	}
+}
+
+func TestSpielmanSrivastavaKeepsTreesExactly(t *testing.T) {
+	// On a tree every edge has p_e = 1 (w·R = 1), so H = G exactly.
+	g := graph.Star(20)
+	h := SpielmanSrivastava(g, 0.5, 2, 30)
+	if h.M() != g.M() {
+		t.Errorf("tree: kept %d of %d edges", h.M(), g.M())
+	}
+	for _, e := range h.Edges() {
+		if math.Abs(e.W-1) > 1e-9 {
+			t.Errorf("tree edge reweighted to %v", e.W)
+		}
+	}
+}
+
+func TestSpielmanSrivastavaCompresses(t *testing.T) {
+	g := graph.Complete(60)
+	h := SpielmanSrivastava(g, 1.0, 0.5, 31)
+	if h.M() >= g.M() {
+		t.Errorf("no compression: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestSpielmanSrivastavaEmpty(t *testing.T) {
+	h := SpielmanSrivastava(graph.New(5), 0.5, 1, 32)
+	if h.M() != 0 {
+		t.Error("empty input gave nonempty output")
+	}
+}

@@ -1,0 +1,39 @@
+package sparsify
+
+import (
+	"math"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/linalg"
+)
+
+// SpielmanSrivastava is the offline effective-resistance sampling
+// sparsifier of Theorem 7 [SS08]: each edge e is kept independently
+// with probability p_e = min(1, C·w_e·R_e·log n / ε²) and weight
+// w_e / p_e, giving (1−ε)G ⪯ H ⪯ (1+ε)G whp. It requires random access
+// to G (it is the baseline the streaming construction is measured
+// against in experiment E7, not a streaming algorithm).
+func SpielmanSrivastava(g *graph.Graph, eps, c float64, seed uint64) *graph.Graph {
+	n := g.N()
+	h := graph.New(n)
+	if g.M() == 0 {
+		return h
+	}
+	if c <= 0 {
+		c = 1
+	}
+	logn := math.Log(float64(n) + 1)
+	rs := linalg.EffectiveResistances(g)
+	rng := hashing.NewSplitMix64(seed)
+	for i, e := range g.Edges() {
+		p := c * e.W * rs[i] * logn / (eps * eps)
+		if p > 1 {
+			p = 1
+		}
+		if rng.Float64() < p {
+			h.AddEdge(e.U, e.V, e.W/p)
+		}
+	}
+	return h
+}

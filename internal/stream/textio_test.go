@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynstream/internal/graph"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g := graph.ConnectedGNP(20, 0.2, 1)
+	orig := WithChurn(g, 30, 2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.Len() != orig.Len() {
+		t.Fatalf("shape mismatch: n %d/%d len %d/%d", back.N(), orig.N(), back.Len(), orig.Len())
+	}
+	gOrig, err := Materialize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBack, err := Materialize(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gOrig.M() != gBack.M() || !gOrig.IsSubgraphOf(gBack) {
+		t.Error("materialized graphs differ after round trip")
+	}
+}
+
+func TestTextRoundTripWeighted(t *testing.T) {
+	g := graph.RandomWeighted(graph.Path(10), 1, 100, 3)
+	orig := FromGraph(g, 4)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBack, err := Materialize(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		w, ok := gBack.Weight(e.U, e.V)
+		if !ok || w != e.W {
+			t.Errorf("edge (%d,%d): weight %v vs %v", e.U, e.V, w, e.W)
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := `# a comment
+n 4
+
++ 0 1
+# another
+- 0 1
++ 2 3 2.5
+`
+	ms, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.N() != 4 || ms.Len() != 3 {
+		t.Errorf("n=%d len=%d", ms.N(), ms.Len())
+	}
+	g, err := Materialize(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || !g.HasEdge(2, 3) {
+		t.Errorf("graph %v", g.Edges())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"+ 0 1\n",            // missing header
+		"n x\n",              // bad count
+		"n 4\n* 0 1\n",       // bad op
+		"n 4\n+ 0\n",         // too few fields
+		"n 4\n+ 0 1 2 3 4\n", // too many fields
+		"n 4\n+ a 1\n",       // bad endpoint
+		"n 4\n+ 0 1 -2\n",    // bad weight
+		"n 4\n+ 0 9\n",       // out of range
+		"n 4\n+ 1 1\n",       // self-loop
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

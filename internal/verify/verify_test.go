@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"dynstream/internal/graph"
+)
+
+func TestStretchIdentical(t *testing.T) {
+	g := graph.ConnectedGNP(30, 0.2, 1)
+	rep := Stretch(g, g, 0)
+	if rep.MaxStretch != 1 || rep.Disconnected != 0 || rep.Shortcuts != 0 {
+		t.Errorf("identical graphs: %+v", rep)
+	}
+	if rep.Pairs == 0 {
+		t.Error("no pairs checked")
+	}
+}
+
+func TestStretchDetectsDistortion(t *testing.T) {
+	g := graph.Cycle(10)
+	h := graph.Path(10) // cycle minus edge (0,9): stretch 9 for that pair
+	rep := Stretch(g, h, 0)
+	if rep.MaxStretch != 9 {
+		t.Errorf("max stretch = %v, want 9", rep.MaxStretch)
+	}
+}
+
+func TestStretchDetectsDisconnection(t *testing.T) {
+	g := graph.Path(6)
+	h := g.Clone()
+	h.RemoveEdge(2, 3)
+	rep := Stretch(g, h, 0)
+	if rep.Disconnected == 0 {
+		t.Error("disconnection not detected")
+	}
+}
+
+func TestStretchDetectsShortcut(t *testing.T) {
+	g := graph.Path(5)
+	h := g.Clone()
+	h.AddUnitEdge(0, 4) // not a subgraph: creates shortcut
+	rep := Stretch(g, h, 0)
+	if rep.Shortcuts == 0 {
+		t.Error("shortcut not detected")
+	}
+}
+
+func TestStretchWeighted(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1.5)
+	h := g.Clone()
+	h.RemoveEdge(0, 2) // d(0,2) goes 1.5 -> 2: stretch 4/3
+	rep := StretchWeighted(g, h, 0)
+	if math.Abs(rep.MaxStretch-4.0/3) > 1e-9 {
+		t.Errorf("weighted max stretch = %v, want 4/3", rep.MaxStretch)
+	}
+}
+
+func TestAdditiveIdentical(t *testing.T) {
+	g := graph.Grid(5, 5)
+	rep := Additive(g, g, 0)
+	if rep.MaxError != 0 || rep.MeanError != 0 {
+		t.Errorf("identical: %+v", rep)
+	}
+}
+
+func TestAdditiveMeasuresError(t *testing.T) {
+	g := graph.Cycle(12)
+	h := graph.Path(12)
+	rep := Additive(g, h, 0)
+	// Pair (0,11): d_G=1, d_H=11 → error 10.
+	if rep.MaxError != 10 {
+		t.Errorf("max error = %d, want 10", rep.MaxError)
+	}
+	if rep.MeanError <= 0 {
+		t.Error("mean error should be positive")
+	}
+}
+
+func TestSpectralEpsilonDelegates(t *testing.T) {
+	g := graph.Complete(6)
+	eps, err := SpectralEpsilon(g, g)
+	if err != nil || eps > 1e-9 {
+		t.Errorf("eps=%v err=%v", eps, err)
+	}
+}
+
+func TestCutEpsilonIdentical(t *testing.T) {
+	g := graph.ConnectedGNP(20, 0.3, 2)
+	if eps := CutEpsilon(g, g, 50, 3); eps != 0 {
+		t.Errorf("identical cut eps = %v", eps)
+	}
+}
+
+func TestCutEpsilonScaled(t *testing.T) {
+	g := graph.Complete(10)
+	h := graph.New(10)
+	for _, e := range g.Edges() {
+		h.AddEdge(e.U, e.V, 2)
+	}
+	if eps := CutEpsilon(g, h, 50, 4); math.Abs(eps-1) > 1e-9 {
+		t.Errorf("doubled-weight cut eps = %v, want 1", eps)
+	}
+}
+
+func TestCutEpsilonEmptyGraphSafe(t *testing.T) {
+	g := graph.New(5)
+	if eps := CutEpsilon(g, g, 10, 5); eps != 0 {
+		t.Errorf("empty cut eps = %v", eps)
+	}
+}
+
+func TestStretchSampledSources(t *testing.T) {
+	g := graph.ConnectedGNP(60, 0.1, 6)
+	full := Stretch(g, g, 0)
+	sampled := Stretch(g, g, 10)
+	if sampled.Pairs >= full.Pairs {
+		t.Error("sampling did not reduce pairs checked")
+	}
+	if sampled.Pairs == 0 {
+		t.Error("sampled zero pairs")
+	}
+}
