@@ -9,6 +9,7 @@ package dynstream
 // Run: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -202,6 +203,65 @@ func BenchmarkE9Baselines(b *testing.B) {
 	rep := verify.Stretch(g, h, 8)
 	b.ReportMetric(rep.MaxStretch, "maxStretch")
 	b.ReportMetric(float64(h.M()), "edges")
+}
+
+// BenchmarkParallelIngest measures the concurrent sharded-ingest
+// pipeline: the same churn stream is ingested into AGM forest sketches
+// by 1/2/4/8 workers and merged, so the speedup of the worker pool is
+// tracked in the perf trajectory. Output is identical across worker
+// counts (linearity), which is asserted once per run. The workload is
+// ingest-dominated (a long churn stream over a moderate vertex set):
+// sharding pays for the per-worker state allocation and the final
+// merge only when the update volume dwarfs the sketch size, which is
+// exactly the heavy-traffic regime the pipeline targets.
+func BenchmarkParallelIngest(b *testing.B) {
+	g := graph.ConnectedGNP(64, 0.2, benchSeed+30)
+	st := stream.WithChurn(g, 30000, benchSeed+31)
+	serial, err := NewForestSketchParallel(benchSeed+32, st, ForestConfig{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantForest, err := serial.SpanningForest(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var sk *ForestSketch
+			for i := 0; i < b.N; i++ {
+				sk, err = NewForestSketchParallel(benchSeed+32, st, ForestConfig{}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			forest, err := sk.SpanningForest(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(forest) != len(wantForest) {
+				b.Fatalf("workers=%d: forest %d edges, serial %d", workers, len(forest), len(wantForest))
+			}
+			b.ReportMetric(float64(st.Len()*b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkParallelSpanner measures the end-to-end two-pass spanner
+// with sharded concurrent passes at 1/2/4/8 workers.
+func BenchmarkParallelSpanner(b *testing.B) {
+	g := graph.ConnectedGNP(128, 0.07, benchSeed+33)
+	st := stream.WithChurn(g, 2*g.M(), benchSeed+34)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spanner.BuildTwoPassParallel(st,
+					spanner.Config{K: 2, Seed: benchSeed + 35}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkA1Levels ablates the E_j level count in Algorithm 1.

@@ -18,9 +18,14 @@
 //	msf                  (1+γ)-approximate minimum spanning forest
 //	bipartite            bipartiteness test (prints verdict)
 //
+// All subcommands accept -workers P: the stream is split into P
+// round-robin shards ingested concurrently into same-seeded linear
+// sketches and merged, which by linearity yields output identical to
+// single-threaded ingestion.
+//
 // Example:
 //
-//	dynstream spanner -k 2 -seed 7 < graph.txt > spanner.txt
+//	dynstream spanner -k 2 -seed 7 -workers 4 < graph.txt > spanner.txt
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"dynstream/internal/agm"
 	"dynstream/internal/graph"
+	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
 	"dynstream/internal/stream"
@@ -51,14 +57,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		k     = fs.Int("k", 2, "stretch/connectivity parameter")
-		d     = fs.Int("d", 4, "additive spanner space parameter")
-		z     = fs.Int("z", 32, "sparsifier repetitions")
-		seed  = fs.Uint64("seed", 1, "random seed")
-		input = fs.String("in", "", "input file (default stdin)")
+		k       = fs.Int("k", 2, "stretch/connectivity parameter (>= 1)")
+		d       = fs.Int("d", 4, "additive spanner space parameter (>= 1)")
+		z       = fs.Int("z", 32, "sparsifier repetitions (>= 1)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 1, "concurrent ingest workers (>= 1)")
+		input   = fs.String("in", "", "input file (default stdin)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	switch {
+	case *k < 1:
+		return fmt.Errorf("-k must be >= 1, got %d", *k)
+	case *d < 1:
+		return fmt.Errorf("-d must be >= 1, got %d", *d)
+	case *z < 1:
+		return fmt.Errorf("-z must be >= 1, got %d", *z)
+	case *workers < 1:
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments after flags: %v", extra)
 	}
 	in := stdin
 	if *input != "" {
@@ -73,11 +93,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "stream: n=%d, %d updates\n", st.N(), st.Len())
+	fmt.Fprintf(stderr, "stream: n=%d, %d updates, %d workers\n", st.N(), st.Len(), *workers)
 
 	switch cmd {
 	case "spanner":
-		res, err := spanner.BuildTwoPass(st, spanner.Config{K: *k, Seed: *seed})
+		res, err := spanner.BuildTwoPassParallel(st, spanner.Config{K: *k, Seed: *seed}, *workers)
 		if err != nil {
 			return err
 		}
@@ -86,7 +106,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Spanner)
 
 	case "additive":
-		res, err := spanner.BuildAdditive(st, spanner.AdditiveConfig{D: *d, Seed: *seed})
+		res, err := spanner.BuildAdditiveParallel(st, spanner.AdditiveConfig{D: *d, Seed: *seed}, *workers)
 		if err != nil {
 			return err
 		}
@@ -95,7 +115,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Spanner)
 
 	case "sparsify":
-		res, err := sparsify.Sparsify(st, sparsify.Config{K: *k, Z: *z, Seed: *seed})
+		res, err := sparsify.SparsifyParallel(st, sparsify.Config{K: *k, Z: *z, Seed: *seed}, *workers)
 		if err != nil {
 			return err
 		}
@@ -104,8 +124,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Sparsifier)
 
 	case "forest":
-		sk := agm.New(*seed, st.N(), agm.Config{})
-		if err := st.Replay(func(u stream.Update) error { sk.AddUpdate(u); return nil }); err != nil {
+		sk, err := parallel.Ingest(st, *workers, func() *agm.Sketch {
+			return agm.New(*seed, st.N(), agm.Config{})
+		})
+		if err != nil {
 			return err
 		}
 		forest, err := sk.SpanningForest(nil)
@@ -121,8 +143,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, g)
 
 	case "kcert":
-		kc := agm.NewKConnectivity(*seed, st.N(), *k)
-		if err := st.Replay(func(u stream.Update) error { kc.AddUpdate(u); return nil }); err != nil {
+		kc, err := parallel.Ingest(st, *workers, func() *agm.KConnectivity {
+			return agm.NewKConnectivity(*seed, st.N(), *k)
+		})
+		if err != nil {
 			return err
 		}
 		cert, err := kc.CertificateGraph()
@@ -144,8 +168,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}); err != nil {
 			return err
 		}
-		m := agm.NewMSF(*seed, st.N(), wmax, 0.5)
-		if err := st.Replay(func(u stream.Update) error { m.AddUpdate(u); return nil }); err != nil {
+		m, err := parallel.Ingest(st, *workers, func() *agm.MSF {
+			return agm.NewMSF(*seed, st.N(), wmax, 0.5)
+		})
+		if err != nil {
 			return err
 		}
 		forest, err := m.Forest()
@@ -163,8 +189,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, g)
 
 	case "bipartite":
-		b := agm.NewBipartiteness(*seed, st.N())
-		if err := st.Replay(func(u stream.Update) error { b.AddUpdate(u); return nil }); err != nil {
+		b, err := parallel.Ingest(st, *workers, func() *agm.Bipartiteness {
+			return agm.NewBipartiteness(*seed, st.N())
+		})
+		if err != nil {
 			return err
 		}
 		bip, err := b.IsBipartite()

@@ -86,6 +86,45 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCLIFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"spanner", "-workers", "0"},
+		{"spanner", "-workers", "-3"},
+		{"forest", "-workers", "0"},
+		{"spanner", "-k", "0"},
+		{"additive", "-d", "0"},
+		{"sparsify", "-z", "0"},
+		{"spanner", "-badflag"},
+		{"spanner", "-k", "2", "stray-positional"},
+	} {
+		var out, errOut bytes.Buffer
+		if err := run(args, strings.NewReader(testStream), &out, &errOut); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+func TestCLIWorkersMatchesSerial(t *testing.T) {
+	for _, sub := range [][]string{
+		{"spanner", "-k", "2", "-seed", "3"},
+		{"additive", "-d", "2", "-seed", "5"},
+		{"sparsify", "-k", "1", "-z", "4", "-seed", "6"},
+		{"forest", "-seed", "4"},
+		{"kcert", "-k", "2", "-seed", "8"},
+		{"msf", "-seed", "9"},
+		{"bipartite", "-seed", "7"},
+	} {
+		serialOut, _ := runCLI(t, sub, testStream)
+		parOut, errOut := runCLI(t, append(append([]string{}, sub...), "-workers", "3"), testStream)
+		if parOut != serialOut {
+			t.Errorf("%v -workers 3 output differs:\nserial: %q\nparallel: %q", sub, serialOut, parOut)
+		}
+		if !strings.Contains(errOut, "3 workers") {
+			t.Errorf("%v: stderr missing worker count: %q", sub, errOut)
+		}
+	}
+}
+
 func TestCLIMSF(t *testing.T) {
 	weighted := "n 5\n+ 0 1 1\n+ 1 2 1\n+ 2 3 1\n+ 3 4 1\n+ 0 4 50\n"
 	out, errOut := runCLI(t, []string{"msf", "-seed", "9"}, weighted)

@@ -4,9 +4,10 @@
 // coordinator sums the sketches and extracts a spanning forest — no
 // server ever communicates raw edges.
 //
-// This demonstrates the linearity that distinguishes sketches from
-// classical synopses: merging per-shard AGM sketches is exactly the
-// sketch of the union stream, including cross-shard deletions.
+// The servers here are real goroutines ingesting round-robin shards
+// concurrently (stream.Split), and the coordinator literally sums the
+// linear states with ForestSketch.Merge: Sketch(x^1)+...+Sketch(x^s) =
+// Sketch(x), so deletions on one server cancel insertions on another.
 //
 // Run: go run ./examples/distributed
 package main
@@ -14,10 +15,10 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"dynstream"
 	"dynstream/internal/graph"
-	"dynstream/internal/hashing"
 )
 
 func main() {
@@ -32,44 +33,46 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d; %d updates sharded across %d servers\n",
 		g.N(), g.M(), full.Len(), servers)
 
-	// Shard the stream: each update goes to a pseudorandom server.
-	shards := make([]*dynstream.MemoryStream, servers)
-	for i := range shards {
-		shards[i] = dynstream.NewMemoryStream(n)
-	}
-	rng := hashing.NewSplitMix64(seed + 2)
-	if err := full.Replay(func(u dynstream.Update) error {
-		return shards[rng.Intn(servers)].Append(u)
-	}); err != nil {
+	// Shard the stream round-robin; each server sees only its shard.
+	shards, err := dynstream.SplitStream(full, servers)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Every server builds the SAME sketch (shared seed = shared
 	// sketching matrix, the paper's "agree upon a sketching matrix S")
-	// over its local shard only.
+	// over its local shard only — concurrently, one goroutine each.
 	perServer := make([]*dynstream.ForestSketch, servers)
-	for i := range perServer {
-		perServer[i] = dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
-		if err := shards[i].Replay(func(u dynstream.Update) error {
-			perServer[i].AddUpdate(u)
-			return nil
-		}); err != nil {
-			log.Fatal(err)
-		}
+	counts := make([]int, servers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sk := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
+			if err := shards[i].Replay(func(u dynstream.Update) error {
+				sk.AddUpdate(u)
+				counts[i]++
+				return nil
+			}); err != nil {
+				log.Fatal(err)
+			}
+			perServer[i] = sk
+		}(i)
+	}
+	wg.Wait()
+	for i, sk := range perServer {
 		fmt.Printf("  server %d sketched %d updates (%d words)\n",
-			i, shards[i].Len(), perServer[i].SpaceWords())
+			i, counts[i], sk.SpaceWords())
 	}
 
-	// Coordinator: sum the sketches. Sketch(x^1)+...+Sketch(x^s) =
-	// Sketch(x), so deletions on one server cancel insertions on
-	// another. We emulate the sum by replaying shards into one sketch —
-	// numerically identical to summing the linear states.
-	coordinator := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
-	for i := range shards {
-		if err := shards[i].Replay(func(u dynstream.Update) error {
-			coordinator.AddUpdate(u)
-			return nil
-		}); err != nil {
+	// Coordinator: sum the linear states. This is the actual merge of
+	// sketches — not a replay — so it works even if the servers had
+	// shipped their states over the wire (see ForestSketch's
+	// MarshalBinary).
+	coordinator := perServer[0]
+	for i := 1; i < servers; i++ {
+		if err := coordinator.Merge(perServer[i]); err != nil {
 			log.Fatal(err)
 		}
 	}

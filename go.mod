@@ -1,0 +1,3 @@
+module dynstream
+
+go 1.21

@@ -16,6 +16,7 @@ package agm
 
 import (
 	"fmt"
+	"sort"
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
@@ -129,15 +130,24 @@ func (s *Sketch) SpanningForest(groups [][]int) ([]graph.Edge, error) {
 		if uf.Sets() == 1 {
 			break
 		}
-		// Gather members per current component.
+		// Gather members per current component, visited in sorted root
+		// order: map iteration order would otherwise make the union
+		// order — and therefore the extracted forest — nondeterministic
+		// across runs on identical sketch states.
 		members := map[int][]int{}
 		for v := 0; v < s.n; v++ {
 			root := uf.Find(v)
 			members[root] = append(members[root], v)
 		}
+		roots := make([]int, 0, len(members))
+		for root := range members {
+			roots = append(roots, root)
+		}
+		sort.Ints(roots)
 		type found struct{ a, b int }
 		var picks []found
-		for _, m := range members {
+		for _, root := range roots {
+			m := members[root]
 			merged := s.samp[r][m[0]].Clone()
 			for _, v := range m[1:] {
 				if err := merged.Merge(s.samp[r][v]); err != nil {

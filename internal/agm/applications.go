@@ -58,6 +58,21 @@ func (kc *KConnectivity) AddEdge(u, v int, delta int64) {
 	}
 }
 
+// Merge adds another certificate sketch built with the same seed and
+// parameters; the result sketches the union of the two streams.
+func (kc *KConnectivity) Merge(o *KConnectivity) error {
+	if kc.k != o.k || kc.n != o.n {
+		return fmt.Errorf("agm: merging incompatible k-connectivity sketches (k %d/%d, n %d/%d)",
+			kc.k, o.k, kc.n, o.n)
+	}
+	for i := range kc.sketches {
+		if err := kc.sketches[i].Merge(o.sketches[i]); err != nil {
+			return fmt.Errorf("agm: k-connectivity merge sketch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Certificate extracts k edge-disjoint spanning forests. Forest F_i is
 // computed from sketch i after subtracting F_1..F_{i-1} — each sketch's
 // randomness is consumed exactly once, so the whp guarantee of
@@ -130,6 +145,21 @@ func (b *Bipartiteness) AddUpdate(u stream.Update) {
 	// Double cover: (u,0)=u, (u,1)=u+n.
 	b.cover.AddEdge(u.U, u.V+b.n, d)
 	b.cover.AddEdge(u.U+b.n, u.V, d)
+}
+
+// Merge adds another tester built with the same seed; the result tests
+// the union of the two streams.
+func (b *Bipartiteness) Merge(o *Bipartiteness) error {
+	if b.n != o.n {
+		return fmt.Errorf("agm: merging incompatible bipartiteness testers (n %d/%d)", b.n, o.n)
+	}
+	if err := b.base.Merge(o.base); err != nil {
+		return fmt.Errorf("agm: bipartiteness merge base: %w", err)
+	}
+	if err := b.cover.Merge(o.cover); err != nil {
+		return fmt.Errorf("agm: bipartiteness merge cover: %w", err)
+	}
+	return nil
 }
 
 // IsBipartite decides bipartiteness whp from the sketches alone.

@@ -100,9 +100,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 // result sketches the union (sum) of both update streams — the
 // coordinator-side operation of the distributed protocol.
 func (s *Sketch) Merge(o *Sketch) error {
-	if s.seed != o.seed || s.n != o.n || s.rounds != o.rounds {
-		return fmt.Errorf("agm: merging incompatible sketches (seed %d/%d n %d/%d)",
-			s.seed, o.seed, s.n, o.n)
+	if s.seed != o.seed || s.n != o.n || s.rounds != o.rounds || s.perLvl != o.perLvl {
+		return fmt.Errorf("agm: merging incompatible sketches (seed %d/%d n %d/%d rounds %d/%d perLevel %d/%d)",
+			s.seed, o.seed, s.n, o.n, s.rounds, o.rounds, s.perLvl, o.perLvl)
 	}
 	for r := 0; r < s.rounds; r++ {
 		for v := 0; v < s.n; v++ {

@@ -59,6 +59,21 @@ func (m *MSF) AddUpdate(u stream.Update) {
 	}
 }
 
+// Merge adds another MSF sketch built with the same seed and
+// parameters; the result sketches the union of the two streams.
+func (m *MSF) Merge(o *MSF) error {
+	if m.n != o.n || m.gamma != o.gamma || m.maxClass != o.maxClass {
+		return fmt.Errorf("agm: merging incompatible MSF sketches (n %d/%d, gamma %g/%g, classes %d/%d)",
+			m.n, o.n, m.gamma, o.gamma, m.maxClass, o.maxClass)
+	}
+	for c := range m.prefixes {
+		if err := m.prefixes[c].Merge(o.prefixes[c]); err != nil {
+			return fmt.Errorf("agm: msf merge class %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
 // Forest extracts the approximate MSF: edges tagged with the upper
 // bound of their weight class (so the returned total weight is within
 // (1+gamma) of exact, assuming the per-class forests succeed whp).

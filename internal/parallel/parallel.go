@@ -1,0 +1,135 @@
+// Package parallel provides the concurrent sharded-ingest machinery
+// that turns the repository's linear sketches into multi-core
+// pipelines. Every construction here is a linear function of the update
+// stream, so a stream split into P shards, ingested into P independent
+// states built from the same seed, and merged yields a state identical
+// to single-threaded ingestion — the distributed-servers setting of the
+// paper's introduction, realized as goroutines.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"dynstream/internal/stream"
+)
+
+// State is a linear sketch state that can ingest stream updates and be
+// merged with another state built from the same randomness.
+type State[S any] interface {
+	AddUpdate(stream.Update)
+	Merge(S) error
+}
+
+// Ingest splits st into `workers` round-robin shards, feeds each shard
+// into its own fresh state on its own goroutine, and merges the
+// per-shard states into one. newState must return states built from
+// identical randomness (same seed and parameters) or the merge will
+// fail. The merged state is identical to single-threaded ingestion of
+// the whole stream, because every State implementation is a linear
+// sketch whose update operations are commutative group operations.
+func Ingest[S State[S]](st stream.Stream, workers int, newState func() S) (S, error) {
+	return IngestFunc(st, workers,
+		func() (S, error) { return newState(), nil },
+		func(s S, u stream.Update) error { s.AddUpdate(u); return nil },
+		func(dst, src S) error { return dst.Merge(src) })
+}
+
+// IngestFunc is the generalized sharded-ingest pipeline for states
+// whose construction or update can fail (e.g. the phase-checked pass
+// methods of spanner.TwoPass): split st into `workers` shards, build a
+// state per shard with newState, feed each shard through update on its
+// own goroutine, then fold the per-shard states into the first one
+// with merge. Merging happens in shard order so runs are reproducible.
+func IngestFunc[S any](
+	st stream.Stream,
+	workers int,
+	newState func() (S, error),
+	update func(S, stream.Update) error,
+	merge func(dst, src S) error,
+) (S, error) {
+	var zero S
+	if workers < 1 {
+		return zero, fmt.Errorf("parallel: workers must be >= 1, got %d", workers)
+	}
+	if workers == 1 {
+		s, err := newState()
+		if err != nil {
+			return zero, err
+		}
+		if err := st.Replay(func(u stream.Update) error { return update(s, u) }); err != nil {
+			return zero, err
+		}
+		return s, nil
+	}
+	shards, err := stream.Split(st, workers)
+	if err != nil {
+		return zero, err
+	}
+	states := make([]S, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := newState()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = shards[i].Replay(func(u stream.Update) error { return update(s, u) })
+			states[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return zero, fmt.Errorf("parallel: shard %d: %w", i, e)
+		}
+	}
+	for i := 1; i < workers; i++ {
+		if err := merge(states[0], states[i]); err != nil {
+			return zero, err
+		}
+	}
+	return states[0], nil
+}
+
+// ForEach runs fn(0..n-1) on up to `workers` goroutines and waits for
+// all of them. All indices run even if some fail; the first error (by
+// index) is returned, which keeps the failure deterministic.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers < 1 {
+		return fmt.Errorf("parallel: workers must be >= 1, got %d", workers)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

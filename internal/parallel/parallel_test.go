@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dynstream/internal/stream"
+)
+
+// counter is a trivial linear "sketch": the sum of deltas and the sum
+// of endpoint products, both commutative — so sharded ingest + merge
+// must equal serial ingest exactly.
+type counter struct {
+	updates int64
+	sum     int64
+}
+
+func (c *counter) AddUpdate(u stream.Update) {
+	c.updates++
+	c.sum += int64(u.Delta) * int64(u.U+u.V)
+}
+
+func (c *counter) Merge(o *counter) error {
+	c.updates += o.updates
+	c.sum += o.sum
+	return nil
+}
+
+func testStream(t *testing.T, n, m int) *stream.MemoryStream {
+	t.Helper()
+	st := stream.NewMemoryStream(n)
+	for i := 0; i < m; i++ {
+		u, v := i%n, (i*7+1)%n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if err := st.Append(stream.Update{U: u, V: v, Delta: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestIngestMatchesSerial(t *testing.T) {
+	st := testStream(t, 20, 500)
+	serial, err := Ingest(st, 1, func() *counter { return &counter{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 100} {
+		par, err := Ingest(st, workers, func() *counter { return &counter{} })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *par != *serial {
+			t.Errorf("workers=%d: %+v vs serial %+v", workers, *par, *serial)
+		}
+	}
+	if _, err := Ingest(st, 0, func() *counter { return &counter{} }); err == nil {
+		t.Error("Ingest accepted workers=0")
+	}
+}
+
+type failing struct{ counter }
+
+func (f *failing) Merge(o *failing) error { return errors.New("merge refused") }
+
+func TestIngestPropagatesMergeError(t *testing.T) {
+	st := testStream(t, 10, 40)
+	if _, err := Ingest(st, 2, func() *failing { return &failing{} }); err == nil {
+		t.Error("merge error not propagated")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var ran int64
+	if err := ForEach(4, 100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 100 {
+		t.Errorf("ran %d tasks, want 100", ran)
+	}
+	// First error by index is returned; all tasks still run.
+	ran = 0
+	err := ForEach(3, 50, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 7 || i == 31 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("error not propagated")
+	}
+	if ran != 50 {
+		t.Errorf("ran %d tasks, want all 50 despite errors", ran)
+	}
+	if err := ForEach(2, 0, func(int) error { return nil }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := ForEach(0, 3, func(int) error { return nil }); err == nil {
+		t.Error("ForEach accepted workers=0")
+	}
+}

@@ -1,6 +1,8 @@
 package sketch
 
 import (
+	"fmt"
+
 	"dynstream/internal/field"
 	"dynstream/internal/hashing"
 )
@@ -30,6 +32,7 @@ import (
 // level Y_j where v has a single surviving neighbor in T_u it decodes
 // to a concrete edge, mirroring SKETCH_{O(log n)}(N(v) ∩ T_u ∩ Y_j).
 type KeyedEdgeSketch struct {
+	seed     uint64
 	n        int
 	rows     int
 	cells    int
@@ -95,6 +98,7 @@ func NewKeyedEdgeSketch(seed uint64, n, capacity int) *KeyedEdgeSketch {
 		cells = 8
 	}
 	t := &KeyedEdgeSketch{
+		seed:     seed,
 		n:        n,
 		rows:     rows,
 		cells:    cells,
@@ -140,6 +144,22 @@ func (t *KeyedEdgeSketch) Add(w, v int, delta int64) {
 	for r := 0; r < t.rows; r++ {
 		t.buckets[r*t.cells+t.rowHash[r].Bucket(key, t.cells)].merge(upd)
 	}
+}
+
+// Merge adds another table built with the same seed and geometry; the
+// result is the table of the summed update streams, exactly as if every
+// update of o had been Added to t. The linearity is what lets Algorithm
+// 2's second pass be ingested in parallel shards.
+func (t *KeyedEdgeSketch) Merge(o *KeyedEdgeSketch) error {
+	if t.seed != o.seed || t.n != o.n || t.rows != o.rows || t.cells != o.cells {
+		return fmt.Errorf("sketch: merging incompatible keyed tables (seed %d/%d, %dx%d vs %dx%d)",
+			t.seed, o.seed, t.rows, t.cells, o.rows, o.cells)
+	}
+	for i := range t.buckets {
+		t.buckets[i].merge(o.buckets[i])
+	}
+	t.dirty = true
+	return nil
 }
 
 // peel decodes the whole table: it repeatedly finds a key-pure bucket,

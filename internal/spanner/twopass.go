@@ -335,16 +335,24 @@ func (tp *TwoPass) EndPass1() error {
 		sort.Ints(tp.terminalsOf[u])
 	}
 
-	// Allocate second-pass hash tables for terminal copies, sized per
-	// Claim 11: |N(T_u)| = O(n^{(i+1)/k} log n) for terminal u ∈ C_i.
-	tp.tables = map[int][]*sketch.KeyedEdgeSketch{}
-	terminals := 0
+	tp.tables = tp.allocTables()
+	tp.phase = 1
+	return nil
+}
+
+// allocTables builds the second-pass hash tables for terminal copies,
+// sized per Claim 11: |N(T_u)| = O(n^{(i+1)/k} log n) for terminal
+// u ∈ C_i. The table seeds are a deterministic function of the
+// configuration and the copy index, so tables allocated by different
+// pass-2 workers over the same cluster structure are mergeable.
+func (tp *TwoPass) allocTables() map[int][]*sketch.KeyedEdgeSketch {
+	n, k := tp.n, tp.k
+	tables := map[int][]*sketch.KeyedEdgeSketch{}
 	for ci := range tp.copies {
 		c := &tp.copies[ci]
 		if !c.terminal {
 			continue
 		}
-		terminals++
 		capf := tp.cfg.TableFactor * float64(tp.log2n) *
 			math.Pow(float64(n), float64(c.level+1)/float64(k))
 		capacity := int(capf)
@@ -359,11 +367,9 @@ func (tp *TwoPass) EndPass1() error {
 			row[j] = sketch.NewKeyedEdgeSketch(
 				hashing.Mix(tp.cfg.Seed, 0x7a, uint64(ci), uint64(j)), n, capacity)
 		}
-		tp.tables[ci] = row
+		tables[ci] = row
 	}
-	_ = terminals
-	tp.phase = 1
-	return nil
+	return tables
 }
 
 func dedupeAppend(dst []int, src []int) []int {

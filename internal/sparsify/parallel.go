@@ -1,0 +1,338 @@
+package sparsify
+
+import (
+	"fmt"
+	"math"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
+	"dynstream/internal/spanner"
+	"dynstream/internal/stream"
+)
+
+// This file makes the sparsification pipeline concurrent. Two layers:
+//
+//   - Grid is the mergeable sketch state of Algorithm 4's J×T oracle
+//     grid: every cell is a two-pass spanner state over a nested
+//     subsampled edge set, and the whole grid is a linear function of
+//     the update stream — so per-shard grids merge into exactly the
+//     single-threaded grid (the "oracle-grid state" merge).
+//   - SparsifyParallel / NewEstimatorParallel drive the grid's two
+//     passes over round-robin stream shards with a worker per shard,
+//     and fan the Z×H augmented-spanner builds of Algorithms 5–6 out
+//     over a bounded worker pool. Every decode happens on the merged
+//     state, so the output is identical to the serial pipeline.
+
+// Grid is the linear sketch state underlying an Estimator: cell
+// (t, j) holds the two-pass spanner state of oracle j at subsampling
+// rate 2^{-(t-1)}. It supports the same pass protocol as
+// spanner.TwoPass, plus cell-wise merging, and finishes into an
+// Estimator identical to NewEstimator's.
+type Grid struct {
+	cfg     EstimateConfig
+	n       int
+	colHash []*hashing.Poly      // per column j: the E^j_t level hash
+	cells   [][]*spanner.TwoPass // cells[t-1][j]
+	phase   int
+}
+
+// NewGrid creates the oracle-grid sketch state for a graph on n
+// vertices. Grids built from the same (n, cfg) are mergeable.
+// ExactOracles is not a sketch and has no grid state; use
+// NewEstimatorParallel, which task-parallelizes that ablation instead.
+func NewGrid(n int, cfg EstimateConfig) (*Grid, error) {
+	cfg = cfg.withDefaults(n)
+	if cfg.ExactOracles {
+		return nil, fmt.Errorf("sparsify: exact oracles have no mergeable grid state")
+	}
+	g := &Grid{cfg: cfg, n: n}
+	g.colHash = make([]*hashing.Poly, cfg.J)
+	for j := 0; j < cfg.J; j++ {
+		// Must match stream.SampledSubstream(st, Mix(seed, 0xe5, j), t-1)
+		// so that cell (t, j) sees exactly the substream E^j_t the serial
+		// estimator feeds oracle (t, j).
+		g.colHash[j] = hashing.NewPoly(
+			hashing.Mix(hashing.Mix(cfg.Seed, 0xe5, uint64(j)), 0xe1), 8)
+	}
+	g.cells = make([][]*spanner.TwoPass, cfg.T)
+	for t := 1; t <= cfg.T; t++ {
+		row := make([]*spanner.TwoPass, cfg.J)
+		for j := 0; j < cfg.J; j++ {
+			row[j] = spanner.NewTwoPass(n, spanner.Config{
+				K: cfg.K, Seed: hashing.Mix(cfg.Seed, 0x0a, uint64(t), uint64(j))})
+		}
+		g.cells[t-1] = row
+	}
+	return g, nil
+}
+
+// forEachCell visits the cells an update reaches: cell (t, j) sketches
+// E^j_t, the edges whose column-j level is at least t−1.
+func (g *Grid) forEachCell(u stream.Update, visit func(cell *spanner.TwoPass) error) error {
+	key := stream.PairKey(u.U, u.V, g.n)
+	for j := 0; j < g.cfg.J; j++ {
+		tMax := g.colHash[j].Level(key) + 1
+		if tMax > g.cfg.T {
+			tMax = g.cfg.T
+		}
+		for t := 1; t <= tMax; t++ {
+			if err := visit(g.cells[t-1][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Pass1Update ingests one update into every cell whose substream
+// contains the edge (first spanner pass).
+func (g *Grid) Pass1Update(u stream.Update) error {
+	if g.phase != 0 {
+		return fmt.Errorf("sparsify: grid Pass1Update in phase %d", g.phase)
+	}
+	return g.forEachCell(u, func(c *spanner.TwoPass) error { return c.Pass1Update(u) })
+}
+
+// MergePass1 adds another grid's first-pass state, cell-wise.
+func (g *Grid) MergePass1(o *Grid) error {
+	if err := g.compatible(o); err != nil {
+		return err
+	}
+	for t := range g.cells {
+		for j := range g.cells[t] {
+			if err := g.cells[t][j].MergePass1(o.cells[t][j]); err != nil {
+				return fmt.Errorf("sparsify: grid merge cell (t=%d, j=%d): %w", t+1, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// EndPass1 runs the offline cluster construction in every cell.
+func (g *Grid) EndPass1() error {
+	if g.phase != 0 {
+		return fmt.Errorf("sparsify: grid EndPass1 in phase %d", g.phase)
+	}
+	for t := range g.cells {
+		for j := range g.cells[t] {
+			if err := g.cells[t][j].EndPass1(); err != nil {
+				return fmt.Errorf("sparsify: grid cell (t=%d, j=%d): %w", t+1, j, err)
+			}
+		}
+	}
+	g.phase = 1
+	return nil
+}
+
+// ForkPass2 returns a second-pass worker grid sharing this grid's
+// cluster structures, with freshly zeroed tables (see
+// spanner.TwoPass.ForkPass2).
+func (g *Grid) ForkPass2() (*Grid, error) {
+	if g.phase != 1 {
+		return nil, fmt.Errorf("sparsify: grid ForkPass2 in phase %d", g.phase)
+	}
+	w := &Grid{cfg: g.cfg, n: g.n, colHash: g.colHash, phase: 1}
+	w.cells = make([][]*spanner.TwoPass, len(g.cells))
+	for t := range g.cells {
+		w.cells[t] = make([]*spanner.TwoPass, len(g.cells[t]))
+		for j := range g.cells[t] {
+			f, err := g.cells[t][j].ForkPass2()
+			if err != nil {
+				return nil, err
+			}
+			w.cells[t][j] = f
+		}
+	}
+	return w, nil
+}
+
+// Pass2Update ingests one update into every cell whose substream
+// contains the edge (second spanner pass).
+func (g *Grid) Pass2Update(u stream.Update) error {
+	if g.phase != 1 {
+		return fmt.Errorf("sparsify: grid Pass2Update in phase %d", g.phase)
+	}
+	return g.forEachCell(u, func(c *spanner.TwoPass) error { return c.Pass2Update(u) })
+}
+
+// MergePass2 adds another grid's second-pass table state, cell-wise.
+func (g *Grid) MergePass2(o *Grid) error {
+	if err := g.compatible(o); err != nil {
+		return err
+	}
+	for t := range g.cells {
+		for j := range g.cells[t] {
+			if err := g.cells[t][j].MergePass2(o.cells[t][j]); err != nil {
+				return fmt.Errorf("sparsify: grid merge cell (t=%d, j=%d): %w", t+1, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Grid) compatible(o *Grid) error {
+	if g.n != o.n || g.cfg != o.cfg {
+		return fmt.Errorf("sparsify: merging incompatible grids (n %d/%d)", g.n, o.n)
+	}
+	return nil
+}
+
+// Finish decodes every cell into its distance oracle and assembles the
+// Estimator — identical to NewEstimator over the same whole stream.
+func (g *Grid) Finish() (*Estimator, error) {
+	if g.phase != 1 {
+		return nil, fmt.Errorf("sparsify: grid Finish in phase %d", g.phase)
+	}
+	g.phase = 2
+	e := &Estimator{cfg: g.cfg}
+	e.threshold = g.cfg.Threshold
+	if e.threshold == 0 {
+		e.threshold = math.Pow(2, float64(g.cfg.K))
+	}
+	alpha := math.Pow(2, float64(g.cfg.K))
+	e.oracles = make([][]Oracle, g.cfg.T)
+	for t := range g.cells {
+		row := make([]Oracle, g.cfg.J)
+		for j := range g.cells[t] {
+			res, err := g.cells[t][j].Finish()
+			if err != nil {
+				return nil, fmt.Errorf("sparsify: grid finish cell (t=%d, j=%d): %w", t+1, j, err)
+			}
+			row[j] = &spannerOracle{
+				h: res.Spanner, alpha: alpha, space: res.SpaceWords, memo: map[int][]int{},
+			}
+			e.space += row[j].SpaceWords()
+		}
+		e.oracles[t] = row
+	}
+	return e, nil
+}
+
+// NewEstimatorParallel is NewEstimator with concurrent ingestion: the
+// stream is split into `workers` round-robin shards, each worker runs
+// both grid passes over its own shard state, and the merged grid is
+// decoded once — producing an Estimator identical to the serial one.
+// The ExactOracles ablation (which materializes substreams rather than
+// sketching them) is instead built cell-by-cell on a worker pool.
+func NewEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*Estimator, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sparsify: workers must be >= 1, got %d", workers)
+	}
+	if workers == 1 {
+		return NewEstimator(st, cfg)
+	}
+	cfg = cfg.withDefaults(st.N())
+	if cfg.ExactOracles {
+		return newExactEstimatorParallel(st, cfg, workers)
+	}
+	main, err := parallel.IngestFunc(st, workers,
+		func() (*Grid, error) { return NewGrid(st.N(), cfg) },
+		(*Grid).Pass1Update, (*Grid).MergePass1)
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
+	}
+	if err := main.EndPass1(); err != nil {
+		return nil, err
+	}
+	tables, err := parallel.IngestFunc(st, workers,
+		main.ForkPass2, (*Grid).Pass2Update, (*Grid).MergePass2)
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: estimator pass 2: %w", err)
+	}
+	if err := main.MergePass2(tables); err != nil {
+		return nil, err
+	}
+	return main.Finish()
+}
+
+// newExactEstimatorParallel builds the A3 ablation grid (materialized
+// exact oracles) with up to `workers` cells under construction at once.
+func newExactEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*Estimator, error) {
+	e := &Estimator{cfg: cfg}
+	e.threshold = cfg.Threshold
+	if e.threshold == 0 {
+		e.threshold = math.Pow(2, float64(cfg.K))
+	}
+	e.oracles = make([][]Oracle, cfg.T)
+	for t := range e.oracles {
+		e.oracles[t] = make([]Oracle, cfg.J)
+	}
+	err := parallel.ForEach(workers, cfg.T*cfg.J, func(i int) error {
+		t, j := i/cfg.J+1, i%cfg.J
+		sub := stream.SampledSubstream(st, hashing.Mix(cfg.Seed, 0xe5, uint64(j)), t-1)
+		o, err := NewExactOracle(sub)
+		if err != nil {
+			return fmt.Errorf("sparsify: estimator oracle (t=%d, j=%d): %w", t, j, err)
+		}
+		e.oracles[t-1][j] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for t := range e.oracles {
+		for j := range e.oracles[t] {
+			e.space += e.oracles[t][j].SpaceWords()
+		}
+	}
+	return e, nil
+}
+
+// SparsifyParallel is Sparsify with concurrent ingestion: the oracle
+// grid is built from sharded stream ingest, and the Z×H augmented
+// spanner constructions of Algorithms 5–6 run on a bounded worker
+// pool. All filtering and averaging happens on the merged states in
+// the serial order, so the output sparsifier is identical to
+// Sparsify's for the same configuration.
+func SparsifyParallel(st stream.Stream, cfg Config, workers int) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sparsify: workers must be >= 1, got %d", workers)
+	}
+	if workers == 1 {
+		return Sparsify(st, cfg)
+	}
+	cfg = cfg.withDefaults(st.N())
+	est, err := NewEstimatorParallel(st, cfg.Estimate, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan the Z×H augmented-spanner builds out over the pool. Each
+	// build is self-contained (its own sketch state over a filtered
+	// replay of st), so tasks share nothing but the read-only stream.
+	// Substream and spanner configuration come from the same helpers
+	// SampleOnce uses, so the serial and parallel samples cannot drift.
+	aug := make([][]*spanner.Result, cfg.Z)
+	for s := range aug {
+		aug[s] = make([]*spanner.Result, cfg.H)
+	}
+	err = parallel.ForEach(workers, cfg.Z*cfg.H, func(i int) error {
+		s, j := i/cfg.H, i%cfg.H+1
+		res, err := spanner.BuildTwoPass(sampleSubstream(st, cfg, s, j), sampleSpannerConfig(cfg, s, j))
+		if err != nil {
+			return fmt.Errorf("sparsify: sample rep=%d j=%d: %w", s, j, err)
+		}
+		aug[s][j-1] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter against the robust-connectivity estimates and average, in
+	// exactly the serial iteration order (QExp memoizes BFS trees, so
+	// this stays single-threaded).
+	space := est.SpaceWords()
+	samples := make([]*graph.Graph, 0, cfg.Z)
+	for s := 0; s < cfg.Z; s++ {
+		x, w := assembleSample(st.N(), est, aug[s])
+		space += w
+		samples = append(samples, x)
+	}
+	return &Result{
+		Sparsifier: averageSamples(st.N(), cfg.Z, samples),
+		SpaceWords: space,
+		Samples:    cfg.Z,
+	}, nil
+}

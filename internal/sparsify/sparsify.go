@@ -65,24 +65,31 @@ type Result struct {
 	Samples int
 }
 
-// SampleOnce is Algorithm 5 (SAMPLE-AUGMENTED-SPANNER): for each rate
-// 2^{-j} it builds an augmented spanner of the subsampled stream E_j and
-// keeps the edges whose robust connectivity matches the rate, with
-// weight 2^j. rep indexes the invocation's independent randomness.
-func SampleOnce(st stream.Stream, est *Estimator, cfg Config, rep int) (*graph.Graph, int, error) {
-	cfg = cfg.withDefaults(st.N())
-	out := graph.New(st.N())
+// sampleSubstream is the subsampled edge stream E_j of invocation rep,
+// and sampleSpannerConfig the matching augmented-spanner configuration.
+// The parallel pipeline prebuilds the same (rep, j) spanners from the
+// same substreams, so both derivations live here, once.
+func sampleSubstream(st stream.Stream, cfg Config, rep, j int) stream.Stream {
+	return stream.SampledSubstream(st, hashing.Mix(cfg.Seed, 0x5a, uint64(rep)), j)
+}
+
+func sampleSpannerConfig(cfg Config, rep, j int) spanner.Config {
+	return spanner.Config{
+		K:                cfg.K,
+		Seed:             hashing.Mix(cfg.Seed, 0x5b, uint64(rep), uint64(j)),
+		CollectAugmented: true,
+	}
+}
+
+// assembleSample is the decision half of Algorithm 5: given the H
+// augmented spanners of one invocation (results[j-1] built over E_j),
+// keep the edges whose robust connectivity matches the rate, with
+// weight 2^j. Returns the weighted sample and the sketch space used.
+func assembleSample(n int, est *Estimator, results []*spanner.Result) (*graph.Graph, int) {
+	out := graph.New(n)
 	space := 0
-	for j := 1; j <= cfg.H; j++ {
-		sub := stream.SampledSubstream(st, hashing.Mix(cfg.Seed, 0x5a, uint64(rep)), j)
-		res, err := spanner.BuildTwoPass(sub, spanner.Config{
-			K:                cfg.K,
-			Seed:             hashing.Mix(cfg.Seed, 0x5b, uint64(rep), uint64(j)),
-			CollectAugmented: true,
-		})
-		if err != nil {
-			return nil, 0, fmt.Errorf("sparsify: sample rep=%d j=%d: %w", rep, j, err)
-		}
+	for j := 1; j <= len(results); j++ {
+		res := results[j-1]
 		space += res.SpaceWords
 		for _, e := range res.Augmented.Edges() {
 			if est.QExp(e.U, e.V) == j {
@@ -90,6 +97,42 @@ func SampleOnce(st stream.Stream, est *Estimator, cfg Config, rep int) (*graph.G
 			}
 		}
 	}
+	return out, space
+}
+
+// averageSamples averages the Z weighted samples edge-wise — the
+// output assembly of Algorithm 6, shared by the serial and parallel
+// pipelines so the accumulation order (and hence every floating-point
+// result) is identical in both.
+func averageSamples(n, z int, samples []*graph.Graph) *graph.Graph {
+	acc := map[[2]int]float64{}
+	for _, x := range samples {
+		for _, e := range x.Edges() {
+			acc[[2]int{e.U, e.V}] += e.W
+		}
+	}
+	out := graph.New(n)
+	for k, w := range acc {
+		out.AddEdge(k[0], k[1], w/float64(z))
+	}
+	return out
+}
+
+// SampleOnce is Algorithm 5 (SAMPLE-AUGMENTED-SPANNER): for each rate
+// 2^{-j} it builds an augmented spanner of the subsampled stream E_j and
+// keeps the edges whose robust connectivity matches the rate, with
+// weight 2^j. rep indexes the invocation's independent randomness.
+func SampleOnce(st stream.Stream, est *Estimator, cfg Config, rep int) (*graph.Graph, int, error) {
+	cfg = cfg.withDefaults(st.N())
+	results := make([]*spanner.Result, cfg.H)
+	for j := 1; j <= cfg.H; j++ {
+		res, err := spanner.BuildTwoPass(sampleSubstream(st, cfg, rep, j), sampleSpannerConfig(cfg, rep, j))
+		if err != nil {
+			return nil, 0, fmt.Errorf("sparsify: sample rep=%d j=%d: %w", rep, j, err)
+		}
+		results[j-1] = res
+	}
+	out, space := assembleSample(st.N(), est, results)
 	return out, space, nil
 }
 
@@ -104,22 +147,20 @@ func Sparsify(st stream.Stream, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	space := est.SpaceWords()
-	acc := map[[2]int]float64{}
+	samples := make([]*graph.Graph, 0, cfg.Z)
 	for s := 0; s < cfg.Z; s++ {
 		x, w, err := SampleOnce(st, est, cfg, s)
 		if err != nil {
 			return nil, err
 		}
 		space += w
-		for _, e := range x.Edges() {
-			acc[[2]int{e.U, e.V}] += e.W
-		}
+		samples = append(samples, x)
 	}
-	out := graph.New(st.N())
-	for k, w := range acc {
-		out.AddEdge(k[0], k[1], w/float64(cfg.Z))
-	}
-	return &Result{Sparsifier: out, SpaceWords: space, Samples: cfg.Z}, nil
+	return &Result{
+		Sparsifier: averageSamples(st.N(), cfg.Z, samples),
+		SpaceWords: space,
+		Samples:    cfg.Z,
+	}, nil
 }
 
 // SparsifyWeighted extends Sparsify to weighted streams via the

@@ -1,0 +1,54 @@
+package stream
+
+import "fmt"
+
+// Shard is a replayable view of every Count-th update of Base starting
+// at offset Index — shard i of a round-robin split into Count parts.
+// The shards of a split partition the base stream exactly: every update
+// appears in precisely one shard, and each shard preserves the base
+// stream's relative order. Because every construction in this
+// repository is a linear sketch, states built from the shards of a
+// stream and then merged are identical to a state built from the whole
+// stream (the distributed setting of the paper's introduction).
+type Shard struct {
+	Base  Stream
+	Index int
+	Count int
+}
+
+// N returns the vertex count of the base stream.
+func (s *Shard) N() int { return s.Base.N() }
+
+// Replay visits the shard's updates in base-stream order. The position
+// counter is local to each call, so a Shard may be replayed from
+// multiple goroutines concurrently (the base stream must itself be
+// safe for concurrent replay, which MemoryStream and the filtered
+// views in this package are).
+func (s *Shard) Replay(fn func(Update) error) error {
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("stream: invalid shard %d of %d", s.Index, s.Count)
+	}
+	pos := 0
+	return s.Base.Replay(func(u Update) error {
+		mine := pos%s.Count == s.Index
+		pos++
+		if !mine {
+			return nil
+		}
+		return fn(u)
+	})
+}
+
+// Split partitions s into p round-robin shards. The concatenation of
+// the shards' update multisets equals the base stream's, which is the
+// property sharded linear-sketch ingestion relies on.
+func Split(s Stream, p int) ([]Stream, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("stream: split into %d shards", p)
+	}
+	out := make([]Stream, p)
+	for i := 0; i < p; i++ {
+		out[i] = &Shard{Base: s, Index: i, Count: p}
+	}
+	return out, nil
+}

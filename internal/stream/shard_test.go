@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"dynstream/internal/graph"
+)
+
+func collect(t *testing.T, s Stream) []Update {
+	t.Helper()
+	var out []Update
+	if err := s.Replay(func(u Update) error {
+		out = append(out, u)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSplitPartitionsExactly(t *testing.T) {
+	g := graph.ConnectedGNP(40, 0.2, 11)
+	base := WithChurn(g, 100, 12)
+	all := collect(t, base)
+
+	for _, p := range []int{1, 2, 3, 7, len(all) + 5} {
+		shards, err := Split(base, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != p {
+			t.Fatalf("Split returned %d shards, want %d", len(shards), p)
+		}
+		// Round-robin: shard i holds updates at positions ≡ i (mod p),
+		// in base order. Reassembling by position must equal the base.
+		rebuilt := make([]Update, len(all))
+		total := 0
+		for i, sh := range shards {
+			if sh.N() != base.N() {
+				t.Fatalf("shard N = %d, want %d", sh.N(), base.N())
+			}
+			for pos, u := range collect(t, sh) {
+				rebuilt[pos*p+i] = u
+				total++
+			}
+		}
+		if total != len(all) {
+			t.Fatalf("p=%d: shards hold %d updates, want %d", p, total, len(all))
+		}
+		for i := range all {
+			if rebuilt[i] != all[i] {
+				t.Fatalf("p=%d: update %d = %+v, want %+v", p, i, rebuilt[i], all[i])
+			}
+		}
+	}
+}
+
+func TestSplitRejectsBadCount(t *testing.T) {
+	base := NewMemoryStream(4)
+	for _, p := range []int{0, -1} {
+		if _, err := Split(base, p); err == nil {
+			t.Errorf("Split(%d) accepted", p)
+		}
+	}
+	bad := &Shard{Base: base, Index: 3, Count: 2}
+	if err := bad.Replay(func(Update) error { return nil }); err == nil {
+		t.Error("out-of-range shard replayed")
+	}
+}
+
+func TestShardConcurrentReplay(t *testing.T) {
+	g := graph.ConnectedGNP(30, 0.3, 13)
+	base := WithChurn(g, 50, 14)
+	shards, err := Split(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent replays of all shards (run with -race) must see the
+	// whole stream exactly once.
+	counts := make([]int, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = shards[i].Replay(func(Update) error {
+				counts[i]++
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != base.Len() {
+		t.Fatalf("concurrent shard replay saw %d updates, want %d", total, base.Len())
+	}
+}

@@ -9,6 +9,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
@@ -67,6 +68,9 @@ func (s *MemoryStream) Append(u Update) error {
 	}
 	if u.Delta != 1 && u.Delta != -1 {
 		return fmt.Errorf("stream: delta must be ±1, got %d", u.Delta)
+	}
+	if u.W < 0 || math.IsNaN(u.W) || math.IsInf(u.W, 0) {
+		return fmt.Errorf("stream: weight must be finite and non-negative, got %v", u.W)
 	}
 	if u.W == 0 {
 		u.W = 1

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -88,7 +89,9 @@ func ReadText(r io.Reader) (*MemoryStream, error) {
 		w := 1.0
 		if len(fields) == 4 {
 			w, err = strconv.ParseFloat(fields[3], 64)
-			if err != nil || w <= 0 {
+			// NaN must be rejected explicitly (NaN <= 0 is false), and
+			// infinite weights would loop forever in WeightClassOf.
+			if err != nil || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 				return nil, fmt.Errorf("stream: line %d: bad weight %q", lineNo, fields[3])
 			}
 		}

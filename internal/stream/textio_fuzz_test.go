@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText drives the text-format parser with arbitrary input. The
+// parser must never panic; whenever it accepts an input, the parsed
+// stream must be internally consistent and must survive a
+// WriteText → ReadText round trip unchanged.
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"n 5\n+ 0 1\n+ 1 2\n- 0 1\n",
+		"n 3\n# comment\n+ 0 1 2.5\n",
+		"n 1\n",
+		"",
+		"n 2\n+ 0 1\n+ 0 1\n- 0 1\n- 0 1\n",
+		"n 10\n+ 9 0 0.125\n- 9 0 0.125\n",
+		"garbage\n",
+		"n 2\n* 0 1\n",
+		"n 2\n+ 0 0\n",
+		"n 2\n+ 0 5\n",
+		"n 2\n+ 0 1 -3\n",
+		"n 0\n",
+		"n 2\n+ 0 1 1e308\n",
+		"n 2\n\t + \t1  0 \n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ms, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: only panics are failures
+		}
+		if ms.N() < 1 {
+			t.Fatalf("accepted stream with n = %d", ms.N())
+		}
+		// Every accepted update is canonical and in range.
+		if err := ms.Replay(func(u Update) error {
+			if u.U < 0 || u.V >= ms.N() || u.U >= u.V {
+				t.Fatalf("accepted out-of-range or non-canonical update %+v", u)
+			}
+			if u.Delta != 1 && u.Delta != -1 {
+				t.Fatalf("accepted delta %d", u.Delta)
+			}
+			if !(u.W > 0) {
+				t.Fatalf("accepted non-positive weight %v", u.W)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Round trip: serialize and reparse; the streams must match.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, ms); err != nil {
+			t.Fatalf("WriteText of accepted stream: %v", err)
+		}
+		back, err := ReadText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of serialized stream: %v\ninput: %q", err, buf.String())
+		}
+		if back.N() != ms.N() || back.Len() != ms.Len() {
+			t.Fatalf("round trip changed shape: n %d→%d, len %d→%d",
+				ms.N(), back.N(), ms.Len(), back.Len())
+		}
+		a, b := ms.updates, back.updates
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed update %d: %+v → %+v", i, a[i], b[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package dynstream
+
+// Concurrent sharded-ingest front door. Every construction in this
+// package is a linear sketch, so a stream split into P shards, ingested
+// by P workers into states built from the same seed, and merged yields
+// a state — and therefore an output — identical to single-threaded
+// ingestion (the distributed setting of the paper's introduction,
+// Theorem 10's mergeability, realized as goroutines). The Parallel
+// builders below are drop-in replacements for their serial
+// counterparts: same configuration, same seed, same output.
+
+import (
+	"dynstream/internal/agm"
+	"dynstream/internal/parallel"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+)
+
+// StreamShard is a replayable round-robin shard view of a base stream.
+type StreamShard = stream.Shard
+
+// SplitStream partitions st into p round-robin shards whose union is
+// exactly st. Shards replay concurrently; feed each to its own
+// same-seeded sketch state and merge.
+func SplitStream(st Stream, p int) ([]Stream, error) { return stream.Split(st, p) }
+
+// BuildSpannerParallel is BuildSpanner with both passes ingested by
+// `workers` goroutines over shards of st. Output is identical to
+// BuildSpanner for the same configuration.
+func BuildSpannerParallel(st Stream, cfg SpannerConfig, workers int) (*SpannerResult, error) {
+	return spanner.BuildTwoPassParallel(st, cfg, workers)
+}
+
+// BuildAdditiveSpannerParallel is BuildAdditiveSpanner with the single
+// pass ingested by `workers` goroutines. Output is identical to
+// BuildAdditiveSpanner for the same configuration.
+func BuildAdditiveSpannerParallel(st Stream, cfg AdditiveConfig, workers int) (*AdditiveResult, error) {
+	return spanner.BuildAdditiveParallel(st, cfg, workers)
+}
+
+// BuildSparsifierParallel is BuildSparsifier with sharded-ingest oracle
+// grids and the Z×H sample constructions fanned out over a worker
+// pool. Output is identical to BuildSparsifier for the same
+// configuration.
+func BuildSparsifierParallel(st Stream, cfg SparsifierConfig, workers int) (*SparsifierResult, error) {
+	return sparsify.SparsifyParallel(st, cfg, workers)
+}
+
+// NewForestSketchParallel ingests st into an AGM connectivity sketch
+// using `workers` goroutines over round-robin shards, merging the
+// per-shard sketches (ForestSketch.Merge). The returned sketch is
+// identical to serial ingestion with the same seed.
+func NewForestSketchParallel(seed uint64, st Stream, cfg ForestConfig, workers int) (*ForestSketch, error) {
+	return parallel.Ingest(st, workers, func() *agm.Sketch {
+		return agm.New(seed, st.N(), cfg)
+	})
+}
+
+// NewKConnectivityParallel ingests st into a k-edge-connectivity
+// certificate sketch using `workers` goroutines over shards.
+func NewKConnectivityParallel(seed uint64, st Stream, k, workers int) (*KConnectivity, error) {
+	return parallel.Ingest(st, workers, func() *agm.KConnectivity {
+		return agm.NewKConnectivity(seed, st.N(), k)
+	})
+}
