@@ -247,6 +247,31 @@ func BenchmarkParallelIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestThroughput is the ingest trajectory benchmark tracked
+// in BENCH_ingest.json: updates/sec folding a churned dynamic stream
+// into an AGM forest sketch, at n ∈ {1k, 10k} vertices and 1 or 4
+// workers. It exercises the whole fast path of the batched ingest
+// stack — fixed-base power tables, shared per-round L0 families with
+// flattened cell storage, hint-routed endpoint updates, and batched
+// shard replay. (The n=10k instance is construction-heavy: sketch
+// allocation is part of what the trajectory tracks.)
+func BenchmarkIngestThroughput(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		g := graph.ConnectedGNP(n, 4.0/float64(n), benchSeed+40)
+		st := stream.WithChurn(g, 20000, benchSeed+41)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n%d/workers%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := NewForestSketchParallel(benchSeed+42, st, ForestConfig{}, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.Len()*b.N)/b.Elapsed().Seconds(), "updates/s")
+			})
+		}
+	}
+}
+
 // BenchmarkParallelSpanner measures the end-to-end two-pass spanner
 // with sharded concurrent passes at 1/2/4/8 workers.
 func BenchmarkParallelSpanner(b *testing.B) {

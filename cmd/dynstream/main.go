@@ -124,7 +124,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Sparsifier)
 
 	case "forest":
-		sk, err := parallel.Ingest(st, *workers, func() *agm.Sketch {
+		sk, err := parallel.IngestBatched(st, *workers, func() *agm.Sketch {
 			return agm.New(*seed, st.N(), agm.Config{})
 		})
 		if err != nil {
@@ -143,7 +143,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, g)
 
 	case "kcert":
-		kc, err := parallel.Ingest(st, *workers, func() *agm.KConnectivity {
+		kc, err := parallel.IngestBatched(st, *workers, func() *agm.KConnectivity {
 			return agm.NewKConnectivity(*seed, st.N(), *k)
 		})
 		if err != nil {
@@ -168,7 +168,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}); err != nil {
 			return err
 		}
-		m, err := parallel.Ingest(st, *workers, func() *agm.MSF {
+		m, err := parallel.IngestBatched(st, *workers, func() *agm.MSF {
 			return agm.NewMSF(*seed, st.N(), wmax, 0.5)
 		})
 		if err != nil {
@@ -189,7 +189,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, g)
 
 	case "bipartite":
-		b, err := parallel.Ingest(st, *workers, func() *agm.Bipartiteness {
+		b, err := parallel.IngestBatched(st, *workers, func() *agm.Bipartiteness {
 			return agm.NewBipartiteness(*seed, st.N())
 		})
 		if err != nil {

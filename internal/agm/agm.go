@@ -25,13 +25,20 @@ import (
 )
 
 // Sketch is the per-graph AGM connectivity sketch: `rounds` independent
-// L0-samplers per vertex, one consumed per Borůvka round.
+// L0-samplers per vertex, one consumed per Borůvka round. All samplers
+// of a round share one L0Family (hash functions, fingerprint power
+// tables, geometry) and their cell state is flattened into contiguous
+// per-round arrays, so New allocates O(rounds) objects instead of
+// n×rounds×levels.
 type Sketch struct {
 	seed   uint64
 	n      int
 	rounds int
+	fam    []*sketch.L0Family    // fam[r]: shared randomness of round r
 	samp   [][]*sketch.L0Sampler // samp[r][v]
 	perLvl int
+
+	hint sketch.L0Hint // scratch routing buffer reused across updates
 }
 
 // Config tunes the sketch.
@@ -57,16 +64,16 @@ func New(seed uint64, n int, cfg Config) *Sketch {
 	}
 	s := &Sketch{seed: seed, n: n, rounds: rounds, perLvl: perLvl}
 	universe := uint64(n) * uint64(n)
+	s.fam = make([]*sketch.L0Family, rounds)
 	s.samp = make([][]*sketch.L0Sampler, rounds)
 	for r := 0; r < rounds; r++ {
-		s.samp[r] = make([]*sketch.L0Sampler, n)
 		// All vertices share one projection per round: summing vertex
 		// sketches must equal sketching the summed incidence vectors,
-		// so the hash functions are a function of the round only.
+		// so the hash functions are a function of the round only — one
+		// family per round, cell state in one backing allocation.
 		roundSeed := hashing.Mix(seed, uint64(r))
-		for v := 0; v < n; v++ {
-			s.samp[r][v] = sketch.NewL0Sampler(roundSeed, universe, perLvl)
-		}
+		s.fam[r] = sketch.NewL0Family(roundSeed, universe, perLvl)
+		s.samp[r] = s.fam[r].NewSamplers(n)
 	}
 	return s
 }
@@ -75,9 +82,12 @@ func New(seed uint64, n int, cfg Config) *Sketch {
 func (s *Sketch) N() int { return s.n }
 
 // AddEdge folds an update for edge {u, v} with multiplicity delta into
-// both endpoint sketches with opposite signs.
+// both endpoint sketches with opposite signs. The two endpoint samplers
+// of a round share their family, so the update's routing (geometric
+// level, fingerprint powers, cell indices) is computed once per round
+// and replayed into both.
 func (s *Sketch) AddEdge(u, v int, delta int64) {
-	if u == v {
+	if u == v || delta == 0 {
 		return
 	}
 	a, b := u, v
@@ -86,14 +96,24 @@ func (s *Sketch) AddEdge(u, v int, delta int64) {
 	}
 	key := stream.PairKey(a, b, s.n)
 	for r := 0; r < s.rounds; r++ {
-		s.samp[r][a].Add(key, delta)
-		s.samp[r][b].Add(key, -delta)
+		s.fam[r].Hint(key, &s.hint)
+		s.samp[r][a].AddHint(key, delta, &s.hint)
+		s.samp[r][b].AddHint(key, -delta, &s.hint)
 	}
 }
 
 // AddUpdate folds a stream update.
 func (s *Sketch) AddUpdate(u stream.Update) {
 	s.AddEdge(u.U, u.V, int64(u.Delta))
+}
+
+// AddBatch folds a batch of stream updates; bit-identical to calling
+// AddUpdate per element. Batching lets callers amortize the replay
+// machinery (shard dispatch, bounds checks) over many updates.
+func (s *Sketch) AddBatch(batch []stream.Update) {
+	for _, u := range batch {
+		s.AddEdge(u.U, u.V, int64(u.Delta))
+	}
 }
 
 // SubtractEdges removes an explicit edge set from the sketch — the

@@ -58,6 +58,14 @@ func (kc *KConnectivity) AddEdge(u, v int, delta int64) {
 	}
 }
 
+// AddBatch folds a batch of stream updates into all k sketches;
+// bit-identical to calling AddUpdate per element.
+func (kc *KConnectivity) AddBatch(batch []stream.Update) {
+	for _, s := range kc.sketches {
+		s.AddBatch(batch)
+	}
+}
+
 // Merge adds another certificate sketch built with the same seed and
 // parameters; the result sketches the union of the two streams.
 func (kc *KConnectivity) Merge(o *KConnectivity) error {
@@ -145,6 +153,14 @@ func (b *Bipartiteness) AddUpdate(u stream.Update) {
 	// Double cover: (u,0)=u, (u,1)=u+n.
 	b.cover.AddEdge(u.U, u.V+b.n, d)
 	b.cover.AddEdge(u.U+b.n, u.V, d)
+}
+
+// AddBatch folds a batch of stream updates; bit-identical to calling
+// AddUpdate per element.
+func (b *Bipartiteness) AddBatch(batch []stream.Update) {
+	for _, u := range batch {
+		b.AddUpdate(u)
+	}
 }
 
 // Merge adds another tester built with the same seed; the result tests

@@ -59,6 +59,14 @@ func (m *MSF) AddUpdate(u stream.Update) {
 	}
 }
 
+// AddBatch folds a batch of weighted updates; bit-identical to calling
+// AddUpdate per element.
+func (m *MSF) AddBatch(batch []stream.Update) {
+	for _, u := range batch {
+		m.AddUpdate(u)
+	}
+}
+
 // Merge adds another MSF sketch built with the same seed and
 // parameters; the result sketches the union of the two streams.
 func (m *MSF) Merge(o *MSF) error {

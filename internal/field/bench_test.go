@@ -19,6 +19,33 @@ func BenchmarkPow(b *testing.B) {
 	_ = sink
 }
 
+func BenchmarkPowTable(b *testing.B) {
+	tab := NewPowTable(31337)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = tab.Pow(uint64(i) & 0xfffff)
+	}
+	_ = sink
+}
+
+func BenchmarkPowTableWide(b *testing.B) {
+	// Full 61-bit exponents: the worst case (all 16 windows populated).
+	tab := NewPowTable(31337)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = tab.Pow(P - 2 - uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkNewPowTable(b *testing.B) {
+	var sink *PowTable
+	for i := 0; i < b.N; i++ {
+		sink = NewPowTable(uint64(i) + 2)
+	}
+	_ = sink
+}
+
 func BenchmarkInv(b *testing.B) {
 	var sink uint64
 	for i := 0; i < b.N; i++ {

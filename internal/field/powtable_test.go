@@ -1,0 +1,53 @@
+package field
+
+import "testing"
+
+// splitmix64 clone, local to avoid an import cycle with hashing.
+type tRng struct{ s uint64 }
+
+func (r *tRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func TestPowTableMatchesPow(t *testing.T) {
+	rng := tRng{s: 0x9d9d}
+	bases := []uint64{0, 1, 2, 3, P - 1, P, P + 5, rng.next(), rng.next()}
+	exps := []uint64{0, 1, 2, 15, 16, 17, 255, 256, P - 2, P - 1, P, ^uint64(0)}
+	for _, b := range bases {
+		tab := NewPowTable(b)
+		if tab.Base() != Reduce(b) {
+			t.Fatalf("Base() = %d, want %d", tab.Base(), Reduce(b))
+		}
+		for _, e := range exps {
+			if got, want := tab.Pow(e), Pow(b, e); got != want {
+				t.Fatalf("PowTable(%d).Pow(%d) = %d, want %d", b, e, got, want)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		b, e := rng.next(), rng.next()
+		tab := NewPowTable(b)
+		if got, want := tab.Pow(e), Pow(b, e); got != want {
+			t.Fatalf("PowTable(%d).Pow(%d) = %d, want %d", b, e, got, want)
+		}
+	}
+}
+
+func TestPowTableInverseConsistency(t *testing.T) {
+	// tab.Pow(P-2) must invert the base, same as Inv.
+	rng := tRng{s: 0x1111}
+	for i := 0; i < 100; i++ {
+		b := Reduce(rng.next())
+		if b == 0 {
+			continue
+		}
+		tab := NewPowTable(b)
+		if got, want := tab.Pow(P-2), Inv(b); got != want {
+			t.Fatalf("table inverse of %d = %d, want %d", b, got, want)
+		}
+	}
+}

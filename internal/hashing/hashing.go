@@ -13,7 +13,11 @@
 // algorithm is O(1) words.
 package hashing
 
-import "dynstream/internal/field"
+import (
+	"math/bits"
+
+	"dynstream/internal/field"
+)
 
 // SplitMix64 is a tiny, fast, seedable PRNG with a 64-bit state. It is
 // used to derive independent sub-seeds for the many hash functions an
@@ -136,14 +140,11 @@ func (p *Poly) Bernoulli(x uint64, rate float64) bool {
 // standard space-saving variant (as in [AGM12a]) and preserves the only
 // property the analysis uses — that E[|S ∩ E_j|] = |S| 2^-j at each j.
 func (p *Poly) Level(x uint64) int {
-	h := p.Hash(x)
-	// Use the top 60 bits of the field element as the uniform string.
-	level := 0
-	for bit := uint(60); bit > 0; bit-- {
-		if h&(1<<(bit-1)) != 0 {
-			break
-		}
-		level++
+	// Use the low 60 bits of the field element as the uniform string and
+	// count its leading zeros in O(1); an all-zero string is level 60.
+	h := p.Hash(x) & (1<<60 - 1)
+	if h == 0 {
+		return 60
 	}
-	return level
+	return bits.LeadingZeros64(h) - 4
 }

@@ -1,0 +1,28 @@
+package hashing
+
+import "testing"
+
+// levelReference is the original bit-scan implementation of Poly.Level,
+// kept as the specification the O(1) math/bits version must match.
+func levelReference(p *Poly, x uint64) int {
+	h := p.Hash(x)
+	level := 0
+	for bit := uint(60); bit > 0; bit-- {
+		if h&(1<<(bit-1)) != 0 {
+			break
+		}
+		level++
+	}
+	return level
+}
+
+func TestLevelMatchesReference(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		p := NewPoly(Mix(seed, 0x1ab), 8)
+		for x := uint64(0); x < 20000; x++ {
+			if got, want := p.Level(x), levelReference(p, x); got != want {
+				t.Fatalf("seed %d: Level(%d) = %d, want %d", seed, x, got, want)
+			}
+		}
+	}
+}

@@ -21,6 +21,14 @@ type State[S any] interface {
 	Merge(S) error
 }
 
+// BatchState is a linear sketch state that can ingest whole update
+// batches — the fast path: one virtual dispatch and one shard-replay
+// round trip per batch instead of per update.
+type BatchState[S any] interface {
+	AddBatch([]stream.Update)
+	Merge(S) error
+}
+
 // Ingest splits st into `workers` round-robin shards, feeds each shard
 // into its own fresh state on its own goroutine, and merges the
 // per-shard states into one. newState must return states built from
@@ -33,6 +41,35 @@ func Ingest[S State[S]](st stream.Stream, workers int, newState func() S) (S, er
 		func() (S, error) { return newState(), nil },
 		func(s S, u stream.Update) error { s.AddUpdate(u); return nil },
 		func(dst, src S) error { return dst.Merge(src) })
+}
+
+// IngestBatched is Ingest over the batched update API: each worker
+// buffers its shard into stream.DefaultBatchSize slices and hands them
+// to AddBatch. Because every AddBatch in this repository is defined as
+// the per-update fold, the result is bit-identical to Ingest (and to
+// single-threaded ingestion) — only faster.
+func IngestBatched[S BatchState[S]](st stream.Stream, workers int, newState func() S) (S, error) {
+	return IngestBatchedFunc(st, workers,
+		func() (S, error) { return newState(), nil },
+		func(s S, batch []stream.Update) error { s.AddBatch(batch); return nil },
+		func(dst, src S) error { return dst.Merge(src) })
+}
+
+// IngestBatchedFunc is IngestFunc with batched delivery: update
+// receives slices of at most stream.DefaultBatchSize updates in shard
+// order. The batch slice is reused between calls.
+func IngestBatchedFunc[S any](
+	st stream.Stream,
+	workers int,
+	newState func() (S, error),
+	update func(S, []stream.Update) error,
+	merge func(dst, src S) error,
+) (S, error) {
+	return ingest(st, workers, newState, merge, func(s S, shard stream.Stream) error {
+		return stream.ReplayBatches(shard, 0, func(batch []stream.Update) error {
+			return update(s, batch)
+		})
+	})
 }
 
 // IngestFunc is the generalized sharded-ingest pipeline for states
@@ -48,6 +85,23 @@ func IngestFunc[S any](
 	update func(S, stream.Update) error,
 	merge func(dst, src S) error,
 ) (S, error) {
+	return ingest(st, workers, newState, merge, func(s S, shard stream.Stream) error {
+		return shard.Replay(func(u stream.Update) error { return update(s, u) })
+	})
+}
+
+// ingest is the shared sharded-ingest skeleton: shard validation and
+// splitting, the per-shard goroutines, deterministic error selection,
+// and the shard-order merge. run feeds one shard into one state —
+// update-at-a-time or batched, the only point where the two pipelines
+// differ.
+func ingest[S any](
+	st stream.Stream,
+	workers int,
+	newState func() (S, error),
+	merge func(dst, src S) error,
+	run func(S, stream.Stream) error,
+) (S, error) {
 	var zero S
 	if workers < 1 {
 		return zero, fmt.Errorf("parallel: workers must be >= 1, got %d", workers)
@@ -57,7 +111,7 @@ func IngestFunc[S any](
 		if err != nil {
 			return zero, err
 		}
-		if err := st.Replay(func(u stream.Update) error { return update(s, u) }); err != nil {
+		if err := run(s, st); err != nil {
 			return zero, err
 		}
 		return s, nil
@@ -78,7 +132,7 @@ func IngestFunc[S any](
 				errs[i] = err
 				return
 			}
-			errs[i] = shards[i].Replay(func(u stream.Update) error { return update(s, u) })
+			errs[i] = run(s, shards[i])
 			states[i] = s
 		}(i)
 	}

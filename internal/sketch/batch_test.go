@@ -1,0 +1,243 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"dynstream/internal/field"
+	"dynstream/internal/hashing"
+)
+
+// The batched update APIs must be bit-for-bit identical to repeated
+// single updates: same cells, same marshaled bytes, same decodes. The
+// workloads below exercise random signed streams and churn
+// (insert-then-delete) streams, the two regimes the ingest fast path
+// optimizes.
+
+// batchWorkload returns a seeded update stream with churn: every key
+// appears with mixed signs, and a suffix deletes earlier insertions so
+// cancellation paths are exercised.
+func batchWorkload(seed uint64, n int, universe uint64) (keys []uint64, deltas []int64) {
+	rng := hashing.NewSplitMix64(seed)
+	for i := 0; i < n; i++ {
+		k := rng.Next() % universe
+		d := int64(1)
+		if rng.Next()%2 == 0 {
+			d = -1
+		}
+		keys = append(keys, k)
+		deltas = append(deltas, d)
+		if rng.Next()%4 == 0 { // churn: immediately revert
+			keys = append(keys, k)
+			deltas = append(deltas, -d)
+		}
+	}
+	return keys, deltas
+}
+
+func TestSketchBAddBatchEquivalence(t *testing.T) {
+	keys, deltas := batchWorkload(0x5ee1, 4000, 1<<30)
+	one := NewSketchB(0xbadc, 16)
+	for i := range keys {
+		one.Add(keys[i], deltas[i])
+	}
+	batched := NewSketchB(0xbadc, 16)
+	for i := 0; i < len(keys); i += 97 { // ragged batch sizes
+		end := i + 97
+		if end > len(keys) {
+			end = len(keys)
+		}
+		batched.AddBatch(keys[i:end], deltas[i:end])
+	}
+	b1, err := one.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := batched.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("AddBatch state differs from repeated Add")
+	}
+}
+
+func TestSketchBAddFkeyEquivalence(t *testing.T) {
+	keys, deltas := batchWorkload(0x1234, 2000, 1<<40)
+	one := NewSketchB(0xfeed, 8)
+	two := NewSketchB(0xfeed, 8)
+	for i := range keys {
+		one.Add(keys[i], deltas[i])
+		two.AddFkey(keys[i], deltas[i], two.Fkey(keys[i]))
+	}
+	b1, _ := one.MarshalBinary()
+	b2, _ := two.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("AddFkey state differs from Add")
+	}
+}
+
+func TestL0SamplerAddBatchEquivalence(t *testing.T) {
+	keys, deltas := batchWorkload(0xc0ffee, 3000, 1<<20)
+	one := NewL0Sampler(0x11, 1<<20, 4)
+	for i := range keys {
+		one.Add(keys[i], deltas[i])
+	}
+	batched := NewL0Sampler(0x11, 1<<20, 4)
+	for i := 0; i < len(keys); i += 64 {
+		end := i + 64
+		if end > len(keys) {
+			end = len(keys)
+		}
+		batched.AddBatch(keys[i:end], deltas[i:end])
+	}
+	b1, err := one.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := batched.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("L0Sampler AddBatch state differs from repeated Add")
+	}
+	k1, w1, ok1 := one.Sample()
+	k2, w2, ok2 := batched.Sample()
+	if k1 != k2 || w1 != w2 || ok1 != ok2 {
+		t.Fatalf("samples differ: (%d,%d,%v) vs (%d,%d,%v)", k1, w1, ok1, k2, w2, ok2)
+	}
+}
+
+func TestL0FamilySamplersMatchStandalone(t *testing.T) {
+	// Samplers sliced out of a family's flat backing must be
+	// indistinguishable from standalone NewL0Sampler instances.
+	fam := NewL0Family(0xabcd, 1<<16, 4)
+	shared := fam.NewSamplers(3)
+	keys, deltas := batchWorkload(0x42, 2000, 1<<16)
+	for i := range shared {
+		solo := NewL0Sampler(0xabcd, 1<<16, 4)
+		for j := range keys {
+			if j%3 == i {
+				solo.Add(keys[j], deltas[j])
+				shared[i].Add(keys[j], deltas[j])
+			}
+		}
+		b1, _ := solo.MarshalBinary()
+		b2, _ := shared[i].MarshalBinary()
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("family sampler %d differs from standalone", i)
+		}
+	}
+}
+
+func TestL0HintEquivalence(t *testing.T) {
+	fam := NewL0Family(0x77, 1<<18, 4)
+	plain := fam.NewSampler()
+	hinted := fam.NewSampler()
+	keys, deltas := batchWorkload(0x31337, 2500, 1<<18)
+	var h L0Hint
+	for i := range keys {
+		plain.Add(keys[i], deltas[i])
+		if deltas[i] != 0 {
+			fam.Hint(keys[i], &h)
+			hinted.AddHint(keys[i], deltas[i], &h)
+		}
+	}
+	b1, _ := plain.MarshalBinary()
+	b2, _ := hinted.MarshalBinary()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("AddHint state differs from Add")
+	}
+}
+
+func TestKeyedEdgeSketchAddBatchEquivalence(t *testing.T) {
+	const n = 300
+	rng := hashing.NewSplitMix64(0x909)
+	var batch []KeyedEdgeUpdate
+	for i := 0; i < 3000; i++ {
+		u := KeyedEdgeUpdate{
+			W: int(rng.Next() % n), V: int(rng.Next() % n), Delta: 1,
+		}
+		if rng.Next()%2 == 0 {
+			u.Delta = -1
+		}
+		batch = append(batch, u)
+		if rng.Next()%4 == 0 { // churn
+			rev := u
+			rev.Delta = -u.Delta
+			batch = append(batch, rev)
+		}
+	}
+	one := NewKeyedEdgeSketch(0x66, n, 64)
+	for _, u := range batch {
+		one.Add(u.W, u.V, u.Delta)
+	}
+	batched := NewKeyedEdgeSketch(0x66, n, 64)
+	for i := 0; i < len(batch); i += 113 {
+		end := i + 113
+		if end > len(batch) {
+			end = len(batch)
+		}
+		batched.AddBatch(batch[i:end])
+	}
+	if len(one.buckets) != len(batched.buckets) {
+		t.Fatal("geometry mismatch")
+	}
+	for i := range one.buckets {
+		if one.buckets[i] != batched.buckets[i] {
+			t.Fatalf("bucket %d differs after AddBatch", i)
+		}
+	}
+	for v := 0; v < n; v++ {
+		w1, ok1 := one.DecodeKey(v)
+		w2, ok2 := batched.DecodeKey(v)
+		if w1 != w2 || ok1 != ok2 {
+			t.Fatalf("DecodeKey(%d) differs: (%d,%v) vs (%d,%v)", v, w1, ok1, w2, ok2)
+		}
+	}
+}
+
+func TestF0AddBatchEquivalence(t *testing.T) {
+	keys, deltas := batchWorkload(0xf0f0, 4000, 1<<16)
+	one := NewF0(0x21, 1<<16)
+	for i := range keys {
+		one.Add(keys[i], deltas[i])
+	}
+	batched := NewF0(0x21, 1<<16)
+	for i := 0; i < len(keys); i += 200 {
+		end := i + 200
+		if end > len(keys) {
+			end = len(keys)
+		}
+		batched.AddBatch(keys[i:end], deltas[i:end])
+	}
+	for j := range one.acc {
+		for b := range one.acc[j] {
+			if one.acc[j][b] != batched.acc[j][b] {
+				t.Fatalf("F0 accumulator (%d,%d) differs", j, b)
+			}
+		}
+	}
+}
+
+func TestCellDecodeTableMatchesDecode(t *testing.T) {
+	rng := hashing.NewSplitMix64(0x3c3c)
+	for trial := 0; trial < 200; trial++ {
+		base := rng.Next()
+		var c Cell
+		// One-sparse, two-sparse, and empty cells.
+		nItems := int(rng.Next() % 3)
+		tab := field.NewPowTable(base)
+		for i := 0; i < nItems; i++ {
+			key := rng.Next() % (1 << 48)
+			c.Update(key, int64(1+rng.Next()%3), tab.Pow(field.Reduce(key)))
+		}
+		k1, w1, ok1 := c.Decode(tab.Base())
+		k2, w2, ok2 := c.DecodeTable(tab)
+		if k1 != k2 || w1 != w2 || ok1 != ok2 {
+			t.Fatalf("trial %d: Decode (%d,%d,%v) != DecodeTable (%d,%d,%v)",
+				trial, k1, w1, ok1, k2, w2, ok2)
+		}
+	}
+}

@@ -84,3 +84,19 @@ func (c *Cell) Decode(r uint64) (key uint64, weight int64, ok bool) {
 	}
 	return key, c.count, true
 }
+
+// DecodeTable is Decode with the fingerprint power computed through a
+// precomputed table for the base — the fast path used by peeling
+// decoders, which evaluate one power per cell per sweep. The result is
+// bit-identical to Decode(tab.Base()).
+func (c *Cell) DecodeTable(tab *field.PowTable) (key uint64, weight int64, ok bool) {
+	if c.count == 0 {
+		return 0, 0, false
+	}
+	cf := field.FromInt64(c.count)
+	key = field.Mul(c.keySum, field.Inv(cf))
+	if field.Mul(cf, tab.Pow(key)) != c.fing {
+		return 0, 0, false
+	}
+	return key, c.count, true
+}

@@ -69,6 +69,17 @@ func (f *F0) Add(key uint64, delta int64) {
 	}
 }
 
+// AddBatch folds a batch of updates; bit-identical to calling Add per
+// element. keys and deltas must have equal length. (F0 has no
+// fingerprint powers to amortize — its per-update cost is the level
+// hash plus one bucket/coefficient hash per surviving level — but the
+// batched entry point keeps the ingest stack uniform.)
+func (f *F0) AddBatch(keys []uint64, deltas []int64) {
+	for i, key := range keys {
+		f.Add(key, deltas[i])
+	}
+}
+
 // Merge adds another estimator built with the same seed.
 func (f *F0) Merge(o *F0) {
 	for j := range f.acc {

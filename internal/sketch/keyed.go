@@ -40,6 +40,8 @@ type KeyedEdgeSketch struct {
 	rowHash  []*hashing.Poly
 	keyBase  uint64
 	edgeBase uint64
+	keyTab   *field.PowTable
+	edgeTab  *field.PowTable
 
 	recovered map[uint64]keyedBucket
 	dirty     bool
@@ -76,14 +78,15 @@ func (b *keyedBucket) sub(o keyedBucket) {
 
 // pureKey reports whether all mass in the bucket belongs to a single
 // key, and returns that key. It is a polynomial-identity fingerprint
-// test, sound except with probability ≤ poly(n)/p.
-func (b *keyedBucket) pureKey(keyBase uint64) (key uint64, ok bool) {
+// test, sound except with probability ≤ poly(n)/p. keyTab is the power
+// table of the sketch's key fingerprint base.
+func (b *keyedBucket) pureKey(keyTab *field.PowTable) (key uint64, ok bool) {
 	if b.edgeCount == 0 {
 		return 0, false
 	}
 	cf := field.FromInt64(b.edgeCount)
 	key = field.Mul(b.keySum, field.Inv(cf))
-	if b.keyFing != field.Mul(cf, field.Pow(keyBase, key)) {
+	if b.keyFing != field.Mul(cf, keyTab.Pow(key)) {
 		return 0, false
 	}
 	return key, true
@@ -114,6 +117,8 @@ func NewKeyedEdgeSketch(seed uint64, n, capacity int) *KeyedEdgeSketch {
 	if t.edgeBase < 2 {
 		t.edgeBase = 2
 	}
+	t.keyTab = field.NewPowTable(t.keyBase)
+	t.edgeTab = field.NewPowTable(t.edgeBase)
 	for r := 0; r < rows; r++ {
 		t.rowHash[r] = hashing.NewPoly(hashing.Mix(seed, 0xcc, uint64(r)), 6)
 	}
@@ -137,12 +142,26 @@ func (t *KeyedEdgeSketch) Add(w, v int, delta int64) {
 	upd := keyedBucket{
 		edgeCount: delta,
 		keySum:    field.Mul(d, field.Reduce(key)),
-		keyFing:   field.Mul(d, field.Pow(t.keyBase, key)),
+		keyFing:   field.Mul(d, t.keyTab.Pow(key)),
 		edgeSum:   field.Mul(d, field.Reduce(e)),
-		edgeFing:  field.Mul(d, field.Pow(t.edgeBase, field.Reduce(e))),
+		edgeFing:  field.Mul(d, t.edgeTab.Pow(field.Reduce(e))),
 	}
 	for r := 0; r < t.rows; r++ {
 		t.buckets[r*t.cells+t.rowHash[r].Bucket(key, t.cells)].merge(upd)
+	}
+}
+
+// KeyedEdgeUpdate is one (w, v, delta) edge update for AddBatch.
+type KeyedEdgeUpdate struct {
+	W, V  int
+	Delta int64
+}
+
+// AddBatch folds a batch of edge updates; bit-identical to calling Add
+// per element.
+func (t *KeyedEdgeSketch) AddBatch(batch []KeyedEdgeUpdate) {
+	for _, u := range batch {
+		t.Add(u.W, u.V, u.Delta)
 	}
 }
 
@@ -179,7 +198,7 @@ func (t *KeyedEdgeSketch) peel() {
 			if work[i].isZero() {
 				continue
 			}
-			key, ok := work[i].pureKey(t.keyBase)
+			key, ok := work[i].pureKey(t.keyTab)
 			if !ok {
 				continue
 			}
@@ -214,7 +233,7 @@ func (t *KeyedEdgeSketch) DecodeKey(v int) (w int, ok bool) {
 	}
 	cf := field.FromInt64(b.edgeCount)
 	e := field.Mul(b.edgeSum, field.Inv(cf))
-	if b.edgeFing != field.Mul(cf, field.Pow(t.edgeBase, e)) {
+	if b.edgeFing != field.Mul(cf, t.edgeTab.Pow(e)) {
 		return 0, false
 	}
 	wID := int(e / uint64(t.n))

@@ -1,8 +1,111 @@
 package sketch
 
 import (
+	"dynstream/internal/field"
 	"dynstream/internal/hashing"
 )
+
+// L0Family is the immutable randomness and geometry shared by every
+// L0Sampler built from one (seed, universe, perLevel) triple: the level
+// hash, the tie-break hash, and one SketchB shape (hash rows +
+// fingerprint power table) per geometric level. The AGM sketch keeps n
+// samplers per Borůvka round, all from the same family — sharing the
+// family makes construction O(1) hash/table objects per round instead
+// of O(n·levels), and lets one update's routing (level, fingerprint
+// powers, cell indices) be computed once and replayed into any sampler
+// of the family (see Hint / AddHint).
+type L0Family struct {
+	seed      uint64
+	universe  uint64
+	perLevel  int
+	rows      int // uniform across levels (same perLevel everywhere)
+	levelHash *hashing.Poly
+	choiceFn  *hashing.Poly
+	levels    []*sketchBShape
+}
+
+// NewL0Family derives the family exactly as NewL0Sampler always did, so
+// samplers over a shared family are bit-identical to standalone ones.
+func NewL0Family(seed uint64, universe uint64, perLevel int) *L0Family {
+	nLevels := 2
+	for u := universe; u > 1; u >>= 1 {
+		nLevels++
+	}
+	if perLevel < 2 {
+		perLevel = 2
+	}
+	f := &L0Family{
+		seed:      seed,
+		universe:  universe,
+		perLevel:  perLevel,
+		levelHash: hashing.NewPoly(hashing.Mix(seed, 0x10), 8),
+		choiceFn:  hashing.NewPoly(hashing.Mix(seed, 0xc4), 6),
+		levels:    make([]*sketchBShape, nLevels),
+	}
+	for j := range f.levels {
+		f.levels[j] = newSketchBShape(hashing.Mix(seed, 0x1b, uint64(j)), perLevel, SketchConfig{})
+	}
+	f.rows = f.levels[0].rows
+	return f
+}
+
+// NewSampler returns a zeroed sampler of the family. Level sketches are
+// materialized lazily: a nil levels[j] is a sketch of the zero vector,
+// allocated only when an update first routes into it. Geometric
+// sampling makes the population extremely sparse — level j of a vertex
+// sampler is touched with probability ~2^-j per incident update — so
+// lazy materialization is what keeps construction of large sketch
+// arrays (agm.New at n=10k allocates n×rounds samplers) from zeroing
+// gigabytes of never-touched cells.
+func (f *L0Family) NewSampler() *L0Sampler {
+	return &L0Sampler{fam: f, levels: make([]*SketchB, len(f.levels))}
+}
+
+// NewSamplers returns n zeroed samplers backed by two contiguous
+// allocations (the sampler structs and their level-pointer slices) —
+// agm.New calls this once per round instead of allocating
+// n×levels objects. Cell state materializes lazily per touched level.
+func (f *L0Family) NewSamplers(n int) []*L0Sampler {
+	samplers := make([]L0Sampler, n)
+	levels := make([]*SketchB, n*len(f.levels))
+	out := make([]*L0Sampler, n)
+	for i := range samplers {
+		samplers[i] = L0Sampler{fam: f, levels: levels[i*len(f.levels) : (i+1)*len(f.levels) : (i+1)*len(f.levels)]}
+		out[i] = &samplers[i]
+	}
+	return out
+}
+
+// L0Hint is the key-dependent routing of one update, valid for every
+// sampler of the family that produced it: the geometric level, and per
+// surviving level the fingerprint power and the target cell index per
+// hash row. Computing it once and applying it to several samplers (the
+// two endpoints of an AGM edge update) halves the hash work; reusing
+// the hint buffer across updates keeps ingest allocation-free.
+type L0Hint struct {
+	level int
+	fkeys []uint64
+	cells []int32 // (level+1)×rows target indices, row-major per level
+}
+
+// Hint fills h with the routing of key. Slices are reused across calls.
+func (f *L0Family) Hint(key uint64, h *L0Hint) {
+	lv := f.levelHash.Level(key)
+	if lv >= len(f.levels) {
+		lv = len(f.levels) - 1
+	}
+	h.level = lv
+	h.fkeys = h.fkeys[:0]
+	h.cells = h.cells[:0]
+	red := field.Reduce(key)
+	for j := 0; j <= lv; j++ {
+		sh := f.levels[j]
+		h.fkeys = append(h.fkeys, sh.tab().Pow(red))
+		for r := 0; r < sh.rows; r++ {
+			h.cells = append(h.cells, int32(r*sh.cols+sh.hashes[r].Bucket(key, sh.cols)))
+		}
+	}
+}
 
 // L0Sampler recovers one element of the support of a signed integer
 // vector presented as a dynamic stream. The paper references
@@ -16,37 +119,26 @@ import (
 // from the sparsest level down and returns an element of the first
 // level that decodes to a nonempty vector.
 type L0Sampler struct {
-	seed      uint64
-	universe  uint64
-	perLevel  int
-	levels    []*SketchB
-	levelHash *hashing.Poly
-	choiceFn  *hashing.Poly
+	fam    *L0Family
+	levels []*SketchB
 }
 
 // NewL0Sampler creates a sampler for keys from a universe of the given
 // size. perLevel is the sparse-recovery budget at each level; 4–8 is
 // plenty because some level has Θ(1) expected survivors.
 func NewL0Sampler(seed uint64, universe uint64, perLevel int) *L0Sampler {
-	nLevels := 2
-	for u := universe; u > 1; u >>= 1 {
-		nLevels++
+	return NewL0Family(seed, universe, perLevel).NewSampler()
+}
+
+// Family returns the shared randomness/geometry of the sampler.
+func (s *L0Sampler) Family() *L0Family { return s.fam }
+
+// level materializes and returns level j (nil means zero sketch).
+func (s *L0Sampler) level(j int) *SketchB {
+	if s.levels[j] == nil {
+		s.levels[j] = s.fam.levels[j].instance()
 	}
-	if perLevel < 2 {
-		perLevel = 2
-	}
-	s := &L0Sampler{
-		seed:      seed,
-		universe:  universe,
-		perLevel:  perLevel,
-		levels:    make([]*SketchB, nLevels),
-		levelHash: hashing.NewPoly(hashing.Mix(seed, 0x10), 8),
-		choiceFn:  hashing.NewPoly(hashing.Mix(seed, 0xc4), 6),
-	}
-	for j := range s.levels {
-		s.levels[j] = NewSketchB(hashing.Mix(seed, 0x1b, uint64(j)), perLevel)
-	}
-	return s
+	return s.levels[j]
 }
 
 // Add folds x[key] += delta into the sampler.
@@ -54,20 +146,54 @@ func (s *L0Sampler) Add(key uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	lv := s.levelHash.Level(key)
+	lv := s.fam.levelHash.Level(key)
 	if lv >= len(s.levels) {
 		lv = len(s.levels) - 1
 	}
+	red := field.Reduce(key)
 	for j := 0; j <= lv; j++ {
-		s.levels[j].Add(key, delta)
+		s.level(j).AddFkey(key, delta, s.fam.levels[j].tab().Pow(red))
+	}
+}
+
+// AddBatch folds a batch of updates; bit-identical to calling Add per
+// element. keys and deltas must have equal length.
+func (s *L0Sampler) AddBatch(keys []uint64, deltas []int64) {
+	var h L0Hint
+	for i, key := range keys {
+		if deltas[i] == 0 {
+			continue
+		}
+		s.fam.Hint(key, &h)
+		s.AddHint(key, deltas[i], &h)
+	}
+}
+
+// AddHint folds x[key] += delta using a routing hint produced by this
+// sampler's family for the same key; bit-identical to Add(key, delta).
+func (s *L0Sampler) AddHint(key uint64, delta int64, h *L0Hint) {
+	if delta == 0 {
+		return
+	}
+	rows := s.fam.rows
+	for j := 0; j <= h.level; j++ {
+		s.level(j).addRouted(key, delta, h.fkeys[j], h.cells[j*rows:(j+1)*rows])
 	}
 }
 
 // Merge adds another sampler built with the same seed; the result
-// samples from the support of the summed vectors.
+// samples from the support of the summed vectors. A nil level on
+// either side is a zero sketch: merging it is a no-op (other side nil)
+// or a copy (own side nil).
 func (s *L0Sampler) Merge(o *L0Sampler) error {
+	if len(s.levels) != len(o.levels) {
+		return errIncompatible
+	}
 	for j := range s.levels {
-		if err := s.levels[j].Merge(o.levels[j]); err != nil {
+		if o.levels[j] == nil {
+			continue
+		}
+		if err := s.level(j).Merge(o.levels[j]); err != nil {
 			return err
 		}
 	}
@@ -76,26 +202,28 @@ func (s *L0Sampler) Merge(o *L0Sampler) error {
 
 // Sub subtracts another sampler built with the same seed.
 func (s *L0Sampler) Sub(o *L0Sampler) error {
+	if len(s.levels) != len(o.levels) {
+		return errIncompatible
+	}
 	for j := range s.levels {
-		if err := s.levels[j].Sub(o.levels[j]); err != nil {
+		if o.levels[j] == nil {
+			continue
+		}
+		if err := s.level(j).Sub(o.levels[j]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (the immutable family is shared; zero
+// levels stay unmaterialized).
 func (s *L0Sampler) Clone() *L0Sampler {
-	c := &L0Sampler{
-		seed:      s.seed,
-		universe:  s.universe,
-		perLevel:  s.perLevel,
-		levels:    make([]*SketchB, len(s.levels)),
-		levelHash: s.levelHash,
-		choiceFn:  s.choiceFn,
-	}
+	c := &L0Sampler{fam: s.fam, levels: make([]*SketchB, len(s.levels))}
 	for j := range s.levels {
-		c.levels[j] = s.levels[j].Clone()
+		if s.levels[j] != nil {
+			c.levels[j] = s.levels[j].Clone()
+		}
 	}
 	return c
 }
@@ -105,6 +233,9 @@ func (s *L0Sampler) Clone() *L0Sampler {
 // 1/poly(n) probability event for nonzero vectors.
 func (s *L0Sampler) Sample() (key uint64, weight int64, ok bool) {
 	for j := len(s.levels) - 1; j >= 0; j-- {
+		if s.levels[j] == nil {
+			continue // zero sketch: decodes to the empty vector
+		}
 		items, decoded := s.levels[j].Decode()
 		if !decoded {
 			// Overloaded level: denser levels are hopeless too only in
@@ -125,7 +256,7 @@ func (s *L0Sampler) Sample() (key uint64, weight int64, ok bool) {
 			first   = true
 		)
 		for k, w := range items {
-			h := s.choiceFn.Hash(k)
+			h := s.fam.choiceFn.Hash(k)
 			if first || h < bestH {
 				bestKey, bestW, bestH, first = k, w, h, false
 			}
@@ -135,11 +266,18 @@ func (s *L0Sampler) Sample() (key uint64, weight int64, ok bool) {
 	return 0, 0, false
 }
 
-// SpaceWords returns the memory footprint in 64-bit words.
+// SpaceWords returns the memory footprint in 64-bit words. Zero levels
+// count at full size: this is the paper-facing space accounting, which
+// describes the sketch as a linear projection independent of how
+// sparsely the implementation materializes it.
 func (s *L0Sampler) SpaceWords() int {
 	w := 2
-	for _, lv := range s.levels {
-		w += lv.SpaceWords()
+	for j, lv := range s.levels {
+		if lv == nil {
+			w += 3*s.fam.levels[j].cells() + 4
+		} else {
+			w += lv.SpaceWords()
+		}
 	}
 	return w
 }

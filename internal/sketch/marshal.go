@@ -48,85 +48,123 @@ func (r *rbuf) i64() (int64, error) {
 	return int64(v), err
 }
 
-// MarshalBinary encodes the sketch: parameters plus linear state.
+// MarshalBinary encodes the sketch: parameters plus linear state. The
+// wire format is cell-interleaved (count, keySum, fing per cell),
+// independent of the in-memory structure-of-arrays layout.
 func (s *SketchB) MarshalBinary() ([]byte, error) {
 	w := &wbuf{}
 	w.u64(tagSketchB)
-	w.u64(s.seed)
-	w.u64(uint64(s.capacity))
-	w.u64(uint64(s.rows))
-	w.u64(uint64(s.cols))
-	for i := range s.cells {
-		w.i64(s.cells[i].count)
-		w.u64(s.cells[i].keySum)
-		w.u64(s.cells[i].fing)
+	w.u64(s.shape.seed)
+	w.u64(uint64(s.shape.capacity))
+	w.u64(uint64(s.shape.rows))
+	w.u64(uint64(s.shape.cols))
+	for i := range s.counts {
+		w.i64(s.counts[i])
+		w.u64(s.keySums[i])
+		w.u64(s.fings[i])
 	}
 	return w.b, nil
 }
 
 // UnmarshalBinary decodes a sketch previously encoded with
 // MarshalBinary, reconstructing hash functions from the stored seed.
+// If the receiver already has a shape with matching parameters (e.g. a
+// family-backed sketch being refilled over the wire), it is reused
+// instead of re-deriving hashes and power tables.
 func (s *SketchB) UnmarshalBinary(data []byte) error {
-	r := &rbuf{b: data}
-	tag, err := r.u64()
-	if err != nil || tag != tagSketchB {
-		return fmt.Errorf("sketch: not a SketchB encoding: %w", errCorrupt)
-	}
-	seed, err := r.u64()
+	rebuilt, err := unmarshalSketchB(data, s.shape)
 	if err != nil {
 		return err
-	}
-	capacity, err := r.u64()
-	if err != nil {
-		return err
-	}
-	rows, err := r.u64()
-	if err != nil {
-		return err
-	}
-	cols, err := r.u64()
-	if err != nil {
-		return err
-	}
-	if rows == 0 || cols == 0 || rows > 16 || cols > 1<<30 {
-		return errCorrupt
-	}
-	// Rebuild structure exactly as the constructor would, then adopt
-	// the explicit geometry (which may differ from defaults).
-	rebuilt := NewSketchBConfig(seed, int(capacity), SketchConfig{Rows: int(rows)})
-	rebuilt.cols = int(cols)
-	rebuilt.cells = make([]Cell, int(rows)*int(cols))
-	for i := range rebuilt.cells {
-		c := &rebuilt.cells[i]
-		if c.count, err = r.i64(); err != nil {
-			return err
-		}
-		if c.keySum, err = r.u64(); err != nil {
-			return err
-		}
-		if c.fing, err = r.u64(); err != nil {
-			return err
-		}
-	}
-	if len(r.b) != 0 {
-		return errCorrupt
 	}
 	*s = *rebuilt
 	return nil
+}
+
+// unmarshalSketchB decodes a SketchB encoding. hint, when non-nil and
+// matching the encoded parameters, supplies the shape; otherwise the
+// shape is derived exactly as the constructor would, with the explicit
+// geometry (which may differ from defaults) adopted afterwards.
+func unmarshalSketchB(data []byte, hint *sketchBShape) (*SketchB, error) {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagSketchB {
+		return nil, fmt.Errorf("sketch: not a SketchB encoding: %w", errCorrupt)
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	capacity, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 || rows > 16 || cols > 1<<30 {
+		return nil, errCorrupt
+	}
+	shape := hint
+	if shape == nil || shape.seed != seed || shape.capacity != int(capacity) ||
+		shape.rows != int(rows) || shape.cols != int(cols) {
+		shape = newSketchBShape(seed, int(capacity), SketchConfig{Rows: int(rows)})
+		shape.cols = int(cols)
+	}
+	rebuilt := shape.instance()
+	for i := range rebuilt.counts {
+		if rebuilt.counts[i], err = r.i64(); err != nil {
+			return nil, err
+		}
+		if rebuilt.keySums[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+		if rebuilt.fings[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	if len(r.b) != 0 {
+		return nil, errCorrupt
+	}
+	return rebuilt, nil
+}
+
+// marshalZero returns the encoding of a zeroed sketch of this shape —
+// what an unmaterialized (nil) level serializes as, byte-identical to
+// marshaling a materialized all-zero sketch.
+func (sh *sketchBShape) marshalZero() []byte {
+	w := &wbuf{}
+	w.u64(tagSketchB)
+	w.u64(sh.seed)
+	w.u64(uint64(sh.capacity))
+	w.u64(uint64(sh.rows))
+	w.u64(uint64(sh.cols))
+	w.b = append(w.b, make([]byte, 3*8*sh.cells())...)
+	return w.b
 }
 
 // MarshalBinary encodes the sampler: parameters plus per-level states.
 func (s *L0Sampler) MarshalBinary() ([]byte, error) {
 	w := &wbuf{}
 	w.u64(tagL0Sampler)
-	w.u64(s.seed)
-	w.u64(s.universe)
-	w.u64(uint64(s.perLevel))
+	w.u64(s.fam.seed)
+	w.u64(s.fam.universe)
+	w.u64(uint64(s.fam.perLevel))
 	w.u64(uint64(len(s.levels)))
-	for _, lv := range s.levels {
-		enc, err := lv.MarshalBinary()
-		if err != nil {
-			return nil, err
+	for j, lv := range s.levels {
+		var enc []byte
+		if lv == nil {
+			enc = s.fam.levels[j].marshalZero()
+		} else {
+			var err error
+			enc, err = lv.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
 		}
 		w.u64(uint64(len(enc)))
 		w.b = append(w.b, enc...)
@@ -134,7 +172,12 @@ func (s *L0Sampler) MarshalBinary() ([]byte, error) {
 	return w.b, nil
 }
 
-// UnmarshalBinary decodes a sampler encoded with MarshalBinary.
+// UnmarshalBinary decodes a sampler encoded with MarshalBinary. If the
+// receiver already belongs to a family with matching parameters — as
+// when agm.Sketch.UnmarshalBinary refills the family-backed samplers
+// its constructor allocated — that family (and its level shapes, hash
+// functions, and power tables) is reused rather than re-derived per
+// sampler.
 func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 	r := &rbuf{b: data}
 	tag, err := r.u64()
@@ -157,10 +200,15 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	rebuilt := NewL0Sampler(seed, universe, int(perLevel))
-	if uint64(len(rebuilt.levels)) != nLevels {
+	fam := s.fam
+	if fam == nil || fam.seed != seed || fam.universe != universe ||
+		uint64(fam.perLevel) != perLevel {
+		fam = NewL0Family(seed, universe, int(perLevel))
+	}
+	if uint64(len(fam.levels)) != nLevels {
 		return errCorrupt
 	}
+	rebuilt := fam.NewSampler()
 	for j := range rebuilt.levels {
 		ln, err := r.u64()
 		if err != nil {
@@ -169,9 +217,11 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 		if uint64(len(r.b)) < ln {
 			return errCorrupt
 		}
-		if err := rebuilt.levels[j].UnmarshalBinary(r.b[:ln]); err != nil {
+		lv, err := unmarshalSketchB(r.b[:ln], fam.levels[j])
+		if err != nil {
 			return err
 		}
+		rebuilt.levels[j] = lv
 		r.b = r.b[ln:]
 	}
 	if len(r.b) != 0 {

@@ -7,6 +7,66 @@ import (
 	"dynstream/internal/hashing"
 )
 
+// sketchBShape is the immutable-after-derivation, shareable part of a
+// SketchB: seed, geometry, row hash functions, and the fingerprint
+// base with its power table. Sketches built from the same randomness
+// (e.g. the per-vertex sketches of one AGM round) share one shape, so
+// constructing n sketches costs n slice allocations instead of
+// n×(hashes + power table) objects.
+type sketchBShape struct {
+	seed     uint64
+	capacity int
+	rows     int
+	cols     int
+	hashes   []*hashing.Poly
+	fingBase uint64
+	fingTab  *field.PowTable // lazy; access via tab()
+}
+
+// tab returns the fingerprint power table, building it on first use.
+// Laziness keeps constructors of rarely-touched sketches (e.g. the
+// additive spanner's per-vertex center sketches) from paying the ~256
+// Muls of table setup up front. Materialization follows the same
+// confinement rule as cell mutation: a sketch (and the shape it owns
+// or shares) belongs to one goroutine until its state is handed off.
+func (sh *sketchBShape) tab() *field.PowTable {
+	if sh.fingTab == nil {
+		sh.fingTab = field.NewPowTable(sh.fingBase)
+	}
+	return sh.fingTab
+}
+
+// newSketchBShape derives the shape exactly as NewSketchBConfig always
+// did, so sketches over a shared shape are bit-identical to sketches
+// built standalone from the same seed.
+func newSketchBShape(seed uint64, capacity int, cfg SketchConfig) *sketchBShape {
+	cfg = cfg.withDefaults()
+	if capacity < 1 {
+		capacity = 1
+	}
+	cols := int(cfg.ColsPerItem * float64(capacity))
+	if cols < cfg.MinCols {
+		cols = cfg.MinCols
+	}
+	sh := &sketchBShape{
+		seed:     seed,
+		capacity: capacity,
+		rows:     cfg.Rows,
+		cols:     cols,
+		hashes:   make([]*hashing.Poly, cfg.Rows),
+		fingBase: field.Reduce(hashing.Mix(seed, 0xf1f1)),
+	}
+	if sh.fingBase < 2 {
+		sh.fingBase = 2
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		sh.hashes[r] = hashing.NewPoly(hashing.Mix(seed, uint64(r)+1), 6)
+	}
+	return sh
+}
+
+func (sh *sketchBShape) cells() int { return sh.rows * sh.cols }
+
 // SketchB is the paper's SKETCH_B primitive (Theorem 8): a randomized
 // linear projection of a signed integer vector x from which x can be
 // recovered exactly whenever ||x||_0 <= B, with failure probability
@@ -15,15 +75,16 @@ import (
 // decoded by peeling pure cells. The structure is linear, so sketches
 // can be merged (summing vectors) and subtracted — the operations
 // Algorithms 1–3 rely on.
+//
+// Cell state is stored structure-of-arrays (counts / keySums / fings as
+// three flat slices) so that ingest and merge sweep contiguous memory,
+// and so that families of sketches can slice their state out of one
+// backing allocation.
 type SketchB struct {
-	seed     uint64
-	capacity int
-	rows     int
-	cols     int
-	cells    []Cell
-	hashes   []*hashing.Poly
-	fingBase uint64
-	fingHash *hashing.Poly // caches nothing; base only
+	shape   *sketchBShape
+	counts  []int64
+	keySums []uint64
+	fings   []uint64
 }
 
 // SketchConfig tunes the redundancy of sparse recovery. Zero values take
@@ -60,55 +121,106 @@ func NewSketchB(seed uint64, capacity int) *SketchB {
 // NewSketchBConfig creates a sparse-recovery sketch with explicit
 // redundancy parameters.
 func NewSketchBConfig(seed uint64, capacity int, cfg SketchConfig) *SketchB {
-	cfg = cfg.withDefaults()
-	if capacity < 1 {
-		capacity = 1
+	return newSketchBShape(seed, capacity, cfg).instance()
+}
+
+// SketchBFamily is the shared immutable part (seed, geometry, hashes,
+// fingerprint table) of same-seeded SketchBs. Callers that build many
+// sketches from one seed — e.g. the two-pass spanner's per-vertex
+// first-pass sketches, which share their randomness per (level, E_j)
+// pair — derive the family once and instantiate per vertex, instead of
+// re-deriving hashes and tables n times.
+type SketchBFamily struct {
+	sh *sketchBShape
+}
+
+// NewSketchBFamily derives the shared part exactly as NewSketchBConfig
+// would, so family instances are bit-identical to standalone sketches
+// of the same seed.
+func NewSketchBFamily(seed uint64, capacity int, cfg SketchConfig) *SketchBFamily {
+	return &SketchBFamily{sh: newSketchBShape(seed, capacity, cfg)}
+}
+
+// New returns a zeroed sketch of the family.
+func (f *SketchBFamily) New() *SketchB { return f.sh.instance() }
+
+// instance returns a zeroed sketch over the shared shape.
+func (sh *sketchBShape) instance() *SketchB {
+	n := sh.cells()
+	return &SketchB{
+		shape:   sh,
+		counts:  make([]int64, n),
+		keySums: make([]uint64, n),
+		fings:   make([]uint64, n),
 	}
-	cols := int(cfg.ColsPerItem * float64(capacity))
-	if cols < cfg.MinCols {
-		cols = cfg.MinCols
-	}
-	s := &SketchB{
-		seed:     seed,
-		capacity: capacity,
-		rows:     cfg.Rows,
-		cols:     cols,
-		cells:    make([]Cell, cfg.Rows*cols),
-		hashes:   make([]*hashing.Poly, cfg.Rows),
-		fingBase: field.Reduce(hashing.Mix(seed, 0xf1f1)),
-	}
-	if s.fingBase < 2 {
-		s.fingBase = 2
-	}
-	for r := 0; r < cfg.Rows; r++ {
-		s.hashes[r] = hashing.NewPoly(hashing.Mix(seed, uint64(r)+1), 6)
-	}
-	return s
 }
 
 // Capacity returns the sparsity budget B the sketch was built for.
-func (s *SketchB) Capacity() int { return s.capacity }
+func (s *SketchB) Capacity() int { return s.shape.capacity }
 
 // Seed returns the randomness seed; two sketches are mergeable iff their
 // seeds (and geometry) match.
-func (s *SketchB) Seed() uint64 { return s.seed }
+func (s *SketchB) Seed() uint64 { return s.shape.seed }
+
+// Fkey returns the fingerprint power r^key for this sketch's base,
+// computed through the precomputed window table. Callers that fan one
+// update out to several same-seeded sketches compute it once and pass
+// it to AddFkey.
+func (s *SketchB) Fkey(key uint64) uint64 {
+	return s.shape.tab().Pow(field.Reduce(key))
+}
 
 // Add folds a stream update x[key] += delta into the sketch.
 func (s *SketchB) Add(key uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	fkey := field.Pow(s.fingBase, field.Reduce(key))
-	for r := 0; r < s.rows; r++ {
-		idx := r*s.cols + s.hashes[r].Bucket(key, s.cols)
-		s.cells[idx].Update(key, delta, fkey)
+	s.AddFkey(key, delta, s.Fkey(key))
+}
+
+// AddBatch folds a batch of updates; bit-identical to calling Add per
+// element. keys and deltas must have equal length.
+func (s *SketchB) AddBatch(keys []uint64, deltas []int64) {
+	for i, key := range keys {
+		s.Add(key, deltas[i])
+	}
+}
+
+// AddFkey is Add with the fingerprint power precomputed (fkey must
+// equal r^key for this sketch's base).
+func (s *SketchB) AddFkey(key uint64, delta int64, fkey uint64) {
+	if delta == 0 {
+		return
+	}
+	d := field.FromInt64(delta)
+	ks := field.Mul(d, field.Reduce(key))
+	fg := field.Mul(d, fkey)
+	sh := s.shape
+	for r := 0; r < sh.rows; r++ {
+		idx := r*sh.cols + sh.hashes[r].Bucket(key, sh.cols)
+		s.counts[idx] += delta
+		s.keySums[idx] = field.Add(s.keySums[idx], ks)
+		s.fings[idx] = field.Add(s.fings[idx], fg)
+	}
+}
+
+// addRouted is AddFkey with the per-row cell indices also precomputed
+// (idx[r] as computed by AddFkey); the hint path of L0 families.
+func (s *SketchB) addRouted(key uint64, delta int64, fkey uint64, idx []int32) {
+	d := field.FromInt64(delta)
+	ks := field.Mul(d, field.Reduce(key))
+	fg := field.Mul(d, fkey)
+	for _, i := range idx {
+		s.counts[i] += delta
+		s.keySums[i] = field.Add(s.keySums[i], ks)
+		s.fings[i] = field.Add(s.fings[i], fg)
 	}
 }
 
 func (s *SketchB) compatible(o *SketchB) error {
-	if s.seed != o.seed || s.rows != o.rows || s.cols != o.cols {
+	if s.shape.seed != o.shape.seed || s.shape.rows != o.shape.rows || s.shape.cols != o.shape.cols {
 		return fmt.Errorf("sketch: merging incompatible sketches (seed %d/%d, %dx%d vs %dx%d)",
-			s.seed, o.seed, s.rows, s.cols, o.rows, o.cols)
+			s.shape.seed, o.shape.seed, s.shape.rows, s.shape.cols, o.shape.rows, o.shape.cols)
 	}
 	return nil
 }
@@ -119,8 +231,10 @@ func (s *SketchB) Merge(o *SketchB) error {
 	if err := s.compatible(o); err != nil {
 		return err
 	}
-	for i := range s.cells {
-		s.cells[i].Merge(o.cells[i])
+	for i := range s.counts {
+		s.counts[i] += o.counts[i]
+		s.keySums[i] = field.Add(s.keySums[i], o.keySums[i])
+		s.fings[i] = field.Add(s.fings[i], o.fings[i])
 	}
 	return nil
 }
@@ -130,28 +244,38 @@ func (s *SketchB) Sub(o *SketchB) error {
 	if err := s.compatible(o); err != nil {
 		return err
 	}
-	for i := range s.cells {
-		s.cells[i].Sub(o.cells[i])
+	for i := range s.counts {
+		s.counts[i] -= o.counts[i]
+		s.keySums[i] = field.Sub(s.keySums[i], o.keySums[i])
+		s.fings[i] = field.Sub(s.fings[i], o.fings[i])
 	}
 	return nil
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (the immutable shape is shared).
 func (s *SketchB) Clone() *SketchB {
-	c := *s
-	c.cells = make([]Cell, len(s.cells))
-	copy(c.cells, s.cells)
-	return &c
+	c := s.shape.instance()
+	copy(c.counts, s.counts)
+	copy(c.keySums, s.keySums)
+	copy(c.fings, s.fings)
+	return c
 }
 
 // IsZero reports whether the sketch is (whp) of the zero vector.
 func (s *SketchB) IsZero() bool {
-	for i := range s.cells {
-		if !s.cells[i].IsZero() {
+	for i := range s.counts {
+		if s.counts[i] != 0 || s.keySums[i] != 0 || s.fings[i] != 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// decodeCell attempts one-sparse recovery of cell i: Cell.DecodeTable
+// over the flat layout, powered by the shape's table.
+func (s *SketchB) decodeCell(i int) (key uint64, weight int64, ok bool) {
+	c := Cell{count: s.counts[i], keySum: s.keySums[i], fing: s.fings[i]}
+	return c.DecodeTable(s.shape.tab())
 }
 
 // Decode recovers the sketched vector by peeling. It returns the map of
@@ -165,16 +289,12 @@ func (s *SketchB) Decode() (map[uint64]int64, bool) {
 	// item from all rows, until no progress.
 	for {
 		progress := false
-		for i := range work.cells {
-			key, w, ok := work.cells[i].Decode(work.fingBase)
+		for i := range work.counts {
+			key, w, ok := work.decodeCell(i)
 			if !ok {
 				continue
 			}
-			fkey := field.Pow(work.fingBase, field.Reduce(key))
-			for r := 0; r < work.rows; r++ {
-				idx := r*work.cols + work.hashes[r].Bucket(key, work.cols)
-				work.cells[idx].Update(key, -w, fkey)
-			}
+			work.AddFkey(key, -w, work.Fkey(key))
 			out[key] += w
 			if out[key] == 0 {
 				delete(out, key)
@@ -191,5 +311,5 @@ func (s *SketchB) Decode() (map[uint64]int64, bool) {
 // SpaceWords returns the memory footprint in 64-bit words, used by the
 // space-accounting experiments (E3).
 func (s *SketchB) SpaceWords() int {
-	return 3*len(s.cells) + 4 // 3 words per cell + seed/geometry
+	return 3*len(s.counts) + 4 // 3 words per cell + seed/geometry
 }

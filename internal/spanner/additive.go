@@ -129,6 +129,17 @@ func (a *Additive) Update(u stream.Update) error {
 	return nil
 }
 
+// AddBatch ingests a batch of updates; bit-identical to calling Update
+// per element.
+func (a *Additive) AddBatch(batch []stream.Update) error {
+	for _, u := range batch {
+		if err := a.Update(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ingestHalf folds neighbor v into u's per-vertex sketches.
 func (a *Additive) ingestHalf(u, v int, d int64) {
 	a.nbr[u].Add(uint64(v), d)
@@ -285,7 +296,7 @@ func (a *Additive) SpaceWords() int {
 // d_G(u,v) <= d_H(u,v) <= d_G(u,v) + O(n/d), using Õ(nd) space.
 func BuildAdditive(st stream.Stream, cfg AdditiveConfig) (*AdditiveResult, error) {
 	a := NewAdditive(st.N(), cfg)
-	if err := st.Replay(a.Update); err != nil {
+	if err := stream.ReplayBatches(st, 0, a.AddBatch); err != nil {
 		return nil, fmt.Errorf("spanner: additive pass: %w", err)
 	}
 	return a.Finish()

@@ -109,10 +109,10 @@ func BuildTwoPassParallel(st stream.Stream, cfg Config, workers int) (*Result, e
 	if workers == 1 {
 		return BuildTwoPass(st, cfg)
 	}
-	// Pass 1: independent states, one per shard.
-	main, err := parallel.IngestFunc(st, workers,
+	// Pass 1: independent states, one per shard, batched ingest.
+	main, err := parallel.IngestBatchedFunc(st, workers,
 		func() (*TwoPass, error) { return NewTwoPass(st.N(), cfg), nil },
-		(*TwoPass).Pass1Update, (*TwoPass).MergePass1)
+		(*TwoPass).Pass1AddBatch, (*TwoPass).MergePass1)
 	if err != nil {
 		return nil, fmt.Errorf("spanner: parallel pass 1: %w", err)
 	}
@@ -120,8 +120,8 @@ func BuildTwoPassParallel(st stream.Stream, cfg Config, workers int) (*Result, e
 		return nil, err
 	}
 	// Pass 2: fork table-only workers over the shared cluster structure.
-	tables, err := parallel.IngestFunc(st, workers,
-		main.ForkPass2, (*TwoPass).Pass2Update, (*TwoPass).MergePass2)
+	tables, err := parallel.IngestBatchedFunc(st, workers,
+		main.ForkPass2, (*TwoPass).Pass2AddBatch, (*TwoPass).MergePass2)
 	if err != nil {
 		return nil, fmt.Errorf("spanner: parallel pass 2: %w", err)
 	}
@@ -165,9 +165,9 @@ func BuildAdditiveParallel(st stream.Stream, cfg AdditiveConfig, workers int) (*
 	if workers == 1 {
 		return BuildAdditive(st, cfg)
 	}
-	main, err := parallel.IngestFunc(st, workers,
+	main, err := parallel.IngestBatchedFunc(st, workers,
 		func() (*Additive, error) { return NewAdditive(st.N(), cfg), nil },
-		(*Additive).Update, (*Additive).Merge)
+		(*Additive).AddBatch, (*Additive).Merge)
 	if err != nil {
 		return nil, fmt.Errorf("spanner: parallel additive: %w", err)
 	}

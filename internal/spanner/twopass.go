@@ -175,16 +175,27 @@ func NewTwoPass(n int, cfg Config) *TwoPass {
 		}
 	}
 	// First-pass sketches, shared hash functions per (r, j) so that
-	// summing over cluster members is a sketch of the union.
+	// summing over cluster members is a sketch of the union. The seed
+	// depends only on (r, j), so one SketchBFamily per pair supplies
+	// all n per-vertex instances — hashes and power tables are derived
+	// k·jMax times, not n·k·jMax times.
 	if k > 1 {
+		fams := make([][]*sketch.SketchBFamily, k-1)
+		for r := 1; r < k; r++ {
+			fams[r-1] = make([]*sketch.SketchBFamily, tp.jMax+1)
+			for j := 0; j <= tp.jMax; j++ {
+				fams[r-1][j] = sketch.NewSketchBFamily(
+					hashing.Mix(cfg.Seed, 0x5e, uint64(r), uint64(j)), cfg.Budget,
+					sketch.SketchConfig{})
+			}
+		}
 		tp.vertexSk = make([][][]*sketch.SketchB, n)
 		for u := 0; u < n; u++ {
 			tp.vertexSk[u] = make([][]*sketch.SketchB, k-1)
 			for r := 1; r < k; r++ {
 				row := make([]*sketch.SketchB, tp.jMax+1)
 				for j := 0; j <= tp.jMax; j++ {
-					row[j] = sketch.NewSketchB(
-						hashing.Mix(cfg.Seed, 0x5e, uint64(r), uint64(j)), cfg.Budget)
+					row[j] = fams[r-1][j].New()
 				}
 				tp.vertexSk[u][r-1] = row
 			}
@@ -227,6 +238,17 @@ func (tp *TwoPass) Pass1Update(u stream.Update) error {
 			for j := 0; j <= maxJ; j++ {
 				tp.vertexSk[u.V][r-1][j].Add(key, d)
 			}
+		}
+	}
+	return nil
+}
+
+// Pass1AddBatch ingests a batch of first-pass updates; bit-identical
+// to calling Pass1Update per element.
+func (tp *TwoPass) Pass1AddBatch(batch []stream.Update) error {
+	for _, u := range batch {
+		if err := tp.Pass1Update(u); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -430,6 +452,17 @@ func (tp *TwoPass) routePass2(a, b int, delta int64) {
 	}
 }
 
+// Pass2AddBatch ingests a batch of second-pass updates; bit-identical
+// to calling Pass2Update per element.
+func (tp *TwoPass) Pass2AddBatch(batch []stream.Update) error {
+	for _, u := range batch {
+		if err := tp.Pass2Update(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (tp *TwoPass) recordAugmented(a, b int) {
 	if a > b {
 		a, b = b, a
@@ -537,13 +570,13 @@ func (tp *TwoPass) SpaceWords() int {
 // BuildTwoPassWeighted.
 func BuildTwoPass(st stream.Stream, cfg Config) (*Result, error) {
 	tp := NewTwoPass(st.N(), cfg)
-	if err := st.Replay(tp.Pass1Update); err != nil {
+	if err := stream.ReplayBatches(st, 0, tp.Pass1AddBatch); err != nil {
 		return nil, fmt.Errorf("spanner: pass 1: %w", err)
 	}
 	if err := tp.EndPass1(); err != nil {
 		return nil, err
 	}
-	if err := st.Replay(tp.Pass2Update); err != nil {
+	if err := stream.ReplayBatches(st, 0, tp.Pass2AddBatch); err != nil {
 		return nil, fmt.Errorf("spanner: pass 2: %w", err)
 	}
 	return tp.Finish()

@@ -94,6 +94,17 @@ func (g *Grid) Pass1Update(u stream.Update) error {
 	return g.forEachCell(u, func(c *spanner.TwoPass) error { return c.Pass1Update(u) })
 }
 
+// Pass1AddBatch ingests a batch of first-pass updates; bit-identical
+// to calling Pass1Update per element.
+func (g *Grid) Pass1AddBatch(batch []stream.Update) error {
+	for _, u := range batch {
+		if err := g.Pass1Update(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MergePass1 adds another grid's first-pass state, cell-wise.
 func (g *Grid) MergePass1(o *Grid) error {
 	if err := g.compatible(o); err != nil {
@@ -154,6 +165,17 @@ func (g *Grid) Pass2Update(u stream.Update) error {
 		return fmt.Errorf("sparsify: grid Pass2Update in phase %d", g.phase)
 	}
 	return g.forEachCell(u, func(c *spanner.TwoPass) error { return c.Pass2Update(u) })
+}
+
+// Pass2AddBatch ingests a batch of second-pass updates; bit-identical
+// to calling Pass2Update per element.
+func (g *Grid) Pass2AddBatch(batch []stream.Update) error {
+	for _, u := range batch {
+		if err := g.Pass2Update(u); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MergePass2 adds another grid's second-pass table state, cell-wise.
@@ -226,17 +248,17 @@ func NewEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*E
 	if cfg.ExactOracles {
 		return newExactEstimatorParallel(st, cfg, workers)
 	}
-	main, err := parallel.IngestFunc(st, workers,
+	main, err := parallel.IngestBatchedFunc(st, workers,
 		func() (*Grid, error) { return NewGrid(st.N(), cfg) },
-		(*Grid).Pass1Update, (*Grid).MergePass1)
+		(*Grid).Pass1AddBatch, (*Grid).MergePass1)
 	if err != nil {
 		return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
 	}
 	if err := main.EndPass1(); err != nil {
 		return nil, err
 	}
-	tables, err := parallel.IngestFunc(st, workers,
-		main.ForkPass2, (*Grid).Pass2Update, (*Grid).MergePass2)
+	tables, err := parallel.IngestBatchedFunc(st, workers,
+		main.ForkPass2, (*Grid).Pass2AddBatch, (*Grid).MergePass2)
 	if err != nil {
 		return nil, fmt.Errorf("sparsify: estimator pass 2: %w", err)
 	}

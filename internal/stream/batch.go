@@ -1,0 +1,35 @@
+package stream
+
+// DefaultBatchSize is the update-batch granularity of the batched
+// ingest pipeline. Large enough to amortize replay dispatch and keep
+// the per-batch slice hot in cache, small enough that worker skew on
+// short streams stays negligible.
+const DefaultBatchSize = 256
+
+// ReplayBatches replays s in order, delivering updates in slices of at
+// most size elements (DefaultBatchSize if size <= 0). The slice is
+// reused between calls — consumers must not retain it. Ingesting
+// batches through the AddBatch entry points of the sketch stack is
+// bit-identical to update-at-a-time Replay.
+func ReplayBatches(s Stream, size int, fn func([]Update) error) error {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	buf := make([]Update, 0, size)
+	err := s.Replay(func(u Update) error {
+		buf = append(buf, u)
+		if len(buf) == size {
+			err := fn(buf)
+			buf = buf[:0]
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		return fn(buf)
+	}
+	return nil
+}

@@ -49,18 +49,19 @@ func BuildSparsifierParallel(st Stream, cfg SparsifierConfig, workers int) (*Spa
 
 // NewForestSketchParallel ingests st into an AGM connectivity sketch
 // using `workers` goroutines over round-robin shards, merging the
-// per-shard sketches (ForestSketch.Merge). The returned sketch is
-// identical to serial ingestion with the same seed.
+// per-shard sketches (ForestSketch.Merge). Ingest is batched
+// (ForestSketch.AddBatch); the returned sketch is identical to serial
+// update-at-a-time ingestion with the same seed.
 func NewForestSketchParallel(seed uint64, st Stream, cfg ForestConfig, workers int) (*ForestSketch, error) {
-	return parallel.Ingest(st, workers, func() *agm.Sketch {
+	return parallel.IngestBatched(st, workers, func() *agm.Sketch {
 		return agm.New(seed, st.N(), cfg)
 	})
 }
 
 // NewKConnectivityParallel ingests st into a k-edge-connectivity
-// certificate sketch using `workers` goroutines over shards.
+// certificate sketch using `workers` goroutines over shards, batched.
 func NewKConnectivityParallel(seed uint64, st Stream, k, workers int) (*KConnectivity, error) {
-	return parallel.Ingest(st, workers, func() *agm.KConnectivity {
+	return parallel.IngestBatched(st, workers, func() *agm.KConnectivity {
 		return agm.NewKConnectivity(seed, st.N(), k)
 	})
 }
