@@ -1,0 +1,254 @@
+package dynstream
+
+import (
+	"context"
+	"fmt"
+
+	"dynstream/internal/agm"
+	"dynstream/internal/parallel"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+)
+
+// Build is the single front door for every construction in this
+// package: it runs `target` over `src` under the given options and
+// context. All targets are linear sketches, so the three axes compose
+// freely —
+//
+//	any sketch (target) × any source × any execution policy (options)
+//
+// and the result is bit-identical across execution policies: serial,
+// sharded-merge (WithWorkers), any batch size. Cancellation via ctx is
+// observed at update-batch granularity through every pass, including
+// inside the sparsifier's inner spanner builds.
+//
+//	res, err := dynstream.Build(ctx, src,
+//	    dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 7}},
+//	    dynstream.WithWorkers(8))
+//
+// Multi-pass targets (SpannerTarget, SparsifierTarget, and MSFTarget
+// without an explicit WMax) need a replayable source — a MemoryStream
+// or a file-backed ReaderSource; single-pass targets ingest straight
+// from pipes and channels at constant memory.
+func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Option) (R, error) {
+	var zero R
+	if src == nil {
+		return zero, fmt.Errorf("%w: nil source", ErrBadConfig)
+	}
+	if target == nil {
+		return zero, fmt.Errorf("%w: nil target", ErrBadConfig)
+	}
+	o := &buildOptions{}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(o)
+		}
+	}
+	if err := o.validate(); err != nil {
+		return zero, err
+	}
+	if target.Passes() > 1 && !CanReplay(src) {
+		return zero, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
+			target, target.Passes(), ErrNotReplayable)
+	}
+	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress)
+	return target.build(src, o, p)
+}
+
+// Target describes what Build constructs: each target couples a
+// configuration with the recipe that drives its sketch states over a
+// source under an execution policy. R is the result type. Targets are
+// provided by this package (SpannerTarget, AdditiveTarget,
+// SparsifierTarget, ForestTarget, KConnectivityTarget,
+// BipartitenessTarget, MSFTarget); the interface is sealed by its
+// unexported methods.
+type Target[R any] interface {
+	// Passes is the number of full stream passes the target needs (for
+	// replayability validation; multi-phase targets report > 1).
+	Passes() int
+	// build runs the construction under the resolved options/policy.
+	build(src Source, o *buildOptions, p *parallel.Policy) (R, error)
+}
+
+// noWeightClasses rejects WithWeightClasses for targets without a
+// weight-class mode.
+func noWeightClasses(o *buildOptions, what string) error {
+	if o.classBase != 0 {
+		return fmt.Errorf("%w: %s has no weight-class mode", ErrBadConfig, what)
+	}
+	return nil
+}
+
+// SpannerTarget builds the two-pass 2^K-spanner of Theorem 1
+// (BuildSpanner's successor). With WithWeightClasses it runs the
+// weight-class construction of Remark 14.
+type SpannerTarget struct {
+	Config SpannerConfig
+}
+
+func (t SpannerTarget) Passes() int { return 2 }
+
+func (t SpannerTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*SpannerResult, error) {
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	if o.classBase != 0 {
+		return spanner.BuildTwoPassWeightedOpts(src, cfg, o.classBase, p)
+	}
+	return spanner.BuildTwoPassOpts(src, cfg, p)
+}
+
+// AdditiveTarget builds the single-pass O(n/D)-additive spanner of
+// Theorem 3 (BuildAdditiveSpanner's successor). Single-pass: works on
+// pipes and channels.
+type AdditiveTarget struct {
+	Config AdditiveConfig
+}
+
+func (t AdditiveTarget) Passes() int { return 1 }
+
+func (t AdditiveTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*AdditiveResult, error) {
+	if err := noWeightClasses(o, "the additive spanner"); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	return spanner.BuildAdditiveOpts(src, cfg, p)
+}
+
+// SparsifierTarget builds the two-pass ε-spectral sparsifier of
+// Corollary 2 (BuildSparsifier's successor). With WithWeightClasses it
+// sparsifies per weight class and rescales.
+type SparsifierTarget struct {
+	Config SparsifierConfig
+}
+
+func (t SparsifierTarget) Passes() int { return 2 }
+
+func (t SparsifierTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*SparsifierResult, error) {
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	if o.classBase != 0 {
+		return sparsify.SparsifyWeightedOpts(src, cfg, o.classBase, p)
+	}
+	return sparsify.SparsifyOpts(src, cfg, p)
+}
+
+// ForestTarget ingests the stream into an AGM connectivity sketch
+// (Theorem 10); decode with ForestSketch.SpanningForest. Single-pass.
+type ForestTarget struct {
+	Seed   uint64
+	Config ForestConfig
+}
+
+func (t ForestTarget) Passes() int { return 1 }
+
+func (t ForestTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*ForestSketch, error) {
+	if err := noWeightClasses(o, "the forest sketch"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	return parallel.IngestBatchedOpts(p, src, func() *agm.Sketch {
+		return agm.New(seed, src.N(), t.Config)
+	})
+}
+
+// KConnectivityTarget ingests the stream into a k-edge-connectivity
+// certificate sketch; decode with KConnectivity.Certificate[Graph].
+// Single-pass.
+type KConnectivityTarget struct {
+	Seed uint64
+	K    int
+}
+
+func (t KConnectivityTarget) Passes() int { return 1 }
+
+func (t KConnectivityTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*KConnectivity, error) {
+	if err := noWeightClasses(o, "the connectivity certificate"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	return parallel.IngestBatchedOpts(p, src, func() *agm.KConnectivity {
+		return agm.NewKConnectivity(seed, src.N(), t.K)
+	})
+}
+
+// BipartitenessTarget ingests the stream into the double-cover
+// bipartiteness tester; decode with Bipartiteness.IsBipartite.
+// Single-pass.
+type BipartitenessTarget struct {
+	Seed uint64
+}
+
+func (t BipartitenessTarget) Passes() int { return 1 }
+
+func (t BipartitenessTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*Bipartiteness, error) {
+	if err := noWeightClasses(o, "the bipartiteness tester"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	return parallel.IngestBatchedOpts(p, src, func() *agm.Bipartiteness {
+		return agm.NewBipartiteness(seed, src.N())
+	})
+}
+
+// MSFTarget ingests the stream into the (1+Gamma)-approximate
+// minimum-spanning-forest sketch; decode with MSF.Forest. With an
+// explicit WMax (upper bound on edge weights) it is single-pass and
+// works on pipes; with WMax == 0 it first scans the stream for the
+// maximum weight, which needs a replayable source.
+type MSFTarget struct {
+	Seed  uint64
+	WMax  float64
+	Gamma float64
+}
+
+func (t MSFTarget) Passes() int {
+	if t.WMax > 0 {
+		return 1
+	}
+	return 2
+}
+
+func (t MSFTarget) build(src Source, o *buildOptions, p *parallel.Policy) (*MSF, error) {
+	if err := noWeightClasses(o, "the MSF sketch (weights are native)"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	wmax := t.WMax
+	if wmax <= 0 {
+		// Upper-bound weight scan to size the class prefixes.
+		wmax = 1.0
+		err := p.Replay(src, func(batch []Update) error {
+			for _, u := range batch {
+				if u.W > wmax {
+					wmax = u.W
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parallel.IngestBatchedOpts(p, src, func() *agm.MSF {
+		return agm.NewMSF(seed, src.N(), wmax, t.Gamma)
+	})
+}

@@ -5,8 +5,8 @@
 //	+ <u> <v> [w]     insert
 //	- <u> <v> [w]     delete
 //
-// and writes the resulting edge set to stdout as "u v w" lines, with a
-// summary on stderr.
+// or the binary wire format (auto-detected), and writes the resulting
+// edge set to stdout as "u v w" lines, with a summary on stderr.
 //
 // Subcommands:
 //
@@ -15,13 +15,19 @@
 //	sparsify  -k K -z Z  two-pass spectral sparsifier (Corollary 2)
 //	forest               AGM spanning forest (Theorem 10)
 //	kcert     -k K       k-edge-connectivity certificate
-//	msf                  (1+γ)-approximate minimum spanning forest
+//	msf       [-wmax W]  (1+γ)-approximate minimum spanning forest
 //	bipartite            bipartiteness test (prints verdict)
 //
-// All subcommands accept -workers P: the stream is split into P
-// round-robin shards ingested concurrently into same-seeded linear
-// sketches and merged, which by linearity yields output identical to
-// single-threaded ingestion.
+// The stream is never materialized: single-pass subcommands (additive,
+// forest, kcert, bipartite, and msf with -wmax) ingest a pipe on stdin
+// with O(sketch) heap no matter how many updates flow through, and
+// multi-pass subcommands rewind seekable inputs (-in FILE, or a
+// redirected file on stdin). Only a true pipe feeding a multi-pass
+// subcommand falls back to materializing, with a note on stderr.
+//
+// All subcommands accept -workers P (concurrent same-seeded sketch
+// ingest, merged by linearity — output identical to -workers 1) and
+// -batch B (ingest batch size; purely an execution knob).
 //
 // Example:
 //
@@ -29,17 +35,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"dynstream/internal/agm"
+	"dynstream"
 	"dynstream/internal/graph"
-	"dynstream/internal/parallel"
-	"dynstream/internal/spanner"
-	"dynstream/internal/sparsify"
-	"dynstream/internal/stream"
 )
 
 func main() {
@@ -62,20 +65,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		z       = fs.Int("z", 32, "sparsifier repetitions (>= 1)")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		workers = fs.Int("workers", 1, "concurrent ingest workers (>= 1)")
+		batch   = fs.Int("batch", 0, "ingest batch size (0 = default)")
+		wmax    = fs.Float64("wmax", 0, "msf: weight upper bound (0 = scan the stream)")
 		input   = fs.String("in", "", "input file (default stdin)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	// Algorithm-parameter validation, typed so callers can classify
+	// (execution options — workers, batch — are validated by Build).
 	switch {
 	case *k < 1:
-		return fmt.Errorf("-k must be >= 1, got %d", *k)
+		return fmt.Errorf("-k must be >= 1, got %d: %w", *k, dynstream.ErrBadConfig)
 	case *d < 1:
-		return fmt.Errorf("-d must be >= 1, got %d", *d)
+		return fmt.Errorf("-d must be >= 1, got %d: %w", *d, dynstream.ErrBadConfig)
 	case *z < 1:
-		return fmt.Errorf("-z must be >= 1, got %d", *z)
-	case *workers < 1:
-		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+		return fmt.Errorf("-z must be >= 1, got %d: %w", *z, dynstream.ErrBadConfig)
+	case *wmax < 0:
+		return fmt.Errorf("-wmax must be >= 0, got %v: %w", *wmax, dynstream.ErrBadConfig)
 	}
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments after flags: %v", extra)
@@ -89,15 +96,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	st, err := stream.ReadText(in)
+	src, err := dynstream.NewReaderSource(in)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "stream: n=%d, %d updates, %d workers\n", st.N(), st.Len(), *workers)
+	fmt.Fprintf(stderr, "stream: n=%d, %d workers\n", src.N(), *workers)
+
+	ctx := context.Background()
+	opts := []dynstream.Option{
+		dynstream.WithWorkers(*workers),
+		dynstream.WithBatchSize(*batch),
+	}
 
 	switch cmd {
 	case "spanner":
-		res, err := spanner.BuildTwoPassParallel(st, spanner.Config{K: *k, Seed: *seed}, *workers)
+		st, err := replayableFor(src, 2, stderr)
+		if err != nil {
+			return err
+		}
+		res, err := dynstream.Build(ctx, st,
+			dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: *k, Seed: *seed}}, opts...)
 		if err != nil {
 			return err
 		}
@@ -106,7 +124,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Spanner)
 
 	case "additive":
-		res, err := spanner.BuildAdditiveParallel(st, spanner.AdditiveConfig{D: *d, Seed: *seed}, *workers)
+		res, err := dynstream.Build(ctx, src,
+			dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: *d, Seed: *seed}}, opts...)
 		if err != nil {
 			return err
 		}
@@ -115,7 +134,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Spanner)
 
 	case "sparsify":
-		res, err := sparsify.SparsifyParallel(st, sparsify.Config{K: *k, Z: *z, Seed: *seed}, *workers)
+		st, err := replayableFor(src, 2, stderr)
+		if err != nil {
+			return err
+		}
+		res, err := dynstream.Build(ctx, st,
+			dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{K: *k, Z: *z, Seed: *seed}}, opts...)
 		if err != nil {
 			return err
 		}
@@ -124,9 +148,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, res.Sparsifier)
 
 	case "forest":
-		sk, err := parallel.IngestBatched(st, *workers, func() *agm.Sketch {
-			return agm.New(*seed, st.N(), agm.Config{})
-		})
+		sk, err := dynstream.Build(ctx, src, dynstream.ForestTarget{Seed: *seed}, opts...)
 		if err != nil {
 			return err
 		}
@@ -136,16 +158,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "spanning forest: %d edges, %d sketch words\n",
 			len(forest), sk.SpaceWords())
-		g := graph.New(st.N())
+		g := graph.New(src.N())
 		for _, e := range forest {
 			g.AddUnitEdge(e.U, e.V)
 		}
 		return writeEdges(stdout, g)
 
 	case "kcert":
-		kc, err := parallel.IngestBatched(st, *workers, func() *agm.KConnectivity {
-			return agm.NewKConnectivity(*seed, st.N(), *k)
-		})
+		kc, err := dynstream.Build(ctx, src,
+			dynstream.KConnectivityTarget{Seed: *seed, K: *k}, opts...)
 		if err != nil {
 			return err
 		}
@@ -158,19 +179,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, cert)
 
 	case "msf":
-		// Upper-bound weight scan to size the class prefixes.
-		wmax := 1.0
-		if err := st.Replay(func(u stream.Update) error {
-			if u.W > wmax {
-				wmax = u.W
-			}
-			return nil
-		}); err != nil {
+		target := dynstream.MSFTarget{Seed: *seed, WMax: *wmax, Gamma: 0.5}
+		st, err := replayableFor(src, target.Passes(), stderr)
+		if err != nil {
 			return err
 		}
-		m, err := parallel.IngestBatched(st, *workers, func() *agm.MSF {
-			return agm.NewMSF(*seed, st.N(), wmax, 0.5)
-		})
+		m, err := dynstream.Build(ctx, st, target, opts...)
 		if err != nil {
 			return err
 		}
@@ -179,7 +193,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 		total := 0.0
-		g := graph.New(st.N())
+		g := graph.New(src.N())
 		for _, e := range forest {
 			g.AddEdge(e.U, e.V, e.W)
 			total += e.W
@@ -189,9 +203,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return writeEdges(stdout, g)
 
 	case "bipartite":
-		b, err := parallel.IngestBatched(st, *workers, func() *agm.Bipartiteness {
-			return agm.NewBipartiteness(*seed, st.N())
-		})
+		b, err := dynstream.Build(ctx, src, dynstream.BipartitenessTarget{Seed: *seed}, opts...)
 		if err != nil {
 			return err
 		}
@@ -205,6 +217,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// replayableFor hands src through when the target's passes fit its
+// replayability (seekable inputs rewind in constant memory); a true
+// pipe feeding a multi-pass build is materialized, with a note.
+func replayableFor(src dynstream.Source, passes int, stderr io.Writer) (dynstream.Source, error) {
+	if passes <= 1 || dynstream.CanReplay(src) {
+		return src, nil
+	}
+	fmt.Fprintln(stderr, "note: input is not seekable; materializing the stream for a multi-pass build")
+	ms := dynstream.NewMemoryStream(src.N())
+	if err := src.Replay(ms.Append); err != nil {
+		return nil, err
+	}
+	return ms, nil
 }
 
 func writeEdges(w io.Writer, g *graph.Graph) error {

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
+
+	"dynstream"
+	"dynstream/internal/stream"
 )
 
 const testStream = `n 6
@@ -137,5 +142,90 @@ func TestCLIMSF(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "MSF") {
 		t.Errorf("stderr: %q", errOut)
+	}
+}
+
+// pipeReader hides the Seeker of the underlying string reader, so the
+// CLI sees a true pipe (as it would on stdin).
+type pipeReader struct{ r io.Reader }
+
+func (p pipeReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+
+func TestCLIStreamsFromPipe(t *testing.T) {
+	// Single-pass subcommands must work on a non-seekable stdin without
+	// materializing; output must equal the seekable-input run.
+	for _, sub := range [][]string{
+		{"forest", "-seed", "4"},
+		{"additive", "-d", "2", "-seed", "5"},
+		{"kcert", "-k", "2", "-seed", "8"},
+		{"bipartite", "-seed", "6"},
+		{"msf", "-seed", "9", "-wmax", "1"},
+	} {
+		wantOut, _ := runCLI(t, sub, testStream)
+		var out, errOut bytes.Buffer
+		if err := run(sub, pipeReader{strings.NewReader(testStream)}, &out, &errOut); err != nil {
+			t.Fatalf("%v over pipe: %v\nstderr: %s", sub, err, errOut.String())
+		}
+		if out.String() != wantOut {
+			t.Errorf("%v: pipe output differs from seekable output", sub)
+		}
+		if strings.Contains(errOut.String(), "materializing") {
+			t.Errorf("%v: single-pass subcommand materialized the stream", sub)
+		}
+	}
+}
+
+func TestCLIPipeMaterializeFallback(t *testing.T) {
+	// A multi-pass subcommand over a true pipe falls back (with a note)
+	// and still produces the standard output.
+	want, _ := runCLI(t, []string{"spanner", "-k", "2", "-seed", "3"}, testStream)
+	var out, errOut bytes.Buffer
+	err := run([]string{"spanner", "-k", "2", "-seed", "3"},
+		pipeReader{strings.NewReader(testStream)}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("spanner over pipe: %v", err)
+	}
+	if out.String() != want {
+		t.Error("pipe spanner output differs from seekable run")
+	}
+	if !strings.Contains(errOut.String(), "materializing") {
+		t.Errorf("expected materialize note on stderr, got %q", errOut.String())
+	}
+}
+
+func TestCLIBinaryInput(t *testing.T) {
+	// The binary wire format is auto-detected and yields the same output
+	// as the text encoding of the same stream.
+	ms, err := stream.ReadText(strings.NewReader(testStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := stream.WriteBinary(&bin, ms); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := runCLI(t, []string{"forest", "-seed", "4"}, testStream)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"forest", "-seed", "4"}, bytes.NewReader(bin.Bytes()), &out, &errOut); err != nil {
+		t.Fatalf("forest over binary: %v", err)
+	}
+	if out.String() != want {
+		t.Error("binary-format output differs from text-format output")
+	}
+}
+
+func TestCLITypedErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"spanner", "-workers", "0"}, strings.NewReader(testStream), &out, &errOut)
+	if !errors.Is(err, dynstream.ErrBadWorkers) {
+		t.Errorf("-workers 0: err = %v, want ErrBadWorkers", err)
+	}
+	err = run([]string{"spanner", "-k", "0"}, strings.NewReader(testStream), &out, &errOut)
+	if !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Errorf("-k 0: err = %v, want ErrBadConfig", err)
+	}
+	err = run([]string{"msf", "-wmax", "-1"}, strings.NewReader(testStream), &out, &errOut)
+	if !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Errorf("-wmax -1: err = %v, want ErrBadConfig", err)
 	}
 }

@@ -26,6 +26,8 @@
 package dynstream
 
 import (
+	"context"
+
 	"dynstream/internal/agm"
 	"dynstream/internal/graph"
 	"dynstream/internal/spanner"
@@ -116,14 +118,20 @@ func StreamWithChurn(g *Graph, extra int, seed uint64) *MemoryStream {
 func Materialize(s Stream) (*Graph, error) { return stream.Materialize(s) }
 
 // BuildSpanner runs the two-pass 2^k-spanner of Theorem 1 over st.
+//
+// Deprecated: use Build with SpannerTarget. This wrapper delegates to
+// the unified driver and produces bit-identical results.
 func BuildSpanner(st Stream, cfg SpannerConfig) (*SpannerResult, error) {
-	return spanner.BuildTwoPass(st, cfg)
+	return Build(context.Background(), st, SpannerTarget{Config: cfg}, WithWorkers(1))
 }
 
 // BuildSpannerWeighted runs the weight-class construction of Remark 14:
 // spanner distances satisfy d_G <= d_H <= classBase·2^k·d_G.
+//
+// Deprecated: use Build with SpannerTarget and WithWeightClasses.
 func BuildSpannerWeighted(st Stream, cfg SpannerConfig, classBase float64) (*SpannerResult, error) {
-	return spanner.BuildTwoPassWeighted(st, cfg, classBase)
+	return Build(context.Background(), st, SpannerTarget{Config: cfg},
+		WithWorkers(1), WithWeightClasses(classBase))
 }
 
 // NewTwoPassSpanner creates the explicit two-pass streaming state.
@@ -133,8 +141,10 @@ func NewTwoPassSpanner(n int, cfg SpannerConfig) *TwoPassSpanner {
 
 // BuildAdditiveSpanner runs the single-pass O(n/d)-additive spanner of
 // Theorem 3 over st.
+//
+// Deprecated: use Build with AdditiveTarget.
 func BuildAdditiveSpanner(st Stream, cfg AdditiveConfig) (*AdditiveResult, error) {
-	return spanner.BuildAdditive(st, cfg)
+	return Build(context.Background(), st, AdditiveTarget{Config: cfg}, WithWorkers(1))
 }
 
 // NewAdditiveSpanner creates the explicit single-pass streaming state.
@@ -144,14 +154,19 @@ func NewAdditiveSpanner(n int, cfg AdditiveConfig) *AdditiveSpanner {
 
 // BuildSparsifier runs the two-pass ε-spectral sparsifier of
 // Corollary 2 over an unweighted stream.
+//
+// Deprecated: use Build with SparsifierTarget.
 func BuildSparsifier(st Stream, cfg SparsifierConfig) (*SparsifierResult, error) {
-	return sparsify.Sparsify(st, cfg)
+	return Build(context.Background(), st, SparsifierTarget{Config: cfg}, WithWorkers(1))
 }
 
 // BuildSparsifierWeighted extends BuildSparsifier to weighted streams
 // via geometric weight classes.
+//
+// Deprecated: use Build with SparsifierTarget and WithWeightClasses.
 func BuildSparsifierWeighted(st Stream, cfg SparsifierConfig, classBase float64) (*SparsifierResult, error) {
-	return sparsify.SparsifyWeighted(st, cfg, classBase)
+	return Build(context.Background(), st, SparsifierTarget{Config: cfg},
+		WithWorkers(1), WithWeightClasses(classBase))
 }
 
 // NewForestSketch creates an AGM connectivity sketch for a graph on n

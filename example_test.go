@@ -1,10 +1,46 @@
 package dynstream_test
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"dynstream"
 )
+
+// Example_build shows the unified front door: one options-driven
+// Build call runs any sketch over any source under any execution
+// policy. Here a text stream is parsed on the fly by a ReaderSource
+// (no materialization) and ingested into the two-pass spanner by two
+// workers — by linearity the result is identical to a serial run.
+func Example_build() {
+	input := `n 5
++ 0 1
++ 1 2
++ 2 3
++ 3 4
++ 0 4
++ 0 2
+- 0 2
+`
+	src, err := dynstream.NewReaderSource(strings.NewReader(input))
+	if err != nil {
+		panic(err)
+	}
+	res, err := dynstream.Build(context.Background(), src,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2}},
+		dynstream.WithSeed(7),
+		dynstream.WithWorkers(2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("spanner has deleted chord:", res.Spanner.HasEdge(0, 2))
+	fmt.Println("spanner connected:", res.Spanner.Connected())
+	// Output:
+	// spanner has deleted chord: false
+	// spanner connected: true
+}
 
 // ExampleBuildSpanner builds a 4-spanner of a small graph delivered as
 // a dynamic stream with a deletion.

@@ -4,15 +4,18 @@
 // coordinator sums the sketches and extracts a spanning forest — no
 // server ever communicates raw edges.
 //
-// The servers here are real goroutines ingesting round-robin shards
-// concurrently (stream.Split), and the coordinator literally sums the
-// linear states with ForestSketch.Merge: Sketch(x^1)+...+Sketch(x^s) =
+// Each server here is a goroutine running the unified Build driver
+// over a live ChannelSource (its local update feed), and the sketch it
+// ships to the coordinator travels as BYTES: MarshalBinary on the
+// server, UnmarshalBinary + Merge (through the uniform Sketch
+// interface) on the coordinator. Sketch(x^1)+...+Sketch(x^s) =
 // Sketch(x), so deletions on one server cancel insertions on another.
 //
 // Run: go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -33,7 +36,9 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d; %d updates sharded across %d servers\n",
 		g.N(), g.M(), full.Len(), servers)
 
-	// Shard the stream round-robin; each server sees only its shard.
+	// Shard the stream round-robin; each server sees only its shard,
+	// delivered over its own channel (a live feed, not a replayable
+	// stream — Build's single-pass forest target doesn't care).
 	shards, err := dynstream.SplitStream(full, servers)
 	if err != nil {
 		log.Fatal(err)
@@ -41,43 +46,59 @@ func main() {
 
 	// Every server builds the SAME sketch (shared seed = shared
 	// sketching matrix, the paper's "agree upon a sketching matrix S")
-	// over its local shard only — concurrently, one goroutine each.
-	perServer := make([]*dynstream.ForestSketch, servers)
+	// over its local feed only, then ships the state as bytes.
+	wire := make([][]byte, servers)
 	counts := make([]int, servers)
 	var wg sync.WaitGroup
 	for i := range shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sk := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
-			if err := shards[i].Replay(func(u dynstream.Update) error {
-				sk.AddUpdate(u)
-				counts[i]++
-				return nil
-			}); err != nil {
+			feed := make(chan dynstream.Update, 128)
+			go func() {
+				defer close(feed)
+				_ = shards[i].Replay(func(u dynstream.Update) error {
+					counts[i]++
+					feed <- u
+					return nil
+				})
+			}()
+			sk, err := dynstream.Build(context.Background(),
+				dynstream.NewChannelSource(n, feed),
+				dynstream.ForestTarget{Seed: seed + 3})
+			if err != nil {
 				log.Fatal(err)
 			}
-			perServer[i] = sk
+			enc, err := sk.MarshalBinary()
+			if err != nil {
+				log.Fatal(err)
+			}
+			wire[i] = enc
 		}(i)
 	}
 	wg.Wait()
-	for i, sk := range perServer {
-		fmt.Printf("  server %d sketched %d updates (%d words)\n",
-			i, counts[i], sk.SpaceWords())
+	for i, enc := range wire {
+		fmt.Printf("  server %d sketched %d updates, shipped %d bytes\n",
+			i, counts[i], len(enc))
 	}
 
-	// Coordinator: sum the linear states. This is the actual merge of
-	// sketches — not a replay — so it works even if the servers had
-	// shipped their states over the wire (see ForestSketch's
-	// MarshalBinary).
-	coordinator := perServer[0]
-	for i := 1; i < servers; i++ {
-		if err := coordinator.Merge(perServer[i]); err != nil {
-			log.Fatal(err)
+	// Coordinator: decode every server's bytes and sum the linear
+	// states through the uniform Sketch interface — the actual merge of
+	// sketches, not a replay.
+	state := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
+	coordinator := dynstream.ForestSketchView(state)
+	for i, enc := range wire {
+		shipped := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
+		view := dynstream.ForestSketchView(shipped)
+		if err := view.UnmarshalBinary(enc); err != nil {
+			log.Fatalf("decode server %d: %v", i, err)
+		}
+		if err := coordinator.Merge(view); err != nil {
+			log.Fatalf("merge server %d: %v", i, err)
 		}
 	}
 
-	forest, err := coordinator.SpanningForest(nil)
+	forest, err := state.SpanningForest(nil)
 	if err != nil {
 		log.Fatal(err)
 	}

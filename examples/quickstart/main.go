@@ -1,11 +1,13 @@
 // Quickstart: build a two-pass 2^k-spanner of a random graph delivered
-// as a dynamic stream (insertions and deletions), then answer distance
-// queries from the spanner and compare with exact distances.
+// as a dynamic stream (insertions and deletions) through the unified
+// Build front door, then answer distance queries from the spanner and
+// compare with exact distances.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +29,12 @@ func main() {
 	fmt.Printf("graph: n=%d m=%d; stream length %d updates (with churn)\n",
 		g.N(), g.M(), st.Len())
 
-	res, err := dynstream.BuildSpanner(st, dynstream.SpannerConfig{K: k, Seed: seed + 2})
+	// One driver for every construction: Build(ctx, source, target, options).
+	res, err := dynstream.Build(context.Background(), st,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: k}},
+		dynstream.WithSeed(seed+2),
+		dynstream.WithWorkers(4), // identical output to serial, by linearity
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,15 +1,19 @@
 // Social-network scenario: a heavy-tailed (preferential-attachment)
 // friendship graph with churn — edges appear and disappear over time —
 // compressed in a single pass by the additive spanner of Theorem 3.
-// This is the workload family the paper's introduction motivates:
-// "search engines and social networks require supporting various
-// queries on large-scale graphs ... without having to store the entire
-// graph in memory".
+// The updates arrive over a live channel (a ChannelSource), the way an
+// event bus would deliver them: the additive spanner is single-pass,
+// so it never needs the stream twice and never materializes it. This
+// is the workload family the paper's introduction motivates: "search
+// engines and social networks require supporting various queries on
+// large-scale graphs ... without having to store the entire graph in
+// memory".
 //
 // Run: go run ./examples/socialnetwork
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +33,18 @@ func main() {
 	fmt.Printf("social graph: n=%d m=%d (max degree %d), stream %d updates\n",
 		g.N(), g.M(), maxDegree(g), st.Len())
 
-	res, err := dynstream.BuildAdditiveSpanner(st, dynstream.AdditiveConfig{D: d, Seed: seed + 2})
+	// Simulate a live feed: a producer goroutine pushes the friendship
+	// events into a channel; the build consumes them as they arrive.
+	events := make(chan dynstream.Update, 256)
+	go func() {
+		defer close(events)
+		_ = st.Replay(func(u dynstream.Update) error { events <- u; return nil })
+	}()
+
+	res, err := dynstream.Build(context.Background(),
+		dynstream.NewChannelSource(n, events),
+		dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: d, Seed: seed + 2}},
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

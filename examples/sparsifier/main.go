@@ -1,12 +1,15 @@
 // Spectral sparsification in two passes (Corollary 2): sparsify a
 // barbell graph — the classic hard instance where uniform sampling
 // fails because the bridge carries all cross-cut energy — and verify
-// the quadratic form is preserved.
+// the quadratic form is preserved. Each configuration runs through the
+// unified Build driver with a worker pool fanning out the Z×H inner
+// spanner constructions.
 //
 // Run: go run ./examples/sparsifier
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,14 +32,17 @@ func main() {
 	var res *dynstream.SparsifierResult
 	var err error
 	for _, z := range []int{16, 64, 160} {
-		res, err = dynstream.BuildSparsifier(st, dynstream.SparsifierConfig{
-			K:    1,
-			Z:    z,
-			Seed: seed + 1,
-			Estimate: dynstream.EstimateConfig{
-				K: 1, J: 6, T: 9, Delta: 0.3, Seed: seed + 2,
-			},
-		})
+		res, err = dynstream.Build(context.Background(), st,
+			dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{
+				K:    1,
+				Z:    z,
+				Seed: seed + 1,
+				Estimate: dynstream.EstimateConfig{
+					K: 1, J: 6, T: 9, Delta: 0.3, Seed: seed + 2,
+				},
+			}},
+			dynstream.WithWorkers(4),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,13 +1,15 @@
 // Weighted-graph scenario (Remark 14): a graph whose edge weights span
 // two orders of magnitude, compressed by the weight-class spanner. The
-// construction rounds weights into geometric classes, runs the
-// unweighted two-pass algorithm per class, and unions the results; the
-// spanner answers weighted distance queries within classBase·2^k.
+// WithWeightClasses option switches the unified Build driver to the
+// geometric-class construction: weights are rounded into classes, the
+// unweighted two-pass algorithm runs per class, and the union answers
+// weighted distance queries within classBase·2^k.
 //
 // Run: go run ./examples/weighted
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,8 +30,10 @@ func main() {
 	st := dynstream.StreamFromGraph(g, seed+2)
 	fmt.Printf("weighted graph: n=%d m=%d, weights in [1, 100]\n", g.N(), g.M())
 
-	res, err := dynstream.BuildSpannerWeighted(st,
-		dynstream.SpannerConfig{K: k, Seed: seed + 3}, classBase)
+	res, err := dynstream.Build(context.Background(), st,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: k, Seed: seed + 3}},
+		dynstream.WithWeightClasses(classBase),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,6 +44,9 @@ func NewKConnectivity(seed uint64, n, k int) *KConnectivity {
 	return kc
 }
 
+// N returns the vertex count.
+func (kc *KConnectivity) N() int { return kc.n }
+
 // AddUpdate folds a stream update into all k sketches.
 func (kc *KConnectivity) AddUpdate(u stream.Update) {
 	for _, s := range kc.sketches {
@@ -145,6 +148,9 @@ func NewBipartiteness(seed uint64, n int) *Bipartiteness {
 		cover: New(hashing.Mix(seed, 0xb2), 2*n, Config{}),
 	}
 }
+
+// N returns the vertex count.
+func (b *Bipartiteness) N() int { return b.n }
 
 // AddUpdate folds a stream update into both sketches.
 func (b *Bipartiteness) AddUpdate(u stream.Update) {

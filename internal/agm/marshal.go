@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 const tagAGM uint64 = 0xd15c_0003
@@ -111,5 +112,229 @@ func (s *Sketch) Merge(o *Sketch) error {
 			}
 		}
 	}
+	return nil
+}
+
+// Tags for the application sketches built on top of the base sketch.
+const (
+	tagKConn uint64 = 0xd15c_0008
+	tagBip   uint64 = 0xd15c_0009
+	tagMSF   uint64 = 0xd15c_000a
+)
+
+// appendBlock writes a length-prefixed byte block.
+func appendBlock(out []byte, block []byte) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(block)))
+	return append(append(out, tmp[:]...), block...)
+}
+
+// blockReader cursors over length-prefixed blocks.
+type blockReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *blockReader) u64() (uint64, error) {
+	if len(r.data)-r.pos < 8 {
+		return 0, errCorrupt
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos : r.pos+8])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *blockReader) block() ([]byte, error) {
+	ln, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.data)-r.pos) < ln {
+		return nil, errCorrupt
+	}
+	b := r.data[r.pos : r.pos+int(ln)]
+	r.pos += int(ln)
+	return b, nil
+}
+
+func (r *blockReader) done() error {
+	if r.pos != len(r.data) {
+		return errCorrupt
+	}
+	return nil
+}
+
+// MarshalBinary encodes the k-connectivity certificate sketch as its k
+// constituent AGM sketches (each carries its own seed and geometry).
+func (kc *KConnectivity) MarshalBinary() ([]byte, error) {
+	var out []byte
+	var tmp [8]byte
+	for _, v := range []uint64{tagKConn, uint64(kc.k), uint64(kc.n)} {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	for _, s := range kc.sketches {
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = appendBlock(out, enc)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary reconstructs a certificate sketch encoded with
+// MarshalBinary.
+func (kc *KConnectivity) UnmarshalBinary(data []byte) error {
+	r := &blockReader{data: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagKConn {
+		return fmt.Errorf("agm: not a KConnectivity encoding: %w", errCorrupt)
+	}
+	k, err := r.u64()
+	if err != nil {
+		return err
+	}
+	n, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if k == 0 || k > 1<<16 || n == 0 || n > 1<<24 {
+		return errCorrupt
+	}
+	rebuilt := &KConnectivity{k: int(k), n: int(n), sketches: make([]*Sketch, k)}
+	for i := range rebuilt.sketches {
+		enc, err := r.block()
+		if err != nil {
+			return err
+		}
+		rebuilt.sketches[i] = &Sketch{}
+		if err := rebuilt.sketches[i].UnmarshalBinary(enc); err != nil {
+			return err
+		}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*kc = *rebuilt
+	return nil
+}
+
+// MarshalBinary encodes the bipartiteness tester as its base and
+// double-cover sketches.
+func (b *Bipartiteness) MarshalBinary() ([]byte, error) {
+	var out []byte
+	var tmp [8]byte
+	for _, v := range []uint64{tagBip, uint64(b.n)} {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	for _, s := range []*Sketch{b.base, b.cover} {
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = appendBlock(out, enc)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary reconstructs a tester encoded with MarshalBinary.
+func (b *Bipartiteness) UnmarshalBinary(data []byte) error {
+	r := &blockReader{data: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagBip {
+		return fmt.Errorf("agm: not a Bipartiteness encoding: %w", errCorrupt)
+	}
+	n, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if n == 0 || n > 1<<24 {
+		return errCorrupt
+	}
+	rebuilt := &Bipartiteness{n: int(n), base: &Sketch{}, cover: &Sketch{}}
+	for _, s := range []*Sketch{rebuilt.base, rebuilt.cover} {
+		enc, err := r.block()
+		if err != nil {
+			return err
+		}
+		if err := s.UnmarshalBinary(enc); err != nil {
+			return err
+		}
+	}
+	if rebuilt.base.n != rebuilt.n || rebuilt.cover.n != 2*rebuilt.n {
+		return errCorrupt
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*b = *rebuilt
+	return nil
+}
+
+// MarshalBinary encodes the approximate-MSF sketch as its per-class
+// prefix sketches plus the class geometry.
+func (m *MSF) MarshalBinary() ([]byte, error) {
+	var out []byte
+	var tmp [8]byte
+	for _, v := range []uint64{tagMSF, uint64(m.n), math.Float64bits(m.gamma), uint64(m.maxClass)} {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	for _, s := range m.prefixes {
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = appendBlock(out, enc)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary reconstructs an MSF sketch encoded with
+// MarshalBinary.
+func (m *MSF) UnmarshalBinary(data []byte) error {
+	r := &blockReader{data: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagMSF {
+		return fmt.Errorf("agm: not an MSF encoding: %w", errCorrupt)
+	}
+	n, err := r.u64()
+	if err != nil {
+		return err
+	}
+	gbits, err := r.u64()
+	if err != nil {
+		return err
+	}
+	maxClass, err := r.u64()
+	if err != nil {
+		return err
+	}
+	gamma := math.Float64frombits(gbits)
+	if n == 0 || n > 1<<24 || maxClass > 1<<16 || !(gamma > 0) {
+		return errCorrupt
+	}
+	rebuilt := &MSF{
+		n:        int(n),
+		gamma:    gamma,
+		maxClass: int(maxClass),
+		prefixes: make([]*Sketch, maxClass+1),
+	}
+	for c := range rebuilt.prefixes {
+		enc, err := r.block()
+		if err != nil {
+			return err
+		}
+		rebuilt.prefixes[c] = &Sketch{}
+		if err := rebuilt.prefixes[c].UnmarshalBinary(enc); err != nil {
+			return err
+		}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*m = *rebuilt
 	return nil
 }

@@ -47,6 +47,9 @@ func NewMSF(seed uint64, n int, wmax, gamma float64) *MSF {
 	return m
 }
 
+// N returns the vertex count.
+func (m *MSF) N() int { return m.n }
+
 // AddUpdate folds a weighted update into every prefix sketch whose
 // class bound covers the edge's weight class.
 func (m *MSF) AddUpdate(u stream.Update) {

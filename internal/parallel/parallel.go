@@ -5,14 +5,262 @@
 // states built from the same seed, and merged yields a state identical
 // to single-threaded ingestion — the distributed-servers setting of the
 // paper's introduction, realized as goroutines.
+//
+// Execution is governed by a Policy: context (cancellation), worker
+// count, batch size, and an optional progress callback. Replayable
+// in-memory sources are sharded (each worker replays its own
+// round-robin view); single-cursor sources (a pipe on stdin, a live
+// channel) are read once by a dispatcher that fans batches out to the
+// workers — by linearity both strategies produce states identical to a
+// serial pass.
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dynstream/internal/stream"
 )
+
+// Policy bundles the execution parameters of one build: cancellation
+// context, worker count, update-batch size, and an optional progress
+// callback. A single Policy is threaded through every pass of a build
+// so cancellation and progress are cumulative across passes.
+type Policy struct {
+	ctx      context.Context
+	workers  int
+	batch    int
+	progress func(int64)
+	done     *int64 // cumulative updates processed, shared across passes
+}
+
+// NewPolicy creates an execution policy. ctx may be nil (no
+// cancellation); workers must be >= 1; batch <= 0 selects
+// stream.DefaultBatchSize; progress, when non-nil, receives the
+// cumulative number of updates processed (across all passes and
+// shards) and must be safe for concurrent use.
+func NewPolicy(ctx context.Context, workers, batch int, progress func(int64)) *Policy {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Policy{ctx: ctx, workers: workers, batch: batch, progress: progress, done: new(int64)}
+}
+
+// Default is the serial no-frills policy legacy entry points run under.
+func Default() *Policy { return NewPolicy(nil, 1, 0, nil) }
+
+// WithWorkers returns a policy like p but with the given worker count,
+// sharing p's context, batch size, progress sink, and counter. Used by
+// multi-stage pipelines whose inner builds run serially.
+func (p *Policy) WithWorkers(workers int) *Policy {
+	cp := *p
+	cp.workers = workers
+	return &cp
+}
+
+// Context returns the policy's context (never nil).
+func (p *Policy) Context() context.Context { return p.ctx }
+
+// Workers returns the policy's worker count.
+func (p *Policy) Workers() int { return p.workers }
+
+// tick is the per-batch bookkeeping hook: it observes cancellation and
+// publishes progress. n is the number of updates in the batch.
+func (p *Policy) tick(n int) error {
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	if n > 0 && p.progress != nil {
+		p.progress(atomic.AddInt64(p.done, int64(n)))
+	}
+	return nil
+}
+
+// validate checks the worker count.
+func (p *Policy) validate() error {
+	if p.workers < 1 {
+		return fmt.Errorf("parallel: workers must be >= 1, got %d", p.workers)
+	}
+	return nil
+}
+
+// Replay drives one serial batched pass over src under the policy:
+// updates are delivered to fn in slices of at most the policy's batch
+// size, with a cancellation check and progress tick per batch. The
+// batch slice is reused between calls.
+func (p *Policy) Replay(src stream.Source, fn func([]stream.Update) error) error {
+	return stream.ReplayBatches(src, p.batch, func(b []stream.Update) error {
+		if err := p.tick(len(b)); err != nil {
+			return err
+		}
+		return fn(b)
+	})
+}
+
+// errAbort signals the dispatcher to stop because a worker already
+// failed; the worker's error takes precedence in the result.
+var errAbort = errors.New("parallel: aborted after worker failure")
+
+// IngestOpts is the policy-driven sharded-ingest pipeline for batched
+// states: split (or fan out) src across the policy's workers, build a
+// state per worker with newState, feed batches through update, then
+// fold the per-worker states into the first one with merge. States
+// must be built from identical randomness (same seed and parameters).
+// The merged state is identical to a serial pass, because every update
+// operation is a commutative group operation.
+func IngestOpts[S any](
+	p *Policy,
+	src stream.Source,
+	newState func() (S, error),
+	update func(S, []stream.Update) error,
+	merge func(dst, src S) error,
+) (S, error) {
+	var zero S
+	if err := p.validate(); err != nil {
+		return zero, err
+	}
+	if p.workers == 1 {
+		s, err := newState()
+		if err != nil {
+			return zero, err
+		}
+		if err := p.Replay(src, func(b []stream.Update) error { return update(s, b) }); err != nil {
+			return zero, err
+		}
+		return s, nil
+	}
+	if stream.ConcurrentReplayable(src) {
+		return shardIngest(p, src, newState, update, merge)
+	}
+	return fanoutIngest(p, src, newState, update, merge)
+}
+
+// shardIngest runs one worker per round-robin shard, each replaying
+// its own view of src concurrently (src must be safe for concurrent
+// Replay). Merging happens in shard order so runs are reproducible.
+func shardIngest[S any](
+	p *Policy,
+	src stream.Source,
+	newState func() (S, error),
+	update func(S, []stream.Update) error,
+	merge func(dst, src S) error,
+) (S, error) {
+	var zero S
+	shards, err := stream.Split(src, p.workers)
+	if err != nil {
+		return zero, err
+	}
+	states := make([]S, p.workers)
+	errs := make([]error, p.workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := newState()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = stream.ReplayBatches(shards[i], p.batch, func(b []stream.Update) error {
+				if err := p.tick(len(b)); err != nil {
+					return err
+				}
+				return update(s, b)
+			})
+			states[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return zero, fmt.Errorf("parallel: shard %d: %w", i, e)
+		}
+	}
+	for i := 1; i < p.workers; i++ {
+		if err := merge(states[0], states[i]); err != nil {
+			return zero, err
+		}
+	}
+	return states[0], nil
+}
+
+// fanoutIngest reads src once on the calling goroutine and distributes
+// copied batches to the workers over a channel — the strategy for
+// single-cursor sources (pipes, channels) that cannot be replayed
+// concurrently. Batch-to-worker assignment is scheduling-dependent,
+// but by linearity the merged state is identical regardless of which
+// worker ingests which batch.
+func fanoutIngest[S any](
+	p *Policy,
+	src stream.Source,
+	newState func() (S, error),
+	update func(S, []stream.Update) error,
+	merge func(dst, src S) error,
+) (S, error) {
+	var zero S
+	states := make([]S, p.workers)
+	errs := make([]error, p.workers)
+	ch := make(chan []stream.Update, 2*p.workers)
+	var failed int32
+	var wg sync.WaitGroup
+	for i := 0; i < p.workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := newState()
+			if err != nil {
+				errs[i] = err
+				atomic.StoreInt32(&failed, 1)
+			}
+			// Keep draining even after a failure so the dispatcher's
+			// sends never block; batches are simply discarded.
+			for b := range ch {
+				if errs[i] != nil {
+					continue
+				}
+				if err := update(s, b); err != nil {
+					errs[i] = err
+					atomic.StoreInt32(&failed, 1)
+				}
+			}
+			if errs[i] == nil {
+				states[i] = s
+			}
+		}(i)
+	}
+	derr := stream.ReplayBatches(src, p.batch, func(b []stream.Update) error {
+		if err := p.tick(len(b)); err != nil {
+			return err
+		}
+		if atomic.LoadInt32(&failed) != 0 {
+			return errAbort
+		}
+		cp := make([]stream.Update, len(b))
+		copy(cp, b)
+		ch <- cp
+		return nil
+	})
+	close(ch)
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return zero, fmt.Errorf("parallel: worker %d: %w", i, e)
+		}
+	}
+	if derr != nil {
+		return zero, derr
+	}
+	for i := 1; i < p.workers; i++ {
+		if err := merge(states[0], states[i]); err != nil {
+			return zero, err
+		}
+	}
+	return states[0], nil
+}
 
 // State is a linear sketch state that can ingest stream updates and be
 // merged with another state built from the same randomness.
@@ -33,135 +281,44 @@ type BatchState[S any] interface {
 // into its own fresh state on its own goroutine, and merges the
 // per-shard states into one. newState must return states built from
 // identical randomness (same seed and parameters) or the merge will
-// fail. The merged state is identical to single-threaded ingestion of
-// the whole stream, because every State implementation is a linear
-// sketch whose update operations are commutative group operations.
-func Ingest[S State[S]](st stream.Stream, workers int, newState func() S) (S, error) {
-	return IngestFunc(st, workers,
+// fail.
+func Ingest[S State[S]](st stream.Source, workers int, newState func() S) (S, error) {
+	return IngestOpts(Default().WithWorkers(workers), st,
 		func() (S, error) { return newState(), nil },
-		func(s S, u stream.Update) error { s.AddUpdate(u); return nil },
+		func(s S, batch []stream.Update) error {
+			for _, u := range batch {
+				s.AddUpdate(u)
+			}
+			return nil
+		},
 		func(dst, src S) error { return dst.Merge(src) })
 }
 
-// IngestBatched is Ingest over the batched update API: each worker
-// buffers its shard into stream.DefaultBatchSize slices and hands them
-// to AddBatch. Because every AddBatch in this repository is defined as
-// the per-update fold, the result is bit-identical to Ingest (and to
-// single-threaded ingestion) — only faster.
-func IngestBatched[S BatchState[S]](st stream.Stream, workers int, newState func() S) (S, error) {
-	return IngestBatchedFunc(st, workers,
+// IngestBatchedOpts is IngestOpts over the batched update API of a
+// BatchState. Because every AddBatch in this repository is defined as
+// the per-update fold, the result is bit-identical to update-at-a-time
+// ingestion — only faster.
+func IngestBatchedOpts[S BatchState[S]](p *Policy, st stream.Source, newState func() S) (S, error) {
+	return IngestOpts(p, st,
 		func() (S, error) { return newState(), nil },
 		func(s S, batch []stream.Update) error { s.AddBatch(batch); return nil },
 		func(dst, src S) error { return dst.Merge(src) })
 }
 
-// IngestBatchedFunc is IngestFunc with batched delivery: update
-// receives slices of at most stream.DefaultBatchSize updates in shard
-// order. The batch slice is reused between calls.
-func IngestBatchedFunc[S any](
-	st stream.Stream,
-	workers int,
-	newState func() (S, error),
-	update func(S, []stream.Update) error,
-	merge func(dst, src S) error,
-) (S, error) {
-	return ingest(st, workers, newState, merge, func(s S, shard stream.Stream) error {
-		return stream.ReplayBatches(shard, 0, func(batch []stream.Update) error {
-			return update(s, batch)
-		})
-	})
-}
-
-// IngestFunc is the generalized sharded-ingest pipeline for states
-// whose construction or update can fail (e.g. the phase-checked pass
-// methods of spanner.TwoPass): split st into `workers` shards, build a
-// state per shard with newState, feed each shard through update on its
-// own goroutine, then fold the per-shard states into the first one
-// with merge. Merging happens in shard order so runs are reproducible.
-func IngestFunc[S any](
-	st stream.Stream,
-	workers int,
-	newState func() (S, error),
-	update func(S, stream.Update) error,
-	merge func(dst, src S) error,
-) (S, error) {
-	return ingest(st, workers, newState, merge, func(s S, shard stream.Stream) error {
-		return shard.Replay(func(u stream.Update) error { return update(s, u) })
-	})
-}
-
-// ingest is the shared sharded-ingest skeleton: shard validation and
-// splitting, the per-shard goroutines, deterministic error selection,
-// and the shard-order merge. run feeds one shard into one state —
-// update-at-a-time or batched, the only point where the two pipelines
-// differ.
-func ingest[S any](
-	st stream.Stream,
-	workers int,
-	newState func() (S, error),
-	merge func(dst, src S) error,
-	run func(S, stream.Stream) error,
-) (S, error) {
-	var zero S
-	if workers < 1 {
-		return zero, fmt.Errorf("parallel: workers must be >= 1, got %d", workers)
-	}
-	if workers == 1 {
-		s, err := newState()
-		if err != nil {
-			return zero, err
-		}
-		if err := run(s, st); err != nil {
-			return zero, err
-		}
-		return s, nil
-	}
-	shards, err := stream.Split(st, workers)
-	if err != nil {
-		return zero, err
-	}
-	states := make([]S, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for i := range shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			s, err := newState()
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			errs[i] = run(s, shards[i])
-			states[i] = s
-		}(i)
-	}
-	wg.Wait()
-	for i, e := range errs {
-		if e != nil {
-			return zero, fmt.Errorf("parallel: shard %d: %w", i, e)
-		}
-	}
-	for i := 1; i < workers; i++ {
-		if err := merge(states[0], states[i]); err != nil {
-			return zero, err
-		}
-	}
-	return states[0], nil
-}
-
-// ForEach runs fn(0..n-1) on up to `workers` goroutines and waits for
-// all of them. All indices run even if some fail; the first error (by
-// index) is returned, which keeps the failure deterministic.
-func ForEach(workers, n int, fn func(i int) error) error {
-	if workers < 1 {
-		return fmt.Errorf("parallel: workers must be >= 1, got %d", workers)
-	}
-	if workers > n {
-		workers = n
+// ForEachOpts runs fn(0..n-1) on up to the policy's workers and waits
+// for all of them. Dispatch stops at the first cancellation; already
+// dispatched tasks run to completion. The first error (by index) is
+// returned, which keeps the failure deterministic.
+func ForEachOpts(p *Policy, n int, fn func(i int) error) error {
+	if err := p.validate(); err != nil {
+		return err
 	}
 	if n <= 0 {
 		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
 	}
 	errs := make([]error, n)
 	idx := make(chan int)
@@ -171,6 +328,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := p.ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
@@ -186,4 +347,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ForEach runs fn(0..n-1) on up to `workers` goroutines and waits for
+// all of them. All indices run even if some fail; the first error (by
+// index) is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachOpts(Default().WithWorkers(workers), n, fn)
 }

@@ -20,6 +20,7 @@ import (
 // counting (−K·ln(empty fraction)·2^j) estimates F0 within a constant
 // factor, which is all the guard needs.
 type F0 struct {
+	seed      uint64 // retained for serialization (hashes re-derive from it)
 	levels    int
 	buckets   int
 	acc       [][]uint64 // acc[j][b]: field accumulator
@@ -35,8 +36,16 @@ func NewF0(seed uint64, universe uint64) *F0 {
 	for u := universe; u > 1; u >>= 1 {
 		levels++
 	}
+	return newF0Geom(seed, levels)
+}
+
+// newF0Geom builds the estimator from its raw geometry — the
+// deserialization entry point (levels is derived from the universe in
+// NewF0 and carried on the wire).
+func newF0Geom(seed uint64, levels int) *F0 {
 	const buckets = 32
 	f := &F0{
+		seed:      seed,
 		levels:    levels,
 		buckets:   buckets,
 		acc:       make([][]uint64, levels),

@@ -100,6 +100,13 @@ func NewKeyedEdgeSketch(seed uint64, n, capacity int) *KeyedEdgeSketch {
 	if cells < 8 {
 		cells = 8
 	}
+	return newKeyedEdgeSketchGeom(seed, n, rows, cells)
+}
+
+// newKeyedEdgeSketchGeom builds the table from its raw geometry — the
+// deserialization entry point (rows and cells are carried on the wire,
+// so a decoded table matches its encoder cell for cell).
+func newKeyedEdgeSketchGeom(seed uint64, n, rows, cells int) *KeyedEdgeSketch {
 	t := &KeyedEdgeSketch{
 		seed:     seed,
 		n:        n,

@@ -18,6 +18,8 @@ import (
 const (
 	tagSketchB   uint64 = 0xd15c_0001
 	tagL0Sampler uint64 = 0xd15c_0002
+	tagKeyed     uint64 = 0xd15c_0004
+	tagF0        uint64 = 0xd15c_0005
 )
 
 var errCorrupt = errors.New("sketch: corrupt serialized data")
@@ -228,5 +230,117 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 		return errCorrupt
 	}
 	*s = *rebuilt
+	return nil
+}
+
+// MarshalBinary encodes the keyed edge table: parameters plus the raw
+// bucket accumulators. Hash functions and power tables are re-derived
+// from the seed on decode.
+func (t *KeyedEdgeSketch) MarshalBinary() ([]byte, error) {
+	w := &wbuf{}
+	w.u64(tagKeyed)
+	w.u64(t.seed)
+	w.u64(uint64(t.n))
+	w.u64(uint64(t.rows))
+	w.u64(uint64(t.cells))
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		w.i64(b.edgeCount)
+		w.u64(b.keySum)
+		w.u64(b.keyFing)
+		w.u64(b.edgeSum)
+		w.u64(b.edgeFing)
+	}
+	return w.b, nil
+}
+
+// UnmarshalBinary decodes a table encoded with MarshalBinary.
+func (t *KeyedEdgeSketch) UnmarshalBinary(data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagKeyed {
+		return fmt.Errorf("sketch: not a KeyedEdgeSketch encoding: %w", errCorrupt)
+	}
+	var seed, n, rows, cells uint64
+	for _, dst := range []*uint64{&seed, &n, &rows, &cells} {
+		if *dst, err = r.u64(); err != nil {
+			return err
+		}
+	}
+	if n == 0 || n > 1<<32 || rows == 0 || rows > 16 || cells == 0 || cells > 1<<30 {
+		return errCorrupt
+	}
+	rebuilt := newKeyedEdgeSketchGeom(seed, int(n), int(rows), int(cells))
+	for i := range rebuilt.buckets {
+		b := &rebuilt.buckets[i]
+		if b.edgeCount, err = r.i64(); err != nil {
+			return err
+		}
+		for _, dst := range []*uint64{&b.keySum, &b.keyFing, &b.edgeSum, &b.edgeFing} {
+			if *dst, err = r.u64(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.b) != 0 {
+		return errCorrupt
+	}
+	*t = *rebuilt
+	return nil
+}
+
+// MarshalBinary encodes the F0 estimator: parameters plus the field
+// accumulators of every level.
+func (f *F0) MarshalBinary() ([]byte, error) {
+	w := &wbuf{}
+	w.u64(tagF0)
+	w.u64(f.seed)
+	w.u64(uint64(f.levels))
+	w.u64(uint64(f.buckets))
+	for j := range f.acc {
+		for _, v := range f.acc[j] {
+			w.u64(v)
+		}
+	}
+	return w.b, nil
+}
+
+// UnmarshalBinary decodes an estimator encoded with MarshalBinary.
+func (f *F0) UnmarshalBinary(data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagF0 {
+		return fmt.Errorf("sketch: not an F0 encoding: %w", errCorrupt)
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return err
+	}
+	levels, err := r.u64()
+	if err != nil {
+		return err
+	}
+	buckets, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if levels == 0 || levels > 256 {
+		return errCorrupt
+	}
+	rebuilt := newF0Geom(seed, int(levels))
+	if uint64(rebuilt.buckets) != buckets {
+		return errCorrupt
+	}
+	for j := range rebuilt.acc {
+		for b := range rebuilt.acc[j] {
+			if rebuilt.acc[j][b], err = r.u64(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.b) != 0 {
+		return errCorrupt
+	}
+	*f = *rebuilt
 	return nil
 }

@@ -109,3 +109,72 @@ func TestL0UnmarshalCorrupt(t *testing.T) {
 		t.Error("truncated data accepted")
 	}
 }
+
+func TestKeyedEdgeSketchMarshalRoundTrip(t *testing.T) {
+	a := NewKeyedEdgeSketch(71, 50, 16)
+	b := NewKeyedEdgeSketch(71, 50, 16)
+	for i := 0; i < 30; i++ {
+		a.Add(i%7, 10+i%40, 1)
+		b.Add((i+3)%7, 10+(i*5)%40, 1)
+	}
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped KeyedEdgeSketch
+	if err := shipped.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	// The shipped table must merge and decode exactly like the local one.
+	ref := NewKeyedEdgeSketch(71, 50, 16)
+	for i := 0; i < 30; i++ {
+		ref.Add(i%7, 10+i%40, 1)
+		ref.Add((i+3)%7, 10+(i*5)%40, 1)
+	}
+	if err := a.Merge(&shipped); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		gw, gok := a.DecodeKey(v)
+		ww, wok := ref.DecodeKey(v)
+		if gok != wok || (gok && gw != ww) {
+			t.Fatalf("DecodeKey(%d): got (%d,%v), want (%d,%v)", v, gw, gok, ww, wok)
+		}
+	}
+	if err := shipped.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Error("accepted garbage")
+	}
+}
+
+func TestF0MarshalRoundTrip(t *testing.T) {
+	a := NewF0(81, 1<<12)
+	b := NewF0(81, 1<<12)
+	for i := uint64(0); i < 200; i++ {
+		a.Add(i, 1)
+		b.Add(i+150, 1)
+	}
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped F0
+	if err := shipped.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shipped.Estimate(), b.Estimate(); got != want {
+		t.Fatalf("estimate changed over the wire: %v vs %v", got, want)
+	}
+	// Merging the shipped state must equal merging the original.
+	ref := NewF0(81, 1<<12)
+	for i := uint64(0); i < 200; i++ {
+		ref.Add(i, 1)
+		ref.Add(i+150, 1)
+	}
+	a.Merge(&shipped)
+	if got, want := a.Estimate(), ref.Estimate(); got != want {
+		t.Fatalf("merged estimate %v, want %v", got, want)
+	}
+	if err := shipped.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+}

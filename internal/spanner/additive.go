@@ -117,6 +117,9 @@ func NewAdditive(n int, cfg AdditiveConfig) *Additive {
 	return a
 }
 
+// N returns the vertex count.
+func (a *Additive) N() int { return a.n }
+
 // Update ingests one stream update.
 func (a *Additive) Update(u stream.Update) error {
 	if a.done {

@@ -1,0 +1,489 @@
+package spanner
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary serialization for the spanner streaming states, so per-shard
+// sketch states can be shipped between processes mid-stream (the
+// distributed protocol of the paper's introduction): a worker
+// marshals its pass state, the coordinator unmarshals and merges it
+// with MergePass1/MergePass2/Merge exactly as if the shard had been
+// ingested locally. Finished states (after Finish) are results, not
+// sketches, and do not serialize.
+
+const (
+	tagTwoPass  uint64 = 0xd15c_0006
+	tagAdditive uint64 = 0xd15c_0007
+)
+
+var errCorrupt = errors.New("spanner: corrupt serialized data")
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	w.b = append(w.b, tmp[:]...)
+}
+
+func (w *wbuf) i64(v int64)      { w.u64(uint64(v)) }
+func (w *wbuf) f64(v float64)    { w.u64(math.Float64bits(v)) }
+func (w *wbuf) boolean(v bool)   { w.u64(map[bool]uint64{false: 0, true: 1}[v]) }
+func (w *wbuf) block(enc []byte) { w.u64(uint64(len(enc))); w.b = append(w.b, enc...) }
+
+type rbuf struct{ b []byte }
+
+func (r *rbuf) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errCorrupt
+	}
+	v := binary.LittleEndian.Uint64(r.b[:8])
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *rbuf) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *rbuf) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *rbuf) boolean() (bool, error) {
+	v, err := r.u64()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, errCorrupt
+	}
+	return v == 1, nil
+}
+
+func (r *rbuf) block() ([]byte, error) {
+	ln, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.b)) < ln {
+		return nil, errCorrupt
+	}
+	b := r.b[:ln]
+	r.b = r.b[ln:]
+	return b, nil
+}
+
+func (r *rbuf) intSlice(max int) ([]int, error) {
+	ln, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if ln > uint64(max) {
+		return nil, errCorrupt
+	}
+	out := make([]int, ln)
+	for i := range out {
+		v, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func (w *wbuf) intSlice(s []int) {
+	w.u64(uint64(len(s)))
+	for _, v := range s {
+		w.i64(int64(v))
+	}
+}
+
+func (w *wbuf) config(cfg Config) {
+	w.i64(int64(cfg.K))
+	w.u64(cfg.Seed)
+	w.i64(int64(cfg.Budget))
+	w.f64(cfg.TableFactor)
+	w.i64(int64(cfg.Levels))
+	w.boolean(cfg.CollectAugmented)
+}
+
+func (r *rbuf) config() (Config, error) {
+	var cfg Config
+	var err error
+	read := func(dst *int) {
+		if err == nil {
+			var v int64
+			v, err = r.i64()
+			*dst = int(v)
+		}
+	}
+	read(&cfg.K)
+	if err == nil {
+		cfg.Seed, err = r.u64()
+	}
+	read(&cfg.Budget)
+	if err == nil {
+		cfg.TableFactor, err = r.f64()
+	}
+	read(&cfg.Levels)
+	if err == nil {
+		cfg.CollectAugmented, err = r.boolean()
+	}
+	return cfg, err
+}
+
+// MarshalBinary encodes the full streaming state of the two-pass
+// spanner: the configuration, the pass-1 vertex sketches, and — after
+// EndPass1 — the cluster structure and pass-2 tables. A finished state
+// (after Finish) cannot be marshaled.
+func (tp *TwoPass) MarshalBinary() ([]byte, error) {
+	if tp.phase > 1 {
+		return nil, fmt.Errorf("spanner: cannot marshal a finished two-pass state")
+	}
+	w := &wbuf{}
+	w.u64(tagTwoPass)
+	w.u64(uint64(tp.n))
+	w.u64(uint64(tp.phase))
+	w.config(tp.cfg)
+	// Pass-1 vertex sketches, in the deterministic (u, r, j) order the
+	// constructor allocates. A pass-2 worker from ForkPass2 owns no
+	// vertex sketches (tables only); the flag records which shape this
+	// state has.
+	w.boolean(tp.vertexSk != nil)
+	for u := range tp.vertexSk {
+		for r := range tp.vertexSk[u] {
+			for j := range tp.vertexSk[u][r] {
+				enc, err := tp.vertexSk[u][r][j].MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				w.block(enc)
+			}
+		}
+	}
+	if tp.phase == 1 {
+		// Cluster structure from EndPass1.
+		w.u64(uint64(len(tp.copies)))
+		for i := range tp.copies {
+			c := &tp.copies[i]
+			w.i64(int64(c.u))
+			w.i64(int64(c.level))
+			w.i64(int64(c.parent))
+			w.i64(int64(c.witness[0]))
+			w.i64(int64(c.witness[1]))
+			w.boolean(c.terminal)
+			w.intSlice(c.members)
+		}
+		for u := 0; u < tp.n; u++ {
+			w.intSlice(tp.terminalsOf[u])
+		}
+		// Pass-2 tables, sorted by terminal copy index.
+		cis := make([]int, 0, len(tp.tables))
+		for ci := range tp.tables {
+			cis = append(cis, ci)
+		}
+		sort.Ints(cis)
+		w.u64(uint64(len(cis)))
+		for _, ci := range cis {
+			w.i64(int64(ci))
+			for _, t := range tp.tables[ci] {
+				enc, err := t.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				w.block(enc)
+			}
+		}
+		// Augmented edge set, sorted for a canonical encoding.
+		edges := make([][2]int, 0, len(tp.augmented))
+		for e := range tp.augmented {
+			edges = append(edges, e)
+		}
+		sort.Slice(edges, func(a, b int) bool {
+			return edges[a][0] < edges[b][0] ||
+				(edges[a][0] == edges[b][0] && edges[a][1] < edges[b][1])
+		})
+		w.u64(uint64(len(edges)))
+		for _, e := range edges {
+			w.i64(int64(e[0]))
+			w.i64(int64(e[1]))
+		}
+	}
+	return w.b, nil
+}
+
+// UnmarshalBinary reconstructs a two-pass state encoded with
+// MarshalBinary. The rebuilt state merges with (and forks from) states
+// built locally from the same configuration.
+func (tp *TwoPass) UnmarshalBinary(data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagTwoPass {
+		return fmt.Errorf("spanner: not a TwoPass encoding: %w", errCorrupt)
+	}
+	n64, err := r.u64()
+	if err != nil {
+		return err
+	}
+	phase, err := r.u64()
+	if err != nil {
+		return err
+	}
+	cfg, err := r.config()
+	if err != nil {
+		return err
+	}
+	if n64 == 0 || n64 > 1<<24 || phase > 1 {
+		return errCorrupt
+	}
+	n := int(n64)
+	rebuilt := NewTwoPass(n, cfg)
+	hasVertexSk, err := r.boolean()
+	if err != nil {
+		return err
+	}
+	if !hasVertexSk {
+		rebuilt.vertexSk = nil // pass-2 worker shape (ForkPass2)
+	}
+	for u := range rebuilt.vertexSk {
+		for ri := range rebuilt.vertexSk[u] {
+			for j := range rebuilt.vertexSk[u][ri] {
+				enc, err := r.block()
+				if err != nil {
+					return err
+				}
+				if err := rebuilt.vertexSk[u][ri][j].UnmarshalBinary(enc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if phase == 1 {
+		nCopies, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if nCopies > uint64(n)*uint64(rebuilt.k) {
+			return errCorrupt
+		}
+		rebuilt.copies = make([]copyNode, nCopies)
+		for i := range rebuilt.copies {
+			c := &rebuilt.copies[i]
+			fields := []*int{&c.u, &c.level, &c.parent, &c.witness[0], &c.witness[1]}
+			for _, dst := range fields {
+				v, err := r.i64()
+				if err != nil {
+					return err
+				}
+				*dst = int(v)
+			}
+			if c.terminal, err = r.boolean(); err != nil {
+				return err
+			}
+			if c.members, err = r.intSlice(n); err != nil {
+				return err
+			}
+		}
+		rebuilt.terminalsOf = make([][]int, n)
+		for u := 0; u < n; u++ {
+			if rebuilt.terminalsOf[u], err = r.intSlice(int(nCopies)); err != nil {
+				return err
+			}
+		}
+		rebuilt.tables = rebuilt.allocTables()
+		nTables, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if nTables != uint64(len(rebuilt.tables)) {
+			return errCorrupt
+		}
+		for i := uint64(0); i < nTables; i++ {
+			ci64, err := r.i64()
+			if err != nil {
+				return err
+			}
+			row, ok := rebuilt.tables[int(ci64)]
+			if !ok {
+				return errCorrupt
+			}
+			for j := range row {
+				enc, err := r.block()
+				if err != nil {
+					return err
+				}
+				if err := row[j].UnmarshalBinary(enc); err != nil {
+					return err
+				}
+			}
+		}
+		nAug, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if nAug > uint64(n)*uint64(n) {
+			return errCorrupt
+		}
+		for i := uint64(0); i < nAug; i++ {
+			a, err := r.i64()
+			if err != nil {
+				return err
+			}
+			b, err := r.i64()
+			if err != nil {
+				return err
+			}
+			rebuilt.augmented[[2]int{int(a), int(b)}] = true
+		}
+		rebuilt.phase = 1
+	}
+	if len(r.b) != 0 {
+		return errCorrupt
+	}
+	*tp = *rebuilt
+	return nil
+}
+
+func (w *wbuf) additiveConfig(cfg AdditiveConfig) {
+	w.i64(int64(cfg.D))
+	w.u64(cfg.Seed)
+	w.f64(cfg.DegreeFactor)
+	w.f64(cfg.CenterFactor)
+	w.boolean(cfg.UseF0Degree)
+}
+
+func (r *rbuf) additiveConfig() (AdditiveConfig, error) {
+	var cfg AdditiveConfig
+	d, err := r.i64()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.D = int(d)
+	if cfg.Seed, err = r.u64(); err != nil {
+		return cfg, err
+	}
+	if cfg.DegreeFactor, err = r.f64(); err != nil {
+		return cfg, err
+	}
+	if cfg.CenterFactor, err = r.f64(); err != nil {
+		return cfg, err
+	}
+	cfg.UseF0Degree, err = r.boolean()
+	return cfg, err
+}
+
+// MarshalBinary encodes the full streaming state of the single-pass
+// additive spanner: configuration, per-vertex neighborhood and center
+// sketches, degree counters, the optional F0 degree sketches, and the
+// AGM forest sketch. A finished state cannot be marshaled.
+func (a *Additive) MarshalBinary() ([]byte, error) {
+	if a.done {
+		return nil, fmt.Errorf("spanner: cannot marshal a finished additive state")
+	}
+	w := &wbuf{}
+	w.u64(tagAdditive)
+	w.u64(uint64(a.n))
+	w.additiveConfig(a.cfg)
+	for u := 0; u < a.n; u++ {
+		enc, err := a.nbr[u].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.block(enc)
+		for _, s := range a.centerS[u] {
+			enc, err := s.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			w.block(enc)
+		}
+		w.i64(a.degree[u])
+		if a.degF0 != nil {
+			enc, err := a.degF0[u].MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			w.block(enc)
+		}
+	}
+	enc, err := a.forest.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.block(enc)
+	return w.b, nil
+}
+
+// UnmarshalBinary reconstructs an additive state encoded with
+// MarshalBinary. The rebuilt state merges with states built locally
+// from the same configuration.
+func (a *Additive) UnmarshalBinary(data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagAdditive {
+		return fmt.Errorf("spanner: not an Additive encoding: %w", errCorrupt)
+	}
+	n64, err := r.u64()
+	if err != nil {
+		return err
+	}
+	cfg, err := r.additiveConfig()
+	if err != nil {
+		return err
+	}
+	if n64 == 0 || n64 > 1<<24 {
+		return errCorrupt
+	}
+	rebuilt := NewAdditive(int(n64), cfg)
+	for u := 0; u < rebuilt.n; u++ {
+		enc, err := r.block()
+		if err != nil {
+			return err
+		}
+		if err := rebuilt.nbr[u].UnmarshalBinary(enc); err != nil {
+			return err
+		}
+		for ri := range rebuilt.centerS[u] {
+			enc, err := r.block()
+			if err != nil {
+				return err
+			}
+			if err := rebuilt.centerS[u][ri].UnmarshalBinary(enc); err != nil {
+				return err
+			}
+		}
+		if rebuilt.degree[u], err = r.i64(); err != nil {
+			return err
+		}
+		if rebuilt.degF0 != nil {
+			enc, err := r.block()
+			if err != nil {
+				return err
+			}
+			if err := rebuilt.degF0[u].UnmarshalBinary(enc); err != nil {
+				return err
+			}
+		}
+	}
+	enc, err := r.block()
+	if err != nil {
+		return err
+	}
+	if err := rebuilt.forest.UnmarshalBinary(enc); err != nil {
+		return err
+	}
+	if len(r.b) != 0 {
+		return errCorrupt
+	}
+	*a = *rebuilt
+	return nil
+}

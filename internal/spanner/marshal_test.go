@@ -1,0 +1,205 @@
+package spanner
+
+import (
+	"bytes"
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/stream"
+)
+
+// Round-trip coverage for the wire-shippable pass states: a worker
+// state marshaled, unmarshaled, and merged at a "coordinator" must
+// behave exactly like the in-process state it encodes.
+
+func twoPassStream(t *testing.T) (*graph.Graph, *stream.MemoryStream) {
+	t.Helper()
+	g := graph.ConnectedGNP(40, 0.15, 401)
+	return g, stream.WithChurn(g, 120, 402)
+}
+
+func TestTwoPassMarshalPass1RoundTrip(t *testing.T) {
+	_, st := twoPassStream(t)
+	cfg := Config{K: 2, Seed: 403}
+
+	// Reference: single state over the whole stream.
+	want, err := BuildTwoPass(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed: two shard states; the second is shipped as bytes.
+	shards, err := stream.Split(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewTwoPass(st.N(), cfg), NewTwoPass(st.N(), cfg)
+	for i, tp := range []*TwoPass{a, b} {
+		if err := shards[i].Replay(func(u stream.Update) error { return tp.Pass1Update(u) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped TwoPass
+	if err := shipped.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergePass1(&shipped); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EndPass1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Replay(func(u stream.Update) error { return a.Pass2Update(u) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameEdges(t, "pass1 round trip", got.Spanner, want.Spanner)
+}
+
+func TestTwoPassMarshalPass2RoundTrip(t *testing.T) {
+	_, st := twoPassStream(t)
+	cfg := Config{K: 2, Seed: 405}
+
+	want, err := BuildTwoPass(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	main := NewTwoPass(st.N(), cfg)
+	if err := st.Replay(func(u stream.Update) error { return main.Pass1Update(u) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := main.EndPass1(); err != nil {
+		t.Fatal(err)
+	}
+	// Pass-2 worker: fork, ingest the whole stream, ship as bytes.
+	worker, err := main.ForkPass2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Replay(func(u stream.Update) error { return worker.Pass2Update(u) }); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := worker.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped TwoPass
+	if err := shipped.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := main.MergePass2(&shipped); err != nil {
+		t.Fatal(err)
+	}
+	got, err := main.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameEdges(t, "pass2 round trip", got.Spanner, want.Spanner)
+}
+
+func TestTwoPassMarshalStable(t *testing.T) {
+	_, st := twoPassStream(t)
+	tp := NewTwoPass(st.N(), Config{K: 2, Seed: 406, CollectAugmented: true})
+	if err := st.Replay(func(u stream.Update) error { return tp.Pass1Update(u) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.EndPass1(); err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := tp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TwoPass
+	if err := back.UnmarshalBinary(enc1); err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("marshal → unmarshal → marshal changed the encoding")
+	}
+}
+
+func TestTwoPassMarshalRejectsGarbage(t *testing.T) {
+	var tp TwoPass
+	if err := tp.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+	if err := tp.UnmarshalBinary([]byte("definitely not a sketch")); err == nil {
+		t.Error("accepted garbage")
+	}
+	done := NewTwoPass(8, Config{K: 1, Seed: 1})
+	if err := done.EndPass1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done.MarshalBinary(); err == nil {
+		t.Error("marshaled a finished state")
+	}
+}
+
+func TestAdditiveMarshalRoundTrip(t *testing.T) {
+	for _, useF0 := range []bool{false, true} {
+		g := graph.ConnectedGNP(36, 0.2, 407)
+		st := stream.WithChurn(g, 100, 408)
+		cfg := AdditiveConfig{D: 3, Seed: 409, UseF0Degree: useF0}
+
+		want, err := BuildAdditive(st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		shards, err := stream.Split(st, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := NewAdditive(st.N(), cfg), NewAdditive(st.N(), cfg)
+		for i, s := range []*Additive{a, b} {
+			if err := shards[i].Replay(s.Update); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shipped Additive
+		if err := shipped.UnmarshalBinary(enc); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Merge(&shipped); err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEdges(t, "additive round trip", got.Spanner, want.Spanner)
+	}
+}
+
+func assertSameEdges(t *testing.T, name string, got, want *graph.Graph) {
+	t.Helper()
+	ge, we := got.Edges(), want.Edges()
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d edges vs %d", name, len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("%s: edge %d differs: %+v vs %+v", name, i, ge[i], we[i])
+		}
+	}
+}

@@ -2,7 +2,10 @@ package spanner
 
 import (
 	"fmt"
+	"math"
 
+	"dynstream/internal/graph"
+	"dynstream/internal/hashing"
 	"dynstream/internal/parallel"
 	"dynstream/internal/stream"
 )
@@ -100,6 +103,87 @@ func (tp *TwoPass) MergePass2(o *TwoPass) error {
 	return nil
 }
 
+// BuildTwoPassOpts is the policy-driven two-pass build: both passes
+// run under p's context (cancellation observed at batch granularity),
+// worker count, batch size, and progress sink. The source must be
+// replayable (two passes); output is identical to BuildTwoPass for the
+// same configuration regardless of the policy.
+func BuildTwoPassOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Result, error) {
+	if !stream.CanReplay(src) {
+		return nil, fmt.Errorf("spanner: two-pass build: %w", stream.ErrNotReplayable)
+	}
+	if p.Workers() == 1 {
+		tp := NewTwoPass(src.N(), cfg)
+		if err := p.Replay(src, tp.Pass1AddBatch); err != nil {
+			return nil, fmt.Errorf("spanner: pass 1: %w", err)
+		}
+		if err := tp.EndPass1(); err != nil {
+			return nil, err
+		}
+		if err := p.Replay(src, tp.Pass2AddBatch); err != nil {
+			return nil, fmt.Errorf("spanner: pass 2: %w", err)
+		}
+		return tp.Finish()
+	}
+	// Pass 1: independent states, one per shard, batched ingest.
+	main, err := parallel.IngestOpts(p, src,
+		func() (*TwoPass, error) { return NewTwoPass(src.N(), cfg), nil },
+		(*TwoPass).Pass1AddBatch, (*TwoPass).MergePass1)
+	if err != nil {
+		return nil, fmt.Errorf("spanner: parallel pass 1: %w", err)
+	}
+	if err := main.EndPass1(); err != nil {
+		return nil, err
+	}
+	// Pass 2: fork table-only workers over the shared cluster structure.
+	tables, err := parallel.IngestOpts(p, src,
+		main.ForkPass2, (*TwoPass).Pass2AddBatch, (*TwoPass).MergePass2)
+	if err != nil {
+		return nil, fmt.Errorf("spanner: parallel pass 2: %w", err)
+	}
+	if err := main.MergePass2(tables); err != nil {
+		return nil, err
+	}
+	return main.Finish()
+}
+
+// BuildTwoPassWeightedOpts is the policy-driven weight-class build of
+// Remark 14 (see BuildTwoPassWeighted): each geometric weight class is
+// built with BuildTwoPassOpts under the same policy.
+func BuildTwoPassWeightedOpts(src stream.Source, cfg Config, classBase float64, p *parallel.Policy) (*Result, error) {
+	if classBase <= 1 {
+		return nil, fmt.Errorf("spanner: classBase must be > 1, got %v", classBase)
+	}
+	if !stream.CanReplay(src) {
+		return nil, fmt.Errorf("spanner: weighted two-pass build: %w", stream.ErrNotReplayable)
+	}
+	classes, sub := stream.WeightClasses(src, classBase)
+	out := &Result{Spanner: graph.New(src.N())}
+	if cfg.CollectAugmented {
+		out.Augmented = graph.New(src.N())
+	}
+	for _, c := range classes {
+		ccfg := cfg
+		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3c, uint64(c))
+		res, err := BuildTwoPassOpts(sub[c], ccfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("spanner: weight class %d: %w", c, err)
+		}
+		wUpper := math.Pow(classBase, float64(c+1))
+		for _, e := range res.Spanner.Edges() {
+			out.Spanner.AddEdge(e.U, e.V, wUpper)
+		}
+		if cfg.CollectAugmented && res.Augmented != nil {
+			for _, e := range res.Augmented.Edges() {
+				out.Augmented.AddEdge(e.U, e.V, wUpper)
+			}
+		}
+		out.SpaceWords += res.SpaceWords
+		out.Terminals += res.Terminals
+	}
+	return out, nil
+}
+
 // BuildTwoPassParallel is BuildTwoPass with both stream passes ingested
 // by `workers` goroutines over round-robin shards of st. The output is
 // identical to BuildTwoPass with the same configuration: the merged
@@ -109,26 +193,7 @@ func BuildTwoPassParallel(st stream.Stream, cfg Config, workers int) (*Result, e
 	if workers == 1 {
 		return BuildTwoPass(st, cfg)
 	}
-	// Pass 1: independent states, one per shard, batched ingest.
-	main, err := parallel.IngestBatchedFunc(st, workers,
-		func() (*TwoPass, error) { return NewTwoPass(st.N(), cfg), nil },
-		(*TwoPass).Pass1AddBatch, (*TwoPass).MergePass1)
-	if err != nil {
-		return nil, fmt.Errorf("spanner: parallel pass 1: %w", err)
-	}
-	if err := main.EndPass1(); err != nil {
-		return nil, err
-	}
-	// Pass 2: fork table-only workers over the shared cluster structure.
-	tables, err := parallel.IngestBatchedFunc(st, workers,
-		main.ForkPass2, (*TwoPass).Pass2AddBatch, (*TwoPass).MergePass2)
-	if err != nil {
-		return nil, fmt.Errorf("spanner: parallel pass 2: %w", err)
-	}
-	if err := main.MergePass2(tables); err != nil {
-		return nil, err
-	}
-	return main.Finish()
+	return BuildTwoPassOpts(st, cfg, parallel.Default().WithWorkers(workers))
 }
 
 // Merge adds the sketch state of another Additive built with the same
@@ -158,6 +223,20 @@ func (a *Additive) Merge(o *Additive) error {
 	return a.forest.Merge(o.forest)
 }
 
+// BuildAdditiveOpts is the policy-driven single-pass additive build:
+// ingestion runs under p's context, workers, batch size, and progress
+// sink. Because it is single-pass, any Source works — including pipes
+// and channels that cannot be replayed.
+func BuildAdditiveOpts(src stream.Source, cfg AdditiveConfig, p *parallel.Policy) (*AdditiveResult, error) {
+	main, err := parallel.IngestOpts(p, src,
+		func() (*Additive, error) { return NewAdditive(src.N(), cfg), nil },
+		(*Additive).AddBatch, (*Additive).Merge)
+	if err != nil {
+		return nil, fmt.Errorf("spanner: additive pass: %w", err)
+	}
+	return main.Finish()
+}
+
 // BuildAdditiveParallel is BuildAdditive with the single pass ingested
 // by `workers` goroutines over round-robin shards of st; the merged
 // state — and therefore the output — is identical to BuildAdditive.
@@ -165,11 +244,5 @@ func BuildAdditiveParallel(st stream.Stream, cfg AdditiveConfig, workers int) (*
 	if workers == 1 {
 		return BuildAdditive(st, cfg)
 	}
-	main, err := parallel.IngestBatchedFunc(st, workers,
-		func() (*Additive, error) { return NewAdditive(st.N(), cfg), nil },
-		(*Additive).AddBatch, (*Additive).Merge)
-	if err != nil {
-		return nil, fmt.Errorf("spanner: parallel additive: %w", err)
-	}
-	return main.Finish()
+	return BuildAdditiveOpts(st, cfg, parallel.Default().WithWorkers(workers))
 }

@@ -17,6 +17,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
 	"dynstream/internal/sketch"
 	"dynstream/internal/stream"
 )
@@ -203,6 +204,9 @@ func NewTwoPass(n int, cfg Config) *TwoPass {
 	}
 	return tp
 }
+
+// N returns the vertex count.
+func (tp *TwoPass) N() int { return tp.n }
 
 // pairLevel is the geometric level of the unordered pair {a, b}: the
 // pair belongs to E_j iff pairLevel >= j.
@@ -589,32 +593,5 @@ func BuildTwoPass(st stream.Stream, cfg Config) (*Result, error) {
 // weight bound — so distances in the spanner are between d_G and
 // classBase·2^k·d_G.
 func BuildTwoPassWeighted(st stream.Stream, cfg Config, classBase float64) (*Result, error) {
-	if classBase <= 1 {
-		return nil, fmt.Errorf("spanner: classBase must be > 1, got %v", classBase)
-	}
-	classes, sub := stream.WeightClasses(st, classBase)
-	out := &Result{Spanner: graph.New(st.N())}
-	if cfg.CollectAugmented {
-		out.Augmented = graph.New(st.N())
-	}
-	for _, c := range classes {
-		ccfg := cfg
-		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3c, uint64(c))
-		res, err := BuildTwoPass(sub[c], ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("spanner: weight class %d: %w", c, err)
-		}
-		wUpper := math.Pow(classBase, float64(c+1))
-		for _, e := range res.Spanner.Edges() {
-			out.Spanner.AddEdge(e.U, e.V, wUpper)
-		}
-		if cfg.CollectAugmented && res.Augmented != nil {
-			for _, e := range res.Augmented.Edges() {
-				out.Augmented.AddEdge(e.U, e.V, wUpper)
-			}
-		}
-		out.SpaceWords += res.SpaceWords
-		out.Terminals += res.Terminals
-	}
-	return out, nil
+	return BuildTwoPassWeightedOpts(st, cfg, classBase, parallel.Default())
 }

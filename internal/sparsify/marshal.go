@@ -1,0 +1,112 @@
+package sparsify
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary serialization for the oracle-grid sketch state, so per-shard
+// grids can be shipped between processes and merged at a coordinator
+// (MergePass1/MergePass2) exactly like the spanner states they are
+// made of.
+
+const tagGrid uint64 = 0xd15c_000b
+
+var errCorrupt = errors.New("sparsify: corrupt serialized data")
+
+// MarshalBinary encodes the grid: configuration plus every cell's
+// two-pass spanner state. A finished grid (after Finish) cannot be
+// marshaled.
+func (g *Grid) MarshalBinary() ([]byte, error) {
+	if g.phase > 1 {
+		return nil, fmt.Errorf("sparsify: cannot marshal a finished grid")
+	}
+	var out []byte
+	u64 := func(v uint64) {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	u64(tagGrid)
+	u64(uint64(g.n))
+	u64(uint64(g.phase))
+	u64(uint64(g.cfg.K))
+	u64(uint64(g.cfg.J))
+	u64(uint64(g.cfg.T))
+	u64(math.Float64bits(g.cfg.Delta))
+	u64(math.Float64bits(g.cfg.Threshold))
+	u64(g.cfg.Seed)
+	for t := range g.cells {
+		for j := range g.cells[t] {
+			enc, err := g.cells[t][j].MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			u64(uint64(len(enc)))
+			out = append(out, enc...)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary reconstructs a grid encoded with MarshalBinary.
+func (g *Grid) UnmarshalBinary(data []byte) error {
+	pos := 0
+	u64 := func() (uint64, error) {
+		if len(data)-pos < 8 {
+			return 0, errCorrupt
+		}
+		v := binary.LittleEndian.Uint64(data[pos : pos+8])
+		pos += 8
+		return v, nil
+	}
+	tag, err := u64()
+	if err != nil || tag != tagGrid {
+		return fmt.Errorf("sparsify: not a Grid encoding: %w", errCorrupt)
+	}
+	var n, phase, k, j, t, deltaBits, thrBits, seed uint64
+	for _, dst := range []*uint64{&n, &phase, &k, &j, &t, &deltaBits, &thrBits, &seed} {
+		if *dst, err = u64(); err != nil {
+			return err
+		}
+	}
+	if n == 0 || n > 1<<24 || phase > 1 || k == 0 || k > 64 || j == 0 || j > 1<<12 || t == 0 || t > 1<<12 {
+		return errCorrupt
+	}
+	cfg := EstimateConfig{
+		K: int(k), J: int(j), T: int(t),
+		Delta:     math.Float64frombits(deltaBits),
+		Threshold: math.Float64frombits(thrBits),
+		Seed:      seed,
+	}
+	rebuilt, err := NewGrid(int(n), cfg)
+	if err != nil {
+		return err
+	}
+	if rebuilt.cfg != cfg.withDefaults(int(n)) {
+		return errCorrupt
+	}
+	for ti := range rebuilt.cells {
+		for ji := range rebuilt.cells[ti] {
+			ln, err := u64()
+			if err != nil {
+				return err
+			}
+			if uint64(len(data)-pos) < ln {
+				return errCorrupt
+			}
+			if err := rebuilt.cells[ti][ji].UnmarshalBinary(data[pos : pos+int(ln)]); err != nil {
+				return err
+			}
+			pos += int(ln)
+		}
+	}
+	rebuilt.phase = int(phase)
+	if pos != len(data) {
+		return errCorrupt
+	}
+	*g = *rebuilt
+	return nil
+}

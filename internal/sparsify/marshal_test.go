@@ -1,0 +1,80 @@
+package sparsify
+
+import (
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/stream"
+)
+
+// TestGridMarshalRoundTrip ships one shard's oracle-grid state as
+// bytes mid-pass, merges it at a coordinator, and checks the finished
+// estimator agrees with the single-process reference on every
+// robust-connectivity query.
+func TestGridMarshalRoundTrip(t *testing.T) {
+	g := graph.Barbell(5, 1)
+	st := stream.FromGraph(g, 601)
+	cfg := EstimateConfig{K: 1, J: 2, T: 4, Delta: 0.34, Seed: 602}
+
+	ref, err := NewEstimator(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards, err := stream.Split(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewGrid(st.N(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGrid(st.N(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gr := range []*Grid{a, b} {
+		if err := shards[i].Replay(gr.Pass1Update); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ship b's pass-1 state over the wire and merge.
+	enc, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped Grid
+	if err := shipped.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergePass1(&shipped); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EndPass1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Replay(a.Pass2Update); err != nil {
+		t.Fatal(err)
+	}
+	est, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < st.N(); u++ {
+		for v := u + 1; v < st.N(); v++ {
+			if got, want := est.QExp(u, v), ref.QExp(u, v); got != want {
+				t.Fatalf("QExp(%d,%d) = %d, reference %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestGridMarshalRejectsGarbage(t *testing.T) {
+	var g Grid
+	if err := g.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+	if err := g.UnmarshalBinary([]byte("not a grid at all, sorry")); err == nil {
+		t.Error("accepted garbage")
+	}
+}

@@ -67,6 +67,9 @@ func NewGrid(n int, cfg EstimateConfig) (*Grid, error) {
 	return g, nil
 }
 
+// N returns the vertex count.
+func (g *Grid) N() int { return g.n }
+
 // forEachCell visits the cells an update reaches: cell (t, j) sketches
 // E^j_t, the edges whose column-j level is at least t−1.
 func (g *Grid) forEachCell(u stream.Update, visit func(cell *spanner.TwoPass) error) error {
@@ -231,25 +234,38 @@ func (g *Grid) Finish() (*Estimator, error) {
 	return e, nil
 }
 
-// NewEstimatorParallel is NewEstimator with concurrent ingestion: the
-// stream is split into `workers` round-robin shards, each worker runs
-// both grid passes over its own shard state, and the merged grid is
-// decoded once — producing an Estimator identical to the serial one.
-// The ExactOracles ablation (which materializes substreams rather than
-// sketching them) is instead built cell-by-cell on a worker pool.
-func NewEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*Estimator, error) {
-	if workers < 1 {
-		return nil, fmt.Errorf("sparsify: workers must be >= 1, got %d", workers)
+// NewEstimatorOpts is the policy-driven estimator build: the oracle
+// grid's two passes run under p's context, workers, batch size, and
+// progress sink, producing an Estimator identical to NewEstimator's
+// for any policy. The source must be replayable. The ExactOracles
+// ablation (which materializes substreams rather than sketching them)
+// is built cell-by-cell on the policy's worker pool instead.
+func NewEstimatorOpts(src stream.Source, cfg EstimateConfig, p *parallel.Policy) (*Estimator, error) {
+	if !stream.CanReplay(src) {
+		return nil, fmt.Errorf("sparsify: estimator: %w", stream.ErrNotReplayable)
 	}
-	if workers == 1 {
-		return NewEstimator(st, cfg)
-	}
-	cfg = cfg.withDefaults(st.N())
+	cfg = cfg.withDefaults(src.N())
 	if cfg.ExactOracles {
-		return newExactEstimatorParallel(st, cfg, workers)
+		return newExactEstimatorOpts(src, cfg, p)
 	}
-	main, err := parallel.IngestBatchedFunc(st, workers,
-		func() (*Grid, error) { return NewGrid(st.N(), cfg) },
+	if p.Workers() == 1 {
+		g, err := NewGrid(src.N(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Replay(src, g.Pass1AddBatch); err != nil {
+			return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
+		}
+		if err := g.EndPass1(); err != nil {
+			return nil, err
+		}
+		if err := p.Replay(src, g.Pass2AddBatch); err != nil {
+			return nil, fmt.Errorf("sparsify: estimator pass 2: %w", err)
+		}
+		return g.Finish()
+	}
+	main, err := parallel.IngestOpts(p, src,
+		func() (*Grid, error) { return NewGrid(src.N(), cfg) },
 		(*Grid).Pass1AddBatch, (*Grid).MergePass1)
 	if err != nil {
 		return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
@@ -257,7 +273,7 @@ func NewEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*E
 	if err := main.EndPass1(); err != nil {
 		return nil, err
 	}
-	tables, err := parallel.IngestBatchedFunc(st, workers,
+	tables, err := parallel.IngestOpts(p, src,
 		main.ForkPass2, (*Grid).Pass2AddBatch, (*Grid).MergePass2)
 	if err != nil {
 		return nil, fmt.Errorf("sparsify: estimator pass 2: %w", err)
@@ -268,9 +284,28 @@ func NewEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*E
 	return main.Finish()
 }
 
-// newExactEstimatorParallel builds the A3 ablation grid (materialized
-// exact oracles) with up to `workers` cells under construction at once.
-func newExactEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*Estimator, error) {
+// NewEstimatorParallel is NewEstimator with concurrent ingestion: the
+// stream is split into `workers` round-robin shards, each worker runs
+// both grid passes over its own shard state, and the merged grid is
+// decoded once — producing an Estimator identical to the serial one.
+func NewEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int) (*Estimator, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sparsify: workers must be >= 1, got %d", workers)
+	}
+	if workers == 1 {
+		return NewEstimator(st, cfg)
+	}
+	return NewEstimatorOpts(st, cfg, parallel.Default().WithWorkers(workers))
+}
+
+// newExactEstimatorOpts builds the A3 ablation grid (materialized
+// exact oracles) cell-by-cell on the policy's worker pool. Each cell
+// replays the source, so a single-cursor source degrades the pool to
+// one worker.
+func newExactEstimatorOpts(st stream.Source, cfg EstimateConfig, p *parallel.Policy) (*Estimator, error) {
+	if !stream.ConcurrentReplayable(st) {
+		p = p.WithWorkers(1)
+	}
 	e := &Estimator{cfg: cfg}
 	e.threshold = cfg.Threshold
 	if e.threshold == 0 {
@@ -280,7 +315,7 @@ func newExactEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int
 	for t := range e.oracles {
 		e.oracles[t] = make([]Oracle, cfg.J)
 	}
-	err := parallel.ForEach(workers, cfg.T*cfg.J, func(i int) error {
+	err := parallel.ForEachOpts(p, cfg.T*cfg.J, func(i int) error {
 		t, j := i/cfg.J+1, i%cfg.J
 		sub := stream.SampledSubstream(st, hashing.Mix(cfg.Seed, 0xe5, uint64(j)), t-1)
 		o, err := NewExactOracle(sub)
@@ -301,37 +336,43 @@ func newExactEstimatorParallel(st stream.Stream, cfg EstimateConfig, workers int
 	return e, nil
 }
 
-// SparsifyParallel is Sparsify with concurrent ingestion: the oracle
-// grid is built from sharded stream ingest, and the Z×H augmented
-// spanner constructions of Algorithms 5–6 run on a bounded worker
-// pool. All filtering and averaging happens on the merged states in
-// the serial order, so the output sparsifier is identical to
-// Sparsify's for the same configuration.
-func SparsifyParallel(st stream.Stream, cfg Config, workers int) (*Result, error) {
-	if workers < 1 {
-		return nil, fmt.Errorf("sparsify: workers must be >= 1, got %d", workers)
+// SparsifyOpts is the policy-driven sparsifier build: the oracle grid
+// runs its two passes under p, and the Z×H augmented-spanner builds of
+// Algorithms 5–6 fan out over p's worker pool (each inner build runs
+// serially under the same context, so cancellation is observed at
+// batch granularity everywhere). All filtering and averaging happens
+// on the merged states in the serial order, so the output sparsifier
+// is identical to Sparsify's for the same configuration under any
+// policy.
+func SparsifyOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Result, error) {
+	if !stream.CanReplay(src) {
+		return nil, fmt.Errorf("sparsify: %w", stream.ErrNotReplayable)
 	}
-	if workers == 1 {
-		return Sparsify(st, cfg)
-	}
-	cfg = cfg.withDefaults(st.N())
-	est, err := NewEstimatorParallel(st, cfg.Estimate, workers)
+	cfg = cfg.withDefaults(src.N())
+	est, err := NewEstimatorOpts(src, cfg.Estimate, p)
 	if err != nil {
 		return nil, err
 	}
 
 	// Fan the Z×H augmented-spanner builds out over the pool. Each
 	// build is self-contained (its own sketch state over a filtered
-	// replay of st), so tasks share nothing but the read-only stream.
+	// replay of src), so tasks share nothing but the read-only stream —
+	// which must therefore support concurrent replay; a single-cursor
+	// source (file-backed ReaderSource) degrades to a sequential loop.
 	// Substream and spanner configuration come from the same helpers
 	// SampleOnce uses, so the serial and parallel samples cannot drift.
+	inner := p.WithWorkers(1)
+	fan := p
+	if !stream.ConcurrentReplayable(src) {
+		fan = inner
+	}
 	aug := make([][]*spanner.Result, cfg.Z)
 	for s := range aug {
 		aug[s] = make([]*spanner.Result, cfg.H)
 	}
-	err = parallel.ForEach(workers, cfg.Z*cfg.H, func(i int) error {
+	err = parallel.ForEachOpts(fan, cfg.Z*cfg.H, func(i int) error {
 		s, j := i/cfg.H, i%cfg.H+1
-		res, err := spanner.BuildTwoPass(sampleSubstream(st, cfg, s, j), sampleSpannerConfig(cfg, s, j))
+		res, err := spanner.BuildTwoPassOpts(sampleSubstream(src, cfg, s, j), sampleSpannerConfig(cfg, s, j), inner)
 		if err != nil {
 			return fmt.Errorf("sparsify: sample rep=%d j=%d: %w", s, j, err)
 		}
@@ -348,13 +389,62 @@ func SparsifyParallel(st stream.Stream, cfg Config, workers int) (*Result, error
 	space := est.SpaceWords()
 	samples := make([]*graph.Graph, 0, cfg.Z)
 	for s := 0; s < cfg.Z; s++ {
-		x, w := assembleSample(st.N(), est, aug[s])
+		x, w := assembleSample(src.N(), est, aug[s])
 		space += w
 		samples = append(samples, x)
 	}
 	return &Result{
-		Sparsifier: averageSamples(st.N(), cfg.Z, samples),
+		Sparsifier: averageSamples(src.N(), cfg.Z, samples),
 		SpaceWords: space,
 		Samples:    cfg.Z,
 	}, nil
+}
+
+// SparsifyWeightedOpts is the policy-driven weight-class sparsifier
+// (see SparsifyWeighted): each class is sparsified with SparsifyOpts
+// under the same policy and rescaled by its class upper bound.
+func SparsifyWeightedOpts(src stream.Source, cfg Config, classBase float64, p *parallel.Policy) (*Result, error) {
+	if classBase <= 1 {
+		return nil, fmt.Errorf("sparsify: classBase must be > 1, got %v", classBase)
+	}
+	if !stream.CanReplay(src) {
+		return nil, fmt.Errorf("sparsify: %w", stream.ErrNotReplayable)
+	}
+	classes, sub := stream.WeightClasses(src, classBase)
+	out := graph.New(src.N())
+	total := &Result{Sparsifier: out}
+	for _, c := range classes {
+		ccfg := cfg
+		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3d, uint64(c))
+		ccfg.Estimate.Seed = hashing.Mix(cfg.Seed, 0x3e, uint64(c))
+		res, err := SparsifyOpts(sub[c], ccfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("sparsify: weight class %d: %w", c, err)
+		}
+		scale := math.Pow(classBase, float64(c+1))
+		for _, e := range res.Sparsifier.Edges() {
+			if w, ok := out.Weight(e.U, e.V); ok {
+				out.AddEdge(e.U, e.V, w+scale*e.W)
+			} else {
+				out.AddEdge(e.U, e.V, scale*e.W)
+			}
+		}
+		total.SpaceWords += res.SpaceWords
+		total.Samples += res.Samples
+	}
+	return total, nil
+}
+
+// SparsifyParallel is Sparsify with concurrent ingestion: the oracle
+// grid is built from sharded stream ingest, and the Z×H augmented
+// spanner constructions run on a bounded worker pool. The output is
+// identical to Sparsify's for the same configuration.
+func SparsifyParallel(st stream.Stream, cfg Config, workers int) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sparsify: workers must be >= 1, got %d", workers)
+	}
+	if workers == 1 {
+		return Sparsify(st, cfg)
+	}
+	return SparsifyOpts(st, cfg, parallel.Default().WithWorkers(workers))
 }

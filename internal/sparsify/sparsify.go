@@ -6,6 +6,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/stream"
 )
@@ -168,30 +169,5 @@ func Sparsify(st stream.Stream, cfg Config) (*Result, error) {
 // is sparsified as an unweighted graph and rescaled by its class upper
 // bound, contributing the paper's log(wmax/wmin) factor.
 func SparsifyWeighted(st stream.Stream, cfg Config, classBase float64) (*Result, error) {
-	if classBase <= 1 {
-		return nil, fmt.Errorf("sparsify: classBase must be > 1, got %v", classBase)
-	}
-	classes, sub := stream.WeightClasses(st, classBase)
-	out := graph.New(st.N())
-	total := &Result{Sparsifier: out}
-	for _, c := range classes {
-		ccfg := cfg
-		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3d, uint64(c))
-		ccfg.Estimate.Seed = hashing.Mix(cfg.Seed, 0x3e, uint64(c))
-		res, err := Sparsify(sub[c], ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("sparsify: weight class %d: %w", c, err)
-		}
-		scale := math.Pow(classBase, float64(c+1))
-		for _, e := range res.Sparsifier.Edges() {
-			if w, ok := out.Weight(e.U, e.V); ok {
-				out.AddEdge(e.U, e.V, w+scale*e.W)
-			} else {
-				out.AddEdge(e.U, e.V, scale*e.W)
-			}
-		}
-		total.SpaceWords += res.SpaceWords
-		total.Samples += res.Samples
-	}
-	return total, nil
+	return SparsifyWeightedOpts(st, cfg, classBase, parallel.Default())
 }

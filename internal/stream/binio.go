@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire format for dynamic streams — the compact pipe/wire
+// counterpart of the text format, built for constant-memory ingest
+// (ReaderSource) and for shipping update shards between processes.
+//
+// Layout (all little-endian):
+//
+//	header:  8-byte magic "DSTRMv1\n", then u64 vertex count n
+//	record:  u32 u, u32 v, i32 delta (±1), f64 weight — 20 bytes
+//
+// The stream ends at EOF; a truncated record is an error.
+
+// binMagic identifies the binary stream format, version 1.
+var binMagic = [8]byte{'D', 'S', 'T', 'R', 'M', 'v', '1', '\n'}
+
+// binRecordSize is the encoded size of one update record.
+const binRecordSize = 20
+
+// appendBinUpdate encodes one update record.
+func appendBinUpdate(dst []byte, u Update) []byte {
+	var rec [binRecordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(u.U))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(u.V))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(int32(u.Delta)))
+	binary.LittleEndian.PutUint64(rec[12:20], math.Float64bits(u.W))
+	return append(dst, rec[:]...)
+}
+
+// decodeBinUpdate decodes one update record.
+func decodeBinUpdate(rec []byte) Update {
+	return Update{
+		U:     int(binary.LittleEndian.Uint32(rec[0:4])),
+		V:     int(binary.LittleEndian.Uint32(rec[4:8])),
+		Delta: int(int32(binary.LittleEndian.Uint32(rec[8:12]))),
+		W:     math.Float64frombits(binary.LittleEndian.Uint64(rec[12:20])),
+	}
+}
+
+// binMaxVertices bounds the vertex count of the binary format: record
+// endpoints are 32-bit, so larger graphs must use the text format.
+const binMaxVertices = 1 << 32
+
+// WriteBinary serializes a source in the binary wire format. The
+// source is consumed once; pair with a replayable source to keep it
+// reusable.
+func WriteBinary(w io.Writer, s Source) error {
+	if s.N() > binMaxVertices {
+		return fmt.Errorf("stream: binary format holds 32-bit endpoints; n=%d exceeds %d", s.N(), binMaxVertices)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(s.N()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec []byte
+	err := s.Replay(func(u Update) error {
+		rec = appendBinUpdate(rec[:0], u)
+		_, err := bw.Write(rec)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readBinHeader consumes and validates the binary header (magic
+// already peeked by the caller) and returns the vertex count.
+func readBinHeader(br *bufio.Reader) (int, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("stream: short binary header: %w", err)
+	}
+	for i := range binMagic {
+		if hdr[i] != binMagic[i] {
+			return 0, fmt.Errorf("stream: bad binary magic %q", hdr[:8])
+		}
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n < 1 || n > binMaxVertices {
+		return 0, fmt.Errorf("stream: bad vertex count %d in binary header", n)
+	}
+	return int(n), nil
+}

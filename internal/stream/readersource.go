@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReaderSource streams updates straight out of an io.Reader in either
+// the text or the binary wire format, without ever materializing the
+// stream: memory use is one buffered-reader window regardless of how
+// many updates flow through. This is the constant-memory ingest path of
+// the streaming model — `gen | dynstream forest` keeps O(sketch) heap
+// for an arbitrarily long pipe.
+//
+// The format is auto-detected from the first bytes (the binary magic
+// "DSTRMv1\n" versus a text header). Validation is identical to
+// MemoryStream.Append: the same bytes produce bit-identical sketch
+// states whether they are streamed through a ReaderSource or first
+// materialized with ReadText.
+//
+// If the underlying reader is an io.Seeker (a file, not a pipe), the
+// source is replayable: each Replay rewinds to the start, so two-pass
+// algorithms run over files in constant memory too. A ReaderSource is
+// never safe for concurrent Replay calls — the sharded-ingest layer
+// detects this and falls back to a read-once fan-out instead.
+type ReaderSource struct {
+	r      io.Reader
+	seeker io.Seeker // non-nil when rewinding is possible
+	br     *bufio.Reader
+	n      int
+	binary bool
+	lineNo int  // text mode: current line (header already consumed)
+	fresh  bool // reader is positioned at the first record
+}
+
+// NewReaderSource wraps r, reads the stream header, and returns a
+// source ready to Replay. The vertex count is known immediately; the
+// records are consumed lazily during Replay.
+func NewReaderSource(r io.Reader) (*ReaderSource, error) {
+	s := &ReaderSource{r: r}
+	// Rewind needs a working Seek, not just the interface: os.Stdin is
+	// an *os.File (statically a Seeker) even when it is a pipe, where
+	// Seek fails at runtime — so probe with a no-op seek.
+	if sk, ok := r.(io.Seeker); ok {
+		if _, err := sk.Seek(0, io.SeekCurrent); err == nil {
+			s.seeker = sk
+		}
+	}
+	s.br = bufio.NewReaderSize(r, 1<<16)
+	// n is written exactly once, here: concurrent N() calls during a
+	// later rewind (whose header is only verified) stay race-free.
+	n, err := s.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	s.n = n
+	s.fresh = true
+	return s, nil
+}
+
+// readHeader detects the format, consumes the header, and returns the
+// declared vertex count. It sets the format flag but never touches n.
+func (s *ReaderSource) readHeader() (int, error) {
+	peek, err := s.br.Peek(len(binMagic))
+	if err == nil && string(peek) == string(binMagic[:]) {
+		s.binary = true
+		return readBinHeader(s.br)
+	}
+	// Text mode: the header is the first non-blank, non-comment line.
+	s.binary = false
+	for {
+		line, err := s.br.ReadString('\n')
+		if line == "" && err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("stream: empty input (missing \"n <vertices>\" header)")
+			}
+			return 0, err
+		}
+		s.lineNo++
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			if err == io.EOF {
+				return 0, fmt.Errorf("stream: empty input (missing \"n <vertices>\" header)")
+			}
+			continue
+		}
+		return parseTextHeader(trimmed, s.lineNo)
+	}
+}
+
+// N returns the vertex count.
+func (s *ReaderSource) N() int { return s.n }
+
+// CanReplay reports whether multiple passes are possible: true only
+// for seekable readers (files), which rewind before every pass. A pipe
+// still supports exactly one Replay call — single-pass constructions
+// never consult CanReplay.
+func (s *ReaderSource) CanReplay() bool { return s.seeker != nil }
+
+// ConcurrentReplay reports false: a ReaderSource owns a single read
+// cursor and must not be replayed from multiple goroutines.
+func (s *ReaderSource) ConcurrentReplay() bool { return false }
+
+// rewind repositions the source at the first record for a new pass.
+func (s *ReaderSource) rewind() error {
+	if s.fresh {
+		return nil
+	}
+	if s.seeker == nil {
+		return ErrNotReplayable
+	}
+	if _, err := s.seeker.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("stream: rewind: %w", err)
+	}
+	s.br.Reset(s.r)
+	s.lineNo = 0
+	n, err := s.readHeader()
+	if err != nil {
+		return fmt.Errorf("stream: rewind: %w", err)
+	}
+	if n != s.n {
+		return fmt.Errorf("stream: rewind: vertex count changed %d -> %d", s.n, n)
+	}
+	return nil
+}
+
+// Replay streams every update through fn in input order, validating
+// and canonicalizing exactly as MemoryStream.Append does. On seekable
+// readers Replay may be called repeatedly (each call rewinds); on
+// pipes only the first call succeeds.
+func (s *ReaderSource) Replay(fn func(Update) error) error {
+	if err := s.rewind(); err != nil {
+		return err
+	}
+	s.fresh = false
+	if s.binary {
+		return s.replayBinary(fn)
+	}
+	return s.replayText(fn)
+}
+
+func (s *ReaderSource) replayBinary(fn func(Update) error) error {
+	var rec [binRecordSize]byte
+	for {
+		if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("stream: truncated binary record: %w", err)
+		}
+		u, err := checkUpdate(decodeBinUpdate(rec[:]), s.n)
+		if err != nil {
+			return err
+		}
+		if err := fn(u); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *ReaderSource) replayText(fn func(Update) error) error {
+	for {
+		line, rerr := s.br.ReadString('\n')
+		if line == "" && rerr != nil {
+			if rerr == io.EOF {
+				return nil
+			}
+			return rerr
+		}
+		s.lineNo++
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+			u, err := parseTextUpdate(trimmed, s.lineNo)
+			if err != nil {
+				return err
+			}
+			if u, err = checkUpdate(u, s.n); err != nil {
+				return fmt.Errorf("stream: line %d: %w", s.lineNo, err)
+			}
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+	}
+}

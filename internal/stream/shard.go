@@ -11,19 +11,26 @@ import "fmt"
 // stream and then merged are identical to a state built from the whole
 // stream (the distributed setting of the paper's introduction).
 type Shard struct {
-	Base  Stream
+	Base  Source
 	Index int
 	Count int
 }
 
-// N returns the vertex count of the base stream.
+// N returns the vertex count of the base source.
 func (s *Shard) N() int { return s.Base.N() }
+
+// CanReplay forwards the base source's replayability: a shard view can
+// be replayed exactly when its base can.
+func (s *Shard) CanReplay() bool { return CanReplay(s.Base) }
+
+// ConcurrentReplay forwards the base source's concurrency capability.
+func (s *Shard) ConcurrentReplay() bool { return ConcurrentReplayable(s.Base) }
 
 // Replay visits the shard's updates in base-stream order. The position
 // counter is local to each call, so a Shard may be replayed from
-// multiple goroutines concurrently (the base stream must itself be
-// safe for concurrent replay, which MemoryStream and the filtered
-// views in this package are).
+// multiple goroutines concurrently (the base source must itself be
+// safe for concurrent replay — see ConcurrentReplayable; MemoryStream
+// and the filtered views in this package are).
 func (s *Shard) Replay(fn func(Update) error) error {
 	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
 		return fmt.Errorf("stream: invalid shard %d of %d", s.Index, s.Count)
@@ -41,10 +48,14 @@ func (s *Shard) Replay(fn func(Update) error) error {
 
 // Split partitions s into p round-robin shards. The concatenation of
 // the shards' update multisets equals the base stream's, which is the
-// property sharded linear-sketch ingestion relies on.
-func Split(s Stream, p int) ([]Stream, error) {
+// property sharded linear-sketch ingestion relies on. Any replayable
+// source can be split; a source that has already been consumed cannot.
+func Split(s Source, p int) ([]Stream, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("stream: split into %d shards", p)
+	}
+	if !CanReplay(s) {
+		return nil, fmt.Errorf("stream: split: %w", ErrNotReplayable)
 	}
 	out := make([]Stream, p)
 	for i := 0; i < p; i++ {

@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Source is the minimal update-sequence contract: a dynamic graph on
+// N() vertices delivered as a sequence of updates via Replay. A Source
+// is consumable at least once; whether it can be consumed again is
+// reported by CanReplay. Every Stream (multi-pass, replayable) is a
+// Source; single-shot sources — a pipe on stdin, a live channel — are
+// Sources that are not Streams, which is exactly the single-pass
+// streaming model of the paper. Single-pass constructions (the additive
+// spanner, the AGM sketch family) accept any Source; multi-pass ones
+// (the two-pass spanner, the sparsifier) need a replayable one.
+type Source interface {
+	N() int
+	Replay(fn func(Update) error) error
+}
+
+// ErrNotReplayable is returned when a second pass is requested over a
+// source that can only be consumed once (e.g. a non-seekable
+// ReaderSource, or a ChannelSource whose channel has been drained).
+var ErrNotReplayable = errors.New("stream: source cannot be replayed")
+
+// replayability is the optional marker interface a Source implements to
+// advertise that it may not support multiple Replay passes. Sources
+// without the marker (MemoryStream, Shard, Filtered, any Stream) are
+// assumed replayable.
+type replayability interface {
+	CanReplay() bool
+}
+
+// CanReplay reports whether src currently supports another full Replay
+// pass. Sources that do not implement the CanReplay marker are
+// replayable by convention (the Stream contract).
+func CanReplay(src Source) bool {
+	if r, ok := src.(replayability); ok {
+		return r.CanReplay()
+	}
+	return true
+}
+
+// ConcurrentReplayable reports whether src supports Replay calls from
+// multiple goroutines at once — the property sharded ingest needs.
+// Sources with a single read cursor (ReaderSource) report false via
+// the ConcurrentReplay marker; pure in-memory views default to their
+// replayability.
+func ConcurrentReplayable(src Source) bool {
+	if c, ok := src.(interface{ ConcurrentReplay() bool }); ok {
+		return c.ConcurrentReplay()
+	}
+	return CanReplay(src)
+}
+
+// checkUpdate validates and canonicalizes one update against a graph on
+// n vertices: endpoints distinct and in range, delta ±1, weight finite
+// and non-negative with 0 coerced to 1. This is the single validation
+// gate shared by MemoryStream.Append and the streaming sources, so a
+// constant-memory source delivers exactly the updates a materialized
+// stream would.
+func checkUpdate(u Update, n int) (Update, error) {
+	if u.U == u.V {
+		return u, fmt.Errorf("stream: self-loop update (%d,%d)", u.U, u.V)
+	}
+	if u.U < 0 || u.U >= n || u.V < 0 || u.V >= n {
+		return u, fmt.Errorf("stream: endpoint out of range in (%d,%d), n=%d", u.U, u.V, n)
+	}
+	if u.Delta != 1 && u.Delta != -1 {
+		return u, fmt.Errorf("stream: delta must be ±1, got %d", u.Delta)
+	}
+	if u.W < 0 || math.IsNaN(u.W) || math.IsInf(u.W, 0) {
+		return u, fmt.Errorf("stream: weight must be finite and non-negative, got %v", u.W)
+	}
+	if u.W == 0 {
+		u.W = 1
+	}
+	return u.Canon(), nil
+}
+
+// ChannelSource adapts a Go channel of updates into a single-shot
+// Source: Replay drains the channel, validating and canonicalizing
+// every update exactly as MemoryStream.Append would. It is the bridge
+// between live producers (socket readers, event buses, per-server
+// feeds) and the sketch pipeline; because it cannot be rewound, it only
+// feeds single-pass constructions.
+type ChannelSource struct {
+	n        int
+	ch       <-chan Update
+	consumed bool
+}
+
+// NewChannelSource wraps ch as a Source over a graph on n vertices.
+// The stream ends when ch is closed.
+func NewChannelSource(n int, ch <-chan Update) *ChannelSource {
+	return &ChannelSource{n: n, ch: ch}
+}
+
+// N returns the vertex count.
+func (s *ChannelSource) N() int { return s.n }
+
+// CanReplay reports false once the channel has been consumed (and
+// false before: a channel delivers its elements once).
+func (s *ChannelSource) CanReplay() bool { return false }
+
+// Replay drains the channel, delivering each validated update in
+// arrival order. A second call returns ErrNotReplayable.
+func (s *ChannelSource) Replay(fn func(Update) error) error {
+	if s.consumed {
+		return ErrNotReplayable
+	}
+	s.consumed = true
+	for u := range s.ch {
+		cu, err := checkUpdate(u, s.n)
+		if err != nil {
+			return err
+		}
+		if err := fn(cu); err != nil {
+			return err
+		}
+	}
+	return nil
+}

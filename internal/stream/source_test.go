@@ -1,0 +1,209 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"dynstream/internal/graph"
+)
+
+func collectSrc(t *testing.T, src Source) []Update {
+	t.Helper()
+	var out []Update
+	if err := src.Replay(func(u Update) error { out = append(out, u); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameUpdates(t *testing.T, name string, got, want []Update) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d updates vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: update %d differs: %+v vs %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestReaderSourceTextParity: the same text bytes deliver identical
+// update sequences through ReaderSource and through ReadText.
+func TestReaderSourceTextParity(t *testing.T) {
+	g := graph.ConnectedGNP(30, 0.2, 701)
+	ms := WithChurn(g, 100, 702)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	ref, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewReaderSource(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.N() != ref.N() {
+		t.Fatalf("n = %d, want %d", src.N(), ref.N())
+	}
+	sameUpdates(t, "text", collectSrc(t, src), collectSrc(t, ref))
+}
+
+// TestReaderSourceBinaryParity: WriteBinary bytes replay identically
+// to the in-memory stream, and the written-back bytes are stable.
+func TestReaderSourceBinaryParity(t *testing.T) {
+	g := graph.ConnectedGNP(25, 0.25, 703)
+	ms := WithChurn(g, 60, 704)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewReaderSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.N() != ms.N() {
+		t.Fatalf("n = %d, want %d", src.N(), ms.N())
+	}
+	sameUpdates(t, "binary", collectSrc(t, src), collectSrc(t, ms))
+
+	// Round trip: re-serialize from the (seekable) reader source.
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("binary round trip changed the encoding")
+	}
+}
+
+// TestReaderSourceRewind: a seekable reader supports multiple passes
+// with identical content; a pipe does not.
+func TestReaderSourceRewind(t *testing.T) {
+	text := "n 4\n+ 0 1\n+ 1 2\n- 0 1\n+ 2 3 2.5\n"
+	src, err := NewReaderSource(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CanReplay(src) {
+		t.Fatal("seekable source reported non-replayable")
+	}
+	if ConcurrentReplayable(src) {
+		t.Fatal("reader source reported concurrent-replayable")
+	}
+	first := collectSrc(t, src)
+	second := collectSrc(t, src)
+	sameUpdates(t, "rewind", second, first)
+	if len(first) != 4 {
+		t.Fatalf("got %d updates, want 4", len(first))
+	}
+
+	// A pipe (no Seek): one pass only.
+	pipe, err := NewReaderSource(io.MultiReader(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanReplay(pipe) {
+		t.Fatal("pipe reported replayable")
+	}
+	_ = collectSrc(t, pipe)
+	if err := pipe.Replay(func(Update) error { return nil }); !errors.Is(err, ErrNotReplayable) {
+		t.Fatalf("second pipe pass: err = %v, want ErrNotReplayable", err)
+	}
+}
+
+// TestReaderSourceValidation: the streaming parser applies exactly the
+// MemoryStream.Append gate.
+func TestReaderSourceValidation(t *testing.T) {
+	for _, bad := range []string{
+		"n 4\n+ 0 0\n",     // self-loop
+		"n 4\n+ 0 9\n",     // out of range
+		"n 4\n* 0 1\n",     // bad op
+		"n 4\n+ 0 1 -2\n",  // negative weight
+		"n 4\n+ 0 1 inf\n", // infinite weight
+		"bogus header\n",
+		"",
+	} {
+		src, err := NewReaderSource(strings.NewReader(bad))
+		if err != nil {
+			continue // rejected at header time: fine
+		}
+		if err := src.Replay(func(Update) error { return nil }); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+	// Canonicalization: reversed endpoints arrive canonical.
+	src, err := NewReaderSource(strings.NewReader("n 4\n+ 3 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := collectSrc(t, src)
+	if len(ups) != 1 || ups[0].U != 1 || ups[0].V != 3 || ups[0].W != 1 {
+		t.Fatalf("canonicalization: got %+v", ups)
+	}
+}
+
+// TestChannelSource: validated single-shot delivery.
+func TestChannelSource(t *testing.T) {
+	ch := make(chan Update, 4)
+	ch <- Update{U: 2, V: 0, Delta: 1}
+	ch <- Update{U: 1, V: 3, Delta: 1, W: 2}
+	close(ch)
+	src := NewChannelSource(4, ch)
+	if CanReplay(src) {
+		t.Fatal("channel source reported replayable")
+	}
+	ups := collectSrc(t, src)
+	if len(ups) != 2 || ups[0] != (Update{U: 0, V: 2, Delta: 1, W: 1}) {
+		t.Fatalf("channel delivery: %+v", ups)
+	}
+	if err := src.Replay(func(Update) error { return nil }); !errors.Is(err, ErrNotReplayable) {
+		t.Fatalf("second channel pass: err = %v, want ErrNotReplayable", err)
+	}
+
+	bad := make(chan Update, 1)
+	bad <- Update{U: 0, V: 0, Delta: 1}
+	close(bad)
+	if err := NewChannelSource(4, bad).Replay(func(Update) error { return nil }); err == nil {
+		t.Fatal("self-loop accepted from channel")
+	}
+}
+
+// TestSplitRejectsConsumedSource: a drained single-shot source cannot
+// be split.
+func TestSplitRejectsConsumedSource(t *testing.T) {
+	ch := make(chan Update)
+	close(ch)
+	if _, err := Split(NewChannelSource(3, ch), 2); !errors.Is(err, ErrNotReplayable) {
+		t.Fatalf("Split on channel source: err = %v, want ErrNotReplayable", err)
+	}
+}
+
+// TestShardForwardsMarkers: shards and filters inherit the base
+// source's replayability markers.
+func TestShardForwardsMarkers(t *testing.T) {
+	text := "n 4\n+ 0 1\n"
+	rs, err := NewReaderSource(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &Shard{Base: rs, Index: 0, Count: 1}
+	if ConcurrentReplayable(sh) {
+		t.Error("shard over reader source reported concurrent-replayable")
+	}
+	f := &Filtered{Base: rs, Keep: func(Update) bool { return true }}
+	if ConcurrentReplayable(f) {
+		t.Error("filter over reader source reported concurrent-replayable")
+	}
+	ms := NewMemoryStream(4)
+	if !ConcurrentReplayable(&Shard{Base: ms, Index: 0, Count: 1}) {
+		t.Error("shard over memory stream lost concurrent-replayability")
+	}
+}

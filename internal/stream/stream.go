@@ -9,7 +9,6 @@ package stream
 
 import (
 	"fmt"
-	"math"
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
@@ -58,24 +57,15 @@ func (s *MemoryStream) N() int { return s.n }
 // Len returns the number of updates.
 func (s *MemoryStream) Len() int { return len(s.updates) }
 
-// Append adds an update, validating endpoints.
+// Append adds an update, validating endpoints. The validation (and
+// canonicalization) is the shared checkUpdate gate, so a MemoryStream
+// holds exactly the updates a streaming source would deliver.
 func (s *MemoryStream) Append(u Update) error {
-	if u.U == u.V {
-		return fmt.Errorf("stream: self-loop update (%d,%d)", u.U, u.V)
+	cu, err := checkUpdate(u, s.n)
+	if err != nil {
+		return err
 	}
-	if u.U < 0 || u.U >= s.n || u.V < 0 || u.V >= s.n {
-		return fmt.Errorf("stream: endpoint out of range in (%d,%d), n=%d", u.U, u.V, s.n)
-	}
-	if u.Delta != 1 && u.Delta != -1 {
-		return fmt.Errorf("stream: delta must be ±1, got %d", u.Delta)
-	}
-	if u.W < 0 || math.IsNaN(u.W) || math.IsInf(u.W, 0) {
-		return fmt.Errorf("stream: weight must be finite and non-negative, got %v", u.W)
-	}
-	if u.W == 0 {
-		u.W = 1
-	}
-	s.updates = append(s.updates, u.Canon())
+	s.updates = append(s.updates, cu)
 	return nil
 }
 
@@ -197,12 +187,18 @@ func WithChurn(g *graph.Graph, extra int, seed uint64) *MemoryStream {
 // of Section 6 (keep is a deterministic function of the edge, so both
 // passes see the same substream).
 type Filtered struct {
-	Base Stream
+	Base Source
 	Keep func(Update) bool
 }
 
 // N returns the vertex count of the base stream.
 func (f *Filtered) N() int { return f.Base.N() }
+
+// CanReplay forwards the base source's replayability.
+func (f *Filtered) CanReplay() bool { return CanReplay(f.Base) }
+
+// ConcurrentReplay forwards the base source's concurrency capability.
+func (f *Filtered) ConcurrentReplay() bool { return ConcurrentReplayable(f.Base) }
 
 // Replay visits the updates of the base stream that pass the filter.
 func (f *Filtered) Replay(fn func(Update) error) error {

@@ -1,0 +1,112 @@
+package dynstream
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"dynstream/internal/stream"
+)
+
+// Typed configuration errors, so callers (and the CLI) can classify
+// failures with errors.Is instead of string matching.
+var (
+	// ErrBadWorkers reports an invalid worker count (must be >= 1).
+	ErrBadWorkers = errors.New("dynstream: workers must be >= 1")
+	// ErrBadConfig reports an invalid build configuration.
+	ErrBadConfig = errors.New("dynstream: invalid configuration")
+	// ErrNotReplayable reports that a multi-pass build was asked to run
+	// over a source that can only be consumed once (a pipe, a channel).
+	ErrNotReplayable = stream.ErrNotReplayable
+)
+
+// Option configures a Build call.
+type Option func(*buildOptions)
+
+// buildOptions is the resolved option set of one Build call.
+type buildOptions struct {
+	workers    int
+	workersSet bool
+	batch      int
+	classBase  float64
+	seed       uint64
+	seedSet    bool
+	progress   func(int64)
+}
+
+// WithWorkers fixes the number of concurrent ingest workers. Without
+// it, Build picks serial or sharded-merge execution automatically; by
+// linearity the result is identical either way.
+func WithWorkers(n int) Option {
+	return func(o *buildOptions) { o.workers = n; o.workersSet = true }
+}
+
+// WithBatchSize sets the update-batch granularity of the ingest
+// pipeline (default stream.DefaultBatchSize). Batching is purely an
+// execution knob: any batch size yields bit-identical results.
+func WithBatchSize(b int) Option {
+	return func(o *buildOptions) { o.batch = b }
+}
+
+// WithWeightClasses switches weight-aware targets (spanner,
+// sparsifier) to the geometric weight-class construction of Remark 14
+// with the given class base (> 1).
+func WithWeightClasses(base float64) Option {
+	return func(o *buildOptions) { o.classBase = base }
+}
+
+// WithSeed overrides the target's random seed — every sketch drawn by
+// the build derives its randomness from it.
+func WithSeed(s uint64) Option {
+	return func(o *buildOptions) { o.seed = s; o.seedSet = true }
+}
+
+// WithProgress installs a progress callback invoked with the
+// cumulative number of updates processed (across all passes and
+// workers). fn must be safe for concurrent use.
+func WithProgress(fn func(updates int64)) Option {
+	return func(o *buildOptions) { o.progress = fn }
+}
+
+// validate is the single options gate every Build runs: it returns
+// typed errors (ErrBadWorkers, ErrBadConfig) so callers never
+// duplicate flag checks.
+func (o *buildOptions) validate() error {
+	if o.workersSet && o.workers < 1 {
+		return fmt.Errorf("%w, got %d", ErrBadWorkers, o.workers)
+	}
+	if o.batch < 0 {
+		return fmt.Errorf("%w: batch size must be >= 0, got %d", ErrBadConfig, o.batch)
+	}
+	if o.classBase != 0 && o.classBase <= 1 {
+		return fmt.Errorf("%w: weight class base must be > 1, got %v", ErrBadConfig, o.classBase)
+	}
+	return nil
+}
+
+// autoParallelThreshold is the stream length above which Build picks
+// sharded-merge execution when no explicit worker count is given.
+const autoParallelThreshold = 1 << 15
+
+// resolveWorkers picks the execution mode: an explicit WithWorkers
+// wins; otherwise long in-memory streams get a sharded merge and
+// everything else (short streams, pipes, channels) runs serially —
+// the memory-optimal choice for single-cursor sources.
+func (o *buildOptions) resolveWorkers(src Source) int {
+	if o.workersSet {
+		return o.workers
+	}
+	type lengther interface{ Len() int }
+	if l, ok := src.(lengther); ok &&
+		stream.ConcurrentReplayable(src) && l.Len() >= autoParallelThreshold {
+		w := runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	return 1
+}

@@ -1,67 +1,65 @@
 package dynstream
 
-// Concurrent sharded-ingest front door. Every construction in this
-// package is a linear sketch, so a stream split into P shards, ingested
-// by P workers into states built from the same seed, and merged yields
-// a state — and therefore an output — identical to single-threaded
-// ingestion (the distributed setting of the paper's introduction,
-// Theorem 10's mergeability, realized as goroutines). The Parallel
-// builders below are drop-in replacements for their serial
-// counterparts: same configuration, same seed, same output.
+// Concurrent sharded-ingest front door, kept as thin deprecated
+// wrappers over the unified Build driver. Every construction in this
+// package is a linear sketch, so a stream split into P shards,
+// ingested by P workers into states built from the same seed, and
+// merged yields a state — and therefore an output — identical to
+// single-threaded ingestion (the distributed setting of the paper's
+// introduction, Theorem 10's mergeability, realized as goroutines).
 
 import (
-	"dynstream/internal/agm"
-	"dynstream/internal/parallel"
-	"dynstream/internal/spanner"
-	"dynstream/internal/sparsify"
+	"context"
+
 	"dynstream/internal/stream"
 )
 
-// StreamShard is a replayable round-robin shard view of a base stream.
+// StreamShard is a replayable round-robin shard view of a base source.
 type StreamShard = stream.Shard
 
-// SplitStream partitions st into p round-robin shards whose union is
-// exactly st. Shards replay concurrently; feed each to its own
+// SplitStream partitions src into p round-robin shards whose union is
+// exactly src. Shards replay concurrently; feed each to its own
 // same-seeded sketch state and merge.
-func SplitStream(st Stream, p int) ([]Stream, error) { return stream.Split(st, p) }
+func SplitStream(src Source, p int) ([]Stream, error) { return stream.Split(src, p) }
 
 // BuildSpannerParallel is BuildSpanner with both passes ingested by
-// `workers` goroutines over shards of st. Output is identical to
-// BuildSpanner for the same configuration.
+// `workers` goroutines over shards of st.
+//
+// Deprecated: use Build with SpannerTarget and WithWorkers.
 func BuildSpannerParallel(st Stream, cfg SpannerConfig, workers int) (*SpannerResult, error) {
-	return spanner.BuildTwoPassParallel(st, cfg, workers)
+	return Build(context.Background(), st, SpannerTarget{Config: cfg}, WithWorkers(workers))
 }
 
 // BuildAdditiveSpannerParallel is BuildAdditiveSpanner with the single
-// pass ingested by `workers` goroutines. Output is identical to
-// BuildAdditiveSpanner for the same configuration.
+// pass ingested by `workers` goroutines.
+//
+// Deprecated: use Build with AdditiveTarget and WithWorkers.
 func BuildAdditiveSpannerParallel(st Stream, cfg AdditiveConfig, workers int) (*AdditiveResult, error) {
-	return spanner.BuildAdditiveParallel(st, cfg, workers)
+	return Build(context.Background(), st, AdditiveTarget{Config: cfg}, WithWorkers(workers))
 }
 
 // BuildSparsifierParallel is BuildSparsifier with sharded-ingest oracle
 // grids and the Z×H sample constructions fanned out over a worker
-// pool. Output is identical to BuildSparsifier for the same
-// configuration.
+// pool.
+//
+// Deprecated: use Build with SparsifierTarget and WithWorkers.
 func BuildSparsifierParallel(st Stream, cfg SparsifierConfig, workers int) (*SparsifierResult, error) {
-	return sparsify.SparsifyParallel(st, cfg, workers)
+	return Build(context.Background(), st, SparsifierTarget{Config: cfg}, WithWorkers(workers))
 }
 
 // NewForestSketchParallel ingests st into an AGM connectivity sketch
 // using `workers` goroutines over round-robin shards, merging the
-// per-shard sketches (ForestSketch.Merge). Ingest is batched
-// (ForestSketch.AddBatch); the returned sketch is identical to serial
-// update-at-a-time ingestion with the same seed.
+// per-shard sketches.
+//
+// Deprecated: use Build with ForestTarget and WithWorkers.
 func NewForestSketchParallel(seed uint64, st Stream, cfg ForestConfig, workers int) (*ForestSketch, error) {
-	return parallel.IngestBatched(st, workers, func() *agm.Sketch {
-		return agm.New(seed, st.N(), cfg)
-	})
+	return Build(context.Background(), st, ForestTarget{Seed: seed, Config: cfg}, WithWorkers(workers))
 }
 
 // NewKConnectivityParallel ingests st into a k-edge-connectivity
-// certificate sketch using `workers` goroutines over shards, batched.
+// certificate sketch using `workers` goroutines over shards.
+//
+// Deprecated: use Build with KConnectivityTarget and WithWorkers.
 func NewKConnectivityParallel(seed uint64, st Stream, k, workers int) (*KConnectivity, error) {
-	return parallel.IngestBatched(st, workers, func() *agm.KConnectivity {
-		return agm.NewKConnectivity(seed, st.N(), k)
-	})
+	return Build(context.Background(), st, KConnectivityTarget{Seed: seed, K: k}, WithWorkers(workers))
 }

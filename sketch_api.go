@@ -1,0 +1,236 @@
+package dynstream
+
+import (
+	"fmt"
+
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+)
+
+// Sketch is the uniform linear-sketch surface: every construction in
+// this package — the AGM family, both spanner states, the sparsifier's
+// oracle grid — exposes the same five operations through a view, which
+// is what makes them interchangeable in distributed pipelines:
+//
+//	ingest a shard  →  MarshalBinary  →  (wire)  →  UnmarshalBinary  →  Merge
+//
+// Views wrap the concrete states (the *View constructors below); the
+// wrapped state remains usable directly, and mutations through either
+// surface are visible to both. Merge requires the other Sketch to be
+// the same kind of view over a state built from the same seed and
+// parameters.
+type Sketch interface {
+	// N returns the vertex count of the sketched graph.
+	N() int
+	// Add folds one stream update into the state.
+	Add(Update) error
+	// AddBatch folds a batch; bit-identical to Add per element.
+	AddBatch([]Update) error
+	// Merge adds another state built from the same randomness; the
+	// result sketches the union of both update streams.
+	Merge(Sketch) error
+	// MarshalBinary encodes the state for the wire.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary replaces the state with a decoded one.
+	UnmarshalBinary([]byte) error
+}
+
+// OracleGrid is the mergeable sketch state of the sparsifier's robust-
+// connectivity oracle grid (Algorithm 4).
+type OracleGrid = sparsify.Grid
+
+// NewOracleGrid creates the oracle-grid sketch state for a graph on n
+// vertices.
+func NewOracleGrid(n int, cfg EstimateConfig) (*OracleGrid, error) {
+	return sparsify.NewGrid(n, cfg)
+}
+
+func mergeMismatch(dst, src Sketch) error {
+	return fmt.Errorf("%w: cannot merge %T into %T", ErrBadConfig, src, dst)
+}
+
+// forestView adapts *ForestSketch.
+type forestView struct{ s *ForestSketch }
+
+// ForestSketchView wraps an AGM connectivity sketch as a Sketch.
+func ForestSketchView(s *ForestSketch) Sketch { return forestView{s} }
+
+func (v forestView) N() int                         { return v.s.N() }
+func (v forestView) Add(u Update) error             { v.s.AddUpdate(u); return nil }
+func (v forestView) AddBatch(b []Update) error      { v.s.AddBatch(b); return nil }
+func (v forestView) MarshalBinary() ([]byte, error) { return v.s.MarshalBinary() }
+func (v forestView) UnmarshalBinary(d []byte) error { return v.s.UnmarshalBinary(d) }
+func (v forestView) Merge(o Sketch) error {
+	ov, ok := o.(forestView)
+	if !ok {
+		return mergeMismatch(v, o)
+	}
+	return v.s.Merge(ov.s)
+}
+
+// kconnView adapts *KConnectivity.
+type kconnView struct{ s *KConnectivity }
+
+// KConnectivityView wraps a k-connectivity certificate sketch as a
+// Sketch.
+func KConnectivityView(s *KConnectivity) Sketch { return kconnView{s} }
+
+func (v kconnView) N() int                         { return v.s.N() }
+func (v kconnView) Add(u Update) error             { v.s.AddUpdate(u); return nil }
+func (v kconnView) AddBatch(b []Update) error      { v.s.AddBatch(b); return nil }
+func (v kconnView) MarshalBinary() ([]byte, error) { return v.s.MarshalBinary() }
+func (v kconnView) UnmarshalBinary(d []byte) error { return v.s.UnmarshalBinary(d) }
+func (v kconnView) Merge(o Sketch) error {
+	ov, ok := o.(kconnView)
+	if !ok {
+		return mergeMismatch(v, o)
+	}
+	return v.s.Merge(ov.s)
+}
+
+// bipView adapts *Bipartiteness.
+type bipView struct{ s *Bipartiteness }
+
+// BipartitenessView wraps a bipartiteness tester as a Sketch.
+func BipartitenessView(s *Bipartiteness) Sketch { return bipView{s} }
+
+func (v bipView) N() int                         { return v.s.N() }
+func (v bipView) Add(u Update) error             { v.s.AddUpdate(u); return nil }
+func (v bipView) AddBatch(b []Update) error      { v.s.AddBatch(b); return nil }
+func (v bipView) MarshalBinary() ([]byte, error) { return v.s.MarshalBinary() }
+func (v bipView) UnmarshalBinary(d []byte) error { return v.s.UnmarshalBinary(d) }
+func (v bipView) Merge(o Sketch) error {
+	ov, ok := o.(bipView)
+	if !ok {
+		return mergeMismatch(v, o)
+	}
+	return v.s.Merge(ov.s)
+}
+
+// msfView adapts *MSF.
+type msfView struct{ s *MSF }
+
+// MSFView wraps an approximate-MSF sketch as a Sketch.
+func MSFView(s *MSF) Sketch { return msfView{s} }
+
+func (v msfView) N() int                         { return v.s.N() }
+func (v msfView) Add(u Update) error             { v.s.AddUpdate(u); return nil }
+func (v msfView) AddBatch(b []Update) error      { v.s.AddBatch(b); return nil }
+func (v msfView) MarshalBinary() ([]byte, error) { return v.s.MarshalBinary() }
+func (v msfView) UnmarshalBinary(d []byte) error { return v.s.UnmarshalBinary(d) }
+func (v msfView) Merge(o Sketch) error {
+	ov, ok := o.(msfView)
+	if !ok {
+		return mergeMismatch(v, o)
+	}
+	return v.s.Merge(ov.s)
+}
+
+// additiveView adapts *AdditiveSpanner.
+type additiveView struct{ s *AdditiveSpanner }
+
+// AdditiveSpannerView wraps the single-pass additive spanner state as
+// a Sketch.
+func AdditiveSpannerView(s *AdditiveSpanner) Sketch { return additiveView{s} }
+
+func (v additiveView) N() int                         { return v.s.N() }
+func (v additiveView) Add(u Update) error             { return v.s.Update(u) }
+func (v additiveView) AddBatch(b []Update) error      { return v.s.AddBatch(b) }
+func (v additiveView) MarshalBinary() ([]byte, error) { return v.s.MarshalBinary() }
+func (v additiveView) UnmarshalBinary(d []byte) error { return v.s.UnmarshalBinary(d) }
+func (v additiveView) Merge(o Sketch) error {
+	ov, ok := o.(additiveView)
+	if !ok {
+		return mergeMismatch(v, o)
+	}
+	return v.s.Merge(ov.s)
+}
+
+// twoPassView adapts *TwoPassSpanner, one pass at a time: the two-pass
+// state is a different linear sketch in each pass, so each pass gets
+// its own Sketch view (ingest routes to Pass1Update or Pass2Update,
+// merge to MergePass1 or MergePass2).
+type twoPassView struct {
+	s     *TwoPassSpanner
+	pass2 bool
+}
+
+// TwoPassPass1View wraps the first-pass state of a two-pass spanner as
+// a Sketch.
+func TwoPassPass1View(s *TwoPassSpanner) Sketch { return twoPassView{s, false} }
+
+// TwoPassPass2View wraps the second-pass (table) state of a two-pass
+// spanner as a Sketch — typically a worker created by ForkPass2.
+func TwoPassPass2View(s *TwoPassSpanner) Sketch { return twoPassView{s, true} }
+
+func (v twoPassView) N() int { return v.s.N() }
+func (v twoPassView) Add(u Update) error {
+	if v.pass2 {
+		return v.s.Pass2Update(u)
+	}
+	return v.s.Pass1Update(u)
+}
+func (v twoPassView) AddBatch(b []Update) error {
+	if v.pass2 {
+		return v.s.Pass2AddBatch(b)
+	}
+	return v.s.Pass1AddBatch(b)
+}
+func (v twoPassView) MarshalBinary() ([]byte, error) { return v.s.MarshalBinary() }
+func (v twoPassView) UnmarshalBinary(d []byte) error { return v.s.UnmarshalBinary(d) }
+func (v twoPassView) Merge(o Sketch) error {
+	ov, ok := o.(twoPassView)
+	if !ok || ov.pass2 != v.pass2 {
+		return mergeMismatch(v, o)
+	}
+	if v.pass2 {
+		return v.s.MergePass2(ov.s)
+	}
+	return v.s.MergePass1(ov.s)
+}
+
+// gridView adapts *OracleGrid, one pass at a time (see twoPassView).
+type gridView struct {
+	g     *OracleGrid
+	pass2 bool
+}
+
+// GridPass1View wraps the first-pass state of an oracle grid as a
+// Sketch.
+func GridPass1View(g *OracleGrid) Sketch { return gridView{g, false} }
+
+// GridPass2View wraps the second-pass state of an oracle grid as a
+// Sketch.
+func GridPass2View(g *OracleGrid) Sketch { return gridView{g, true} }
+
+func (v gridView) N() int { return v.g.N() }
+func (v gridView) Add(u Update) error {
+	if v.pass2 {
+		return v.g.Pass2Update(u)
+	}
+	return v.g.Pass1Update(u)
+}
+func (v gridView) AddBatch(b []Update) error {
+	if v.pass2 {
+		return v.g.Pass2AddBatch(b)
+	}
+	return v.g.Pass1AddBatch(b)
+}
+func (v gridView) MarshalBinary() ([]byte, error) { return v.g.MarshalBinary() }
+func (v gridView) UnmarshalBinary(d []byte) error { return v.g.UnmarshalBinary(d) }
+func (v gridView) Merge(o Sketch) error {
+	ov, ok := o.(gridView)
+	if !ok || ov.pass2 != v.pass2 {
+		return mergeMismatch(v, o)
+	}
+	if v.pass2 {
+		return v.g.MergePass2(ov.g)
+	}
+	return v.g.MergePass1(ov.g)
+}
+
+// IngestSketch drives src into any Sketch via the batched pipeline —
+// the glue for custom states that are not Build targets.
+func IngestSketch(src Source, sk Sketch) error {
+	return stream.ReplayBatches(src, 0, sk.AddBatch)
+}

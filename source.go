@@ -1,0 +1,53 @@
+package dynstream
+
+import (
+	"io"
+
+	"dynstream/internal/stream"
+)
+
+// Streaming sources — the input half of the Build front door. A Source
+// delivers a dynamic graph as a sequence of updates; Streams
+// (replayable sources) additionally support the multi-pass model the
+// two-pass algorithms need. Constant-memory implementations:
+//
+//   - ReaderSource: text or binary bytes from any io.Reader, parsed on
+//     the fly (a pipe on stdin ingests with O(sketch) heap; a file
+//     rewinds for multi-pass builds).
+//   - ChannelSource: live updates from a Go channel.
+//   - MemoryStream: the fully materialized in-memory stream.
+
+// Source is a sequence of updates over a graph on N() vertices,
+// consumable at least once. See CanReplay for the multi-pass contract.
+type Source = stream.Source
+
+// ReaderSource streams updates out of an io.Reader without
+// materializing them (text or binary format, auto-detected).
+type ReaderSource = stream.ReaderSource
+
+// ChannelSource adapts a channel of updates into a single-shot Source.
+type ChannelSource = stream.ChannelSource
+
+// NewReaderSource wraps r (text or binary stream format) as a
+// constant-memory Source. The header is read immediately; records are
+// parsed during Replay. If r is seekable the source is replayable.
+func NewReaderSource(r io.Reader) (*ReaderSource, error) {
+	return stream.NewReaderSource(r)
+}
+
+// NewChannelSource wraps ch as a Source over a graph on n vertices;
+// the stream ends when ch is closed.
+func NewChannelSource(n int, ch <-chan Update) *ChannelSource {
+	return stream.NewChannelSource(n, ch)
+}
+
+// CanReplay reports whether src supports multiple Replay passes —
+// required by multi-pass targets (SpannerTarget, SparsifierTarget).
+func CanReplay(src Source) bool { return stream.CanReplay(src) }
+
+// WriteTextStream serializes src in the text stream format.
+func WriteTextStream(w io.Writer, src Source) error { return stream.WriteText(w, src) }
+
+// WriteBinaryStream serializes src in the binary wire format — the
+// compact encoding ReaderSource ingests at constant memory.
+func WriteBinaryStream(w io.Writer, src Source) error { return stream.WriteBinary(w, src) }
