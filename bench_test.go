@@ -9,11 +9,17 @@ package dynstream
 // Run: go test -bench=. -benchmem
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math"
+	"net"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"dynstream/internal/baseline"
+	"dynstream/internal/dynnet"
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
 	"dynstream/internal/linalg"
@@ -269,6 +275,70 @@ func BenchmarkIngestThroughput(b *testing.B) {
 				b.ReportMetric(float64(st.Len()*b.N)/b.Elapsed().Seconds(), "updates/s")
 			})
 		}
+	}
+}
+
+// BenchmarkDistributedIngest measures the multi-process build path
+// tracked in BENCH_ingest.json: updates/sec folding a churned dynamic
+// stream into an AGM forest sketch across 1/2/4 protocol workers over
+// unix sockets (in-process listeners speaking the full dynnet frame
+// protocol — varint/CRC framing, compressed state blobs, shard
+// streaming, and the coordinator merge). The result is asserted
+// byte-identical to a local build once per worker count.
+func BenchmarkDistributedIngest(b *testing.B) {
+	g := graph.ConnectedGNP(1000, 4.0/1000, benchSeed+50)
+	st := stream.WithChurn(g, 50000, benchSeed+51)
+	ctx := context.Background()
+	local, err := Build(ctx, st, ForestTarget{Seed: benchSeed + 52})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := local.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "dynbench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			addrs := make([]string, workers)
+			for i := range addrs {
+				addrs[i] = filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
+				ln, err := net.Listen("unix", addrs[i])
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ln.Close()
+				go dynnet.ListenAndServeWorker(ctx, ln, dynnet.WorkerConfig{})
+			}
+			cluster, err := DialWorkers(ctx, addrs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			b.ResetTimer()
+			var sk *ForestSketch
+			for i := 0; i < b.N; i++ {
+				sk, err = Build(ctx, st, ForestTarget{Seed: benchSeed + 52}, WithRemoteCluster(cluster))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			got, err := sk.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				b.Fatal("distributed state differs from local build")
+			}
+			b.ReportMetric(float64(st.Len()*b.N)/b.Elapsed().Seconds(), "updates/s")
+			out, in := cluster.BytesOnWire()
+			b.ReportMetric(float64(out+in)/float64(b.N), "wireB/op")
+		})
 	}
 }
 

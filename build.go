@@ -51,6 +51,18 @@ func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Opt
 		return zero, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
 			target, target.Passes(), ErrNotReplayable)
 	}
+	if o.remote() {
+		cluster := o.cluster
+		if cluster == nil {
+			var err error
+			cluster, err = DialWorkers(ctx, o.remoteAddrs...)
+			if err != nil {
+				return zero, err
+			}
+			defer cluster.Close()
+		}
+		return target.buildRemote(ctx, src, o, &remoteRun{cluster: cluster, o: o})
+	}
 	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress)
 	return target.build(src, o, p)
 }
@@ -68,6 +80,10 @@ type Target[R any] interface {
 	Passes() int
 	// build runs the construction under the resolved options/policy.
 	build(src Source, o *buildOptions, p *parallel.Policy) (R, error)
+	// buildRemote runs the construction on remote worker processes
+	// (WithRemoteWorkers / WithRemoteCluster), producing the same
+	// result bit for bit.
+	buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (R, error)
 }
 
 // noWeightClasses rejects WithWeightClasses for targets without a

@@ -17,6 +17,8 @@
 //	kcert     -k K       k-edge-connectivity certificate
 //	msf       [-wmax W]  (1+γ)-approximate minimum spanning forest
 //	bipartite            bipartiteness test (prints verdict)
+//	worker               sketch worker process (multi-process builds)
+//	coord                coordinator wrapper around any subcommand
 //
 // The stream is never materialized: single-pass subcommands (additive,
 // forest, kcert, bipartite, and msf with -wmax) ingest a pipe on stdin
@@ -29,6 +31,17 @@
 // ingest, merged by linearity — output identical to -workers 1) and
 // -batch B (ingest batch size; purely an execution knob).
 //
+// Multi-process builds pair one coordinator with worker processes over
+// TCP or unix sockets; the output is byte-identical to a local build:
+//
+//	dynstream worker -listen /tmp/w0.sock &
+//	dynstream worker -listen /tmp/w1.sock &
+//	dynstream coord -remote /tmp/w0.sock,/tmp/w1.sock spanner -k 2 < graph.txt
+//
+// SIGINT and SIGTERM cancel the build context: partial runs (including
+// long-lived worker processes) shut down cleanly instead of dying
+// mid-write with a stack trace.
+//
 // Example:
 //
 //	dynstream spanner -k 2 -seed 7 -workers 4 < graph.txt > spanner.txt
@@ -36,26 +49,211 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"dynstream"
+	"dynstream/internal/dynnet"
 	"dynstream/internal/graph"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	// Translate SIGINT/SIGTERM into context cancellation so a build
+	// interrupted mid-ingest — or a long-lived worker process — tears
+	// down its connections and exits cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "dynstream: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "dynstream:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: dynstream <spanner|additive|sparsify|forest|kcert|msf|bipartite> [flags] < stream.txt")
+		return fmt.Errorf("usage: dynstream <spanner|additive|sparsify|forest|kcert|msf|bipartite|worker|coord> [flags] < stream.txt")
 	}
+	switch args[0] {
+	case "worker":
+		return runWorker(ctx, args[1:], stderr)
+	case "coord":
+		return runCoord(ctx, args[1:], stdin, stdout, stderr)
+	}
+	return runBuild(ctx, args, nil, nil, stdin, stdout, stderr)
+}
+
+// runWorker runs a sketch worker process: it registers with a
+// coordinator (or waits for one), then executes build passes shipped
+// over the wire until the connection closes or the context is
+// canceled.
+func runWorker(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen  = fs.String("listen", "", "address to accept a coordinator on (host:port or unix socket path)")
+		connect = fs.String("connect", "", "coordinator address to register with")
+		shard   = fs.String("shard", "", "local shard file to ingest for -workershards builds")
+		id      = fs.String("id", "", "worker id reported at registration (default the listen/connect address)")
+		quiet   = fs.Bool("q", false, "suppress per-pass log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*listen == "") == (*connect == "") {
+		return fmt.Errorf("worker: exactly one of -listen or -connect is required: %w", dynstream.ErrBadConfig)
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments after flags: %v", extra)
+	}
+
+	cfg := dynnet.WorkerConfig{ID: *id}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	if *shard != "" {
+		f, err := os.Open(*shard)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src, err := dynstream.NewReaderSource(f)
+		if err != nil {
+			return fmt.Errorf("worker shard %s: %w", *shard, err)
+		}
+		cfg.Source = src
+	}
+
+	if *connect != "" {
+		if cfg.ID == "" {
+			cfg.ID = *connect
+		}
+		network, address := dynnet.ResolveNetwork(*connect)
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, network, address)
+		if err != nil {
+			return fmt.Errorf("worker: register with coordinator: %w", err)
+		}
+		return dynnet.ServeWorker(ctx, conn, cfg)
+	}
+
+	if cfg.ID == "" {
+		cfg.ID = *listen
+	}
+	network, address := dynnet.ResolveNetwork(*listen)
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if network == "unix" {
+		defer os.Remove(address)
+	}
+	fmt.Fprintf(stderr, "worker %s: listening on %s\n", cfg.ID, *listen)
+	err = dynnet.ListenAndServeWorker(ctx, ln, cfg)
+	if errors.Is(err, context.Canceled) {
+		return context.Canceled
+	}
+	return err
+}
+
+// runCoord wraps any build subcommand in a multi-process coordinator:
+// it establishes the worker cluster (dialing workers, or accepting
+// their registrations), then delegates to the regular subcommand logic
+// with the cluster attached to the Build call.
+func runCoord(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		remote = fs.String("remote", "", "comma-separated worker addresses to dial")
+		listen = fs.String("listen", "", "address to accept worker registrations on")
+		await  = fs.Int("await", 0, "number of worker registrations to wait for (with -listen)")
+		shards = fs.Bool("workershards", false, "workers ingest their own -shard files; the stream is not sent (requires -n)")
+		nFlag  = fs.Int("n", 0, "vertex count for -workershards builds (no coordinator-side stream)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub := fs.Args()
+	if len(sub) == 0 {
+		return fmt.Errorf("coord: missing build subcommand (e.g. `coord -remote a,b spanner -k 2`)")
+	}
+	switch {
+	case (*remote == "") == (*listen == ""):
+		return fmt.Errorf("coord: exactly one of -remote or -listen is required: %w", dynstream.ErrBadConfig)
+	case *listen != "" && *await < 1:
+		return fmt.Errorf("coord: -listen needs -await >= 1, got %d: %w", *await, dynstream.ErrBadConfig)
+	case *shards && *nFlag < 1:
+		return fmt.Errorf("coord: -workershards needs -n >= 1, got %d: %w", *nFlag, dynstream.ErrBadConfig)
+	}
+
+	var cluster *dynstream.RemoteCluster
+	var err error
+	if *remote != "" {
+		addrs := strings.Split(*remote, ",")
+		cluster, err = dynstream.DialWorkers(ctx, addrs...)
+	} else {
+		network, address := dynnet.ResolveNetwork(*listen)
+		var ln net.Listener
+		ln, err = net.Listen(network, address)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		if network == "unix" {
+			defer os.Remove(address)
+		}
+		fmt.Fprintf(stderr, "coordinator: awaiting %d worker registrations on %s\n", *await, *listen)
+		cluster, err = dynstream.AcceptWorkers(ctx, ln, *await)
+	}
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Fprintf(stderr, "coordinator: %d workers registered: %s\n",
+		cluster.Live(), strings.Join(cluster.WorkerIDs(), ", "))
+
+	// Progress with bytes-on-wire, throttled to every 2^18 updates.
+	var lastReport int64
+	progress := func(updates int64) {
+		if updates-lastReport < 1<<18 {
+			return
+		}
+		lastReport = updates
+		out, in := cluster.BytesOnWire()
+		fmt.Fprintf(stderr, "coordinator: %d updates shipped, wire %d B out / %d B in\n", updates, out, in)
+	}
+	extra := []dynstream.Option{
+		dynstream.WithRemoteCluster(cluster),
+		dynstream.WithProgress(progress),
+	}
+	var srcOverride dynstream.Source
+	if *shards {
+		extra = append(extra, dynstream.WithWorkerShards())
+		srcOverride = dynstream.NewMemoryStream(*nFlag)
+	}
+	err = runBuild(ctx, sub, extra, srcOverride, stdin, stdout, stderr)
+	out, in := cluster.BytesOnWire()
+	fmt.Fprintf(stderr, "coordinator: wire total %d B out / %d B in across %d workers\n",
+		out, in, len(cluster.WorkerIDs()))
+	return err
+}
+
+// runBuild parses and executes one build subcommand. extraOpts carries
+// coordinator options; srcOverride (when non-nil) replaces the input
+// stream entirely (worker-shard builds have no coordinator-side
+// stream).
+func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, srcOverride dynstream.Source, stdin io.Reader, stdout, stderr io.Writer) error {
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -87,26 +285,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments after flags: %v", extra)
 	}
-	in := stdin
-	if *input != "" {
-		f, err := os.Open(*input)
+	var src dynstream.Source
+	if srcOverride != nil {
+		src = srcOverride
+		fmt.Fprintf(stderr, "stream: n=%d from worker-local shards\n", src.N())
+	} else {
+		in := stdin
+		if *input != "" {
+			f, err := os.Open(*input)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		rs, err := dynstream.NewReaderSource(in)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
+		fmt.Fprintf(stderr, "stream: n=%d, %d workers\n", rs.N(), *workers)
+		src = rs
 	}
-	src, err := dynstream.NewReaderSource(in)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stderr, "stream: n=%d, %d workers\n", src.N(), *workers)
 
-	ctx := context.Background()
-	opts := []dynstream.Option{
+	opts := append([]dynstream.Option{
 		dynstream.WithWorkers(*workers),
 		dynstream.WithBatchSize(*batch),
-	}
+	}, extraOpts...)
 
 	switch cmd {
 	case "spanner":

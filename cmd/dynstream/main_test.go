@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -25,7 +26,7 @@ const testStream = `n 6
 func runCLI(t *testing.T, args []string, in string) (string, string) {
 	t.Helper()
 	var out, errOut bytes.Buffer
-	if err := run(args, strings.NewReader(in), &out, &errOut); err != nil {
+	if err := run(context.Background(), args, strings.NewReader(in), &out, &errOut); err != nil {
 		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errOut.String())
 	}
 	return out.String(), errOut.String()
@@ -80,13 +81,13 @@ func TestCLIKCert(t *testing.T) {
 
 func TestCLIErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run(nil, strings.NewReader(""), &out, &errOut); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader(""), &out, &errOut); err == nil {
 		t.Error("no subcommand accepted")
 	}
-	if err := run([]string{"bogus"}, strings.NewReader(testStream), &out, &errOut); err == nil {
+	if err := run(context.Background(), []string{"bogus"}, strings.NewReader(testStream), &out, &errOut); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
-	if err := run([]string{"spanner"}, strings.NewReader("garbage"), &out, &errOut); err == nil {
+	if err := run(context.Background(), []string{"spanner"}, strings.NewReader("garbage"), &out, &errOut); err == nil {
 		t.Error("garbage stream accepted")
 	}
 }
@@ -103,7 +104,7 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"spanner", "-k", "2", "stray-positional"},
 	} {
 		var out, errOut bytes.Buffer
-		if err := run(args, strings.NewReader(testStream), &out, &errOut); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(testStream), &out, &errOut); err == nil {
 			t.Errorf("run(%v) accepted invalid flags", args)
 		}
 	}
@@ -163,7 +164,7 @@ func TestCLIStreamsFromPipe(t *testing.T) {
 	} {
 		wantOut, _ := runCLI(t, sub, testStream)
 		var out, errOut bytes.Buffer
-		if err := run(sub, pipeReader{strings.NewReader(testStream)}, &out, &errOut); err != nil {
+		if err := run(context.Background(), sub, pipeReader{strings.NewReader(testStream)}, &out, &errOut); err != nil {
 			t.Fatalf("%v over pipe: %v\nstderr: %s", sub, err, errOut.String())
 		}
 		if out.String() != wantOut {
@@ -180,7 +181,7 @@ func TestCLIPipeMaterializeFallback(t *testing.T) {
 	// and still produces the standard output.
 	want, _ := runCLI(t, []string{"spanner", "-k", "2", "-seed", "3"}, testStream)
 	var out, errOut bytes.Buffer
-	err := run([]string{"spanner", "-k", "2", "-seed", "3"},
+	err := run(context.Background(), []string{"spanner", "-k", "2", "-seed", "3"},
 		pipeReader{strings.NewReader(testStream)}, &out, &errOut)
 	if err != nil {
 		t.Fatalf("spanner over pipe: %v", err)
@@ -206,7 +207,7 @@ func TestCLIBinaryInput(t *testing.T) {
 	}
 	want, _ := runCLI(t, []string{"forest", "-seed", "4"}, testStream)
 	var out, errOut bytes.Buffer
-	if err := run([]string{"forest", "-seed", "4"}, bytes.NewReader(bin.Bytes()), &out, &errOut); err != nil {
+	if err := run(context.Background(), []string{"forest", "-seed", "4"}, bytes.NewReader(bin.Bytes()), &out, &errOut); err != nil {
 		t.Fatalf("forest over binary: %v", err)
 	}
 	if out.String() != want {
@@ -216,15 +217,15 @@ func TestCLIBinaryInput(t *testing.T) {
 
 func TestCLITypedErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
-	err := run([]string{"spanner", "-workers", "0"}, strings.NewReader(testStream), &out, &errOut)
+	err := run(context.Background(), []string{"spanner", "-workers", "0"}, strings.NewReader(testStream), &out, &errOut)
 	if !errors.Is(err, dynstream.ErrBadWorkers) {
 		t.Errorf("-workers 0: err = %v, want ErrBadWorkers", err)
 	}
-	err = run([]string{"spanner", "-k", "0"}, strings.NewReader(testStream), &out, &errOut)
+	err = run(context.Background(), []string{"spanner", "-k", "0"}, strings.NewReader(testStream), &out, &errOut)
 	if !errors.Is(err, dynstream.ErrBadConfig) {
 		t.Errorf("-k 0: err = %v, want ErrBadConfig", err)
 	}
-	err = run([]string{"msf", "-wmax", "-1"}, strings.NewReader(testStream), &out, &errOut)
+	err = run(context.Background(), []string{"msf", "-wmax", "-1"}, strings.NewReader(testStream), &out, &errOut)
 	if !errors.Is(err, dynstream.ErrBadConfig) {
 		t.Errorf("-wmax -1: err = %v, want ErrBadConfig", err)
 	}

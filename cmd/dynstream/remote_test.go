@@ -1,0 +1,334 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynstream"
+	"dynstream/internal/graph"
+)
+
+// The process-level tests re-exec the test binary as real `dynstream
+// worker` processes: TestMain intercepts the child invocation (marked
+// by DYNSTREAM_CLI_ARGS) and routes it through the same run() the
+// installed binary uses — a coordinator in the test process drives
+// genuine worker processes over unix sockets.
+const cliArgsEnv = "DYNSTREAM_CLI_ARGS"
+
+func TestMain(m *testing.M) {
+	if argv := os.Getenv(cliArgsEnv); argv != "" {
+		main2(strings.Split(argv, "\x1f"))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// main2 is main() for re-exec'd children (same signal translation).
+func main2(args []string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, args, os.Stdin, os.Stdout, os.Stderr)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "dynstream: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "dynstream:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startWorkerProcs launches n real worker processes listening on unix
+// sockets and waits for the sockets to appear.
+func startWorkerProcs(t *testing.T, n int, extraArgs ...string) ([]string, []*exec.Cmd) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "dynproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	addrs := make([]string, n)
+	procs := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		sock := filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
+		args := append([]string{"worker", "-listen", sock, "-q"}, extraArgs...)
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), cliArgsEnv+"="+strings.Join(args, "\x1f"))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = cmd
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		addrs[i] = sock
+	}
+	for _, sock := range addrs {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := os.Stat(sock); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker socket %s never appeared", sock)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return addrs, procs
+}
+
+func processTestStream(t *testing.T) *dynstream.MemoryStream {
+	t.Helper()
+	g := graph.ConnectedGNP(40, 0.15, 71)
+	for i := 0; i < g.N(); i++ {
+		g.AddEdge(i, (i+7)%g.N(), float64(1+i%5))
+	}
+	return dynstream.StreamWithChurn(g, 300, 72)
+}
+
+// TestProcessEquivalenceAllTargets is the acceptance gate: a
+// coordinator plus three real worker processes over unix sockets must
+// produce byte-identical sketch state (or identical decoded output) to
+// the serial Build, for every target.
+func TestProcessEquivalenceAllTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st := processTestStream(t)
+	addrs, _ := startWorkerProcs(t, 3)
+	cluster, err := dynstream.DialWorkers(ctx, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	remote := dynstream.WithRemoteCluster(cluster)
+
+	marshalOf := func(v any) []byte {
+		m, ok := v.(interface{ MarshalBinary() ([]byte, error) })
+		if !ok {
+			return nil
+		}
+		enc, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	check := func(name string, serial, rem any, serialErr, remErr error) {
+		t.Helper()
+		if serialErr != nil || remErr != nil {
+			t.Fatalf("%s: serial err %v, remote err %v", name, serialErr, remErr)
+		}
+		if sb := marshalOf(serial); sb != nil {
+			if !bytes.Equal(sb, marshalOf(rem)) {
+				t.Fatalf("%s: sketch state differs between serial and multi-process build", name)
+			}
+			return
+		}
+		if fmt.Sprintf("%+v", serial) != fmt.Sprintf("%+v", rem) {
+			t.Fatalf("%s: result differs between serial and multi-process build", name)
+		}
+	}
+
+	{
+		s, serr := dynstream.Build(ctx, st, dynstream.ForestTarget{Seed: 1})
+		r, rerr := dynstream.Build(ctx, st, dynstream.ForestTarget{Seed: 1}, remote)
+		check("forest", s, r, serr, rerr)
+	}
+	{
+		s, serr := dynstream.Build(ctx, st, dynstream.KConnectivityTarget{Seed: 2, K: 2})
+		r, rerr := dynstream.Build(ctx, st, dynstream.KConnectivityTarget{Seed: 2, K: 2}, remote)
+		check("kconnectivity", s, r, serr, rerr)
+	}
+	{
+		s, serr := dynstream.Build(ctx, st, dynstream.BipartitenessTarget{Seed: 3})
+		r, rerr := dynstream.Build(ctx, st, dynstream.BipartitenessTarget{Seed: 3}, remote)
+		check("bipartiteness", s, r, serr, rerr)
+	}
+	{
+		s, serr := dynstream.Build(ctx, st, dynstream.MSFTarget{Seed: 4, Gamma: 0.5})
+		r, rerr := dynstream.Build(ctx, st, dynstream.MSFTarget{Seed: 4, Gamma: 0.5}, remote)
+		check("msf", s, r, serr, rerr)
+	}
+	{
+		tgt := dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: 3, Seed: 5}}
+		s, serr := dynstream.Build(ctx, st, tgt)
+		r, rerr := dynstream.Build(ctx, st, tgt, remote)
+		if serr != nil || rerr != nil {
+			t.Fatalf("additive: %v / %v", serr, rerr)
+		}
+		assertSameGraph(t, "additive", s.Spanner, r.Spanner)
+	}
+	{
+		tgt := dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 6}}
+		s, serr := dynstream.Build(ctx, st, tgt)
+		r, rerr := dynstream.Build(ctx, st, tgt, remote)
+		if serr != nil || rerr != nil {
+			t.Fatalf("spanner: %v / %v", serr, rerr)
+		}
+		assertSameGraph(t, "spanner", s.Spanner, r.Spanner)
+	}
+	{
+		tgt := dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{
+			K: 1, Z: 1, H: 3, Seed: 7,
+			Estimate: dynstream.EstimateConfig{K: 1, J: 2, T: 3, Seed: 8},
+		}}
+		s, serr := dynstream.Build(ctx, st, tgt)
+		r, rerr := dynstream.Build(ctx, st, tgt, remote)
+		if serr != nil || rerr != nil {
+			t.Fatalf("sparsifier: %v / %v", serr, rerr)
+		}
+		assertSameGraph(t, "sparsifier", s.Sparsifier, r.Sparsifier)
+	}
+	out, in := cluster.BytesOnWire()
+	t.Logf("3 worker processes, wire: %d B out, %d B in", out, in)
+}
+
+func assertSameGraph(t *testing.T, what string, a, b *dynstream.Graph) {
+	t.Helper()
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("%s: %d vs %d edges", what, len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("%s: edge %d: %v vs %v", what, i, ae[i], be[i])
+		}
+	}
+}
+
+// TestProcessWorkerKillRecovery kills one worker process with SIGKILL
+// mid-stream and checks the coordinator re-replays its shard to the
+// survivors, still matching the serial build exactly.
+func TestProcessWorkerKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	g := graph.ConnectedGNP(300, 0.05, 81)
+	st := dynstream.StreamWithChurn(g, 20000, 82)
+	addrs, procs := startWorkerProcs(t, 3)
+	cluster, err := dynstream.DialWorkers(ctx, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	serial, err := dynstream.Build(ctx, st, dynstream.ForestTarget{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL one worker the moment the stream starts flowing.
+	killed := false
+	remote, err := dynstream.Build(ctx, st, dynstream.ForestTarget{Seed: 9},
+		dynstream.WithRemoteCluster(cluster),
+		dynstream.WithBatchSize(64),
+		dynstream.WithProgress(func(updates int64) {
+			if !killed && updates > int64(st.Len())/10 {
+				killed = true
+				procs[1].Process.Signal(syscall.SIGKILL)
+			}
+		}))
+	if err != nil {
+		t.Fatalf("build with a killed worker: %v", err)
+	}
+	if !killed {
+		t.Fatal("kill never fired")
+	}
+	if live := cluster.Live(); live != 2 {
+		t.Fatalf("live workers after kill: %d, want 2", live)
+	}
+	sb, _ := serial.MarshalBinary()
+	rb, _ := remote.MarshalBinary()
+	if !bytes.Equal(sb, rb) {
+		t.Fatal("state after worker-kill recovery differs from serial build")
+	}
+}
+
+// TestProcessSIGINT checks the signal satellite: a worker process
+// interrupted with SIGINT exits cleanly (status 130, no stack trace).
+func TestProcessSIGINT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	addrs, procs := startWorkerProcs(t, 1)
+	_ = addrs
+	proc := procs[0]
+	var stderr bytes.Buffer
+	proc.Stderr = &stderr // too late for the pipe, but keep the field consistent
+	time.Sleep(100 * time.Millisecond)
+	if err := proc.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case <-done:
+		code := proc.ProcessState.ExitCode()
+		if code != 130 {
+			t.Fatalf("SIGINT exit code %d, want 130 (clean ctx-cancel shutdown)", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit on SIGINT")
+	}
+}
+
+// TestDistributedSmokeLarge is the CI smoke body: 1 coordinator + 3
+// worker processes over unix sockets build a spanner from a generated
+// 1M-update stream and the result is diffed against the serial build.
+// Gated behind an env var — it moves ~10^6 updates through the wire.
+func TestDistributedSmokeLarge(t *testing.T) {
+	if os.Getenv("DYNSTREAM_DIST_SMOKE") == "" {
+		t.Skip("set DYNSTREAM_DIST_SMOKE=1 to run the 1M-update smoke")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	g := graph.ConnectedGNP(2000, 0.02, 91)
+	churn := (1000000 - g.M()) / 2
+	st := dynstream.StreamWithChurn(g, churn, 92)
+	t.Logf("stream: n=%d, %d updates", st.N(), st.Len())
+
+	addrs, _ := startWorkerProcs(t, 3)
+	cluster, err := dynstream.DialWorkers(ctx, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	tgt := dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 10}}
+	t0 := time.Now()
+	serial, err := dynstream.Build(ctx, st, tgt, dynstream.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDur := time.Since(t0)
+	t0 = time.Now()
+	remote, err := dynstream.Build(ctx, st, tgt, dynstream.WithRemoteCluster(cluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteDur := time.Since(t0)
+	assertSameGraph(t, "1M-update spanner", serial.Spanner, remote.Spanner)
+	out, in := cluster.BytesOnWire()
+	ups := float64(2*st.Len()) / remoteDur.Seconds() // two passes
+	t.Logf("serial %.1fs, distributed %.1fs (%.0f upd/s through the wire), wire %d B out / %d B in",
+		serialDur.Seconds(), remoteDur.Seconds(), ups, out, in)
+}

@@ -1,15 +1,16 @@
-// Distributed sketching: the setting from the paper's introduction.
-// s servers each observe a shard of the update stream (x = x^1 + ... +
-// x^s); every server computes the linear sketch of its own shard, the
-// coordinator sums the sketches and extracts a spanning forest — no
-// server ever communicates raw edges.
+// Distributed sketching: the setting from the paper's introduction,
+// with real operating-system processes. s servers each observe a shard
+// of the update stream (x = x^1 + ... + x^s); every server computes the
+// linear sketch of its own shard, the coordinator sums the sketches and
+// extracts a spanning forest — no server ever communicates raw edges.
 //
-// Each server here is a goroutine running the unified Build driver
-// over a live ChannelSource (its local update feed), and the sketch it
-// ships to the coordinator travels as BYTES: MarshalBinary on the
-// server, UnmarshalBinary + Merge (through the uniform Sketch
-// interface) on the coordinator. Sketch(x^1)+...+Sketch(x^s) =
-// Sketch(x), so deletions on one server cancel insertions on another.
+// Each server here is a separate worker PROCESS (this example re-execs
+// itself in a worker role) listening on a unix socket and speaking the
+// dynnet frame protocol; the coordinator is the parent process driving
+// dynstream.Build with WithRemoteWorkers. Sketch(x^1)+...+Sketch(x^s) =
+// Sketch(x), so deletions shipped to one server cancel insertions
+// shipped to another, and the final state is byte-identical to a
+// single-process build.
 //
 // Run: go run ./examples/distributed
 package main
@@ -18,13 +19,25 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sync"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
 
 	"dynstream"
+	"dynstream/internal/dynnet"
 	"dynstream/internal/graph"
 )
 
+const roleEnv = "DYNSTREAM_EXAMPLE_ROLE"
+
 func main() {
+	if sock := os.Getenv(roleEnv); sock != "" {
+		workerMain(sock)
+		return
+	}
+
 	const (
 		n       = 120
 		servers = 4
@@ -33,70 +46,79 @@ func main() {
 
 	g := graph.ConnectedGNP(n, 0.08, seed)
 	full := dynstream.StreamWithChurn(g, 800, seed+1)
-	fmt.Printf("graph: n=%d m=%d; %d updates sharded across %d servers\n",
+	fmt.Printf("graph: n=%d m=%d; %d updates sharded across %d worker processes\n",
 		g.N(), g.M(), full.Len(), servers)
 
-	// Shard the stream round-robin; each server sees only its shard,
-	// delivered over its own channel (a live feed, not a replayable
-	// stream — Build's single-pass forest target doesn't care).
-	shards, err := dynstream.SplitStream(full, servers)
+	// Spawn the worker processes: each re-execs this binary in the
+	// worker role, listening on its own unix socket.
+	dir, err := os.MkdirTemp("", "dynstream-distributed")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Every server builds the SAME sketch (shared seed = shared
-	// sketching matrix, the paper's "agree upon a sketching matrix S")
-	// over its local feed only, then ships the state as bytes.
-	wire := make([][]byte, servers)
-	counts := make([]int, servers)
-	var wg sync.WaitGroup
-	for i := range shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			feed := make(chan dynstream.Update, 128)
-			go func() {
-				defer close(feed)
-				_ = shards[i].Replay(func(u dynstream.Update) error {
-					counts[i]++
-					feed <- u
-					return nil
-				})
-			}()
-			sk, err := dynstream.Build(context.Background(),
-				dynstream.NewChannelSource(n, feed),
-				dynstream.ForestTarget{Seed: seed + 3})
-			if err != nil {
-				log.Fatal(err)
-			}
-			enc, err := sk.MarshalBinary()
-			if err != nil {
-				log.Fatal(err)
-			}
-			wire[i] = enc
-		}(i)
-	}
-	wg.Wait()
-	for i, enc := range wire {
-		fmt.Printf("  server %d sketched %d updates, shipped %d bytes\n",
-			i, counts[i], len(enc))
-	}
-
-	// Coordinator: decode every server's bytes and sum the linear
-	// states through the uniform Sketch interface — the actual merge of
-	// sketches, not a replay.
-	state := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
-	coordinator := dynstream.ForestSketchView(state)
-	for i, enc := range wire {
-		shipped := dynstream.NewForestSketch(seed+3, n, dynstream.ForestConfig{})
-		view := dynstream.ForestSketchView(shipped)
-		if err := view.UnmarshalBinary(enc); err != nil {
-			log.Fatalf("decode server %d: %v", i, err)
+	defer os.RemoveAll(dir)
+	addrs := make([]string, servers)
+	for i := range addrs {
+		sock := filepath.Join(dir, fmt.Sprintf("server%d.sock", i))
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s", roleEnv, sock))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
 		}
-		if err := coordinator.Merge(view); err != nil {
-			log.Fatalf("merge server %d: %v", i, err)
+		defer func() { cmd.Process.Kill(); cmd.Wait() }()
+		addrs[i] = sock
+	}
+	for _, sock := range addrs {
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if _, err := os.Stat(sock); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("worker socket %s never appeared", sock)
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
+
+	// The coordinator registers the workers, then Build ships every
+	// server its shard of the stream and merges the returned sketch
+	// bytes — the same front door as a local build, plus one option.
+	ctx := context.Background()
+	cluster, err := dynstream.DialWorkers(ctx, addrs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("registered workers: %v\n", cluster.WorkerIDs())
+
+	state, err := dynstream.Build(ctx, full, dynstream.ForestTarget{Seed: seed + 3},
+		dynstream.WithRemoteCluster(cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, in := cluster.BytesOnWire()
+	fmt.Printf("coordinator merged %d worker sketches; wire: %d B out, %d B in\n",
+		servers, out, in)
+
+	// The paper's guarantee, checked: the distributed state equals a
+	// local single-process build bit for bit. A mismatch is a hard
+	// failure so the CI examples canary catches protocol regressions.
+	local, err := dynstream.Build(ctx, full, dynstream.ForestTarget{Seed: seed + 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := local.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := state.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if string(lb) != string(db) {
+		log.Fatalf("distributed state DIFFERS from local state (%d vs %d bytes)", len(db), len(lb))
+	}
+	fmt.Printf("distributed state == local state: OK (%d bytes)\n", len(db))
 
 	forest, err := state.SpanningForest(nil)
 	if err != nil {
@@ -129,6 +151,21 @@ func main() {
 	_, want := g.Components()
 	fmt.Printf("forest spans %d component(s); graph has %d — %s\n",
 		len(components), want, okString(len(components) == want))
+}
+
+// workerMain is the re-exec'd worker role: listen on the socket, serve
+// coordinator sessions until killed.
+func workerMain(sock string) {
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	defer os.Remove(sock)
+	err = dynnet.ListenAndServeWorker(context.Background(), ln, dynnet.WorkerConfig{ID: sock})
+	if err != nil {
+		log.Fatal(err)
+	}
 }
 
 func okString(ok bool) string {

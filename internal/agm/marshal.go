@@ -7,14 +7,25 @@ import (
 	"math"
 )
 
-const tagAGM uint64 = 0xd15c_0003
+const (
+	tagAGM uint64 = 0xd15c_0003 // v1: dense u64 sampler lengths
+	// tagAGMv2 is the compressed sketch encoding: varint sampler
+	// lengths, with an untouched (zero) vertex sampler suppressed to a
+	// single 0 byte. Together with the samplers' own zero-level
+	// suppression, a sparse-stream AGM state shrinks by orders of
+	// magnitude on the wire. v1 blobs still decode; encoding always
+	// emits v2.
+	tagAGMv2 uint64 = 0xd15c_0103
+)
 
 var errCorrupt = errors.New("agm: corrupt serialized data")
 
 // MarshalBinary encodes the sketch so that a remote party can
 // reconstruct and merge it — the wire format for the distributed
 // protocol of the paper's introduction (servers send Sx^i, the
-// coordinator sums them).
+// coordinator sums them). The encoding is content-canonical: states
+// with equal linear content encode identically, however their lazily
+// materialized levels differ.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
 	var out []byte
 	u64 := func(v uint64) {
@@ -22,25 +33,30 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		out = append(out, tmp[:]...)
 	}
-	u64(tagAGM)
+	u64(tagAGMv2)
 	u64(s.seed)
-	u64(uint64(s.n))
-	u64(uint64(s.rounds))
-	u64(uint64(s.perLvl))
+	out = binary.AppendUvarint(out, uint64(s.n))
+	out = binary.AppendUvarint(out, uint64(s.rounds))
+	out = binary.AppendUvarint(out, uint64(s.perLvl))
 	for r := 0; r < s.rounds; r++ {
 		for v := 0; v < s.n; v++ {
+			if s.samp[r][v].IsZero() {
+				out = binary.AppendUvarint(out, 0)
+				continue
+			}
 			enc, err := s.samp[r][v].MarshalBinary()
 			if err != nil {
 				return nil, err
 			}
-			u64(uint64(len(enc)))
+			out = binary.AppendUvarint(out, uint64(len(enc)))
 			out = append(out, enc...)
 		}
 	}
 	return out, nil
 }
 
-// UnmarshalBinary reconstructs a sketch encoded with MarshalBinary.
+// UnmarshalBinary reconstructs a sketch encoded with MarshalBinary
+// (the current v2 layout, or the dense v1 layout of older blobs).
 func (s *Sketch) UnmarshalBinary(data []byte) error {
 	pos := 0
 	u64 := func() (uint64, error) {
@@ -51,23 +67,36 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 		pos += 8
 		return v, nil
 	}
+	uvar := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, errCorrupt
+		}
+		pos += n
+		return v, nil
+	}
 	tag, err := u64()
-	if err != nil || tag != tagAGM {
+	if err != nil || (tag != tagAGM && tag != tagAGMv2) {
 		return fmt.Errorf("agm: not an AGM sketch encoding: %w", errCorrupt)
+	}
+	v2 := tag == tagAGMv2
+	num := u64
+	if v2 {
+		num = uvar
 	}
 	seed, err := u64()
 	if err != nil {
 		return err
 	}
-	n, err := u64()
+	n, err := num()
 	if err != nil {
 		return err
 	}
-	rounds, err := u64()
+	rounds, err := num()
 	if err != nil {
 		return err
 	}
-	perLvl, err := u64()
+	perLvl, err := num()
 	if err != nil {
 		return err
 	}
@@ -77,9 +106,12 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	rebuilt := New(seed, int(n), Config{Rounds: int(rounds), PerLevel: int(perLvl)})
 	for r := 0; r < rebuilt.rounds; r++ {
 		for v := 0; v < rebuilt.n; v++ {
-			ln, err := u64()
+			ln, err := num()
 			if err != nil {
 				return err
+			}
+			if ln == 0 && v2 {
+				continue // suppressed zero sampler stays fresh
 			}
 			if uint64(len(data)-pos) < ln {
 				return errCorrupt

@@ -1,0 +1,521 @@
+package dynnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dynstream/internal/stream"
+)
+
+// ErrNoWorkers reports a pass with no live workers left.
+var ErrNoWorkers = errors.New("dynnet: no live workers")
+
+// handshakeTimeout bounds the HELLO exchange so a silent peer cannot
+// hang coordinator setup.
+const handshakeTimeout = 10 * time.Second
+
+// workerConn is one registered worker connection.
+type workerConn struct {
+	id   string
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// alive is cleared when the connection is torn down; atomic
+	// because the ctx-cancel watchdog closes connections from its own
+	// goroutine while RunPass reads the flag.
+	alive atomic.Bool
+}
+
+// Coordinator drives multi-process builds over a set of registered
+// worker connections. It is the data-plane side of Build's
+// WithRemoteWorkers option: each build pass ships a prototype state,
+// streams shard updates, and merges the returned sketch blobs.
+//
+// A Coordinator serves one RunPass at a time (passes of one build are
+// sequential by nature); it is not safe for concurrent RunPass calls.
+type Coordinator struct {
+	workers  []*workerConn
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// ResolveNetwork maps a worker address to its network: "unix" for
+// addresses with a unix: prefix or a path separator, "tcp" otherwise.
+func ResolveNetwork(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if rest, ok := strings.CutPrefix(addr, "tcp:"); ok {
+		return "tcp", rest
+	}
+	if strings.ContainsAny(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Dial connects to worker processes listening at addrs ("host:port",
+// "unix:/path", or a bare socket path) and registers each one.
+func Dial(ctx context.Context, addrs ...string) (*Coordinator, error) {
+	var d net.Dialer
+	conns := make([]net.Conn, 0, len(addrs))
+	for _, a := range addrs {
+		network, address := ResolveNetwork(a)
+		conn, err := d.DialContext(ctx, network, address)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("dynnet: dial worker %s: %w", a, err)
+		}
+		conns = append(conns, conn)
+	}
+	return NewCoordinator(ctx, conns)
+}
+
+// Accept waits for count workers to connect to ln and register — the
+// coordinator-listens topology, where workers dial in with HELLO.
+func Accept(ctx context.Context, ln net.Listener, count int) (*Coordinator, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("dynnet: accept: need at least 1 worker, got %d", count)
+	}
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	conns := make([]net.Conn, 0, count)
+	for len(conns) < count {
+		conn, err := ln.Accept()
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("dynnet: accept worker: %w", err)
+		}
+		conns = append(conns, conn)
+	}
+	return NewCoordinator(ctx, conns)
+}
+
+// NewCoordinator performs the HELLO registration exchange on each
+// established connection and returns a coordinator over the registered
+// workers. Connections with a wrong protocol version (or a malformed
+// HELLO) are refused with an ERROR frame and the whole setup fails —
+// version skew is a deployment bug, not a runtime condition to paper
+// over.
+func NewCoordinator(ctx context.Context, conns []net.Conn) (*Coordinator, error) {
+	if len(conns) == 0 {
+		return nil, ErrNoWorkers
+	}
+	c := &Coordinator{}
+	closeAll := func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+	stop := context.AfterFunc(ctx, closeAll)
+	defer stop()
+	for i, conn := range conns {
+		w := &workerConn{
+			conn: conn,
+			br:   bufio.NewReaderSize(conn, 1<<16),
+			bw:   bufio.NewWriterSize(conn, 1<<16),
+		}
+		conn.SetDeadline(time.Now().Add(handshakeTimeout))
+		f, nr, err := ReadFrame(w.br)
+		c.bytesIn.Add(int64(nr))
+		if err != nil {
+			if errors.Is(err, ErrWrongVersion) {
+				c.write(w, FrameError, EncodeError(ErrorMsg{
+					Code: CodeWrongVersion,
+					Msg:  fmt.Sprintf("coordinator speaks protocol version %d", ProtocolVersion),
+				}))
+			}
+			closeAll()
+			return nil, fmt.Errorf("dynnet: worker %d registration: %w", i, err)
+		}
+		if f.Type != FrameHello {
+			closeAll()
+			return nil, fmt.Errorf("%w: worker %d sent %v instead of HELLO", ErrBadFrame, i, f.Type)
+		}
+		h, err := DecodeHello(f.Payload)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("dynnet: worker %d hello: %w", i, err)
+		}
+		w.id = h.ID
+		if w.id == "" {
+			w.id = fmt.Sprintf("worker-%d", i)
+		}
+		if err := c.write(w, FrameHello, EncodeHello(Hello{ID: "coordinator"})); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("dynnet: worker %s hello ack: %w", w.id, err)
+		}
+		conn.SetDeadline(time.Time{})
+		w.alive.Store(true)
+		c.workers = append(c.workers, w)
+	}
+	if ctx.Err() != nil {
+		closeAll()
+		return nil, ctx.Err()
+	}
+	return c, nil
+}
+
+// Close tears down every worker connection.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, w := range c.workers {
+		if err := w.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		w.alive.Store(false)
+	}
+	return first
+}
+
+// Live returns the number of workers still considered healthy.
+func (c *Coordinator) Live() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkerIDs returns the registered worker identifiers, in order.
+func (c *Coordinator) WorkerIDs() []string {
+	ids := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		ids[i] = w.id
+	}
+	return ids
+}
+
+// Bytes returns the cumulative bytes put on and read off the wire —
+// the bytes-on-wire figure the coordinator's progress output reports.
+func (c *Coordinator) Bytes() (out, in int64) {
+	return c.bytesOut.Load(), c.bytesIn.Load()
+}
+
+func (c *Coordinator) write(w *workerConn, t FrameType, payload []byte) error {
+	n, err := WriteFrame(w.bw, t, payload)
+	c.bytesOut.Add(int64(n))
+	return err
+}
+
+func (c *Coordinator) read(w *workerConn) (Frame, error) {
+	f, n, err := ReadFrame(w.br)
+	c.bytesIn.Add(int64(n))
+	return f, err
+}
+
+func (c *Coordinator) markDead(w *workerConn) {
+	w.alive.Store(false)
+	w.conn.Close()
+}
+
+// Pass describes one build pass to run across the workers.
+type Pass struct {
+	// Kind selects the worker-side state type.
+	Kind StateKind
+	// Blob is the coordinator's marshaled prototype state; every worker
+	// decodes it into an identical-randomness state.
+	Blob []byte
+	// Src is the stream to shard across workers. Ignored in Local mode.
+	Src stream.Source
+	// Local makes every worker ingest its own local shard source
+	// instead of streamed updates.
+	Local bool
+	// N is the vertex count.
+	N int
+	// Batch is the updates-per-frame granularity (default
+	// stream.DefaultBatchSize).
+	Batch int
+	// Seq is the pass sequence number within the build.
+	Seq int
+	// Progress, when non-nil, receives the size of every dispatched (or
+	// remotely ingested) update batch. When a dropped worker's shard is
+	// re-replayed, a negative correction for the batches already
+	// reported to the dead worker is emitted first, so the cumulative
+	// sum stays exactly the number of updates in the pass.
+	Progress func(updates int)
+	// Merge folds one worker's returned state blob into the
+	// coordinator's state; called once per shard, in shard order.
+	Merge func(shard int, blob []byte) error
+}
+
+// RunPass executes one pass: ASSIGN the prototype to every live
+// worker, stream the shard updates (round-robin, matching
+// stream.Shard's assignment), FLUSH, collect the SKETCH blobs, and
+// merge them in shard order.
+//
+// Failure handling: a worker whose connection drops mid-pass is marked
+// dead and its shard is re-replayed in full to a surviving worker —
+// legal because the source is replayable and the sketches are linear
+// (the dead worker's partial state is simply discarded). A worker that
+// *reports* a typed ERROR (bad update, non-replayable local source)
+// fails the pass instead: the same error would recur on any worker.
+//
+// Cancelling ctx tears down every connection, unblocking all reads and
+// writes; RunPass then returns ctx.Err().
+func (c *Coordinator) RunPass(ctx context.Context, p Pass) error {
+	stop := context.AfterFunc(ctx, func() { c.Close() })
+	defer stop()
+	wrapCtx := func(err error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if p.Batch <= 0 {
+		p.Batch = stream.DefaultBatchSize
+	}
+
+	live := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.alive.Load() {
+			live = append(live, w)
+		}
+	}
+	W := len(live)
+	if W == 0 {
+		return ErrNoWorkers
+	}
+
+	assign := EncodeAssign(Assign{Kind: p.Kind, Local: p.Local, Seq: p.Seq, N: p.N, Blob: p.Blob})
+	counted := make([]int64, W) // updates reported per shard (progress exactness on failover)
+	var failed []int            // shard indexes needing re-replay
+	for i, w := range live {
+		if err := c.write(w, FrameAssign, assign); err != nil {
+			c.markDead(w)
+			failed = append(failed, i)
+		}
+	}
+
+	// Stream the shards: one replay of the source, update i going to
+	// shard i mod W — exactly stream.Shard's round-robin split, so a
+	// failed shard can later be re-replayed from a Shard view.
+	if !p.Local {
+		if p.Src == nil {
+			return fmt.Errorf("dynnet: streamed pass without a source")
+		}
+		bufs := make([][]stream.Update, W)
+		for i := range bufs {
+			bufs[i] = make([]stream.Update, 0, p.Batch)
+		}
+		var payload []byte
+		send := func(s int) error {
+			w := live[s]
+			payload = AppendUpdates(payload[:0], bufs[s])
+			nu := len(bufs[s])
+			bufs[s] = bufs[s][:0]
+			if err := c.write(w, FrameUpdates, payload); err != nil {
+				c.markDead(w)
+				failed = append(failed, s)
+				return nil // shard recovered later by re-replay
+			}
+			counted[s] += int64(nu)
+			if p.Progress != nil {
+				p.Progress(nu)
+			}
+			return nil
+		}
+		pos := 0
+		err := p.Src.Replay(func(u stream.Update) error {
+			s := pos % W
+			pos++
+			if !live[s].alive.Load() {
+				return nil
+			}
+			bufs[s] = append(bufs[s], u)
+			if len(bufs[s]) >= p.Batch {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return send(s)
+			}
+			return nil
+		})
+		if err != nil {
+			return wrapCtx(fmt.Errorf("dynnet: pass %d replay: %w", p.Seq, err))
+		}
+		for s := range bufs {
+			if len(bufs[s]) > 0 && live[s].alive.Load() {
+				if err := send(s); err != nil {
+					return wrapCtx(err)
+				}
+			}
+		}
+	}
+
+	// FLUSH and collect, in shard order.
+	blobs := make([][]byte, W)
+	for i, w := range live {
+		if !w.alive.Load() {
+			continue
+		}
+		if err := c.write(w, FrameFlush, nil); err != nil {
+			c.markDead(w)
+			failed = append(failed, i)
+		}
+	}
+	for i, w := range live {
+		if !w.alive.Load() {
+			continue
+		}
+		blob, err := c.collectSketch(w, p)
+		switch {
+		case err == nil:
+			blobs[i] = blob
+		case errors.As(err, new(*remoteError)):
+			return wrapCtx(fmt.Errorf("dynnet: worker %s, shard %d/%d: %w", w.id, i, W, err))
+		default:
+			c.markDead(w)
+			failed = append(failed, i)
+		}
+	}
+
+	// Re-replay dropped shards to survivors.
+	for _, s := range failed {
+		if blobs[s] != nil {
+			continue
+		}
+		blob, err := c.recoverShard(ctx, p, s, W, counted[s])
+		if err != nil {
+			return wrapCtx(fmt.Errorf("dynnet: shard %d/%d lost: %w", s, W, err))
+		}
+		blobs[s] = blob
+	}
+
+	for s, blob := range blobs {
+		if blob == nil {
+			return fmt.Errorf("dynnet: shard %d/%d produced no state", s, W)
+		}
+		if err := p.Merge(s, blob); err != nil {
+			return fmt.Errorf("dynnet: merge shard %d/%d: %w", s, W, err)
+		}
+	}
+	return wrapCtx(ctx.Err())
+}
+
+// remoteError wraps an ERROR frame from a worker: a deliberate, typed
+// report, not a connection failure — re-replaying elsewhere would hit
+// the same condition, so it fails the pass.
+type remoteError struct{ err error }
+
+func (e *remoteError) Error() string { return e.err.Error() }
+func (e *remoteError) Unwrap() error { return e.err }
+
+// collectSketch reads one worker's end-of-pass response.
+func (c *Coordinator) collectSketch(w *workerConn, p Pass) ([]byte, error) {
+	f, err := c.read(w)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FrameSketch:
+		m, err := DecodeSketch(f.Payload)
+		if err != nil {
+			return nil, &remoteError{err}
+		}
+		if p.Local && p.Progress != nil && m.Updates > 0 {
+			p.Progress(int(m.Updates))
+		}
+		return m.Blob, nil
+	case FrameError:
+		e, derr := DecodeError(f.Payload)
+		if derr != nil {
+			return nil, &remoteError{derr}
+		}
+		return nil, &remoteError{e.Err()}
+	default:
+		return nil, &remoteError{fmt.Errorf("%w: expected SKETCH, got %v", ErrBadFrame, f.Type)}
+	}
+}
+
+// recoverShard re-replays shard s (of the round-robin split into W) to
+// a surviving worker. The shard view replays the base source, so this
+// requires a replayable source; local-shard passes cannot be recovered
+// (the data lived with the dead worker).
+func (c *Coordinator) recoverShard(ctx context.Context, p Pass, s, W int, already int64) ([]byte, error) {
+	if p.Local {
+		return nil, fmt.Errorf("dynnet: worker with a local shard died; its data is unreachable")
+	}
+	if !stream.CanReplay(p.Src) {
+		return nil, fmt.Errorf("dynnet: cannot re-replay shard: %w", stream.ErrNotReplayable)
+	}
+	shard := &stream.Shard{Base: p.Src, Index: s, Count: W}
+	assign := EncodeAssign(Assign{Kind: p.Kind, Local: false, Seq: p.Seq, N: p.N, Blob: p.Blob})
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var w *workerConn
+		for _, cand := range c.workers {
+			if cand.alive.Load() {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			return nil, ErrNoWorkers
+		}
+		// Cancel out updates already reported for this shard (the
+		// partial stream to the dead worker, or an earlier failed
+		// recovery attempt), so the full re-replay leaves the
+		// cumulative progress count exact.
+		if p.Progress != nil && already != 0 {
+			p.Progress(int(-already))
+		}
+		already = 0
+		blob, err := c.replayShardTo(ctx, w, shard, assign, p, &already)
+		if err == nil {
+			return blob, nil
+		}
+		var re *remoteError
+		if errors.As(err, &re) {
+			return nil, err
+		}
+		c.markDead(w) // this survivor died too; try the next one
+	}
+}
+
+// replayShardTo runs one complete ASSIGN/UPDATES/FLUSH/SKETCH exchange
+// of a single shard with a single worker.
+func (c *Coordinator) replayShardTo(ctx context.Context, w *workerConn, shard stream.Source, assign []byte, p Pass, counted *int64) ([]byte, error) {
+	if err := c.write(w, FrameAssign, assign); err != nil {
+		return nil, err
+	}
+	var payload []byte
+	err := stream.ReplayBatches(shard, p.Batch, func(b []stream.Update) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		payload = AppendUpdates(payload[:0], b)
+		if err := c.write(w, FrameUpdates, payload); err != nil {
+			return err
+		}
+		*counted += int64(len(b))
+		if p.Progress != nil {
+			p.Progress(len(b))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.write(w, FrameFlush, nil); err != nil {
+		return nil, err
+	}
+	return c.collectSketch(w, p)
+}

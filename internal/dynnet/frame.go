@@ -1,0 +1,198 @@
+// Package dynnet is the multi-process build subsystem: a coordinator
+// that ships a dynamic graph stream to sketch workers over TCP or unix
+// sockets and merges their marshaled states. Because every construction
+// in this repository is a linear sketch, a stream sharded across
+// processes, ingested into same-seeded states, and merged at the
+// coordinator is bit-identical to a single-process pass — the
+// distributed protocol of the paper's introduction, realized over real
+// sockets instead of goroutines.
+//
+// The protocol is a small length-prefixed frame format:
+//
+//	frame := version(1) type(1) len(uvarint) payload crc32(4, LE)
+//
+// The CRC covers everything before it (version, type, length bytes,
+// payload). All multi-byte integers inside payloads are varint-encoded;
+// the only fixed-width fields are float64 weights and the trailing CRC.
+//
+// One build pass is the exchange
+//
+//	coordinator                         worker
+//	    ASSIGN(kind, proto state) ──▶
+//	    UPDATES* ─────────────────▶      (AddBatch into state)
+//	    FLUSH ────────────────────▶
+//	            ◀───────────────── SKETCH(marshaled state)
+//
+// repeated per pass for multi-pass targets. Workers register first
+// with a HELLO exchange; either side may send ERROR with a typed code.
+package dynnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// ProtocolVersion is the version byte carried by every frame. A
+// coordinator and worker with different versions refuse each other at
+// the HELLO exchange.
+const ProtocolVersion = 1
+
+// FrameType identifies a protocol frame.
+type FrameType uint8
+
+// The protocol frame types.
+const (
+	FrameHello   FrameType = 1 // worker registration / coordinator ack
+	FrameAssign  FrameType = 2 // coordinator → worker: begin a pass
+	FrameUpdates FrameType = 3 // coordinator → worker: a batch of updates
+	FrameFlush   FrameType = 4 // coordinator → worker: end of pass, send state
+	FrameSketch  FrameType = 5 // worker → coordinator: marshaled state
+	FrameError   FrameType = 6 // either direction: typed failure
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameAssign:
+		return "ASSIGN"
+	case FrameUpdates:
+		return "UPDATES"
+	case FrameFlush:
+		return "FLUSH"
+	case FrameSketch:
+		return "SKETCH"
+	case FrameError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Typed frame-level errors.
+var (
+	// ErrBadFrame reports a malformed frame: truncated header, oversized
+	// payload, CRC mismatch, or an unknown frame type.
+	ErrBadFrame = errors.New("dynnet: malformed frame")
+	// ErrWrongVersion reports a frame carrying a different protocol
+	// version byte — the connection cannot be used.
+	ErrWrongVersion = errors.New("dynnet: protocol version mismatch")
+)
+
+// MaxFramePayload bounds the payload of a single frame. Sketch blobs
+// are the largest frames; 1 GiB is far above any state this repository
+// produces and small enough to reject hostile length prefixes outright.
+const MaxFramePayload = 1 << 30
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame (header, payload, CRC) to dst.
+func AppendFrame(dst []byte, t FrameType, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, ProtocolVersion, byte(t))
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...)
+}
+
+// framePool recycles encode buffers: the streaming hot path writes one
+// UPDATES frame per batch, and a per-frame allocation of payload size
+// would churn the GC for nothing.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// WriteFrame encodes and writes one frame, returning the number of
+// bytes put on the wire.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) (int, error) {
+	bufp := framePool.Get().(*[]byte)
+	enc := AppendFrame((*bufp)[:0], t, payload)
+	*bufp = enc
+	n, err := w.Write(enc)
+	framePool.Put(bufp)
+	if err != nil {
+		return n, err
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadFrame reads and validates one frame. It returns the frame, the
+// number of bytes consumed, and an error: ErrWrongVersion for a version
+// mismatch, ErrBadFrame (wrapped) for any structural corruption, and
+// the underlying read error (io.EOF at a clean frame boundary) for
+// truncated input.
+func ReadFrame(br *bufio.Reader) (Frame, int, error) {
+	var f Frame
+	read := 0
+	ver, err := br.ReadByte()
+	if err != nil {
+		return f, read, err // io.EOF here is a clean end of stream
+	}
+	read++
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{ver})
+	if ver != ProtocolVersion {
+		return f, read, fmt.Errorf("%w: got %d, want %d", ErrWrongVersion, ver, ProtocolVersion)
+	}
+	typ, err := br.ReadByte()
+	if err != nil {
+		return f, read, fmt.Errorf("%w: truncated after version byte", ErrBadFrame)
+	}
+	read++
+	crc.Write([]byte{typ})
+	f.Type = FrameType(typ)
+	if f.Type < FrameHello || f.Type > FrameError {
+		return f, read, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
+	}
+	// Payload length, varint, bounded.
+	var ln uint64
+	var lnBuf []byte
+	for shift := uint(0); ; shift += 7 {
+		if shift >= 64 {
+			return f, read, fmt.Errorf("%w: unterminated length varint", ErrBadFrame)
+		}
+		b, err := br.ReadByte()
+		if err != nil {
+			return f, read, fmt.Errorf("%w: truncated length", ErrBadFrame)
+		}
+		read++
+		lnBuf = append(lnBuf, b)
+		ln |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+	}
+	crc.Write(lnBuf)
+	if ln > MaxFramePayload {
+		return f, read, fmt.Errorf("%w: payload of %d bytes exceeds limit", ErrBadFrame, ln)
+	}
+	f.Payload = make([]byte, ln)
+	if _, err := io.ReadFull(br, f.Payload); err != nil {
+		return f, read, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	read += int(ln)
+	crc.Write(f.Payload)
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return f, read, fmt.Errorf("%w: truncated checksum", ErrBadFrame)
+	}
+	read += 4
+	if got, want := binary.LittleEndian.Uint32(tail[:]), crc.Sum32(); got != want {
+		return f, read, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrBadFrame, got, want)
+	}
+	return f, read, nil
+}

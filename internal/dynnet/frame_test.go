@@ -1,0 +1,176 @@
+package dynnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dynstream/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 1<<16)}
+	for _, p := range payloads {
+		for ft := FrameHello; ft <= FrameError; ft++ {
+			enc := AppendFrame(nil, ft, p)
+			f, n, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)))
+			if err != nil {
+				t.Fatalf("type %v payload %d bytes: %v", ft, len(p), err)
+			}
+			if n != len(enc) {
+				t.Fatalf("consumed %d of %d bytes", n, len(enc))
+			}
+			if f.Type != ft || !bytes.Equal(f.Payload, p) {
+				t.Fatalf("round trip mangled frame: %v/%d bytes", f.Type, len(f.Payload))
+			}
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	enc := AppendFrame(nil, FrameUpdates, []byte("payload bytes"))
+
+	// Any single flipped byte must be caught (CRC, version, or type).
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+	// Truncation at every boundary.
+	for i := 1; i < len(enc); i++ {
+		if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc[:i]))); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", i)
+		}
+	}
+	// Wrong version is its own typed error.
+	bad := append([]byte(nil), enc...)
+	bad[0] = ProtocolVersion + 1
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad))); !errors.Is(err, ErrWrongVersion) {
+		t.Fatalf("wrong version: got %v, want ErrWrongVersion", err)
+	}
+	// Oversized declared length must be rejected without allocating.
+	huge := []byte{ProtocolVersion, byte(FrameUpdates), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized length: got %v, want ErrBadFrame", err)
+	}
+	// Clean EOF at a frame boundary is io.EOF, not corruption.
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Fatalf("empty input: got %v, want io.EOF", err)
+	}
+}
+
+func TestUpdatesPayloadRoundTrip(t *testing.T) {
+	batch := []stream.Update{
+		{U: 0, V: 1, Delta: 1, W: 1},
+		{U: 3, V: 2, Delta: -1, W: 1},
+		{U: 100000, V: 7, Delta: 1, W: 2.5},
+		{U: 5, V: 6, Delta: -1, W: 0.125},
+	}
+	n := 1 << 20
+	enc := AppendUpdates(nil, batch)
+	dec, err := DecodeUpdates(enc, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(batch) {
+		t.Fatalf("decoded %d of %d updates", len(dec), len(batch))
+	}
+	for i, u := range batch {
+		if dec[i] != u.Canon() {
+			t.Errorf("update %d: got %+v, want %+v", i, dec[i], u.Canon())
+		}
+	}
+	// Validation runs on decode: out-of-range endpoints are refused.
+	if _, err := DecodeUpdates(enc, 4, nil); err == nil {
+		t.Error("accepted updates beyond the vertex count")
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	a := Assign{Kind: KindTwoPass, Local: true, Seq: 3, N: 42, Blob: []byte("proto")}
+	got, err := DecodeAssign(EncodeAssign(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != a.Kind || got.Local != a.Local || got.Seq != a.Seq || got.N != a.N || !bytes.Equal(got.Blob, a.Blob) {
+		t.Fatalf("assign round trip: %+v vs %+v", got, a)
+	}
+	h, err := DecodeHello(EncodeHello(Hello{ID: "w7"}))
+	if err != nil || h.ID != "w7" {
+		t.Fatalf("hello round trip: %+v, %v", h, err)
+	}
+	s, err := DecodeSketch(EncodeSketch(SketchMsg{Updates: 99, Blob: []byte{1, 2}}))
+	if err != nil || s.Updates != 99 || !bytes.Equal(s.Blob, []byte{1, 2}) {
+		t.Fatalf("sketch round trip: %+v, %v", s, err)
+	}
+	e, err := DecodeError(EncodeError(ErrorMsg{Code: CodeNotReplayable, Msg: "no rewind"}))
+	if err != nil || e.Code != CodeNotReplayable || e.Msg != "no rewind" {
+		t.Fatalf("error round trip: %+v, %v", e, err)
+	}
+	if !errors.Is(e.Err(), stream.ErrNotReplayable) {
+		t.Fatalf("CodeNotReplayable did not map to stream.ErrNotReplayable: %v", e.Err())
+	}
+}
+
+// FuzzFrameDecode feeds hostile bytes to the frame decoder: it must
+// never panic, never allocate an oversized payload, and on success the
+// re-encoded frame must round-trip.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, FrameHello, EncodeHello(Hello{ID: "w"})))
+	f.Add(AppendFrame(nil, FrameUpdates, AppendUpdates(nil, []stream.Update{{U: 0, V: 1, Delta: 1, W: 1}})))
+	f.Add(AppendFrame(nil, FrameAssign, EncodeAssign(Assign{Kind: KindForest, Seq: 1, N: 8})))
+	f.Add(AppendFrame(nil, FrameError, EncodeError(ErrorMsg{Code: CodeInternal, Msg: "x"})))
+	f.Add([]byte{ProtocolVersion, byte(FrameFlush), 0})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		enc := AppendFrame(nil, fr.Type, fr.Payload)
+		back, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if back.Type != fr.Type || !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatal("re-encode round trip mismatch")
+		}
+	})
+}
+
+// FuzzUpdatesDecode feeds hostile bytes to the UPDATES payload decoder.
+func FuzzUpdatesDecode(f *testing.F) {
+	f.Add(AppendUpdates(nil, []stream.Update{{U: 0, V: 1, Delta: 1, W: 1}, {U: 2, V: 3, Delta: -1, W: 7}}), 16)
+	f.Add([]byte{0}, 4)
+	f.Add([]byte{0xff, 0xff, 0xff}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 1 || n > 1<<20 {
+			return
+		}
+		batch, err := DecodeUpdates(data, n, nil)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must survive the shared validation gate.
+		for _, u := range batch {
+			if _, err := stream.CheckUpdate(u, n); err != nil {
+				t.Fatalf("decoder passed an invalid update %+v: %v", u, err)
+			}
+		}
+		// And re-encode losslessly.
+		enc := AppendUpdates(nil, batch)
+		back, err := DecodeUpdates(enc, n, nil)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		for i := range batch {
+			if back[i] != batch[i] {
+				t.Fatal("re-encode round trip mismatch")
+			}
+		}
+	})
+}

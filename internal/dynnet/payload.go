@@ -1,0 +1,367 @@
+package dynnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dynstream/internal/stream"
+)
+
+// Payload encodings for each frame type. All integers are varints; the
+// only fixed-width payload fields are float64 weights.
+
+// ErrBadPayload reports a payload that does not decode under its
+// frame's schema.
+var ErrBadPayload = errors.New("dynnet: malformed payload")
+
+// ErrorCode classifies an ERROR frame so the receiving side can map it
+// back to a typed error.
+type ErrorCode uint8
+
+// The ERROR frame codes.
+const (
+	// CodeInternal is any worker/coordinator-side failure without a
+	// more specific classification.
+	CodeInternal ErrorCode = 1
+	// CodeNotReplayable reports that a worker's local shard source
+	// cannot deliver the requested (repeat) pass — the wire form of
+	// stream.ErrNotReplayable.
+	CodeNotReplayable ErrorCode = 2
+	// CodeBadAssign reports an ASSIGN the worker cannot satisfy
+	// (unknown state kind, undecodable prototype, no local source).
+	CodeBadAssign ErrorCode = 3
+	// CodeBadUpdate reports an UPDATES batch that failed validation.
+	CodeBadUpdate ErrorCode = 4
+	// CodeWrongVersion reports a protocol-version mismatch detected at
+	// registration.
+	CodeWrongVersion ErrorCode = 5
+)
+
+// reader is a varint cursor over a payload.
+type reader struct{ b []byte }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, ErrBadPayload
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, ErrBadPayload
+	}
+	b := r.b[0]
+	r.b = r.b[1:]
+	return b, nil
+}
+
+func (r *reader) bytes(n uint64) ([]byte, error) {
+	if uint64(len(r.b)) < n {
+		return nil, ErrBadPayload
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	return b, nil
+}
+
+func (r *reader) done() error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(r.b))
+	}
+	return nil
+}
+
+// Hello is the registration payload a worker sends when it connects
+// (and the coordinator echoes back to acknowledge).
+type Hello struct {
+	ID string
+}
+
+// EncodeHello encodes a HELLO payload.
+func EncodeHello(h Hello) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(h.ID)))
+	return append(out, h.ID...)
+}
+
+// DecodeHello decodes a HELLO payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	r := &reader{b: payload}
+	ln, err := r.uvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	if ln > 1<<16 {
+		return Hello{}, fmt.Errorf("%w: worker id of %d bytes", ErrBadPayload, ln)
+	}
+	id, err := r.bytes(ln)
+	if err != nil {
+		return Hello{}, err
+	}
+	if err := r.done(); err != nil {
+		return Hello{}, err
+	}
+	return Hello{ID: string(id)}, nil
+}
+
+// Assign tells a worker to begin one build pass.
+type Assign struct {
+	// Kind selects the sketch state the worker instantiates.
+	Kind StateKind
+	// Local, when set, tells the worker to ingest its own local shard
+	// source instead of waiting for streamed UPDATES.
+	Local bool
+	// Seq is the pass sequence number within the build (diagnostics,
+	// and the worker's replay counter for local sources).
+	Seq int
+	// N is the vertex count the state must be built over.
+	N int
+	// Blob is the coordinator's marshaled prototype state; the worker
+	// decodes it to obtain a same-randomness state to ingest into.
+	Blob []byte
+}
+
+const assignFlagLocal = 1
+
+// EncodeAssign encodes an ASSIGN payload.
+func EncodeAssign(a Assign) []byte {
+	flags := byte(0)
+	if a.Local {
+		flags |= assignFlagLocal
+	}
+	out := []byte{byte(a.Kind), flags}
+	out = binary.AppendUvarint(out, uint64(a.Seq))
+	out = binary.AppendUvarint(out, uint64(a.N))
+	out = binary.AppendUvarint(out, uint64(len(a.Blob)))
+	return append(out, a.Blob...)
+}
+
+// DecodeAssign decodes an ASSIGN payload.
+func DecodeAssign(payload []byte) (Assign, error) {
+	r := &reader{b: payload}
+	var a Assign
+	kind, err := r.byte()
+	if err != nil {
+		return a, err
+	}
+	a.Kind = StateKind(kind)
+	flags, err := r.byte()
+	if err != nil {
+		return a, err
+	}
+	if flags&^byte(assignFlagLocal) != 0 {
+		return a, fmt.Errorf("%w: unknown assign flags %02x", ErrBadPayload, flags)
+	}
+	a.Local = flags&assignFlagLocal != 0
+	seq, err := r.uvarint()
+	if err != nil {
+		return a, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return a, err
+	}
+	if seq > 1<<20 || n == 0 || n > 1<<32 {
+		return a, fmt.Errorf("%w: assign seq=%d n=%d out of range", ErrBadPayload, seq, n)
+	}
+	a.Seq, a.N = int(seq), int(n)
+	ln, err := r.uvarint()
+	if err != nil {
+		return a, err
+	}
+	blob, err := r.bytes(ln)
+	if err != nil {
+		return a, err
+	}
+	a.Blob = blob
+	if err := r.done(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// Update-record flag bits inside an UPDATES payload.
+const (
+	updFlagInsert     = 1 // Delta = +1 (clear: -1)
+	updFlagUnitWeight = 2 // W = 1, no explicit weight field follows
+)
+
+// AppendUpdates appends the UPDATES payload for batch to dst: a varint
+// count followed by records
+//
+//	u(uvarint) v(uvarint) flags(1) [w(f64 LE) when not unit-weight]
+//
+// Endpoints and the near-universal unit weight varint-compress to a
+// fraction of the fixed 20-byte binary stream record.
+func AppendUpdates(dst []byte, batch []stream.Update) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for _, u := range batch {
+		dst = binary.AppendUvarint(dst, uint64(u.U))
+		dst = binary.AppendUvarint(dst, uint64(u.V))
+		flags := byte(0)
+		if u.Delta > 0 {
+			flags |= updFlagInsert
+		}
+		if u.W == 1 {
+			flags |= updFlagUnitWeight
+		}
+		dst = append(dst, flags)
+		if u.W != 1 {
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(u.W))
+			dst = append(dst, tmp[:]...)
+		}
+	}
+	return dst
+}
+
+// DecodeUpdates decodes an UPDATES payload into buf (reused when large
+// enough). Records are validated against the vertex count n with the
+// same gate every Source uses, so a worker ingests exactly the updates
+// a local replay would deliver.
+func DecodeUpdates(payload []byte, n int, buf []stream.Update) ([]stream.Update, error) {
+	r := &reader{b: payload}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(payload)) { // every record is >= 3 bytes
+		return nil, fmt.Errorf("%w: update count %d exceeds payload", ErrBadPayload, count)
+	}
+	if uint64(cap(buf)) < count {
+		buf = make([]stream.Update, 0, count)
+	}
+	buf = buf[:0]
+	for i := uint64(0); i < count; i++ {
+		uu, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		vv, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^byte(updFlagInsert|updFlagUnitWeight) != 0 {
+			return nil, fmt.Errorf("%w: unknown update flags %02x", ErrBadPayload, flags)
+		}
+		u := stream.Update{U: int(uu), V: int(vv), Delta: -1, W: 1}
+		if flags&updFlagInsert != 0 {
+			u.Delta = 1
+		}
+		if flags&updFlagUnitWeight == 0 {
+			wb, err := r.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			u.W = math.Float64frombits(binary.LittleEndian.Uint64(wb))
+		}
+		if uu > 1<<32 || vv > 1<<32 {
+			return nil, fmt.Errorf("%w: endpoint out of range", ErrBadPayload)
+		}
+		cu, err := stream.CheckUpdate(u, n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		}
+		buf = append(buf, cu)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// SketchMsg is a worker's end-of-pass result.
+type SketchMsg struct {
+	// Updates is the number of updates the worker ingested this pass.
+	Updates int64
+	// Blob is the worker's marshaled state.
+	Blob []byte
+}
+
+// EncodeSketch encodes a SKETCH payload.
+func EncodeSketch(m SketchMsg) []byte {
+	out := binary.AppendUvarint(nil, uint64(m.Updates))
+	out = binary.AppendUvarint(out, uint64(len(m.Blob)))
+	return append(out, m.Blob...)
+}
+
+// DecodeSketch decodes a SKETCH payload.
+func DecodeSketch(payload []byte) (SketchMsg, error) {
+	r := &reader{b: payload}
+	var m SketchMsg
+	upd, err := r.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.Updates = int64(upd)
+	ln, err := r.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.Blob, err = r.bytes(ln)
+	if err != nil {
+		return m, err
+	}
+	if err := r.done(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// ErrorMsg is a typed protocol failure.
+type ErrorMsg struct {
+	Code ErrorCode
+	Msg  string
+}
+
+// EncodeError encodes an ERROR payload.
+func EncodeError(e ErrorMsg) []byte {
+	out := []byte{byte(e.Code)}
+	out = binary.AppendUvarint(out, uint64(len(e.Msg)))
+	return append(out, e.Msg...)
+}
+
+// DecodeError decodes an ERROR payload.
+func DecodeError(payload []byte) (ErrorMsg, error) {
+	r := &reader{b: payload}
+	var e ErrorMsg
+	code, err := r.byte()
+	if err != nil {
+		return e, err
+	}
+	e.Code = ErrorCode(code)
+	ln, err := r.uvarint()
+	if err != nil {
+		return e, err
+	}
+	if ln > 1<<16 {
+		return e, fmt.Errorf("%w: error message of %d bytes", ErrBadPayload, ln)
+	}
+	msg, err := r.bytes(ln)
+	if err != nil {
+		return e, err
+	}
+	e.Msg = string(msg)
+	if err := r.done(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// Err converts a received ERROR frame into the matching typed Go error.
+func (e ErrorMsg) Err() error {
+	switch e.Code {
+	case CodeNotReplayable:
+		return fmt.Errorf("dynnet: remote: %s: %w", e.Msg, stream.ErrNotReplayable)
+	default:
+		return fmt.Errorf("dynnet: remote error (code %d): %s", e.Code, e.Msg)
+	}
+}

@@ -1,0 +1,151 @@
+package dynnet
+
+import (
+	"fmt"
+
+	"dynstream/internal/agm"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+)
+
+// StateKind selects which sketch state a worker instantiates for a
+// pass. The prototype blob in the ASSIGN frame carries the full
+// configuration (seed, geometry, and — for two-pass states — the
+// cluster structure and phase), so the kind only has to name the
+// concrete type.
+type StateKind uint8
+
+// The wire-shippable sketch states (every Build target's ingest state).
+const (
+	KindForest   StateKind = 1 // agm.Sketch (spanning forest)
+	KindKConn    StateKind = 2 // agm.KConnectivity
+	KindBip      StateKind = 3 // agm.Bipartiteness
+	KindMSF      StateKind = 4 // agm.MSF
+	KindAdditive StateKind = 5 // spanner.Additive
+	KindTwoPass  StateKind = 6 // spanner.TwoPass (pass routed by phase)
+	KindGrid     StateKind = 7 // sparsify.Grid (pass routed by phase)
+)
+
+func (k StateKind) String() string {
+	switch k {
+	case KindForest:
+		return "forest"
+	case KindKConn:
+		return "kconn"
+	case KindBip:
+		return "bipartiteness"
+	case KindMSF:
+		return "msf"
+	case KindAdditive:
+		return "additive"
+	case KindTwoPass:
+		return "twopass"
+	case KindGrid:
+		return "grid"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// workerState is what a worker drives during one pass: batched ingest
+// plus marshaling the final state for the SKETCH frame.
+type workerState interface {
+	AddBatch(batch []stream.Update) error
+	MarshalBinary() ([]byte, error)
+}
+
+// aggState adapts the AGM-family states whose AddBatch cannot fail.
+type aggState[S interface {
+	AddBatch([]stream.Update)
+	MarshalBinary() ([]byte, error)
+}] struct{ s S }
+
+func (a aggState[S]) AddBatch(b []stream.Update) error { a.s.AddBatch(b); return nil }
+func (a aggState[S]) MarshalBinary() ([]byte, error)   { return a.s.MarshalBinary() }
+
+// twoPassState routes AddBatch by the decoded state's phase, so one
+// kind covers both passes: the coordinator ships a phase-0 prototype
+// for pass 1 and the post-EndPass1 (phase-1) state for pass 2.
+type twoPassState struct{ tp *spanner.TwoPass }
+
+func (s twoPassState) AddBatch(b []stream.Update) error {
+	if s.tp.Phase() == 0 {
+		return s.tp.Pass1AddBatch(b)
+	}
+	return s.tp.Pass2AddBatch(b)
+}
+func (s twoPassState) MarshalBinary() ([]byte, error) { return s.tp.MarshalBinary() }
+
+// gridState is twoPassState for the sparsifier's oracle grid.
+type gridState struct{ g *sparsify.Grid }
+
+func (s gridState) AddBatch(b []stream.Update) error {
+	if s.g.Phase() == 0 {
+		return s.g.Pass1AddBatch(b)
+	}
+	return s.g.Pass2AddBatch(b)
+}
+func (s gridState) MarshalBinary() ([]byte, error) { return s.g.MarshalBinary() }
+
+// newWorkerState decodes the coordinator's prototype blob into a fresh
+// state of the given kind, ready to ingest this worker's shard. The
+// decoded state carries the same randomness as the coordinator's, so
+// the shipped-back state merges exactly. The ASSIGN vertex count is
+// cross-checked against the prototype for every kind: UPDATES records
+// are validated against the assigned n, so a mismatch would otherwise
+// let an out-of-range endpoint panic the long-lived worker process
+// instead of drawing a typed ERROR.
+func newWorkerState(kind StateKind, n int, blob []byte) (workerState, error) {
+	var st workerState
+	var protoN int
+	switch kind {
+	case KindForest:
+		s := &agm.Sketch{}
+		if err := s.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = aggState[*agm.Sketch]{s}, s.N()
+	case KindKConn:
+		s := &agm.KConnectivity{}
+		if err := s.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = aggState[*agm.KConnectivity]{s}, s.N()
+	case KindBip:
+		s := &agm.Bipartiteness{}
+		if err := s.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = aggState[*agm.Bipartiteness]{s}, s.N()
+	case KindMSF:
+		s := &agm.MSF{}
+		if err := s.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = aggState[*agm.MSF]{s}, s.N()
+	case KindAdditive:
+		s := &spanner.Additive{}
+		if err := s.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = s, s.N()
+	case KindTwoPass:
+		tp := &spanner.TwoPass{}
+		if err := tp.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = twoPassState{tp}, tp.N()
+	case KindGrid:
+		g := &sparsify.Grid{}
+		if err := g.UnmarshalBinary(blob); err != nil {
+			return nil, err
+		}
+		st, protoN = gridState{g}, g.N()
+	default:
+		return nil, fmt.Errorf("dynnet: unknown state kind %d", kind)
+	}
+	if protoN != n {
+		return nil, fmt.Errorf("dynnet: prototype has n=%d, assign says n=%d", protoN, n)
+	}
+	return st, nil
+}

@@ -1,0 +1,236 @@
+package dynnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"dynstream/internal/stream"
+)
+
+// WorkerConfig configures one worker connection.
+type WorkerConfig struct {
+	// ID identifies the worker in the HELLO registration (diagnostics).
+	ID string
+	// Source, when non-nil, is the worker's local shard: ASSIGN frames
+	// with the Local flag replay it instead of waiting for streamed
+	// UPDATES. Repeat passes require it to be replayable; if it turns
+	// out not to be, the worker reports CodeNotReplayable over an ERROR
+	// frame rather than failing silently.
+	Source stream.Source
+	// Logf, when non-nil, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+func (cfg WorkerConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// ServeWorker speaks the worker side of the protocol on conn until the
+// coordinator closes it or ctx is canceled: register with HELLO, then
+// loop executing ASSIGN…FLUSH passes, answering each with SKETCH (or a
+// typed ERROR). The same connection serves any number of passes, so one
+// registration carries a whole multi-pass build — and several builds.
+//
+// Cancelling ctx closes the connection, which unblocks any pending
+// read; ServeWorker then returns ctx.Err().
+func ServeWorker(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	wrapCtx := func(err error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if _, err := WriteFrame(bw, FrameHello, EncodeHello(Hello{ID: cfg.ID})); err != nil {
+		return wrapCtx(fmt.Errorf("dynnet: worker hello: %w", err))
+	}
+	ack, _, err := ReadFrame(br)
+	if err != nil {
+		return wrapCtx(fmt.Errorf("dynnet: worker hello ack: %w", err))
+	}
+	switch ack.Type {
+	case FrameHello:
+		// Registered.
+	case FrameError:
+		if e, derr := DecodeError(ack.Payload); derr == nil {
+			return fmt.Errorf("dynnet: coordinator rejected registration: %w", e.Err())
+		}
+		return fmt.Errorf("dynnet: coordinator rejected registration")
+	default:
+		return fmt.Errorf("%w: expected HELLO ack, got %v", ErrBadFrame, ack.Type)
+	}
+	cfg.logf("worker %s: registered", cfg.ID)
+
+	localPasses := 0
+	for {
+		f, _, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || ctx.Err() != nil {
+				return wrapCtx(nil) // coordinator done with us
+			}
+			return fmt.Errorf("dynnet: worker read: %w", err)
+		}
+		if f.Type != FrameAssign {
+			return fmt.Errorf("%w: expected ASSIGN, got %v", ErrBadFrame, f.Type)
+		}
+		a, err := DecodeAssign(f.Payload)
+		if err != nil {
+			return err
+		}
+		if err := runWorkerPass(br, bw, cfg, a, &localPasses); err != nil {
+			return wrapCtx(err)
+		}
+	}
+}
+
+// sendWorkerError ships a typed ERROR frame; the pass continues to
+// drain frames so the connection stays frame-aligned for the
+// coordinator's teardown.
+func sendWorkerError(bw *bufio.Writer, code ErrorCode, msg string) error {
+	_, err := WriteFrame(bw, FrameError, EncodeError(ErrorMsg{Code: code, Msg: msg}))
+	return err
+}
+
+// runWorkerPass executes one ASSIGN…FLUSH cycle.
+func runWorkerPass(br *bufio.Reader, bw *bufio.Writer, cfg WorkerConfig, a Assign, localPasses *int) error {
+	st, err := newWorkerState(a.Kind, a.N, a.Blob)
+	failed := err != nil
+	if failed {
+		cfg.logf("worker %s: bad assign (kind %v): %v", cfg.ID, a.Kind, err)
+		if err := sendWorkerError(bw, CodeBadAssign, err.Error()); err != nil {
+			return err
+		}
+	}
+	cfg.logf("worker %s: pass %d assign kind=%v local=%v n=%d blob=%dB",
+		cfg.ID, a.Seq, a.Kind, a.Local, a.N, len(a.Blob))
+
+	// Local-shard mode sanity, checked before ingest so the coordinator
+	// gets a typed error instead of a hung pass. The replayability probe
+	// mirrors the probeSeek check in ReaderSource: trusting the static
+	// type is not enough, the source must *currently* support another
+	// pass.
+	var local stream.Source
+	if a.Local && !failed {
+		switch {
+		case cfg.Source == nil:
+			failed = true
+			err = sendWorkerError(bw, CodeBadAssign, "worker has no local shard source")
+		case cfg.Source.N() != a.N:
+			failed = true
+			err = sendWorkerError(bw, CodeBadAssign,
+				fmt.Sprintf("local shard has n=%d, assign wants n=%d", cfg.Source.N(), a.N))
+		case *localPasses > 0 && !stream.CanReplay(cfg.Source):
+			failed = true
+			err = sendWorkerError(bw, CodeNotReplayable,
+				fmt.Sprintf("local shard source cannot deliver pass %d again", *localPasses+1))
+		default:
+			local = cfg.Source
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	var ingested int64
+	var batch []stream.Update
+	for {
+		f, _, err := ReadFrame(br)
+		if err != nil {
+			return fmt.Errorf("dynnet: worker pass read: %w", err)
+		}
+		switch f.Type {
+		case FrameUpdates:
+			if failed || a.Local {
+				if !failed && a.Local {
+					// Streaming into a local-shard pass is a protocol error.
+					failed = true
+					if err := sendWorkerError(bw, CodeBadAssign, "UPDATES frame during a local-shard pass"); err != nil {
+						return err
+					}
+				}
+				continue // drain to stay frame-aligned
+			}
+			batch, err = DecodeUpdates(f.Payload, a.N, batch)
+			if err != nil {
+				failed = true
+				if err := sendWorkerError(bw, CodeBadUpdate, err.Error()); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := st.AddBatch(batch); err != nil {
+				failed = true
+				if err := sendWorkerError(bw, CodeInternal, err.Error()); err != nil {
+					return err
+				}
+				continue
+			}
+			ingested += int64(len(batch))
+		case FrameFlush:
+			if failed {
+				return nil // ERROR already sent; coordinator decides
+			}
+			if local != nil {
+				*localPasses++
+				err := stream.ReplayBatches(local, 0, func(b []stream.Update) error {
+					ingested += int64(len(b))
+					return st.AddBatch(b)
+				})
+				if err != nil {
+					if errors.Is(err, stream.ErrNotReplayable) {
+						return sendWorkerError(bw, CodeNotReplayable, err.Error())
+					}
+					return sendWorkerError(bw, CodeInternal, err.Error())
+				}
+			}
+			blob, err := st.MarshalBinary()
+			if err != nil {
+				return sendWorkerError(bw, CodeInternal, err.Error())
+			}
+			cfg.logf("worker %s: pass %d done, %d updates, %dB state",
+				cfg.ID, a.Seq, ingested, len(blob))
+			_, err = WriteFrame(bw, FrameSketch, EncodeSketch(SketchMsg{Updates: ingested, Blob: blob}))
+			return err
+		case FrameError:
+			// Coordinator aborted the pass; back to the assign loop.
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected %v mid-pass", ErrBadFrame, f.Type)
+		}
+	}
+}
+
+// ListenAndServeWorker accepts coordinator connections on ln and serves
+// each sequentially until ctx is canceled. A worker process serves one
+// coordinator at a time: builds are coordinator-driven, and a second
+// coordinator connecting mid-build would interleave passes.
+func ListenAndServeWorker(ctx context.Context, ln net.Listener, cfg WorkerConfig) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := ServeWorker(ctx, conn, cfg); err != nil && ctx.Err() == nil {
+			cfg.logf("worker %s: session ended: %v", cfg.ID, err)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}

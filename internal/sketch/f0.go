@@ -89,6 +89,19 @@ func (f *F0) AddBatch(keys []uint64, deltas []int64) {
 	}
 }
 
+// IsZero reports whether every accumulator is zero — the state of a
+// fresh estimator, which is what lets compressed encodings suppress it.
+func (f *F0) IsZero() bool {
+	for j := range f.acc {
+		for _, v := range f.acc[j] {
+			if v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Merge adds another estimator built with the same seed.
 func (f *F0) Merge(o *F0) {
 	for j := range f.acc {

@@ -60,6 +60,18 @@ func (b *keyedBucket) isZero() bool {
 		b.edgeSum == 0 && b.edgeFing == 0
 }
 
+// IsZero reports whether the table holds the zero vector's state —
+// indistinguishable from a fresh table, which is what lets compressed
+// encodings suppress it.
+func (t *KeyedEdgeSketch) IsZero() bool {
+	for i := range t.buckets {
+		if !t.buckets[i].isZero() {
+			return false
+		}
+	}
+	return true
+}
+
 func (b *keyedBucket) merge(o keyedBucket) {
 	b.edgeCount += o.edgeCount
 	b.keySum = field.Add(b.keySum, o.keySum)

@@ -17,9 +17,14 @@ import (
 // The magic constants identify the structure kind and version.
 const (
 	tagSketchB   uint64 = 0xd15c_0001
-	tagL0Sampler uint64 = 0xd15c_0002
+	tagL0Sampler uint64 = 0xd15c_0002 // v1: every level dense, u64 lengths
 	tagKeyed     uint64 = 0xd15c_0004
 	tagF0        uint64 = 0xd15c_0005
+	// tagL0SamplerV2 is the compressed sampler encoding: varint level
+	// lengths with zero-run suppression — a lazily-nil (or canceled-to-
+	// zero) level encodes as a single 0 byte instead of a dense zero
+	// sketch. v1 blobs still decode; encoding always emits v2.
+	tagL0SamplerV2 uint64 = 0xd15c_0102
 )
 
 var errCorrupt = errors.New("sketch: corrupt serialized data")
@@ -33,6 +38,8 @@ func (w *wbuf) u64(v uint64) {
 }
 
 func (w *wbuf) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *wbuf) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
 
 type rbuf struct{ b []byte }
 
@@ -48,6 +55,15 @@ func (r *rbuf) u64() (uint64, error) {
 func (r *rbuf) i64() (int64, error) {
 	v, err := r.u64()
 	return int64(v), err
+}
+
+func (r *rbuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.b = r.b[n:]
+	return v, nil
 }
 
 // MarshalBinary encodes the sketch: parameters plus linear state. The
@@ -135,56 +151,65 @@ func unmarshalSketchB(data []byte, hint *sketchBShape) (*SketchB, error) {
 	return rebuilt, nil
 }
 
-// marshalZero returns the encoding of a zeroed sketch of this shape —
-// what an unmaterialized (nil) level serializes as, byte-identical to
-// marshaling a materialized all-zero sketch.
-func (sh *sketchBShape) marshalZero() []byte {
-	w := &wbuf{}
-	w.u64(tagSketchB)
-	w.u64(sh.seed)
-	w.u64(uint64(sh.capacity))
-	w.u64(uint64(sh.rows))
-	w.u64(uint64(sh.cols))
-	w.b = append(w.b, make([]byte, 3*8*sh.cells())...)
-	return w.b
+// IsZero reports whether the sampler holds the zero vector's state:
+// every level unmaterialized or canceled back to all-zero cells. A
+// zero sampler is indistinguishable from a fresh one, which is what
+// lets the compressed encodings suppress it entirely.
+func (s *L0Sampler) IsZero() bool {
+	for _, lv := range s.levels {
+		if lv != nil && !lv.IsZero() {
+			return false
+		}
+	}
+	return true
 }
 
-// MarshalBinary encodes the sampler: parameters plus per-level states.
+// MarshalBinary encodes the sampler: parameters plus per-level states,
+// in the v2 compressed layout — varint level lengths, with a zero (nil
+// or canceled-to-zero) level encoded as a single 0 byte. Geometric
+// sampling leaves most levels untouched, so this shrinks AGM-family
+// states by orders of magnitude on the wire. The encoding is
+// content-canonical: states with equal linear content (regardless of
+// which zero levels happen to be materialized) encode identically.
 func (s *L0Sampler) MarshalBinary() ([]byte, error) {
 	w := &wbuf{}
-	w.u64(tagL0Sampler)
+	w.u64(tagL0SamplerV2)
 	w.u64(s.fam.seed)
 	w.u64(s.fam.universe)
-	w.u64(uint64(s.fam.perLevel))
-	w.u64(uint64(len(s.levels)))
-	for j, lv := range s.levels {
-		var enc []byte
-		if lv == nil {
-			enc = s.fam.levels[j].marshalZero()
-		} else {
-			var err error
-			enc, err = lv.MarshalBinary()
-			if err != nil {
-				return nil, err
-			}
+	w.uvarint(uint64(s.fam.perLevel))
+	w.uvarint(uint64(len(s.levels)))
+	for _, lv := range s.levels {
+		if lv == nil || lv.IsZero() {
+			w.uvarint(0) // zero-run suppression
+			continue
 		}
-		w.u64(uint64(len(enc)))
+		enc, err := lv.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.uvarint(uint64(len(enc)))
 		w.b = append(w.b, enc...)
 	}
 	return w.b, nil
 }
 
-// UnmarshalBinary decodes a sampler encoded with MarshalBinary. If the
-// receiver already belongs to a family with matching parameters — as
-// when agm.Sketch.UnmarshalBinary refills the family-backed samplers
-// its constructor allocated — that family (and its level shapes, hash
-// functions, and power tables) is reused rather than re-derived per
-// sampler.
+// UnmarshalBinary decodes a sampler encoded with MarshalBinary —
+// either the current v2 layout or the dense v1 layout older blobs
+// carry. If the receiver already belongs to a family with matching
+// parameters — as when agm.Sketch.UnmarshalBinary refills the
+// family-backed samplers its constructor allocated — that family (and
+// its level shapes, hash functions, and power tables) is reused rather
+// than re-derived per sampler.
 func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 	r := &rbuf{b: data}
 	tag, err := r.u64()
-	if err != nil || tag != tagL0Sampler {
+	if err != nil || (tag != tagL0Sampler && tag != tagL0SamplerV2) {
 		return fmt.Errorf("sketch: not an L0Sampler encoding: %w", errCorrupt)
+	}
+	v2 := tag == tagL0SamplerV2
+	length := (*rbuf).u64
+	if v2 {
+		length = (*rbuf).uvarint
 	}
 	seed, err := r.u64()
 	if err != nil {
@@ -194,11 +219,11 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	perLevel, err := r.u64()
+	perLevel, err := length(r)
 	if err != nil {
 		return err
 	}
-	nLevels, err := r.u64()
+	nLevels, err := length(r)
 	if err != nil {
 		return err
 	}
@@ -212,9 +237,12 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 	}
 	rebuilt := fam.NewSampler()
 	for j := range rebuilt.levels {
-		ln, err := r.u64()
+		ln, err := length(r)
 		if err != nil {
 			return err
+		}
+		if ln == 0 && v2 {
+			continue // suppressed zero level stays unmaterialized
 		}
 		if uint64(len(r.b)) < ln {
 			return errCorrupt

@@ -1,0 +1,120 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// encodeL0V1 reproduces the legacy dense v1 sampler layout (u64 level
+// lengths, every level materialized — nil levels as dense zero
+// sketches), so the decoder's back-compat path stays pinned even
+// though the encoder only emits v2 now.
+func encodeL0V1(t *testing.T, s *L0Sampler) []byte {
+	t.Helper()
+	w := &wbuf{}
+	w.u64(tagL0Sampler)
+	w.u64(s.fam.seed)
+	w.u64(s.fam.universe)
+	w.u64(uint64(s.fam.perLevel))
+	w.u64(uint64(len(s.levels)))
+	for j, lv := range s.levels {
+		if lv == nil {
+			lv = s.fam.levels[j].instance()
+		}
+		enc, err := lv.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.u64(uint64(len(enc)))
+		w.b = append(w.b, enc...)
+	}
+	return w.b
+}
+
+func TestL0MarshalV2SuppressesZeroLevels(t *testing.T) {
+	s := NewL0Sampler(7, 1<<20, 4)
+	// A handful of keys: geometric levels leave most levels untouched.
+	for _, k := range []uint64{3, 99, 12345, 777777} {
+		s.Add(k, 2)
+	}
+	v2, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := encodeL0V1(t, s)
+	if len(v2) >= len(v1)/2 {
+		t.Fatalf("v2 encoding %d bytes, dense v1 %d bytes — zero-run suppression missing", len(v2), len(v1))
+	}
+
+	// The legacy blob still decodes, to a state that re-encodes
+	// identically to the live one (content-canonical).
+	var fromV1 L0Sampler
+	if err := fromV1.UnmarshalBinary(v1); err != nil {
+		t.Fatalf("v1 blob no longer decodes: %v", err)
+	}
+	re, err := fromV1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, v2) {
+		t.Fatal("v1-decoded state re-encodes differently from the live state")
+	}
+
+	// And the v2 round trip is exact.
+	var fromV2 L0Sampler
+	if err := fromV2.UnmarshalBinary(v2); err != nil {
+		t.Fatal(err)
+	}
+	k1, w1, ok1 := s.Sample()
+	k2, w2, ok2 := fromV2.Sample()
+	if k1 != k2 || w1 != w2 || ok1 != ok2 {
+		t.Fatalf("v2 round trip changed sampling: (%d,%d,%v) vs (%d,%d,%v)", k1, w1, ok1, k2, w2, ok2)
+	}
+}
+
+func TestL0MarshalCanonicalAcrossMaterialization(t *testing.T) {
+	// Two states with equal content but different materialization: one
+	// fresh, one whose updates canceled back to zero. Their encodings
+	// must match byte for byte (the property the remote-vs-serial
+	// equivalence tests lean on).
+	fam := NewL0Family(11, 1<<16, 4)
+	fresh := fam.NewSampler()
+	canceled := fam.NewSampler()
+	for _, k := range []uint64{1, 2, 70} {
+		canceled.Add(k, 5)
+		canceled.Add(k, -5)
+	}
+	a, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := canceled.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("canceled-to-zero state encodes differently from a fresh state")
+	}
+}
+
+func TestL0MarshalV2RejectsGarbage(t *testing.T) {
+	valid := func() []byte {
+		s := NewL0Sampler(3, 1<<10, 4)
+		s.Add(42, 1)
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}()
+	var s L0Sampler
+	if err := s.UnmarshalBinary(valid[:len(valid)-1]); err == nil {
+		t.Error("accepted truncated v2 blob")
+	}
+	bad := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(bad[:8], 0xdead)
+	if err := s.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted unknown tag")
+	}
+}

@@ -17,8 +17,14 @@ import (
 // sketches, and do not serialize.
 
 const (
-	tagTwoPass  uint64 = 0xd15c_0006
-	tagAdditive uint64 = 0xd15c_0007
+	tagTwoPass  uint64 = 0xd15c_0006 // v1: dense u64-length sketch blocks
+	tagAdditive uint64 = 0xd15c_0007 // v1: dense u64-length sketch blocks
+	// The v2 encodings varint-encode sketch-block lengths and suppress
+	// zero sketches (an untouched vertex sketch, table row, or degree
+	// sketch encodes as a single 0 byte). v1 blobs still decode;
+	// encoding always emits v2.
+	tagTwoPassV2  uint64 = 0xd15c_0106
+	tagAdditiveV2 uint64 = 0xd15c_0107
 )
 
 var errCorrupt = errors.New("spanner: corrupt serialized data")
@@ -35,6 +41,31 @@ func (w *wbuf) i64(v int64)      { w.u64(uint64(v)) }
 func (w *wbuf) f64(v float64)    { w.u64(math.Float64bits(v)) }
 func (w *wbuf) boolean(v bool)   { w.u64(map[bool]uint64{false: 0, true: 1}[v]) }
 func (w *wbuf) block(enc []byte) { w.u64(uint64(len(enc))); w.b = append(w.b, enc...) }
+
+func (w *wbuf) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// zeroSketch is the common zero test of the embedded sketch states.
+type zeroSketch interface {
+	IsZero() bool
+	MarshalBinary() ([]byte, error)
+}
+
+// sketchBlock writes one varint-length sketch block with zero-run
+// suppression: a zero state (never touched, or canceled back to zero)
+// is a single 0 byte. Content-canonical by construction.
+func (w *wbuf) sketchBlock(s zeroSketch) error {
+	if s.IsZero() {
+		w.uvarint(0)
+		return nil
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	w.uvarint(uint64(len(enc)))
+	w.b = append(w.b, enc...)
+	return nil
+}
 
 type rbuf struct{ b []byte }
 
@@ -79,6 +110,40 @@ func (r *rbuf) block() ([]byte, error) {
 	b := r.b[:ln]
 	r.b = r.b[ln:]
 	return b, nil
+}
+
+func (r *rbuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// sketchBlock reads one sketch block in the given version and decodes
+// it into dst; a suppressed (0-length, v2) block leaves dst as the
+// fresh zero state it already is.
+func (r *rbuf) sketchBlock(v2 bool, dst interface{ UnmarshalBinary([]byte) error }) error {
+	var ln uint64
+	var err error
+	if v2 {
+		ln, err = r.uvarint()
+	} else {
+		ln, err = r.u64()
+	}
+	if err != nil {
+		return err
+	}
+	if ln == 0 && v2 {
+		return nil
+	}
+	if uint64(len(r.b)) < ln {
+		return errCorrupt
+	}
+	enc := r.b[:ln]
+	r.b = r.b[ln:]
+	return dst.UnmarshalBinary(enc)
 }
 
 func (r *rbuf) intSlice(max int) ([]int, error) {
@@ -150,7 +215,7 @@ func (tp *TwoPass) MarshalBinary() ([]byte, error) {
 		return nil, fmt.Errorf("spanner: cannot marshal a finished two-pass state")
 	}
 	w := &wbuf{}
-	w.u64(tagTwoPass)
+	w.u64(tagTwoPassV2)
 	w.u64(uint64(tp.n))
 	w.u64(uint64(tp.phase))
 	w.config(tp.cfg)
@@ -162,11 +227,9 @@ func (tp *TwoPass) MarshalBinary() ([]byte, error) {
 	for u := range tp.vertexSk {
 		for r := range tp.vertexSk[u] {
 			for j := range tp.vertexSk[u][r] {
-				enc, err := tp.vertexSk[u][r][j].MarshalBinary()
-				if err != nil {
+				if err := w.sketchBlock(tp.vertexSk[u][r][j]); err != nil {
 					return nil, err
 				}
-				w.block(enc)
 			}
 		}
 	}
@@ -196,11 +259,9 @@ func (tp *TwoPass) MarshalBinary() ([]byte, error) {
 		for _, ci := range cis {
 			w.i64(int64(ci))
 			for _, t := range tp.tables[ci] {
-				enc, err := t.MarshalBinary()
-				if err != nil {
+				if err := w.sketchBlock(t); err != nil {
 					return nil, err
 				}
-				w.block(enc)
 			}
 		}
 		// Augmented edge set, sorted for a canonical encoding.
@@ -227,9 +288,10 @@ func (tp *TwoPass) MarshalBinary() ([]byte, error) {
 func (tp *TwoPass) UnmarshalBinary(data []byte) error {
 	r := &rbuf{b: data}
 	tag, err := r.u64()
-	if err != nil || tag != tagTwoPass {
+	if err != nil || (tag != tagTwoPass && tag != tagTwoPassV2) {
 		return fmt.Errorf("spanner: not a TwoPass encoding: %w", errCorrupt)
 	}
+	v2 := tag == tagTwoPassV2
 	n64, err := r.u64()
 	if err != nil {
 		return err
@@ -257,11 +319,7 @@ func (tp *TwoPass) UnmarshalBinary(data []byte) error {
 	for u := range rebuilt.vertexSk {
 		for ri := range rebuilt.vertexSk[u] {
 			for j := range rebuilt.vertexSk[u][ri] {
-				enc, err := r.block()
-				if err != nil {
-					return err
-				}
-				if err := rebuilt.vertexSk[u][ri][j].UnmarshalBinary(enc); err != nil {
+				if err := r.sketchBlock(v2, rebuilt.vertexSk[u][ri][j]); err != nil {
 					return err
 				}
 			}
@@ -317,11 +375,7 @@ func (tp *TwoPass) UnmarshalBinary(data []byte) error {
 				return errCorrupt
 			}
 			for j := range row {
-				enc, err := r.block()
-				if err != nil {
-					return err
-				}
-				if err := row[j].UnmarshalBinary(enc); err != nil {
+				if err := r.sketchBlock(v2, row[j]); err != nil {
 					return err
 				}
 			}
@@ -390,29 +444,23 @@ func (a *Additive) MarshalBinary() ([]byte, error) {
 		return nil, fmt.Errorf("spanner: cannot marshal a finished additive state")
 	}
 	w := &wbuf{}
-	w.u64(tagAdditive)
+	w.u64(tagAdditiveV2)
 	w.u64(uint64(a.n))
 	w.additiveConfig(a.cfg)
 	for u := 0; u < a.n; u++ {
-		enc, err := a.nbr[u].MarshalBinary()
-		if err != nil {
+		if err := w.sketchBlock(a.nbr[u]); err != nil {
 			return nil, err
 		}
-		w.block(enc)
 		for _, s := range a.centerS[u] {
-			enc, err := s.MarshalBinary()
-			if err != nil {
+			if err := w.sketchBlock(s); err != nil {
 				return nil, err
 			}
-			w.block(enc)
 		}
 		w.i64(a.degree[u])
 		if a.degF0 != nil {
-			enc, err := a.degF0[u].MarshalBinary()
-			if err != nil {
+			if err := w.sketchBlock(a.degF0[u]); err != nil {
 				return nil, err
 			}
-			w.block(enc)
 		}
 	}
 	enc, err := a.forest.MarshalBinary()
@@ -429,9 +477,10 @@ func (a *Additive) MarshalBinary() ([]byte, error) {
 func (a *Additive) UnmarshalBinary(data []byte) error {
 	r := &rbuf{b: data}
 	tag, err := r.u64()
-	if err != nil || tag != tagAdditive {
+	if err != nil || (tag != tagAdditive && tag != tagAdditiveV2) {
 		return fmt.Errorf("spanner: not an Additive encoding: %w", errCorrupt)
 	}
+	v2 := tag == tagAdditiveV2
 	n64, err := r.u64()
 	if err != nil {
 		return err
@@ -445,19 +494,11 @@ func (a *Additive) UnmarshalBinary(data []byte) error {
 	}
 	rebuilt := NewAdditive(int(n64), cfg)
 	for u := 0; u < rebuilt.n; u++ {
-		enc, err := r.block()
-		if err != nil {
-			return err
-		}
-		if err := rebuilt.nbr[u].UnmarshalBinary(enc); err != nil {
+		if err := r.sketchBlock(v2, rebuilt.nbr[u]); err != nil {
 			return err
 		}
 		for ri := range rebuilt.centerS[u] {
-			enc, err := r.block()
-			if err != nil {
-				return err
-			}
-			if err := rebuilt.centerS[u][ri].UnmarshalBinary(enc); err != nil {
+			if err := r.sketchBlock(v2, rebuilt.centerS[u][ri]); err != nil {
 				return err
 			}
 		}
@@ -465,11 +506,7 @@ func (a *Additive) UnmarshalBinary(data []byte) error {
 			return err
 		}
 		if rebuilt.degF0 != nil {
-			enc, err := r.block()
-			if err != nil {
-				return err
-			}
-			if err := rebuilt.degF0[u].UnmarshalBinary(enc); err != nil {
+			if err := r.sketchBlock(v2, rebuilt.degF0[u]); err != nil {
 				return err
 			}
 		}

@@ -151,6 +151,17 @@ func BuildTwoPassOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Resul
 // Remark 14 (see BuildTwoPassWeighted): each geometric weight class is
 // built with BuildTwoPassOpts under the same policy.
 func BuildTwoPassWeightedOpts(src stream.Source, cfg Config, classBase float64, p *parallel.Policy) (*Result, error) {
+	return BuildTwoPassWeightedWith(src, cfg, classBase, func(sub stream.Source, ccfg Config) (*Result, error) {
+		return BuildTwoPassOpts(sub, ccfg, p)
+	})
+}
+
+// BuildTwoPassWeightedWith is the weight-class construction with an
+// injected per-class builder: the class split, per-class seed mixing,
+// and weight-rescaled assembly live here once, while build runs each
+// class's unweighted two-pass construction — locally under a policy
+// (BuildTwoPassWeightedOpts) or on remote workers (the dynnet path).
+func BuildTwoPassWeightedWith(src stream.Source, cfg Config, classBase float64, build func(stream.Source, Config) (*Result, error)) (*Result, error) {
 	if classBase <= 1 {
 		return nil, fmt.Errorf("spanner: classBase must be > 1, got %v", classBase)
 	}
@@ -165,7 +176,7 @@ func BuildTwoPassWeightedOpts(src stream.Source, cfg Config, classBase float64, 
 	for _, c := range classes {
 		ccfg := cfg
 		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3c, uint64(c))
-		res, err := BuildTwoPassOpts(sub[c], ccfg, p)
+		res, err := build(sub[c], ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("spanner: weight class %d: %w", c, err)
 		}

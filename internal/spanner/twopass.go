@@ -208,6 +208,11 @@ func NewTwoPass(n int, cfg Config) *TwoPass {
 // N returns the vertex count.
 func (tp *TwoPass) N() int { return tp.n }
 
+// Phase reports the build phase: 0 while pass 1 is open, 1 after
+// EndPass1 (pass 2 open), 2 after Finish. Remote workers use it to
+// route ingest on a state decoded from the wire.
+func (tp *TwoPass) Phase() int { return tp.phase }
+
 // pairLevel is the geometric level of the unordered pair {a, b}: the
 // pair belongs to E_j iff pairLevel >= j.
 func (tp *TwoPass) pairLevel(a, b int) int {

@@ -70,6 +70,11 @@ func NewGrid(n int, cfg EstimateConfig) (*Grid, error) {
 // N returns the vertex count.
 func (g *Grid) N() int { return g.n }
 
+// Phase reports the build phase: 0 while pass 1 is open, 1 after
+// EndPass1 (pass 2 open), 2 after Finish. Remote workers use it to
+// route ingest on a grid decoded from the wire.
+func (g *Grid) Phase() int { return g.phase }
+
 // forEachCell visits the cells an update reaches: cell (t, j) sketches
 // E^j_t, the edges whose column-j level is at least t−1.
 func (g *Grid) forEachCell(u stream.Update, visit func(cell *spanner.TwoPass) error) error {
@@ -400,10 +405,62 @@ func SparsifyOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Result, e
 	}, nil
 }
 
+// SparsifyWith is the sparsification pipeline with injected pass
+// engines: buildEstimator constructs the robust-connectivity estimator
+// (the oracle grid's two passes), and buildSpanner constructs one
+// augmented spanner over a subsampled substream. The substream/config
+// derivations, the filtering against the estimates, and the averaging
+// are shared with the serial pipeline, so any engine that ingests the
+// same updates into the same-seeded states — a policy worker pool or
+// dynnet's remote workers — produces an identical sparsifier. The Z×H
+// sample builds run sequentially; concurrent fan-out stays in
+// SparsifyOpts.
+func SparsifyWith(src stream.Source, cfg Config,
+	buildEstimator func(cfg EstimateConfig) (*Estimator, error),
+	buildSpanner func(sub stream.Source, scfg spanner.Config) (*spanner.Result, error),
+) (*Result, error) {
+	if !stream.CanReplay(src) {
+		return nil, fmt.Errorf("sparsify: %w", stream.ErrNotReplayable)
+	}
+	cfg = cfg.withDefaults(src.N())
+	est, err := buildEstimator(cfg.Estimate)
+	if err != nil {
+		return nil, err
+	}
+	space := est.SpaceWords()
+	samples := make([]*graph.Graph, 0, cfg.Z)
+	for s := 0; s < cfg.Z; s++ {
+		results := make([]*spanner.Result, cfg.H)
+		for j := 1; j <= cfg.H; j++ {
+			res, err := buildSpanner(sampleSubstream(src, cfg, s, j), sampleSpannerConfig(cfg, s, j))
+			if err != nil {
+				return nil, fmt.Errorf("sparsify: sample rep=%d j=%d: %w", s, j, err)
+			}
+			results[j-1] = res
+		}
+		x, w := assembleSample(src.N(), est, results)
+		space += w
+		samples = append(samples, x)
+	}
+	return &Result{
+		Sparsifier: averageSamples(src.N(), cfg.Z, samples),
+		SpaceWords: space,
+		Samples:    cfg.Z,
+	}, nil
+}
+
 // SparsifyWeightedOpts is the policy-driven weight-class sparsifier
 // (see SparsifyWeighted): each class is sparsified with SparsifyOpts
 // under the same policy and rescaled by its class upper bound.
 func SparsifyWeightedOpts(src stream.Source, cfg Config, classBase float64, p *parallel.Policy) (*Result, error) {
+	return SparsifyWeightedWith(src, cfg, classBase, func(sub stream.Source, ccfg Config) (*Result, error) {
+		return SparsifyOpts(sub, ccfg, p)
+	})
+}
+
+// SparsifyWeightedWith is the weight-class sparsifier with an injected
+// per-class builder (see BuildTwoPassWeightedWith for the pattern).
+func SparsifyWeightedWith(src stream.Source, cfg Config, classBase float64, build func(stream.Source, Config) (*Result, error)) (*Result, error) {
 	if classBase <= 1 {
 		return nil, fmt.Errorf("sparsify: classBase must be > 1, got %v", classBase)
 	}
@@ -417,7 +474,7 @@ func SparsifyWeightedOpts(src stream.Source, cfg Config, classBase float64, p *p
 		ccfg := cfg
 		ccfg.Seed = hashing.Mix(cfg.Seed, 0x3d, uint64(c))
 		ccfg.Estimate.Seed = hashing.Mix(cfg.Seed, 0x3e, uint64(c))
-		res, err := SparsifyOpts(sub[c], ccfg, p)
+		res, err := build(sub[c], ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("sparsify: weight class %d: %w", c, err)
 		}

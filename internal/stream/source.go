@@ -55,6 +55,12 @@ func ConcurrentReplayable(src Source) bool {
 	return CanReplay(src)
 }
 
+// CheckUpdate validates and canonicalizes one update against a graph on
+// n vertices — the exported gate for sources implemented outside this
+// package (the dynnet wire decoder), identical to what every local
+// Source applies.
+func CheckUpdate(u Update, n int) (Update, error) { return checkUpdate(u, n) }
+
 // checkUpdate validates and canonicalizes one update against a graph on
 // n vertices: endpoints distinct and in range, delta ±1, weight finite
 // and non-negative with 0 coerced to 1. This is the single validation

@@ -25,14 +25,21 @@ type Option func(*buildOptions)
 
 // buildOptions is the resolved option set of one Build call.
 type buildOptions struct {
-	workers    int
-	workersSet bool
-	batch      int
-	classBase  float64
-	seed       uint64
-	seedSet    bool
-	progress   func(int64)
+	workers      int
+	workersSet   bool
+	batch        int
+	classBase    float64
+	seed         uint64
+	seedSet      bool
+	progress     func(int64)
+	remoteAddrs  []string
+	remoteSet    bool
+	cluster      *RemoteCluster
+	workerShards bool
 }
+
+// remote reports whether this build runs on remote worker processes.
+func (o *buildOptions) remote() bool { return o.remoteSet || o.cluster != nil }
 
 // WithWorkers fixes the number of concurrent ingest workers. Without
 // it, Build picks serial or sharded-merge execution automatically; by
@@ -68,6 +75,36 @@ func WithProgress(fn func(updates int64)) Option {
 	return func(o *buildOptions) { o.progress = fn }
 }
 
+// WithRemoteWorkers runs the build on remote worker processes: Build
+// dials the given addresses ("host:port", "unix:/path", or a bare
+// socket path), registers the workers, shards every pass's stream
+// across them, and merges the returned sketch states — bit-identical
+// to a local build by linearity. The connections are closed when Build
+// returns; to amortize the handshake across several builds, dial once
+// with DialWorkers and pass WithRemoteCluster instead. WithWorkers is
+// ignored for remote builds (the worker count is the cluster size).
+func WithRemoteWorkers(addrs ...string) Option {
+	return func(o *buildOptions) { o.remoteAddrs = addrs; o.remoteSet = true }
+}
+
+// WithRemoteCluster runs the build on an already-established worker
+// cluster (DialWorkers / AcceptWorkers). The cluster stays open after
+// Build returns.
+func WithRemoteCluster(c *RemoteCluster) Option {
+	return func(o *buildOptions) { o.cluster = c }
+}
+
+// WithWorkerShards makes a remote build ingest each worker's own local
+// shard source (`dynstream worker -shard FILE`) instead of streaming
+// the coordinator's source: src then only supplies the vertex count.
+// Only targets that never need the stream at the coordinator support
+// this (no weight classes, no sparsifier, MSF only with an explicit
+// WMax). A worker whose shard turns out non-replayable when a second
+// pass is requested reports ErrNotReplayable over the wire.
+func WithWorkerShards() Option {
+	return func(o *buildOptions) { o.workerShards = true }
+}
+
 // validate is the single options gate every Build runs: it returns
 // typed errors (ErrBadWorkers, ErrBadConfig) so callers never
 // duplicate flag checks.
@@ -80,6 +117,15 @@ func (o *buildOptions) validate() error {
 	}
 	if o.classBase != 0 && o.classBase <= 1 {
 		return fmt.Errorf("%w: weight class base must be > 1, got %v", ErrBadConfig, o.classBase)
+	}
+	if o.remoteSet && len(o.remoteAddrs) == 0 {
+		return fmt.Errorf("%w: WithRemoteWorkers needs at least one address", ErrBadConfig)
+	}
+	if o.remoteSet && o.cluster != nil {
+		return fmt.Errorf("%w: WithRemoteWorkers and WithRemoteCluster are mutually exclusive", ErrBadConfig)
+	}
+	if o.workerShards && !o.remote() {
+		return fmt.Errorf("%w: WithWorkerShards requires remote workers", ErrBadConfig)
 	}
 	return nil
 }

@@ -1,0 +1,355 @@
+package dynstream
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"dynstream/internal/agm"
+	"dynstream/internal/dynnet"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+)
+
+// Multi-process builds. The sketches are linear, so a stream sharded
+// across worker *processes*, ingested into same-seeded states, and
+// merged at a coordinator is bit-identical to a single-process Build —
+// the distributed protocol of the paper's introduction over real
+// sockets. internal/dynnet provides the frame protocol; this file wires
+// it into the Build front door:
+//
+//	cluster, _ := dynstream.DialWorkers(ctx, "unix:/tmp/w0.sock", "unix:/tmp/w1.sock")
+//	defer cluster.Close()
+//	sk, err := dynstream.Build(ctx, src, dynstream.ForestTarget{Seed: 7},
+//	    dynstream.WithRemoteCluster(cluster))
+//
+// or one-shot, dialing and closing per call:
+//
+//	sk, err := dynstream.Build(ctx, src, dynstream.ForestTarget{Seed: 7},
+//	    dynstream.WithRemoteWorkers("unix:/tmp/w0.sock", "unix:/tmp/w1.sock"))
+//
+// Worker processes run `dynstream worker -listen ADDR` (or register
+// with a listening coordinator; see AcceptWorkers).
+
+// RemoteCluster is an established set of registered worker connections,
+// reusable across Build calls (every pass of every build re-ships a
+// prototype state, so one cluster serves any sequence of targets).
+type RemoteCluster struct {
+	coord *dynnet.Coordinator
+}
+
+// DialWorkers connects to worker processes listening at addrs and
+// performs the registration handshake. Addresses are "host:port",
+// "unix:/path/to.sock", or a bare socket path (anything containing a
+// path separator dials a unix socket).
+func DialWorkers(ctx context.Context, addrs ...string) (*RemoteCluster, error) {
+	coord, err := dynnet.Dial(ctx, addrs...)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteCluster{coord: coord}, nil
+}
+
+// AcceptWorkers waits for count worker processes to connect to ln and
+// register — the coordinator-listens topology (`dynstream worker
+// -connect ADDR` on the worker side).
+func AcceptWorkers(ctx context.Context, ln net.Listener, count int) (*RemoteCluster, error) {
+	coord, err := dynnet.Accept(ctx, ln, count)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteCluster{coord: coord}, nil
+}
+
+// Close tears down every worker connection.
+func (c *RemoteCluster) Close() error { return c.coord.Close() }
+
+// WorkerIDs returns the registered workers' identifiers.
+func (c *RemoteCluster) WorkerIDs() []string { return c.coord.WorkerIDs() }
+
+// Live returns the number of workers still considered healthy.
+func (c *RemoteCluster) Live() int { return c.coord.Live() }
+
+// BytesOnWire returns the cumulative protocol bytes sent to and
+// received from the workers — the coordinator's wire-cost figure.
+func (c *RemoteCluster) BytesOnWire() (sent, received int64) { return c.coord.Bytes() }
+
+// remoteRun threads one Build's remote execution: the cluster, the
+// resolved options, and cumulative pass/progress counters.
+type remoteRun struct {
+	cluster *RemoteCluster
+	o       *buildOptions
+	seq     int
+	done    int64
+}
+
+// pass runs one remote pass: ship blob as the prototype, stream src's
+// shards (or trigger local-shard ingest), and fold every worker state
+// back with merge.
+func (r *remoteRun) pass(ctx context.Context, kind dynnet.StateKind, n int, blob []byte,
+	src Source, merge func(blob []byte) error) error {
+	r.seq++
+	p := dynnet.Pass{
+		Kind:  kind,
+		Blob:  blob,
+		N:     n,
+		Batch: r.o.batch,
+		Seq:   r.seq,
+		Local: r.o.workerShards,
+		Merge: func(_ int, b []byte) error { return merge(b) },
+	}
+	if !p.Local {
+		p.Src = src
+	}
+	if r.o.progress != nil {
+		progress := r.o.progress
+		p.Progress = func(nu int) { progress(atomic.AddInt64(&r.done, int64(nu))) }
+	}
+	return r.cluster.coord.RunPass(ctx, p)
+}
+
+// mergeable is the common surface of every coordinator-side prototype:
+// marshal for the ASSIGN frame (and for decoding worker blobs into a
+// fresh same-typed state).
+func remoteProto[S interface {
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}](proto S, fresh func() S, merge func(S) error) (blob []byte, mergeBlob func([]byte) error, err error) {
+	blob, err = proto.MarshalBinary()
+	if err != nil {
+		return nil, nil, err
+	}
+	mergeBlob = func(b []byte) error {
+		s := fresh()
+		if err := s.UnmarshalBinary(b); err != nil {
+			return err
+		}
+		return merge(s)
+	}
+	return blob, mergeBlob, nil
+}
+
+// ingestRemote runs a single-pass remote ingest of src into proto.
+func ingestRemote[S interface {
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+}](ctx context.Context, r *remoteRun, kind dynnet.StateKind, src Source,
+	proto S, fresh func() S, merge func(S) error) error {
+	blob, mergeBlob, err := remoteProto(proto, fresh, merge)
+	if err != nil {
+		return err
+	}
+	return r.pass(ctx, kind, src.N(), blob, src, mergeBlob)
+}
+
+// twoPass runs the two-pass spanner remotely: pass 1 across the
+// workers, the offline cluster construction (EndPass1) at the
+// coordinator, pass 2 across the workers over the shipped post-pass1
+// state, then the local decode. Bit-identical to the serial build —
+// every per-update operation is a commutative group operation.
+func (r *remoteRun) twoPass(ctx context.Context, src Source, cfg SpannerConfig) (*SpannerResult, error) {
+	tp := spanner.NewTwoPass(src.N(), cfg)
+	fresh := func() *spanner.TwoPass { return &spanner.TwoPass{} }
+	blob1, merge1, err := remoteProto(tp, fresh, tp.MergePass1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.pass(ctx, dynnet.KindTwoPass, src.N(), blob1, src, merge1); err != nil {
+		return nil, fmt.Errorf("dynstream: remote pass 1: %w", err)
+	}
+	if err := tp.EndPass1(); err != nil {
+		return nil, err
+	}
+	blob2, merge2, err := remoteProto(tp, fresh, tp.MergePass2)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.pass(ctx, dynnet.KindTwoPass, src.N(), blob2, src, merge2); err != nil {
+		return nil, fmt.Errorf("dynstream: remote pass 2: %w", err)
+	}
+	return tp.Finish()
+}
+
+// grid runs the sparsifier's oracle grid remotely (same two-pass shape
+// as twoPass) and finishes it into the estimator.
+func (r *remoteRun) grid(ctx context.Context, src Source, cfg EstimateConfig) (*sparsify.Estimator, error) {
+	g, err := sparsify.NewGrid(src.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	fresh := func() *sparsify.Grid { return &sparsify.Grid{} }
+	blob1, merge1, err := remoteProto(g, fresh, g.MergePass1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.pass(ctx, dynnet.KindGrid, src.N(), blob1, src, merge1); err != nil {
+		return nil, fmt.Errorf("dynstream: remote grid pass 1: %w", err)
+	}
+	if err := g.EndPass1(); err != nil {
+		return nil, err
+	}
+	blob2, merge2, err := remoteProto(g, fresh, g.MergePass2)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.pass(ctx, dynnet.KindGrid, src.N(), blob2, src, merge2); err != nil {
+		return nil, fmt.Errorf("dynstream: remote grid pass 2: %w", err)
+	}
+	return g.Finish()
+}
+
+// noWorkerShards rejects WithWorkerShards for builds that must observe
+// the stream at the coordinator (weight-class splits, substream
+// sampling, weight scans): the coordinator cannot filter data it never
+// sees.
+func noWorkerShards(o *buildOptions, what string) error {
+	if o.workerShards {
+		return fmt.Errorf("%w: %s needs the stream at the coordinator and cannot run from worker-local shards", ErrBadConfig, what)
+	}
+	return nil
+}
+
+// --- per-target remote builds (the buildRemote half of Target) ---
+
+func (t SpannerTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*SpannerResult, error) {
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	if o.classBase != 0 {
+		if err := noWorkerShards(o, "the weight-class spanner"); err != nil {
+			return nil, err
+		}
+		return spanner.BuildTwoPassWeightedWith(src, cfg, o.classBase,
+			func(sub stream.Source, ccfg SpannerConfig) (*SpannerResult, error) {
+				return r.twoPass(ctx, sub, ccfg)
+			})
+	}
+	return r.twoPass(ctx, src, cfg)
+}
+
+func (t AdditiveTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*AdditiveResult, error) {
+	if err := noWeightClasses(o, "the additive spanner"); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	proto := spanner.NewAdditive(src.N(), cfg)
+	err := ingestRemote(ctx, r, dynnet.KindAdditive, src, proto,
+		func() *spanner.Additive { return &spanner.Additive{} }, proto.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return proto.Finish()
+}
+
+func (t SparsifierTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*SparsifierResult, error) {
+	if err := noWorkerShards(o, "the sparsifier"); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	one := func(sub stream.Source, ccfg SparsifierConfig) (*SparsifierResult, error) {
+		return sparsify.SparsifyWith(sub, ccfg,
+			func(ecfg EstimateConfig) (*sparsify.Estimator, error) { return r.grid(ctx, sub, ecfg) },
+			func(ssub stream.Source, scfg SpannerConfig) (*SpannerResult, error) {
+				return r.twoPass(ctx, ssub, scfg)
+			})
+	}
+	if o.classBase != 0 {
+		return sparsify.SparsifyWeightedWith(src, cfg, o.classBase, one)
+	}
+	return one(src, cfg)
+}
+
+func (t ForestTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*ForestSketch, error) {
+	if err := noWeightClasses(o, "the forest sketch"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	proto := agm.New(seed, src.N(), t.Config)
+	err := ingestRemote(ctx, r, dynnet.KindForest, src, proto,
+		func() *agm.Sketch { return &agm.Sketch{} }, proto.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
+
+func (t KConnectivityTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*KConnectivity, error) {
+	if err := noWeightClasses(o, "the connectivity certificate"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	proto := agm.NewKConnectivity(seed, src.N(), t.K)
+	err := ingestRemote(ctx, r, dynnet.KindKConn, src, proto,
+		func() *agm.KConnectivity { return &agm.KConnectivity{} }, proto.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
+
+func (t BipartitenessTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*Bipartiteness, error) {
+	if err := noWeightClasses(o, "the bipartiteness tester"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	proto := agm.NewBipartiteness(seed, src.N())
+	err := ingestRemote(ctx, r, dynnet.KindBip, src, proto,
+		func() *agm.Bipartiteness { return &agm.Bipartiteness{} }, proto.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
+
+func (t MSFTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*MSF, error) {
+	if err := noWeightClasses(o, "the MSF sketch (weights are native)"); err != nil {
+		return nil, err
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	wmax := t.WMax
+	if wmax <= 0 {
+		if err := noWorkerShards(o, "the MSF weight scan (set WMax explicitly)"); err != nil {
+			return nil, err
+		}
+		// Upper-bound weight scan at the coordinator (it owns the
+		// stream); the sketch pass itself then runs remotely.
+		wmax = 1.0
+		err := src.Replay(func(u Update) error {
+			if u.W > wmax {
+				wmax = u.W
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	proto := agm.NewMSF(seed, src.N(), wmax, t.Gamma)
+	err := ingestRemote(ctx, r, dynnet.KindMSF, src, proto,
+		func() *agm.MSF { return &agm.MSF{} }, proto.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
