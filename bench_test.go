@@ -16,6 +16,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"dynstream/internal/baseline"
@@ -24,6 +25,7 @@ import (
 	"dynstream/internal/hashing"
 	"dynstream/internal/linalg"
 	"dynstream/internal/lowerbound"
+	"dynstream/internal/parallel"
 	"dynstream/internal/sketch"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
@@ -273,6 +275,150 @@ func BenchmarkIngestThroughput(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(st.Len()*b.N)/b.Elapsed().Seconds(), "updates/s")
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeThroughput is the decode trajectory benchmark tracked
+// in BENCH_ingest.json: the extraction phase isolated from ingest, at
+// 1 vs NumCPU decode workers. Forest and k-connectivity run the
+// Borůvka-round decode at n ∈ {1k, 10k} (the certificate consumes its
+// sketches, so each iteration restores them from a marshaled snapshot
+// with the timer stopped); the two-pass spanner times EndPass1 cluster
+// construction plus Finish table peeling at n=1k; the sparsifier
+// oracle grid times its per-cell extraction at n=256. Output is
+// asserted identical across worker counts by the decode equivalence
+// tests — here only the wall clock varies.
+func BenchmarkDecodeThroughput(b *testing.B) {
+	multi := runtime.NumCPU()
+	if multi < 2 {
+		multi = 4 // single-core host: the point still tracks fan-out overhead
+	}
+	workerCounts := []int{1, multi}
+
+	for _, n := range []int{1000, 10000} {
+		g := graph.ConnectedGNP(n, 4.0/float64(n), benchSeed+60)
+		st := stream.WithChurn(g, 20000, benchSeed+61)
+		sk := NewForestSketch(benchSeed+62, n, ForestConfig{})
+		if err := st.Replay(func(u stream.Update) error { sk.AddUpdate(u); return nil }); err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("forest/n%d/decode%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sk.SpanningForestParallel(nil, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decodes/s")
+			})
+		}
+
+		kc := NewKConnectivity(benchSeed+63, n, 2)
+		if err := st.Replay(func(u stream.Update) error { kc.AddUpdate(u); return nil }); err != nil {
+			b.Fatal(err)
+		}
+		blob, err := kc.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("kconn/n%d/decode%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fresh := &KConnectivity{}
+					if err := fresh.UnmarshalBinary(blob); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := fresh.CertificateParallel(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decodes/s")
+			})
+		}
+	}
+
+	{
+		const n = 1000
+		g := graph.ConnectedGNP(n, 4.0/float64(n), benchSeed+64)
+		st := stream.WithChurn(g, 10000, benchSeed+65)
+		tp := spanner.NewTwoPass(n, spanner.Config{K: 2, Seed: benchSeed + 66})
+		if err := stream.ReplayBatches(st, 0, tp.Pass1AddBatch); err != nil {
+			b.Fatal(err)
+		}
+		blob, err := tp.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("spanner/n%d/decode%d", n, w), func(b *testing.B) {
+				p := parallel.Default().WithWorkers(w)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fresh := &spanner.TwoPass{}
+					if err := fresh.UnmarshalBinary(blob); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if err := fresh.EndPass1Opts(p); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if err := stream.ReplayBatches(st, 0, fresh.Pass2AddBatch); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := fresh.FinishOpts(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decodes/s")
+			})
+		}
+	}
+
+	{
+		const n = 256
+		g := graph.ConnectedGNP(n, 6.0/float64(n), benchSeed+67)
+		st := stream.WithChurn(g, 4000, benchSeed+68)
+		cfg := sparsify.EstimateConfig{K: 2, J: 3, T: 8, Delta: 0.34, Seed: benchSeed + 69}
+		g0, err := sparsify.NewGrid(n, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.ReplayBatches(st, 0, g0.Pass1AddBatch); err != nil {
+			b.Fatal(err)
+		}
+		blob, err := g0.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("sparsify/n%d/decode%d", n, w), func(b *testing.B) {
+				p := parallel.Default().WithWorkers(w)
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fresh := &sparsify.Grid{}
+					if err := fresh.UnmarshalBinary(blob); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if err := fresh.EndPass1Opts(p); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if err := stream.ReplayBatches(st, 0, fresh.Pass2AddBatch); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := fresh.FinishOpts(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decodes/s")
 			})
 		}
 	}

@@ -61,9 +61,11 @@ func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Opt
 			}
 			defer cluster.Close()
 		}
-		return target.buildRemote(ctx, src, o, &remoteRun{cluster: cluster, o: o})
+		decodeP := parallel.NewPolicy(ctx, o.resolveDecodeWorkers(src), o.batch, nil)
+		return target.buildRemote(ctx, src, o, &remoteRun{cluster: cluster, o: o, p: decodeP})
 	}
-	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress)
+	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
+		WithDecode(o.resolveDecodeWorkers(src))
 	return target.build(src, o, p)
 }
 

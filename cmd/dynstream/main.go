@@ -28,8 +28,11 @@
 // subcommand falls back to materializing, with a note on stderr.
 //
 // All subcommands accept -workers P (concurrent same-seeded sketch
-// ingest, merged by linearity — output identical to -workers 1) and
-// -batch B (ingest batch size; purely an execution knob).
+// ingest, merged by linearity — output identical to -workers 1),
+// -decodeworkers Q (concurrent extraction — Borůvka rounds, cluster
+// construction, table peeling; defaults to -workers, output identical
+// at any count) and -batch B (ingest batch size; purely an execution
+// knob).
 //
 // Multi-process builds pair one coordinator with worker processes over
 // TCP or unix sockets; the output is byte-identical to a local build:
@@ -263,6 +266,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		z       = fs.Int("z", 32, "sparsifier repetitions (>= 1)")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		workers = fs.Int("workers", 1, "concurrent ingest workers (>= 1)")
+		decodeW = fs.Int("decodeworkers", 0, "concurrent decode workers (0 = follow -workers)")
 		batch   = fs.Int("batch", 0, "ingest batch size (0 = default)")
 		wmax    = fs.Float64("wmax", 0, "msf: weight upper bound (0 = scan the stream)")
 		input   = fs.String("in", "", "input file (default stdin)")
@@ -281,6 +285,15 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		return fmt.Errorf("-z must be >= 1, got %d: %w", *z, dynstream.ErrBadConfig)
 	case *wmax < 0:
 		return fmt.Errorf("-wmax must be >= 0, got %v: %w", *wmax, dynstream.ErrBadConfig)
+	case *decodeW < 0:
+		return fmt.Errorf("-decodeworkers must be >= 0, got %d: %w", *decodeW, dynstream.ErrBadConfig)
+	}
+	// Sketch-target subcommands decode after Build returns; they run
+	// their extraction at the decode worker count (same output at any
+	// count, by the decode engine's determinism).
+	dw := *decodeW
+	if dw == 0 {
+		dw = *workers
 	}
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments after flags: %v", extra)
@@ -311,6 +324,9 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		dynstream.WithWorkers(*workers),
 		dynstream.WithBatchSize(*batch),
 	}, extraOpts...)
+	if *decodeW > 0 {
+		opts = append(opts, dynstream.WithDecodeWorkers(*decodeW))
+	}
 
 	switch cmd {
 	case "spanner":
@@ -356,7 +372,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		forest, err := sk.SpanningForest(nil)
+		forest, err := sk.SpanningForestParallel(nil, dw)
 		if err != nil {
 			return err
 		}
@@ -374,7 +390,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		cert, err := kc.CertificateGraph()
+		cert, err := kc.CertificateGraphParallel(dw)
 		if err != nil {
 			return err
 		}
@@ -392,7 +408,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		forest, err := m.Forest()
+		forest, err := m.ForestParallel(dw)
 		if err != nil {
 			return err
 		}
@@ -411,7 +427,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		bip, err := b.IsBipartite()
+		bip, err := b.IsBipartiteParallel(dw)
 		if err != nil {
 			return err
 		}

@@ -42,6 +42,42 @@ func Example_build() {
 	// spanner connected: true
 }
 
+// ExampleWithDecodeWorkers separates the two worker knobs: WithWorkers
+// governs ingest (and, by default, decode), while WithDecodeWorkers
+// overrides the extraction phase — Borůvka rounds, cluster
+// construction, table peeling — on its own. Decode parallelism never
+// changes the output: results are placed by index and applied in the
+// serial order, so the spanner below is bit-identical at any worker
+// combination.
+func ExampleWithDecodeWorkers() {
+	g := dynstream.NewGraph(64)
+	for i := 0; i < 64; i++ {
+		g.AddUnitEdge(i, (i+1)%64)
+		g.AddUnitEdge(i, (i+9)%64)
+	}
+	st := dynstream.StreamFromGraph(g, 3)
+
+	serial, err := dynstream.Build(context.Background(), st,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 7}},
+		dynstream.WithWorkers(1))
+	if err != nil {
+		panic(err)
+	}
+	parallel, err := dynstream.Build(context.Background(), st,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 7}},
+		dynstream.WithWorkers(2),       // sharded ingest
+		dynstream.WithDecodeWorkers(4), // concurrent extraction
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same spanner:", parallel.Spanner.M() == serial.Spanner.M())
+	fmt.Println("connected:", parallel.Spanner.Connected())
+	// Output:
+	// same spanner: true
+	// connected: true
+}
+
 // ExampleBuildSpanner builds a 4-spanner of a small graph delivered as
 // a dynamic stream with a deletion.
 func ExampleBuildSpanner() {

@@ -20,6 +20,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
 	"dynstream/internal/sketch"
 	"dynstream/internal/stream"
 )
@@ -132,6 +133,26 @@ func (s *Sketch) SubtractEdges(edges []graph.Edge) {
 // whose endpoints lie in different (super)components, forming a forest
 // over the contraction.
 func (s *Sketch) SpanningForest(groups [][]int) ([]graph.Edge, error) {
+	return s.SpanningForestOpts(groups, parallel.Default())
+}
+
+// SpanningForestParallel is SpanningForest with each Borůvka round's
+// per-component sampler merges and L0 decodes fanned across `workers`
+// goroutines. The extracted forest is bit-identical to SpanningForest:
+// component results are placed by sorted root index and the unions are
+// applied serially in that order, exactly the serial schedule.
+func (s *Sketch) SpanningForestParallel(groups [][]int, workers int) ([]graph.Edge, error) {
+	return s.SpanningForestOpts(groups, parallel.Default().WithWorkers(workers))
+}
+
+// SpanningForestOpts is the policy-driven forest extraction behind
+// SpanningForest / SpanningForestParallel. Within each round the
+// per-component work (merge the component's samplers, draw one
+// boundary edge) touches disjoint state, so it fans across the
+// policy's workers with one reusable scratch sampler per worker;
+// everything order-sensitive — the round barrier, the union
+// application, membership maintenance — stays serial.
+func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph.Edge, error) {
 	uf := graph.NewUnionFind(s.n)
 	for gi, grp := range groups {
 		if len(grp) == 0 {
@@ -145,54 +166,112 @@ func (s *Sketch) SpanningForest(groups [][]int) ([]graph.Edge, error) {
 		}
 	}
 
+	p = p.DecodePolicy()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("agm: %w", err)
+	}
+
+	// Component membership, maintained incrementally: built once from
+	// the union-find (each component's members ascending), then merged
+	// pairwise as unions happen — instead of a fresh O(n) map rebuild
+	// per round. Sorted-merge keeps every list ascending, matching the
+	// 0..n-1 scan the per-round rebuild used to produce.
+	members := map[int][]int{}
+	for v := 0; v < s.n; v++ {
+		root := uf.Find(v)
+		members[root] = append(members[root], v)
+	}
+
+	scratch := make([]*sketch.L0Sampler, p.Workers())
 	var forest []graph.Edge
 	for r := 0; r < s.rounds; r++ {
 		if uf.Sets() == 1 {
 			break
 		}
-		// Gather members per current component, visited in sorted root
-		// order: map iteration order would otherwise make the union
-		// order — and therefore the extracted forest — nondeterministic
-		// across runs on identical sketch states.
-		members := map[int][]int{}
-		for v := 0; v < s.n; v++ {
-			root := uf.Find(v)
-			members[root] = append(members[root], v)
-		}
+		// Visit components in sorted root order: map iteration order
+		// would otherwise make the union order — and therefore the
+		// extracted forest — nondeterministic across runs on identical
+		// sketch states.
 		roots := make([]int, 0, len(members))
 		for root := range members {
 			roots = append(roots, root)
 		}
 		sort.Ints(roots)
-		type found struct{ a, b int }
-		var picks []found
-		for _, root := range roots {
-			m := members[root]
-			merged := s.samp[r][m[0]].Clone()
+		// Per-component picks, indexed by sorted-root position so the
+		// serial union order below is independent of scheduling. The
+		// workers only read samplers and the frozen membership lists;
+		// lazy power tables are materialized up front (Warm) because
+		// decoding shares them across the whole round.
+		s.fam[r].Warm()
+		type found struct {
+			a, b int
+			ok   bool
+		}
+		picks := make([]found, len(roots))
+		err := parallel.ForEachWorkerOpts(p, len(roots), func(w, i int) error {
+			m := members[roots[i]]
+			sc := scratch[w]
+			if sc == nil {
+				sc = &sketch.L0Sampler{}
+				scratch[w] = sc
+			}
+			sc.SetTo(s.samp[r][m[0]])
 			for _, v := range m[1:] {
-				if err := merged.Merge(s.samp[r][v]); err != nil {
-					return nil, fmt.Errorf("agm: merge: %w", err)
+				if err := sc.Merge(s.samp[r][v]); err != nil {
+					return fmt.Errorf("agm: merge: %w", err)
 				}
 			}
-			key, _, ok := merged.Sample()
+			key, _, ok := sc.Sample()
 			if !ok {
-				continue // isolated component (or decode failure)
+				return nil // isolated component (or decode failure)
 			}
 			a, b := stream.DecodePairKey(key, s.n)
-			picks = append(picks, found{a, b})
+			picks[i] = found{a: a, b: b, ok: true}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		progress := false
-		for _, p := range picks {
-			if uf.Union(p.a, p.b) {
-				forest = append(forest, graph.Edge{U: p.a, V: p.b, W: 1}.Canon())
-				progress = true
+		for _, pk := range picks {
+			if !pk.ok {
+				continue
 			}
+			ra, rb := uf.Find(pk.a), uf.Find(pk.b)
+			if ra == rb {
+				continue
+			}
+			uf.Union(pk.a, pk.b)
+			root := uf.Find(pk.a)
+			merged := mergeSortedInts(members[ra], members[rb])
+			delete(members, ra)
+			delete(members, rb)
+			members[root] = merged
+			forest = append(forest, graph.Edge{U: pk.a, V: pk.b, W: 1}.Canon())
+			progress = true
 		}
 		if !progress {
 			break
 		}
 	}
 	return forest, nil
+}
+
+// mergeSortedInts merges two ascending duplicate-free lists into one.
+func mergeSortedInts(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // SpaceWords returns the memory footprint in 64-bit words.

@@ -5,6 +5,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
 	"dynstream/internal/stream"
 )
 
@@ -89,11 +90,26 @@ func (kc *KConnectivity) Merge(o *KConnectivity) error {
 // randomness is consumed exactly once, so the whp guarantee of
 // Theorem 10 applies per forest.
 func (kc *KConnectivity) Certificate() ([][]graph.Edge, error) {
+	return kc.CertificateOpts(parallel.Default())
+}
+
+// CertificateParallel is Certificate with each forest's Borůvka rounds
+// decoded by `workers` goroutines (see Sketch.SpanningForestParallel).
+// The k forests themselves stay sequential — forest i is defined over
+// the sketch minus forests 1..i-1 — and the output is bit-identical to
+// Certificate.
+func (kc *KConnectivity) CertificateParallel(workers int) ([][]graph.Edge, error) {
+	return kc.CertificateOpts(parallel.Default().WithWorkers(workers))
+}
+
+// CertificateOpts is the policy-driven certificate extraction behind
+// Certificate / CertificateParallel.
+func (kc *KConnectivity) CertificateOpts(p *parallel.Policy) ([][]graph.Edge, error) {
 	var prior []graph.Edge
 	out := make([][]graph.Edge, 0, kc.k)
 	for i, s := range kc.sketches {
 		s.SubtractEdges(prior)
-		f, err := s.SpanningForest(nil)
+		f, err := s.SpanningForestOpts(nil, p)
 		if err != nil {
 			return nil, fmt.Errorf("agm: certificate forest %d: %w", i, err)
 		}
@@ -106,7 +122,19 @@ func (kc *KConnectivity) Certificate() ([][]graph.Edge, error) {
 // CertificateGraph returns the union of the certificate forests as a
 // graph — the sparse subgraph preserving all cuts up to value k.
 func (kc *KConnectivity) CertificateGraph() (*graph.Graph, error) {
-	forests, err := kc.Certificate()
+	return kc.CertificateGraphOpts(parallel.Default())
+}
+
+// CertificateGraphParallel is CertificateGraph with the per-forest
+// decode fanned across `workers` goroutines; output identical to
+// CertificateGraph.
+func (kc *KConnectivity) CertificateGraphParallel(workers int) (*graph.Graph, error) {
+	return kc.CertificateGraphOpts(parallel.Default().WithWorkers(workers))
+}
+
+// CertificateGraphOpts is the policy-driven form of CertificateGraph.
+func (kc *KConnectivity) CertificateGraphOpts(p *parallel.Policy) (*graph.Graph, error) {
+	forests, err := kc.CertificateOpts(p)
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +214,23 @@ func (b *Bipartiteness) Merge(o *Bipartiteness) error {
 
 // IsBipartite decides bipartiteness whp from the sketches alone.
 func (b *Bipartiteness) IsBipartite() (bool, error) {
-	fBase, err := b.base.SpanningForest(nil)
+	return b.IsBipartiteOpts(parallel.Default())
+}
+
+// IsBipartiteParallel is IsBipartite with the two forest extractions
+// (G and its double cover) each decoded by `workers` goroutines;
+// verdict identical to IsBipartite.
+func (b *Bipartiteness) IsBipartiteParallel(workers int) (bool, error) {
+	return b.IsBipartiteOpts(parallel.Default().WithWorkers(workers))
+}
+
+// IsBipartiteOpts is the policy-driven form of IsBipartite.
+func (b *Bipartiteness) IsBipartiteOpts(p *parallel.Policy) (bool, error) {
+	fBase, err := b.base.SpanningForestOpts(nil, p)
 	if err != nil {
 		return false, err
 	}
-	fCover, err := b.cover.SpanningForest(nil)
+	fCover, err := b.cover.SpanningForestOpts(nil, p)
 	if err != nil {
 		return false, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
 	"dynstream/internal/stream"
 )
 
@@ -89,6 +90,19 @@ func (m *MSF) Merge(o *MSF) error {
 // bound of their weight class (so the returned total weight is within
 // (1+gamma) of exact, assuming the per-class forests succeed whp).
 func (m *MSF) Forest() ([]graph.Edge, error) {
+	return m.ForestOpts(parallel.Default())
+}
+
+// ForestParallel is Forest with each class prefix's Borůvka rounds
+// decoded by `workers` goroutines (see Sketch.SpanningForestParallel);
+// the classes themselves stay sequential (each contracts the previous)
+// and the forest is bit-identical to Forest.
+func (m *MSF) ForestParallel(workers int) ([]graph.Edge, error) {
+	return m.ForestOpts(parallel.Default().WithWorkers(workers))
+}
+
+// ForestOpts is the policy-driven form of Forest.
+func (m *MSF) ForestOpts(p *parallel.Policy) ([]graph.Edge, error) {
 	uf := graph.NewUnionFind(m.n)
 	var out []graph.Edge
 	base := 1 + m.gamma
@@ -112,7 +126,7 @@ func (m *MSF) Forest() ([]graph.Edge, error) {
 		for _, r := range roots {
 			groupList = append(groupList, groups[r])
 		}
-		f, err := m.prefixes[c].SpanningForest(groupList)
+		f, err := m.prefixes[c].SpanningForestOpts(groupList, p)
 		if err != nil {
 			return nil, fmt.Errorf("agm: msf class %d: %w", c, err)
 		}

@@ -252,6 +252,13 @@ type Pass struct {
 	// Merge folds one worker's returned state blob into the
 	// coordinator's state; called once per shard, in shard order.
 	Merge func(shard int, blob []byte) error
+	// Collect, when non-nil, replaces Merge: once every shard's SKETCH
+	// blob has been collected it is called exactly once with the blobs
+	// in shard order, letting the caller decode and fold them with a
+	// parallel tree merge instead of the linear per-shard fold. Because
+	// every state merge is an exact commutative group operation, any
+	// fold shape produces the same state bit for bit.
+	Collect func(blobs [][]byte) error
 }
 
 // RunPass executes one pass: ASSIGN the prototype to every live
@@ -401,6 +408,14 @@ func (c *Coordinator) RunPass(ctx context.Context, p Pass) error {
 		if blob == nil {
 			return fmt.Errorf("dynnet: shard %d/%d produced no state", s, W)
 		}
+	}
+	if p.Collect != nil {
+		if err := p.Collect(blobs); err != nil {
+			return wrapCtx(fmt.Errorf("dynnet: merge %d shards: %w", W, err))
+		}
+		return wrapCtx(ctx.Err())
+	}
+	for s, blob := range blobs {
 		if err := p.Merge(s, blob); err != nil {
 			return fmt.Errorf("dynnet: merge shard %d/%d: %w", s, W, err)
 		}

@@ -33,6 +33,7 @@ type Policy struct {
 	ctx      context.Context
 	workers  int
 	batch    int
+	decode   int // decode-phase worker count; 0 follows workers
 	progress func(int64)
 	done     *int64 // cumulative updates processed, shared across passes
 }
@@ -61,11 +62,40 @@ func (p *Policy) WithWorkers(workers int) *Policy {
 	return &cp
 }
 
+// WithDecode returns a policy like p but with the given decode-phase
+// worker count (0 makes decode follow the ingest worker count).
+func (p *Policy) WithDecode(workers int) *Policy {
+	cp := *p
+	cp.decode = workers
+	return &cp
+}
+
 // Context returns the policy's context (never nil).
 func (p *Policy) Context() context.Context { return p.ctx }
 
 // Workers returns the policy's worker count.
 func (p *Policy) Workers() int { return p.workers }
+
+// DecodeWorkers returns the worker count decode stages run at: the
+// explicit WithDecode override when set, otherwise the ingest worker
+// count.
+func (p *Policy) DecodeWorkers() int {
+	if p.decode > 0 {
+		return p.decode
+	}
+	return p.workers
+}
+
+// DecodePolicy returns the policy decode stages run under: same
+// context, batch size, and progress sink, with Workers() set to
+// DecodeWorkers(). Extraction code takes a plain Policy, so ingest
+// drivers call this once at the ingest/decode boundary.
+func (p *Policy) DecodePolicy() *Policy {
+	cp := *p
+	cp.workers = p.DecodeWorkers()
+	cp.decode = 0
+	return &cp
+}
 
 // tick is the per-batch bookkeeping hook: it observes cancellation and
 // publishes progress. n is the number of updates in the batch.
@@ -86,6 +116,10 @@ func (p *Policy) validate() error {
 	}
 	return nil
 }
+
+// Validate reports whether the policy is executable (workers >= 1).
+// Decode entry points call it before sizing per-worker scratch state.
+func (p *Policy) Validate() error { return p.validate() }
 
 // Replay drives one serial batched pass over src under the policy:
 // updates are delivered to fn in slices of at most the policy's batch
@@ -310,43 +344,7 @@ func IngestBatchedOpts[S BatchState[S]](p *Policy, st stream.Source, newState fu
 // dispatched tasks run to completion. The first error (by index) is
 // returned, which keeps the failure deterministic.
 func ForEachOpts(p *Policy, n int, fn func(i int) error) error {
-	if err := p.validate(); err != nil {
-		return err
-	}
-	if n <= 0 {
-		return nil
-	}
-	workers := p.workers
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := p.ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
+	return ForEachWorkerOpts(p, n, func(_, i int) error { return fn(i) })
 }
 
 // ForEach runs fn(0..n-1) on up to `workers` goroutines and waits for

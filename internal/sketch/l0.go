@@ -76,6 +76,17 @@ func (f *L0Family) NewSamplers(n int) []*L0Sampler {
 	return out
 }
 
+// Warm materializes every level shape's lazy fingerprint power table.
+// Parallel decode calls it once per round before fanning component
+// merges and Sample decodes across workers: materialization is
+// confined to one goroutine, so concurrent decoders must find the
+// tables already built.
+func (f *L0Family) Warm() {
+	for _, sh := range f.levels {
+		sh.tab()
+	}
+}
+
 // L0Hint is the key-dependent routing of one update, valid for every
 // sampler of the family that produced it: the geometric level, and per
 // surviving level the fingerprint power and the target cell index per
@@ -214,6 +225,28 @@ func (s *L0Sampler) Sub(o *L0Sampler) error {
 		}
 	}
 	return nil
+}
+
+// SetTo makes s a copy of o, adopting o's family and reusing s's
+// materialized level storage where the geometry matches — the
+// scratch-reuse path of the parallel Borůvka decode, which would
+// otherwise Clone a sampler per component per round. Levels that are
+// zero (nil) in o become nil in s, so the copy decodes exactly like o.
+func (s *L0Sampler) SetTo(o *L0Sampler) {
+	s.fam = o.fam
+	if len(s.levels) != len(o.levels) {
+		s.levels = make([]*SketchB, len(o.levels))
+	}
+	for j := range o.levels {
+		switch {
+		case o.levels[j] == nil:
+			s.levels[j] = nil
+		case s.levels[j] == nil:
+			s.levels[j] = o.levels[j].Clone()
+		default:
+			s.levels[j].SetTo(o.levels[j])
+		}
+	}
 }
 
 // Clone returns a deep copy (the immutable family is shared; zero

@@ -261,6 +261,30 @@ func (s *SketchB) Clone() *SketchB {
 	return c
 }
 
+// SetTo makes s an exact copy of o — o's shape, o's cell state —
+// reusing s's cell slices when the geometry matches. It is the
+// scratch-reuse primitive of the parallel decode engine: a per-worker
+// scratch sketch is SetTo a component's base sketch, merged, and
+// decoded, round after round, without allocating a fresh Clone each
+// time.
+func (s *SketchB) SetTo(o *SketchB) {
+	s.shape = o.shape
+	if len(s.counts) != len(o.counts) {
+		s.counts = make([]int64, len(o.counts))
+		s.keySums = make([]uint64, len(o.keySums))
+		s.fings = make([]uint64, len(o.fings))
+	}
+	copy(s.counts, o.counts)
+	copy(s.keySums, o.keySums)
+	copy(s.fings, o.fings)
+}
+
+// Warm materializes the shape's lazy fingerprint power table. Table
+// materialization follows the same one-goroutine confinement rule as
+// cell mutation, so parallel decoders over sketches sharing a shape
+// call Warm once before fanning out.
+func (s *SketchB) Warm() { s.shape.tab() }
+
 // IsZero reports whether the sketch is (whp) of the zero vector.
 func (s *SketchB) IsZero() bool {
 	for i := range s.counts {

@@ -7,6 +7,7 @@ import (
 	"dynstream/internal/agm"
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/parallel"
 	"dynstream/internal/sketch"
 	"dynstream/internal/stream"
 )
@@ -172,8 +173,19 @@ func (a *Additive) isLowDegree(u int) bool {
 // the star forest F around centers, subtract E_low from the AGM
 // sketches, contract clusters, and extract the spanning forest F'.
 func (a *Additive) Finish() (*AdditiveResult, error) {
+	return a.FinishOpts(parallel.Default())
+}
+
+// FinishOpts is the policy-driven decode: the closing spanning-forest
+// extraction over G' = G − E_low runs its Borůvka rounds on the
+// policy's decode workers (see agm.SpanningForestOpts); the per-vertex
+// neighborhood peels stay serial. Output identical to Finish.
+func (a *Additive) FinishOpts(p *parallel.Policy) (*AdditiveResult, error) {
 	if a.done {
 		return nil, fmt.Errorf("spanner: additive Finish called twice")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("spanner: %w", err)
 	}
 	a.done = true
 	n := a.n
@@ -265,7 +277,7 @@ func (a *Additive) Finish() (*AdditiveResult, error) {
 	for _, g := range groups {
 		groupList = append(groupList, g)
 	}
-	fprime, err := a.forest.SpanningForest(groupList)
+	fprime, err := a.forest.SpanningForestOpts(groupList, p)
 	if err != nil {
 		return nil, fmt.Errorf("spanner: additive forest: %w", err)
 	}

@@ -117,13 +117,13 @@ func BuildTwoPassOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Resul
 		if err := p.Replay(src, tp.Pass1AddBatch); err != nil {
 			return nil, fmt.Errorf("spanner: pass 1: %w", err)
 		}
-		if err := tp.EndPass1(); err != nil {
+		if err := tp.EndPass1Opts(p); err != nil {
 			return nil, err
 		}
 		if err := p.Replay(src, tp.Pass2AddBatch); err != nil {
 			return nil, fmt.Errorf("spanner: pass 2: %w", err)
 		}
-		return tp.Finish()
+		return tp.FinishOpts(p)
 	}
 	// Pass 1: independent states, one per shard, batched ingest.
 	main, err := parallel.IngestOpts(p, src,
@@ -132,7 +132,7 @@ func BuildTwoPassOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Resul
 	if err != nil {
 		return nil, fmt.Errorf("spanner: parallel pass 1: %w", err)
 	}
-	if err := main.EndPass1(); err != nil {
+	if err := main.EndPass1Opts(p); err != nil {
 		return nil, err
 	}
 	// Pass 2: fork table-only workers over the shared cluster structure.
@@ -144,7 +144,7 @@ func BuildTwoPassOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Resul
 	if err := main.MergePass2(tables); err != nil {
 		return nil, err
 	}
-	return main.Finish()
+	return main.FinishOpts(p)
 }
 
 // BuildTwoPassWeightedOpts is the policy-driven weight-class build of
@@ -245,7 +245,7 @@ func BuildAdditiveOpts(src stream.Source, cfg AdditiveConfig, p *parallel.Policy
 	if err != nil {
 		return nil, fmt.Errorf("spanner: additive pass: %w", err)
 	}
-	return main.Finish()
+	return main.FinishOpts(p)
 }
 
 // BuildAdditiveParallel is BuildAdditive with the single pass ingested

@@ -268,8 +268,24 @@ func (tp *TwoPass) Pass1AddBatch(batch []stream.Update) error {
 // current cluster is decoded from the sparsest subsampling level down,
 // yielding a parent in C_{i+1} and a witness edge, or terminal status.
 func (tp *TwoPass) EndPass1() error {
+	return tp.EndPass1Opts(parallel.Default())
+}
+
+// EndPass1Opts is the policy-driven cluster construction: within each
+// level the per-center work — summing the cluster's sketches, decoding
+// from the sparsest subsampling level down, choosing the parent — is
+// independent, so it fans across the policy's decode workers with one
+// reusable scratch sketch per worker. Everything a later center could
+// observe (parent membership folds, the augmented edge set, terminal
+// marks) is applied serially in ascending center order afterwards, so
+// the cluster structure is bit-identical to the serial construction.
+func (tp *TwoPass) EndPass1Opts(p *parallel.Policy) error {
 	if tp.phase != 0 {
 		return fmt.Errorf("spanner: EndPass1 called in phase %d", tp.phase)
+	}
+	p = p.DecodePolicy()
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("spanner: %w", err)
 	}
 	n, k := tp.n, tp.k
 
@@ -287,18 +303,52 @@ func (tp *TwoPass) EndPass1() error {
 		}
 	}
 
-	for i := 0; i < k-1; i++ {
-		for u := 0; u < n; u++ {
-			ci, ok := copyIdx[i][u]
-			if !ok {
-				continue
+	// Materialize the lazy fingerprint tables of the shared per-(r, j)
+	// sketch shapes before fanning out: every decode of a level touches
+	// them, and materialization is confined to one goroutine.
+	if k > 1 && n > 0 {
+		for r := 1; r < k; r++ {
+			for j := 0; j <= tp.jMax; j++ {
+				tp.vertexSk[0][r-1][j].Warm()
 			}
-			c := &tp.copies[ci]
-			// Q^{i+1}_j(u) = Σ_{v ∈ T_u} S^{i+1}_j(v).
+		}
+	}
+
+	// attachment is one center's decode outcome, applied serially.
+	type attachment struct {
+		attached  bool
+		parent    int    // copy index in level i+1
+		witness   [2]int // σ(edge to parent)
+		augmented [][2]int
+	}
+	scratch := make([]*sketch.SketchB, p.Workers())
+
+	for i := 0; i < k-1; i++ {
+		// Centers of level i in ascending vertex order — the serial
+		// iteration order the result application below replays.
+		centers := make([]int, 0, len(copyIdx[i]))
+		for u := 0; u < n; u++ {
+			if _, ok := copyIdx[i][u]; ok {
+				centers = append(centers, u)
+			}
+		}
+		results := make([]attachment, len(centers))
+		err := parallel.ForEachWorkerOpts(p, len(centers), func(w, idx int) error {
+			u := centers[idx]
+			c := &tp.copies[copyIdx[i][u]]
+			res := &results[idx]
+			// Q^{i+1}_j(u) = Σ_{v ∈ T_u} S^{i+1}_j(v). Cluster members
+			// of level i were frozen when level i-1 was applied, so the
+			// reads here are race-free.
 			r := i + 1
-			attached := false
-			for j := tp.jMax; j >= 0 && !attached; j-- {
-				q := tp.vertexSk[c.members[0]][r-1][j].Clone()
+			for j := tp.jMax; j >= 0 && !res.attached; j-- {
+				q := scratch[w]
+				if q == nil {
+					q = tp.vertexSk[c.members[0]][r-1][j].Clone()
+					scratch[w] = q
+				} else {
+					q.SetTo(tp.vertexSk[c.members[0]][r-1][j])
+				}
 				for _, v := range c.members[1:] {
 					if err := q.Merge(tp.vertexSk[v][r-1][j]); err != nil {
 						return fmt.Errorf("spanner: pass1 merge: %w", err)
@@ -324,22 +374,36 @@ func (tp *TwoPass) EndPass1() error {
 						continue
 					}
 					if tp.cfg.CollectAugmented {
-						tp.recordAugmented(a, b)
+						res.augmented = append(res.augmented, canonPair(a, b))
 					}
-					if !attached {
-						pi := copyIdx[r][b]
-						c.parent = pi
-						c.witness = [2]int{a, b}
-						attached = true
-						// Fold members into the parent cluster.
-						p := &tp.copies[pi]
-						p.members = dedupeAppend(p.members, c.members)
+					if !res.attached {
+						res.parent = copyIdx[r][b]
+						res.witness = [2]int{a, b}
+						res.attached = true
 					}
 				}
 			}
-			if !attached {
-				c.terminal = true
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Apply in center order: parent assignment, member folds into
+		// the next level's clusters, augmented recording.
+		for idx, u := range centers {
+			c := &tp.copies[copyIdx[i][u]]
+			res := &results[idx]
+			for _, e := range res.augmented {
+				tp.augmented[e] = true
 			}
+			if !res.attached {
+				c.terminal = true
+				continue
+			}
+			c.parent = res.parent
+			c.witness = res.witness
+			par := &tp.copies[res.parent]
+			par.members = mergeSortedUnique(par.members, c.members)
 		}
 	}
 	// Level k-1 copies are always terminal.
@@ -359,16 +423,28 @@ func (tp *TwoPass) EndPass1() error {
 			if !tp.copies[root].terminal {
 				return fmt.Errorf("spanner: internal: non-terminal root copy %d", root)
 			}
-			tp.terminalsOf[u] = appendUnique(tp.terminalsOf[u], root)
+			tp.terminalsOf[u] = append(tp.terminalsOf[u], root)
 		}
 	}
 	for u := range tp.terminalsOf {
 		sort.Ints(tp.terminalsOf[u])
+		tp.terminalsOf[u] = compactInts(tp.terminalsOf[u])
 	}
 
-	tp.tables = tp.allocTables()
+	tables, err := tp.allocTablesOpts(p)
+	if err != nil {
+		return err
+	}
+	tp.tables = tables
 	tp.phase = 1
 	return nil
+}
+
+func canonPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
 }
 
 // allocTables builds the second-pass hash tables for terminal copies,
@@ -377,13 +453,25 @@ func (tp *TwoPass) EndPass1() error {
 // configuration and the copy index, so tables allocated by different
 // pass-2 workers over the same cluster structure are mergeable.
 func (tp *TwoPass) allocTables() map[int][]*sketch.KeyedEdgeSketch {
+	tables, _ := tp.allocTablesOpts(parallel.Default()) // serial: cannot fail
+	return tables
+}
+
+// allocTablesOpts is allocTables with the per-terminal row
+// construction (yMax+1 keyed tables each, power tables included)
+// fanned across the policy's workers; rows land indexed by terminal,
+// so the result is identical to the serial construction.
+func (tp *TwoPass) allocTablesOpts(p *parallel.Policy) (map[int][]*sketch.KeyedEdgeSketch, error) {
 	n, k := tp.n, tp.k
-	tables := map[int][]*sketch.KeyedEdgeSketch{}
+	terms := make([]int, 0, len(tp.copies))
 	for ci := range tp.copies {
-		c := &tp.copies[ci]
-		if !c.terminal {
-			continue
+		if tp.copies[ci].terminal {
+			terms = append(terms, ci)
 		}
+	}
+	rows, err := parallel.MapOpts(p, len(terms), func(i int) ([]*sketch.KeyedEdgeSketch, error) {
+		ci := terms[i]
+		c := &tp.copies[ci]
 		capf := tp.cfg.TableFactor * float64(tp.log2n) *
 			math.Pow(float64(n), float64(c.level+1)/float64(k))
 		capacity := int(capf)
@@ -398,32 +486,53 @@ func (tp *TwoPass) allocTables() map[int][]*sketch.KeyedEdgeSketch {
 			row[j] = sketch.NewKeyedEdgeSketch(
 				hashing.Mix(tp.cfg.Seed, 0x7a, uint64(ci), uint64(j)), n, capacity)
 		}
-		tables[ci] = row
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return tables
+	tables := make(map[int][]*sketch.KeyedEdgeSketch, len(terms))
+	for i, ci := range terms {
+		tables[ci] = rows[i]
+	}
+	return tables, nil
 }
 
-func dedupeAppend(dst []int, src []int) []int {
-	seen := map[int]bool{}
-	for _, v := range dst {
-		seen[v] = true
-	}
-	for _, v := range src {
-		if !seen[v] {
-			seen[v] = true
-			dst = append(dst, v)
+// mergeSortedUnique merges two ascending duplicate-free lists into one
+// ascending duplicate-free list — the member-fold primitive of the
+// cluster construction (lists may overlap when clusters share
+// vertices).
+func mergeSortedUnique(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
 	}
-	return dst
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
-func appendUnique(s []int, v int) []int {
-	for _, x := range s {
-		if x == v {
-			return s
+// compactInts removes adjacent duplicates from a sorted slice, in
+// place.
+func compactInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
 		}
 	}
-	return append(s, v)
+	return out
 }
 
 func containsInt(sorted []int, v int) bool {
@@ -483,8 +592,22 @@ func (tp *TwoPass) recordAugmented(a, b int) {
 // non-terminal copies, plus one recovered edge from every outside
 // neighbor v into each terminal cluster.
 func (tp *TwoPass) Finish() (*Result, error) {
+	return tp.FinishOpts(parallel.Default())
+}
+
+// FinishOpts is the policy-driven decode half of Algorithm 2: each
+// terminal copy's hash-table peeling and neighborhood recovery touches
+// only that copy's tables, so the per-terminal recoveries fan across
+// the policy's decode workers; recovered edges land indexed by
+// terminal and are applied in the serial order, so the spanner is
+// bit-identical to Finish's.
+func (tp *TwoPass) FinishOpts(p *parallel.Policy) (*Result, error) {
 	if tp.phase != 1 {
 		return nil, fmt.Errorf("spanner: Finish called in phase %d", tp.phase)
+	}
+	p = p.DecodePolicy()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("spanner: %w", err)
 	}
 	tp.phase = 2
 	h := graph.New(tp.n)
@@ -498,12 +621,17 @@ func (tp *TwoPass) Finish() (*Result, error) {
 		h.AddUnitEdge(c.witness[0], c.witness[1])
 	}
 
+	terms := make([]int, 0, len(tp.copies))
 	for ci := range tp.copies {
-		c := &tp.copies[ci]
-		if !c.terminal {
-			continue
+		if tp.copies[ci].terminal {
+			terms = append(terms, ci)
 		}
+	}
+	type recovery struct{ edges [][2]int }
+	recs, err := parallel.MapOpts(p, len(terms), func(i int) (recovery, error) {
+		ci := terms[i]
 		row := tp.tables[ci]
+		var rec recovery
 		for v := 0; v < tp.n; v++ {
 			if containsInt(tp.terminalsOf[v], ci) {
 				continue // v inside the cluster
@@ -518,12 +646,21 @@ func (tp *TwoPass) Finish() (*Result, error) {
 				if !containsInt(tp.terminalsOf[w], ci) {
 					continue
 				}
-				h.AddUnitEdge(w, v)
-				recovered++
-				if tp.cfg.CollectAugmented {
-					tp.recordAugmented(w, v)
-				}
+				rec.edges = append(rec.edges, [2]int{w, v})
 				break
+			}
+		}
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		for _, e := range rec.edges {
+			h.AddUnitEdge(e[0], e[1])
+			recovered++
+			if tp.cfg.CollectAugmented {
+				tp.recordAugmented(e[0], e[1])
 			}
 		}
 	}

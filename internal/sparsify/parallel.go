@@ -130,15 +130,29 @@ func (g *Grid) MergePass1(o *Grid) error {
 
 // EndPass1 runs the offline cluster construction in every cell.
 func (g *Grid) EndPass1() error {
+	return g.EndPass1Opts(parallel.Default())
+}
+
+// EndPass1Opts fans the per-cell cluster constructions — each cell is
+// an independent two-pass spanner state — across the policy's decode
+// workers. Cells are addressed by (t, j) index, so the grid that
+// emerges is identical to the serial cell-by-cell construction; each
+// cell's own construction runs serially (the cell fan-out already
+// saturates the pool).
+func (g *Grid) EndPass1Opts(p *parallel.Policy) error {
 	if g.phase != 0 {
 		return fmt.Errorf("sparsify: grid EndPass1 in phase %d", g.phase)
 	}
-	for t := range g.cells {
-		for j := range g.cells[t] {
-			if err := g.cells[t][j].EndPass1(); err != nil {
-				return fmt.Errorf("sparsify: grid cell (t=%d, j=%d): %w", t+1, j, err)
-			}
+	J := g.cfg.J
+	err := parallel.ForEachOpts(p.DecodePolicy(), len(g.cells)*J, func(i int) error {
+		t, j := i/J, i%J
+		if err := g.cells[t][j].EndPass1(); err != nil {
+			return fmt.Errorf("sparsify: grid cell (t=%d, j=%d): %w", t+1, j, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	g.phase = 1
 	return nil
@@ -211,8 +225,20 @@ func (g *Grid) compatible(o *Grid) error {
 // Finish decodes every cell into its distance oracle and assembles the
 // Estimator — identical to NewEstimator over the same whole stream.
 func (g *Grid) Finish() (*Estimator, error) {
+	return g.FinishOpts(parallel.Default())
+}
+
+// FinishOpts fans the per-cell spanner extraction (table peeling and
+// neighborhood recovery of every cell's Finish) across the policy's
+// decode workers, assembling the oracle grid by (t, j) index — the
+// Estimator is identical to Finish's.
+func (g *Grid) FinishOpts(p *parallel.Policy) (*Estimator, error) {
 	if g.phase != 1 {
 		return nil, fmt.Errorf("sparsify: grid Finish in phase %d", g.phase)
+	}
+	p = p.DecodePolicy()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sparsify: %w", err)
 	}
 	g.phase = 2
 	e := &Estimator{cfg: g.cfg}
@@ -221,20 +247,26 @@ func (g *Grid) Finish() (*Estimator, error) {
 		e.threshold = math.Pow(2, float64(g.cfg.K))
 	}
 	alpha := math.Pow(2, float64(g.cfg.K))
+	J := g.cfg.J
+	oracles, err := parallel.MapOpts(p, len(g.cells)*J, func(i int) (Oracle, error) {
+		t, j := i/J, i%J
+		res, err := g.cells[t][j].Finish()
+		if err != nil {
+			return nil, fmt.Errorf("sparsify: grid finish cell (t=%d, j=%d): %w", t+1, j, err)
+		}
+		return &spannerOracle{
+			h: res.Spanner, alpha: alpha, space: res.SpaceWords, memo: map[int][]int{},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	e.oracles = make([][]Oracle, g.cfg.T)
 	for t := range g.cells {
-		row := make([]Oracle, g.cfg.J)
-		for j := range g.cells[t] {
-			res, err := g.cells[t][j].Finish()
-			if err != nil {
-				return nil, fmt.Errorf("sparsify: grid finish cell (t=%d, j=%d): %w", t+1, j, err)
-			}
-			row[j] = &spannerOracle{
-				h: res.Spanner, alpha: alpha, space: res.SpaceWords, memo: map[int][]int{},
-			}
-			e.space += row[j].SpaceWords()
+		e.oracles[t] = oracles[t*J : (t+1)*J]
+		for _, o := range e.oracles[t] {
+			e.space += o.SpaceWords()
 		}
-		e.oracles[t] = row
 	}
 	return e, nil
 }
@@ -261,13 +293,13 @@ func NewEstimatorOpts(src stream.Source, cfg EstimateConfig, p *parallel.Policy)
 		if err := p.Replay(src, g.Pass1AddBatch); err != nil {
 			return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
 		}
-		if err := g.EndPass1(); err != nil {
+		if err := g.EndPass1Opts(p); err != nil {
 			return nil, err
 		}
 		if err := p.Replay(src, g.Pass2AddBatch); err != nil {
 			return nil, fmt.Errorf("sparsify: estimator pass 2: %w", err)
 		}
-		return g.Finish()
+		return g.FinishOpts(p)
 	}
 	main, err := parallel.IngestOpts(p, src,
 		func() (*Grid, error) { return NewGrid(src.N(), cfg) },
@@ -275,7 +307,7 @@ func NewEstimatorOpts(src stream.Source, cfg EstimateConfig, p *parallel.Policy)
 	if err != nil {
 		return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
 	}
-	if err := main.EndPass1(); err != nil {
+	if err := main.EndPass1Opts(p); err != nil {
 		return nil, err
 	}
 	tables, err := parallel.IngestOpts(p, src,
@@ -286,7 +318,7 @@ func NewEstimatorOpts(src stream.Source, cfg EstimateConfig, p *parallel.Policy)
 	if err := main.MergePass2(tables); err != nil {
 		return nil, err
 	}
-	return main.Finish()
+	return main.FinishOpts(p)
 }
 
 // NewEstimatorParallel is NewEstimator with concurrent ingestion: the
@@ -366,10 +398,17 @@ func SparsifyOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Result, e
 	// source (file-backed ReaderSource) degrades to a sequential loop.
 	// Substream and spanner configuration come from the same helpers
 	// SampleOnce uses, so the serial and parallel samples cannot drift.
+	// While the fan-out is actually parallel the inner builds run fully
+	// serial — ingest and decode — since the task fan already saturates
+	// the pool; a sequential fan (single-cursor source, or one worker)
+	// keeps the policy's decode parallelism inside each build instead.
 	inner := p.WithWorkers(1)
 	fan := p
 	if !stream.ConcurrentReplayable(src) {
 		fan = inner
+	}
+	if fan.Workers() > 1 {
+		inner = inner.WithDecode(1)
 	}
 	aug := make([][]*spanner.Result, cfg.Z)
 	for s := range aug {

@@ -25,17 +25,19 @@ type Option func(*buildOptions)
 
 // buildOptions is the resolved option set of one Build call.
 type buildOptions struct {
-	workers      int
-	workersSet   bool
-	batch        int
-	classBase    float64
-	seed         uint64
-	seedSet      bool
-	progress     func(int64)
-	remoteAddrs  []string
-	remoteSet    bool
-	cluster      *RemoteCluster
-	workerShards bool
+	workers       int
+	workersSet    bool
+	decodeWorkers int
+	decodeSet     bool
+	batch         int
+	classBase     float64
+	seed          uint64
+	seedSet       bool
+	progress      func(int64)
+	remoteAddrs   []string
+	remoteSet     bool
+	cluster       *RemoteCluster
+	workerShards  bool
 }
 
 // remote reports whether this build runs on remote worker processes.
@@ -46,6 +48,19 @@ func (o *buildOptions) remote() bool { return o.remoteSet || o.cluster != nil }
 // linearity the result is identical either way.
 func WithWorkers(n int) Option {
 	return func(o *buildOptions) { o.workers = n; o.workersSet = true }
+}
+
+// WithDecodeWorkers overrides the worker count of the decode /
+// extraction phase — the Borůvka rounds of the spanning forest,
+// EndPass1's cluster construction, table peeling in Finish, the
+// sparsifier grid's per-cell extraction, and (for remote builds) the
+// coordinator's worker-state decode and tree merge. Without it decode
+// runs at the ingest worker count (WithWorkers, or the automatic
+// choice). Decode parallelism never changes the output: results are
+// placed by index and applied in the serial order, so every decoded
+// object is bit-identical to a serial decode.
+func WithDecodeWorkers(n int) Option {
+	return func(o *buildOptions) { o.decodeWorkers = n; o.decodeSet = true }
 }
 
 // WithBatchSize sets the update-batch granularity of the ingest
@@ -112,6 +127,9 @@ func (o *buildOptions) validate() error {
 	if o.workersSet && o.workers < 1 {
 		return fmt.Errorf("%w, got %d", ErrBadWorkers, o.workers)
 	}
+	if o.decodeSet && o.decodeWorkers < 1 {
+		return fmt.Errorf("%w, got %d decode workers", ErrBadWorkers, o.decodeWorkers)
+	}
 	if o.batch < 0 {
 		return fmt.Errorf("%w: batch size must be >= 0, got %d", ErrBadConfig, o.batch)
 	}
@@ -142,6 +160,25 @@ func (o *buildOptions) resolveWorkers(src Source) int {
 	if o.workersSet {
 		return o.workers
 	}
+	return o.autoWorkers(src)
+}
+
+// resolveDecodeWorkers picks the decode-phase worker count: an
+// explicit WithDecodeWorkers wins; otherwise decode follows the ingest
+// resolution — an explicit WithWorkers, or the automatic
+// serial/sharded choice. Remote builds (where WithWorkers does not
+// govern ingest) resolve the same way, so one knob scales the whole
+// coordinator side.
+func (o *buildOptions) resolveDecodeWorkers(src Source) int {
+	if o.decodeSet {
+		return o.decodeWorkers
+	}
+	return o.resolveWorkers(src)
+}
+
+// autoWorkers is the automatic serial-vs-sharded choice of
+// resolveWorkers for builds without an explicit WithWorkers.
+func (o *buildOptions) autoWorkers(src Source) int {
 	type lengther interface{ Len() int }
 	if l, ok := src.(lengther); ok &&
 		stream.ConcurrentReplayable(src) && l.Len() >= autoParallelThreshold {

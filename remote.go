@@ -8,6 +8,7 @@ import (
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
+	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
 	"dynstream/internal/stream"
@@ -77,28 +78,31 @@ func (c *RemoteCluster) Live() int { return c.coord.Live() }
 func (c *RemoteCluster) BytesOnWire() (sent, received int64) { return c.coord.Bytes() }
 
 // remoteRun threads one Build's remote execution: the cluster, the
-// resolved options, and cumulative pass/progress counters.
+// resolved options, the coordinator-side decode policy (worker-blob
+// unmarshaling, state tree merges, and the final extraction all run
+// under it), and cumulative pass/progress counters.
 type remoteRun struct {
 	cluster *RemoteCluster
 	o       *buildOptions
+	p       *parallel.Policy
 	seq     int
 	done    int64
 }
 
 // pass runs one remote pass: ship blob as the prototype, stream src's
 // shards (or trigger local-shard ingest), and fold every worker state
-// back with merge.
+// back with collect.
 func (r *remoteRun) pass(ctx context.Context, kind dynnet.StateKind, n int, blob []byte,
-	src Source, merge func(blob []byte) error) error {
+	src Source, collect func(blobs [][]byte) error) error {
 	r.seq++
 	p := dynnet.Pass{
-		Kind:  kind,
-		Blob:  blob,
-		N:     n,
-		Batch: r.o.batch,
-		Seq:   r.seq,
-		Local: r.o.workerShards,
-		Merge: func(_ int, b []byte) error { return merge(b) },
+		Kind:    kind,
+		Blob:    blob,
+		N:       n,
+		Batch:   r.o.batch,
+		Seq:     r.seq,
+		Local:   r.o.workerShards,
+		Collect: collect,
 	}
 	if !p.Local {
 		p.Src = src
@@ -110,25 +114,53 @@ func (r *remoteRun) pass(ctx context.Context, kind dynnet.StateKind, n int, blob
 	return r.cluster.coord.RunPass(ctx, p)
 }
 
-// mergeable is the common surface of every coordinator-side prototype:
-// marshal for the ASSIGN frame (and for decoding worker blobs into a
-// fresh same-typed state).
+// remoteProto is the common surface of every coordinator-side
+// prototype: it marshals proto for the ASSIGN frame and returns the
+// end-of-pass collector, which decodes the worker blobs into fresh
+// states on the run's decode workers, folds them with a parallel tree
+// merge, and merges the result into proto — bit-identical to the
+// linear shard-order fold, because every state merge is an exact
+// commutative group operation.
 func remoteProto[S interface {
 	MarshalBinary() ([]byte, error)
 	UnmarshalBinary([]byte) error
-}](proto S, fresh func() S, merge func(S) error) (blob []byte, mergeBlob func([]byte) error, err error) {
+}](r *remoteRun, proto S, fresh func() S, merge func(dst, src S) error) (blob []byte, collect func([][]byte) error, err error) {
 	blob, err = proto.MarshalBinary()
 	if err != nil {
 		return nil, nil, err
 	}
-	mergeBlob = func(b []byte) error {
-		s := fresh()
-		if err := s.UnmarshalBinary(b); err != nil {
-			return err
+	collect = func(blobs [][]byte) error {
+		// Decode and fold in waves of the decode worker count: peak
+		// memory holds at most DecodeWorkers decoded states (one, for
+		// a serial policy — the pre-engine coordinator footprint)
+		// while the unmarshal and merge work still fans across the
+		// pool. Wave boundaries don't change the result: proto
+		// accumulates exact commutative group sums.
+		k := r.p.DecodeWorkers()
+		for start := 0; start < len(blobs); start += k {
+			wave := blobs[start:min(start+k, len(blobs))]
+			states, err := parallel.MapOpts(r.p, len(wave), func(i int) (S, error) {
+				s := fresh()
+				if err := s.UnmarshalBinary(wave[i]); err != nil {
+					var zero S
+					return zero, err
+				}
+				return s, nil
+			})
+			if err != nil {
+				return err
+			}
+			folded, err := parallel.TreeMerge(r.p, states, merge)
+			if err != nil {
+				return err
+			}
+			if err := merge(proto, folded); err != nil {
+				return err
+			}
 		}
-		return merge(s)
+		return nil
 	}
-	return blob, mergeBlob, nil
+	return blob, collect, nil
 }
 
 // ingestRemote runs a single-pass remote ingest of src into proto.
@@ -136,12 +168,12 @@ func ingestRemote[S interface {
 	MarshalBinary() ([]byte, error)
 	UnmarshalBinary([]byte) error
 }](ctx context.Context, r *remoteRun, kind dynnet.StateKind, src Source,
-	proto S, fresh func() S, merge func(S) error) error {
-	blob, mergeBlob, err := remoteProto(proto, fresh, merge)
+	proto S, fresh func() S, merge func(dst, src S) error) error {
+	blob, collect, err := remoteProto(r, proto, fresh, merge)
 	if err != nil {
 		return err
 	}
-	return r.pass(ctx, kind, src.N(), blob, src, mergeBlob)
+	return r.pass(ctx, kind, src.N(), blob, src, collect)
 }
 
 // twoPass runs the two-pass spanner remotely: pass 1 across the
@@ -152,24 +184,24 @@ func ingestRemote[S interface {
 func (r *remoteRun) twoPass(ctx context.Context, src Source, cfg SpannerConfig) (*SpannerResult, error) {
 	tp := spanner.NewTwoPass(src.N(), cfg)
 	fresh := func() *spanner.TwoPass { return &spanner.TwoPass{} }
-	blob1, merge1, err := remoteProto(tp, fresh, tp.MergePass1)
+	blob1, collect1, err := remoteProto(r, tp, fresh, (*spanner.TwoPass).MergePass1)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.pass(ctx, dynnet.KindTwoPass, src.N(), blob1, src, merge1); err != nil {
+	if err := r.pass(ctx, dynnet.KindTwoPass, src.N(), blob1, src, collect1); err != nil {
 		return nil, fmt.Errorf("dynstream: remote pass 1: %w", err)
 	}
-	if err := tp.EndPass1(); err != nil {
+	if err := tp.EndPass1Opts(r.p); err != nil {
 		return nil, err
 	}
-	blob2, merge2, err := remoteProto(tp, fresh, tp.MergePass2)
+	blob2, collect2, err := remoteProto(r, tp, fresh, (*spanner.TwoPass).MergePass2)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.pass(ctx, dynnet.KindTwoPass, src.N(), blob2, src, merge2); err != nil {
+	if err := r.pass(ctx, dynnet.KindTwoPass, src.N(), blob2, src, collect2); err != nil {
 		return nil, fmt.Errorf("dynstream: remote pass 2: %w", err)
 	}
-	return tp.Finish()
+	return tp.FinishOpts(r.p)
 }
 
 // grid runs the sparsifier's oracle grid remotely (same two-pass shape
@@ -180,24 +212,24 @@ func (r *remoteRun) grid(ctx context.Context, src Source, cfg EstimateConfig) (*
 		return nil, err
 	}
 	fresh := func() *sparsify.Grid { return &sparsify.Grid{} }
-	blob1, merge1, err := remoteProto(g, fresh, g.MergePass1)
+	blob1, collect1, err := remoteProto(r, g, fresh, (*sparsify.Grid).MergePass1)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.pass(ctx, dynnet.KindGrid, src.N(), blob1, src, merge1); err != nil {
+	if err := r.pass(ctx, dynnet.KindGrid, src.N(), blob1, src, collect1); err != nil {
 		return nil, fmt.Errorf("dynstream: remote grid pass 1: %w", err)
 	}
-	if err := g.EndPass1(); err != nil {
+	if err := g.EndPass1Opts(r.p); err != nil {
 		return nil, err
 	}
-	blob2, merge2, err := remoteProto(g, fresh, g.MergePass2)
+	blob2, collect2, err := remoteProto(r, g, fresh, (*sparsify.Grid).MergePass2)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.pass(ctx, dynnet.KindGrid, src.N(), blob2, src, merge2); err != nil {
+	if err := r.pass(ctx, dynnet.KindGrid, src.N(), blob2, src, collect2); err != nil {
 		return nil, fmt.Errorf("dynstream: remote grid pass 2: %w", err)
 	}
-	return g.Finish()
+	return g.FinishOpts(r.p)
 }
 
 // noWorkerShards rejects WithWorkerShards for builds that must observe
@@ -240,11 +272,11 @@ func (t AdditiveTarget) buildRemote(ctx context.Context, src Source, o *buildOpt
 	}
 	proto := spanner.NewAdditive(src.N(), cfg)
 	err := ingestRemote(ctx, r, dynnet.KindAdditive, src, proto,
-		func() *spanner.Additive { return &spanner.Additive{} }, proto.Merge)
+		func() *spanner.Additive { return &spanner.Additive{} }, (*spanner.Additive).Merge)
 	if err != nil {
 		return nil, err
 	}
-	return proto.Finish()
+	return proto.FinishOpts(r.p)
 }
 
 func (t SparsifierTarget) buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (*SparsifierResult, error) {
@@ -278,7 +310,7 @@ func (t ForestTarget) buildRemote(ctx context.Context, src Source, o *buildOptio
 	}
 	proto := agm.New(seed, src.N(), t.Config)
 	err := ingestRemote(ctx, r, dynnet.KindForest, src, proto,
-		func() *agm.Sketch { return &agm.Sketch{} }, proto.Merge)
+		func() *agm.Sketch { return &agm.Sketch{} }, (*agm.Sketch).Merge)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +327,7 @@ func (t KConnectivityTarget) buildRemote(ctx context.Context, src Source, o *bui
 	}
 	proto := agm.NewKConnectivity(seed, src.N(), t.K)
 	err := ingestRemote(ctx, r, dynnet.KindKConn, src, proto,
-		func() *agm.KConnectivity { return &agm.KConnectivity{} }, proto.Merge)
+		func() *agm.KConnectivity { return &agm.KConnectivity{} }, (*agm.KConnectivity).Merge)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +344,7 @@ func (t BipartitenessTarget) buildRemote(ctx context.Context, src Source, o *bui
 	}
 	proto := agm.NewBipartiteness(seed, src.N())
 	err := ingestRemote(ctx, r, dynnet.KindBip, src, proto,
-		func() *agm.Bipartiteness { return &agm.Bipartiteness{} }, proto.Merge)
+		func() *agm.Bipartiteness { return &agm.Bipartiteness{} }, (*agm.Bipartiteness).Merge)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +379,7 @@ func (t MSFTarget) buildRemote(ctx context.Context, src Source, o *buildOptions,
 	}
 	proto := agm.NewMSF(seed, src.N(), wmax, t.Gamma)
 	err := ingestRemote(ctx, r, dynnet.KindMSF, src, proto,
-		func() *agm.MSF { return &agm.MSF{} }, proto.Merge)
+		func() *agm.MSF { return &agm.MSF{} }, (*agm.MSF).Merge)
 	if err != nil {
 		return nil, err
 	}
