@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -225,7 +226,7 @@ func BenchmarkE9Baselines(b *testing.B) {
 func BenchmarkParallelIngest(b *testing.B) {
 	g := graph.ConnectedGNP(64, 0.2, benchSeed+30)
 	st := stream.WithChurn(g, 30000, benchSeed+31)
-	serial, err := NewForestSketchParallel(benchSeed+32, st, ForestConfig{}, 1)
+	serial, err := Build(context.Background(), st, ForestTarget{Seed: benchSeed + 32}, WithWorkers(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func BenchmarkParallelIngest(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			var sk *ForestSketch
 			for i := 0; i < b.N; i++ {
-				sk, err = NewForestSketchParallel(benchSeed+32, st, ForestConfig{}, workers)
+				sk, err = Build(context.Background(), st, ForestTarget{Seed: benchSeed + 32}, WithWorkers(workers))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -270,7 +271,7 @@ func BenchmarkIngestThroughput(b *testing.B) {
 		for _, workers := range []int{1, 4} {
 			b.Run(fmt.Sprintf("n%d/workers%d", n, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := NewForestSketchParallel(benchSeed+42, st, ForestConfig{}, workers); err != nil {
+					if _, err := Build(context.Background(), st, ForestTarget{Seed: benchSeed + 42}, WithWorkers(workers)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -583,5 +584,151 @@ func BenchmarkA3Oracles(b *testing.B) {
 			}
 			b.ReportMetric(eps, "spectralEps")
 		})
+	}
+}
+
+// BenchmarkIncrementalQuery measures the live-handle query path
+// tracked in the `incremental` block of BENCH_ingest.json: with the
+// decode caches on, a re-query after a small churn batch re-decodes
+// only the components (or cluster regions) the batch touched, vs the
+// cold full decode a cache-free build pays. Churn batches insert
+// fresh random edges and delete previously inserted ones, so the
+// graph stays near its base shape while every batch dirties ~pct% of
+// the edge set. The apply itself is untimed ingest; the metric is
+// queries/sec.
+func BenchmarkIncrementalQuery(b *testing.B) {
+	churn := func(rng *rand.Rand, n, k int, extra *[][2]int, apply func(u, v, delta int)) {
+		del := k / 2
+		if del > len(*extra) {
+			del = len(*extra)
+		}
+		for j := 0; j < del; j++ {
+			i := rng.Intn(len(*extra))
+			e := (*extra)[i]
+			(*extra)[i] = (*extra)[len(*extra)-1]
+			*extra = (*extra)[:len(*extra)-1]
+			apply(e[0], e[1], -1)
+		}
+		for j := 0; j < k-del; j++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			apply(u, v, 1)
+			*extra = append(*extra, [2]int{u, v})
+		}
+	}
+
+	for _, n := range []int{1000, 10000} {
+		g := graph.ConnectedGNP(n, 4.0/float64(n), benchSeed+80)
+		st := stream.WithChurn(g, n, benchSeed+81)
+		m := g.M()
+
+		cold := NewForestSketch(benchSeed+82, n, ForestConfig{})
+		if err := st.Replay(func(u stream.Update) error { cold.AddUpdate(u); return nil }); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("forest/n%d/cold", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cold.SpanningForest(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+
+		// Churn levels in basis points of m: the speedup over a cold
+		// decode scales inversely with batch size, because bit-identity
+		// forces re-decoding every component the batch touched in every
+		// Borůvka round.
+		for _, lvl := range []struct {
+			name string
+			bp   int
+		}{{"churn0.05pct", 5}, {"churn0.1pct", 10}, {"churn1pct", 100}, {"churn10pct", 1000}} {
+			live := NewForestSketch(benchSeed+82, n, ForestConfig{})
+			live.EnableDecodeCache(true)
+			if err := st.Replay(func(u stream.Update) error { live.AddUpdate(u); return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := live.SpanningForest(nil); err != nil { // warm
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(benchSeed + 83)))
+			var extra [][2]int
+			b.Run(fmt.Sprintf("forest/n%d/%s", n, lvl.name), func(b *testing.B) {
+				k := m * lvl.bp / 10000
+				if k < 2 {
+					k = 2
+				}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					churn(rng, n, k, &extra, func(u, v, delta int) { live.AddEdge(u, v, int64(delta)) })
+					b.StartTimer()
+					if _, err := live.SpanningForest(nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+
+	{
+		const n = 1000
+		g := graph.ConnectedGNP(n, 4.0/float64(n), benchSeed+84)
+		st := stream.WithChurn(g, n, benchSeed+85)
+		m := g.M()
+		p := parallel.Default()
+		{
+			tp := spanner.NewTwoPass(n, spanner.Config{K: 2, Seed: benchSeed + 86})
+			tp.EnableDecodeCache(true)
+			if err := tp.StartLive(st); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("spanner/n%d/cold", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tp.InvalidateDecodeCache()
+					b.StartTimer()
+					if _, err := tp.QueryLive(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+		for _, pct := range []int{1, 10} {
+			tp := spanner.NewTwoPass(n, spanner.Config{K: 2, Seed: benchSeed + 86})
+			tp.EnableDecodeCache(true)
+			if err := tp.StartLive(st); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tp.QueryLive(p); err != nil { // warm
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(benchSeed + 87)))
+			var extra [][2]int
+			b.Run(fmt.Sprintf("spanner/n%d/churn%dpct", n, pct), func(b *testing.B) {
+				k := m * pct / 100
+				if k < 2 {
+					k = 2
+				}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					var batch []stream.Update
+					churn(rng, n, k, &extra, func(u, v, delta int) {
+						batch = append(batch, stream.Update{U: u, V: v, Delta: delta, W: 1})
+					})
+					if err := tp.ApplyLive(batch); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := tp.QueryLive(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
 	}
 }

@@ -86,6 +86,9 @@ type Target[R any] interface {
 	// (WithRemoteWorkers / WithRemoteCluster), producing the same
 	// result bit for bit.
 	buildRemote(ctx context.Context, src Source, o *buildOptions, r *remoteRun) (R, error)
+	// openLive ingests src and returns the mutable state behind a live
+	// Handle (see Open).
+	openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[R], error)
 }
 
 // noWeightClasses rejects WithWeightClasses for targets without a

@@ -45,12 +45,6 @@ func TestBuildSpannerEquivalence(t *testing.T) {
 			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, got, want)
 		}
 	}
-	// Legacy wrappers delegate to the same driver.
-	legacy, err := BuildSpanner(st, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	edgesEqual(t, "legacy spanner", legacy.Spanner, want.Spanner)
 }
 
 func TestBuildSpannerWeightedEquivalence(t *testing.T) {

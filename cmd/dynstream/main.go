@@ -34,6 +34,19 @@
 // at any count) and -batch B (ingest batch size; purely an execution
 // knob).
 //
+// With -repl a build subcommand becomes a live serving loop (Open
+// instead of Build): the base stream comes from -in FILE (or -n N for
+// an empty graph), and stdin carries commands —
+//
+//   - <u> <v> [w]     apply an insert
+//   - <u> <v> [w]     apply a delete
+//     query             re-extract and print the current result
+//     quit              exit
+//
+// Applied updates fold into the live sketch state; each query is
+// served incrementally from the decode caches and is bit-identical to
+// a cold rebuild over the base stream plus every applied update.
+//
 // Multi-process builds pair one coordinator with worker processes over
 // TCP or unix sockets; the output is byte-identical to a local build:
 //
@@ -51,6 +64,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -59,6 +73,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -270,6 +285,8 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		batch   = fs.Int("batch", 0, "ingest batch size (0 = default)")
 		wmax    = fs.Float64("wmax", 0, "msf: weight upper bound (0 = scan the stream)")
 		input   = fs.String("in", "", "input file (default stdin)")
+		repl    = fs.Bool("repl", false, "serve a live handle: base stream from -in/-n, then +/-/query commands on stdin")
+		nFlag   = fs.Int("n", 0, "vertex count for -repl without -in (empty base graph)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -297,6 +314,38 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 	}
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments after flags: %v", extra)
+	}
+	if *repl {
+		if len(extraOpts) > 0 || srcOverride != nil {
+			return fmt.Errorf("-repl is a local serving loop; it does not compose with coord: %w", dynstream.ErrBadConfig)
+		}
+		var base dynstream.Source
+		switch {
+		case *input != "":
+			f, err := os.Open(*input)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			rs, err := dynstream.NewReaderSource(f)
+			if err != nil {
+				return err
+			}
+			base = rs
+		case *nFlag > 0:
+			base = dynstream.NewMemoryStream(*nFlag)
+		default:
+			return fmt.Errorf("-repl needs a base stream: -in FILE or -n N: %w", dynstream.ErrBadConfig)
+		}
+		opts := []dynstream.Option{
+			dynstream.WithWorkers(*workers),
+			dynstream.WithBatchSize(*batch),
+		}
+		if *decodeW > 0 {
+			opts = append(opts, dynstream.WithDecodeWorkers(*decodeW))
+		}
+		return runRepl(ctx, cmd, base, replParams{k: *k, d: *d, z: *z, seed: *seed, wmax: *wmax, dw: dw},
+			opts, stdin, stdout, stderr)
 	}
 	var src dynstream.Source
 	if srcOverride != nil {
@@ -437,6 +486,212 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// replParams carries the algorithm flags into the live serving loop.
+type replParams struct {
+	k, d, z int
+	seed    uint64
+	wmax    float64
+	dw      int
+}
+
+// runRepl opens a live handle for the subcommand's target and serves
+// the +/-/query command loop over it.
+func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replParams,
+	opts []dynstream.Option, stdin io.Reader, stdout, stderr io.Writer) error {
+	fmt.Fprintf(stderr, "repl: n=%d, serving %s (+/-/query/quit on stdin)\n", base.N(), cmd)
+	switch cmd {
+	case "spanner":
+		h, err := dynstream.Open(ctx, base,
+			dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: pr.k, Seed: pr.seed}}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveRepl(ctx, h, stdin, stdout, stderr, func(res *dynstream.SpannerResult) (*graph.Graph, string) {
+			return res.Spanner, fmt.Sprintf("2^%d-spanner: %d edges", pr.k, res.Spanner.M())
+		})
+
+	case "additive":
+		h, err := dynstream.Open(ctx, base,
+			dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: pr.d, Seed: pr.seed}}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveRepl(ctx, h, stdin, stdout, stderr, func(res *dynstream.AdditiveResult) (*graph.Graph, string) {
+			return res.Spanner, fmt.Sprintf("n/%d-additive spanner: %d edges", pr.d, res.Spanner.M())
+		})
+
+	case "sparsify":
+		h, err := dynstream.Open(ctx, base,
+			dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{K: pr.k, Z: pr.z, Seed: pr.seed}}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveRepl(ctx, h, stdin, stdout, stderr, func(res *dynstream.SparsifierResult) (*graph.Graph, string) {
+			return res.Sparsifier, fmt.Sprintf("sparsifier: %d edges from %d samples", res.Sparsifier.M(), res.Samples)
+		})
+
+	case "forest":
+		h, err := dynstream.Open(ctx, base, dynstream.ForestTarget{Seed: pr.seed}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveReplErr(ctx, h, stdin, stdout, stderr, func(sk *dynstream.ForestSketch) (*graph.Graph, string, error) {
+			forest, err := sk.SpanningForestParallel(nil, pr.dw)
+			if err != nil {
+				return nil, "", err
+			}
+			g := graph.New(base.N())
+			for _, e := range forest {
+				g.AddUnitEdge(e.U, e.V)
+			}
+			return g, fmt.Sprintf("spanning forest: %d edges", len(forest)), nil
+		})
+
+	case "kcert":
+		h, err := dynstream.Open(ctx, base,
+			dynstream.KConnectivityTarget{Seed: pr.seed, K: pr.k}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveReplErr(ctx, h, stdin, stdout, stderr, func(kc *dynstream.KConnectivity) (*graph.Graph, string, error) {
+			cert, err := kc.CertificateGraphParallel(pr.dw)
+			if err != nil {
+				return nil, "", err
+			}
+			return cert, fmt.Sprintf("%d-connectivity certificate: %d edges", pr.k, cert.M()), nil
+		})
+
+	case "msf":
+		h, err := dynstream.Open(ctx, base,
+			dynstream.MSFTarget{Seed: pr.seed, WMax: pr.wmax, Gamma: 0.5}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveReplErr(ctx, h, stdin, stdout, stderr, func(m *dynstream.MSF) (*graph.Graph, string, error) {
+			forest, err := m.ForestParallel(pr.dw)
+			if err != nil {
+				return nil, "", err
+			}
+			g := graph.New(base.N())
+			for _, e := range forest {
+				g.AddEdge(e.U, e.V, e.W)
+			}
+			return g, fmt.Sprintf("approximate MSF: %d edges", len(forest)), nil
+		})
+
+	case "bipartite":
+		h, err := dynstream.Open(ctx, base, dynstream.BipartitenessTarget{Seed: pr.seed}, opts...)
+		if err != nil {
+			return err
+		}
+		return serveReplErr(ctx, h, stdin, stdout, stderr, func(b *dynstream.Bipartiteness) (*graph.Graph, string, error) {
+			bip, err := b.IsBipartiteParallel(pr.dw)
+			if err != nil {
+				return nil, "", err
+			}
+			return graph.New(0), fmt.Sprintf("bipartite: %v", bip), nil
+		})
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// serveRepl drives the live command loop: +/- lines accumulate into a
+// pending batch, "query" flushes the batch into the handle and prints
+// the freshly extracted result (edges on stdout, a summary line on
+// stderr), "quit" exits. Malformed lines are reported and skipped, so
+// a scripted session survives typos.
+func serveRepl[R any](ctx context.Context, h *dynstream.Handle[R],
+	stdin io.Reader, stdout, stderr io.Writer, render func(R) (*graph.Graph, string)) error {
+	return serveReplErr(ctx, h, stdin, stdout, stderr, func(res R) (*graph.Graph, string, error) {
+		g, s := render(res)
+		return g, s, nil
+	})
+}
+
+func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
+	stdin io.Reader, stdout, stderr io.Writer, render func(R) (*graph.Graph, string, error)) error {
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var pending []dynstream.Update
+	queries := 0
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "+", "-":
+			u, err := parseReplUpdate(fields)
+			if err != nil {
+				fmt.Fprintf(stderr, "repl: %v\n", err)
+				continue
+			}
+			pending = append(pending, u)
+		case "query":
+			if len(pending) > 0 {
+				if err := h.Apply(pending); err != nil {
+					return err
+				}
+				pending = pending[:0]
+			}
+			res, err := h.Query(ctx)
+			if err != nil {
+				return err
+			}
+			g, summary, err := render(res)
+			if err != nil {
+				return err
+			}
+			queries++
+			if err := writeEdges(stdout, g); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(stdout, "ok %d\n", g.M()); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "repl query %d: %s\n", queries, summary)
+		case "quit", "exit":
+			return nil
+		default:
+			fmt.Fprintf(stderr, "repl: unknown command %q (want: + u v [w] | - u v [w] | query | quit)\n", fields[0])
+		}
+	}
+	return sc.Err()
+}
+
+// parseReplUpdate parses "+ u v [w]" / "- u v [w]" into an Update.
+func parseReplUpdate(fields []string) (dynstream.Update, error) {
+	var u dynstream.Update
+	if len(fields) < 3 || len(fields) > 4 {
+		return u, fmt.Errorf("want: %s u v [w], got %q", fields[0], strings.Join(fields, " "))
+	}
+	a, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return u, fmt.Errorf("bad vertex %q: %v", fields[1], err)
+	}
+	b, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return u, fmt.Errorf("bad vertex %q: %v", fields[2], err)
+	}
+	w := 1.0
+	if len(fields) == 4 {
+		w, err = strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return u, fmt.Errorf("bad weight %q: %v", fields[3], err)
+		}
+	}
+	u = dynstream.Update{U: a, V: b, W: w, Delta: 1}
+	if fields[0] == "-" {
+		u.Delta = -1
+	}
+	return u, nil
 }
 
 // replayableFor hands src through when the target's passes fit its

@@ -2,18 +2,24 @@
 // in Dynamic Streams" (Kapralov & Woodruff, PODC 2014): linear graph
 // sketching for streams of edge insertions and deletions.
 //
-// The package exposes four families of functionality:
+// Build is the single front door; it runs a Target over a Source:
 //
-//   - Two-pass multiplicative spanners (Theorem 1): BuildSpanner
+//   - Two-pass multiplicative spanners (Theorem 1): SpannerTarget
 //     computes a 2^k-spanner in Õ(n^{1+1/k}) sketch space with exactly
 //     two passes over the stream.
-//   - Single-pass additive spanners (Theorem 3): BuildAdditiveSpanner
+//   - Single-pass additive spanners (Theorem 3): AdditiveTarget
 //     computes an O(n/d)-additive spanner in Õ(nd) space; Theorem 4
 //     shows this tradeoff is optimal (see internal/lowerbound).
-//   - Two-pass spectral sparsifiers (Corollary 2): BuildSparsifier
+//   - Two-pass spectral sparsifiers (Corollary 2): SparsifierTarget
 //     combines the spanner with the KP12 sampling reduction.
-//   - The AGM connectivity substrate (Theorem 10): NewForestSketch /
-//     SpanningForest extract a spanning forest from a linear sketch.
+//   - The AGM connectivity substrate (Theorem 10): ForestTarget,
+//     KConnectivityTarget, BipartitenessTarget, MSFTarget ingest into
+//     linear sketches decoded on demand.
+//
+// Open is the live front door: same targets, but the returned Handle
+// keeps the sketch state mutable — Apply folds in further updates and
+// Query re-extracts incrementally from per-region decode caches,
+// bit-identical to a cold Build over the total stream.
 //
 // All constructions are linear sketches: states built from disjoint
 // shards of a stream can be merged, which is what makes them usable in
@@ -26,8 +32,6 @@
 package dynstream
 
 import (
-	"context"
-
 	"dynstream/internal/agm"
 	"dynstream/internal/graph"
 	"dynstream/internal/spanner"
@@ -117,56 +121,14 @@ func StreamWithChurn(g *Graph, extra int, seed uint64) *MemoryStream {
 // truth; a streaming algorithm never does this).
 func Materialize(s Stream) (*Graph, error) { return stream.Materialize(s) }
 
-// BuildSpanner runs the two-pass 2^k-spanner of Theorem 1 over st.
-//
-// Deprecated: use Build with SpannerTarget. This wrapper delegates to
-// the unified driver and produces bit-identical results.
-func BuildSpanner(st Stream, cfg SpannerConfig) (*SpannerResult, error) {
-	return Build(context.Background(), st, SpannerTarget{Config: cfg}, WithWorkers(1))
-}
-
-// BuildSpannerWeighted runs the weight-class construction of Remark 14:
-// spanner distances satisfy d_G <= d_H <= classBase·2^k·d_G.
-//
-// Deprecated: use Build with SpannerTarget and WithWeightClasses.
-func BuildSpannerWeighted(st Stream, cfg SpannerConfig, classBase float64) (*SpannerResult, error) {
-	return Build(context.Background(), st, SpannerTarget{Config: cfg},
-		WithWorkers(1), WithWeightClasses(classBase))
-}
-
 // NewTwoPassSpanner creates the explicit two-pass streaming state.
 func NewTwoPassSpanner(n int, cfg SpannerConfig) *TwoPassSpanner {
 	return spanner.NewTwoPass(n, cfg)
 }
 
-// BuildAdditiveSpanner runs the single-pass O(n/d)-additive spanner of
-// Theorem 3 over st.
-//
-// Deprecated: use Build with AdditiveTarget.
-func BuildAdditiveSpanner(st Stream, cfg AdditiveConfig) (*AdditiveResult, error) {
-	return Build(context.Background(), st, AdditiveTarget{Config: cfg}, WithWorkers(1))
-}
-
 // NewAdditiveSpanner creates the explicit single-pass streaming state.
 func NewAdditiveSpanner(n int, cfg AdditiveConfig) *AdditiveSpanner {
 	return spanner.NewAdditive(n, cfg)
-}
-
-// BuildSparsifier runs the two-pass ε-spectral sparsifier of
-// Corollary 2 over an unweighted stream.
-//
-// Deprecated: use Build with SparsifierTarget.
-func BuildSparsifier(st Stream, cfg SparsifierConfig) (*SparsifierResult, error) {
-	return Build(context.Background(), st, SparsifierTarget{Config: cfg}, WithWorkers(1))
-}
-
-// BuildSparsifierWeighted extends BuildSparsifier to weighted streams
-// via geometric weight classes.
-//
-// Deprecated: use Build with SparsifierTarget and WithWeightClasses.
-func BuildSparsifierWeighted(st Stream, cfg SparsifierConfig, classBase float64) (*SparsifierResult, error) {
-	return Build(context.Background(), st, SparsifierTarget{Config: cfg},
-		WithWorkers(1), WithWeightClasses(classBase))
 }
 
 // NewForestSketch creates an AGM connectivity sketch for a graph on n

@@ -1,6 +1,7 @@
 package dynstream
 
 import (
+	"context"
 	"testing"
 
 	"dynstream/internal/graph"
@@ -12,7 +13,7 @@ import (
 func TestFacadeSpannerPipeline(t *testing.T) {
 	g := graph.ConnectedGNP(50, 0.15, 1)
 	st := StreamFromGraph(g, 2)
-	res, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 3})
+	res, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 3}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestFacadeSpannerPipeline(t *testing.T) {
 func TestFacadeAdditivePipeline(t *testing.T) {
 	g := graph.ConnectedGNP(60, 0.2, 4)
 	st := StreamWithChurn(g, 200, 5)
-	res, err := BuildAdditiveSpanner(st, AdditiveConfig{D: 4, Seed: 6})
+	res, err := Build(context.Background(), st, AdditiveTarget{Config: AdditiveConfig{D: 4, Seed: 6}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,10 +45,10 @@ func TestFacadeAdditivePipeline(t *testing.T) {
 func TestFacadeSparsifierPipeline(t *testing.T) {
 	g := graph.Complete(12)
 	st := StreamFromGraph(g, 7)
-	res, err := BuildSparsifier(st, SparsifierConfig{
+	res, err := Build(context.Background(), st, SparsifierTarget{Config: SparsifierConfig{
 		K: 1, Z: 24, Seed: 8,
 		Estimate: EstimateConfig{K: 1, J: 3, T: 7, Delta: 0.34, Seed: 9, ExactOracles: true},
-	})
+	}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,8 @@ func TestFacadeWeightedSpanner(t *testing.T) {
 	base := graph.ConnectedGNP(30, 0.2, 16)
 	g := graph.RandomWeighted(base, 1, 32, 17)
 	st := StreamFromGraph(g, 18)
-	res, err := BuildSpannerWeighted(st, SpannerConfig{K: 2, Seed: 19}, 2)
+	res, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 19}},
+		WithWorkers(1), WithWeightClasses(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func (u *uf) union(a, b int) { u.p[u.find(a)] = u.find(b) }
 func TestFacadeDistanceOracle(t *testing.T) {
 	g := graph.ConnectedGNP(40, 0.15, 30)
 	st := StreamFromGraph(g, 31)
-	res, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 32})
+	res, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 32}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,9 +78,9 @@ func ExampleWithDecodeWorkers() {
 	// connected: true
 }
 
-// ExampleBuildSpanner builds a 4-spanner of a small graph delivered as
-// a dynamic stream with a deletion.
-func ExampleBuildSpanner() {
+// ExampleBuild_spanner builds a 4-spanner of a small graph delivered
+// as a dynamic stream with a deletion.
+func ExampleBuild_spanner() {
 	st := dynstream.NewMemoryStream(5)
 	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
 	for _, e := range edges {
@@ -90,7 +90,8 @@ func ExampleBuildSpanner() {
 	_ = st.Append(dynstream.Update{U: 0, V: 2, Delta: 1})
 	_ = st.Append(dynstream.Update{U: 0, V: 2, Delta: -1})
 
-	res, err := dynstream.BuildSpanner(st, dynstream.SpannerConfig{K: 2, Seed: 7})
+	res, err := dynstream.Build(context.Background(), st,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 7}})
 	if err != nil {
 		panic(err)
 	}
@@ -136,4 +137,51 @@ func ExampleNewBipartiteness() {
 	fmt.Println("odd cycle bipartite:", bip)
 	// Output:
 	// odd cycle bipartite: false
+}
+
+// ExampleHandle_query keeps a build live: Open ingests the base
+// stream, then Apply folds further updates into the sketch state and
+// each Query re-extracts — served from the decode caches, re-decoding
+// only the components the applied updates touched, and bit-identical
+// to a cold Build over the whole stream so far.
+func ExampleHandle_query() {
+	ctx := context.Background()
+	base := dynstream.NewMemoryStream(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if err := base.Append(dynstream.Update{U: e[0], V: e[1], Delta: 1, W: 1}); err != nil {
+			panic(err)
+		}
+	}
+
+	h, err := dynstream.Open(ctx, base, dynstream.ForestTarget{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	sk, err := h.Query(ctx)
+	if err != nil {
+		panic(err)
+	}
+	forest, err := sk.SpanningForest(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("forest edges:", len(forest))
+
+	// Bridge the components — and delete an original edge — live.
+	err = h.Apply([]dynstream.Update{
+		{U: 2, V: 3, Delta: 1, W: 1},
+		{U: 4, V: 5, Delta: 1, W: 1},
+		{U: 1, V: 2, Delta: -1, W: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	forest, err = sk.SpanningForest(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after apply:", len(forest))
+	// Output:
+	// forest edges: 3
+	// after apply: 4
 }

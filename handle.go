@@ -1,0 +1,376 @@
+package dynstream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dynstream/internal/agm"
+	"dynstream/internal/parallel"
+	"dynstream/internal/spanner"
+	"dynstream/internal/sparsify"
+	"dynstream/internal/stream"
+)
+
+// Handle is a live build: where Build ingests a stream and decodes
+// once, Open returns a handle whose sketch state stays mutable —
+// further updates fold in with Apply, and repeated Query calls
+// re-extract the result from the current state. Because every
+// construction is a linear sketch, a query after any sequence of Apply
+// batches is bit-identical to a cold Build over the concatenated
+// stream, at every worker count.
+//
+// Queries are served incrementally: each target keeps per-region
+// decode caches — per-component sampler picks for the AGM family,
+// per-center cluster attachments and per-terminal recoveries for the
+// spanner, per-cell grid extractions for the sparsifier — keyed by
+// injective state digests over monotonic generation counters, so only
+// the regions an Apply actually touched are re-decoded. The caches are
+// on by default for handles; WithDecodeCache(false) disables them
+// (queries then re-extract cold but remain identical).
+//
+// A Handle is safe for use from one goroutine at a time per method
+// call (an internal mutex serializes Apply/Query/Merge/Invalidate);
+// concurrent callers still need their own ordering if they care which
+// updates a query observes.
+type Handle[R any] struct {
+	mu   sync.Mutex
+	n    int
+	src  Source
+	o    *buildOptions
+	live liveState[R]
+}
+
+// liveState is the per-target mutable state behind a Handle.
+type liveState[R any] interface {
+	apply(batch []Update) error
+	query(p *parallel.Policy) (R, error)
+	enableCache(on bool)
+	invalidate()
+	merge(state any) error
+}
+
+// Open is the live front door: it ingests src into the target's sketch
+// state — exactly as Build would — and returns a Handle serving
+// Apply/Query instead of a one-shot result.
+//
+// Live handles run locally: the remote options (WithRemoteWorkers,
+// WithRemoteCluster, WithWorkerShards) are rejected — ship marshaled
+// sketch states from remote processes and fold them in with
+// Handle.Merge instead. WithWeightClasses is rejected too (the class
+// split is a per-build reduction, not a live state). MSFTarget needs
+// an explicit WMax: a scanned bound could be exceeded by a later
+// Apply batch. Multi-pass targets (spanner, sparsifier) need a
+// replayable source, which the handle retains for re-extraction.
+func Open[R any](ctx context.Context, src Source, target Target[R], opts ...Option) (*Handle[R], error) {
+	if src == nil {
+		return nil, fmt.Errorf("%w: nil source", ErrBadConfig)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("%w: nil target", ErrBadConfig)
+	}
+	o := &buildOptions{}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(o)
+		}
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.remote() {
+		return nil, fmt.Errorf("%w: live handles run locally; ship sketch states and Handle.Merge them", ErrBadConfig)
+	}
+	if o.classBase != 0 {
+		return nil, fmt.Errorf("%w: live handles have no weight-class mode", ErrBadConfig)
+	}
+	if target.Passes() > 1 && !CanReplay(src) {
+		return nil, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
+			target, target.Passes(), ErrNotReplayable)
+	}
+	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
+		WithDecode(o.resolveDecodeWorkers(src))
+	live, err := target.openLive(src, o, p)
+	if err != nil {
+		return nil, err
+	}
+	live.enableCache(o.cacheOn())
+	return &Handle[R]{n: src.N(), src: src, o: o, live: live}, nil
+}
+
+// BuildHandle is Open under Build's naming, for callers migrating from
+// the one-shot front door.
+func BuildHandle[R any](ctx context.Context, src Source, target Target[R], opts ...Option) (*Handle[R], error) {
+	return Open(ctx, src, target, opts...)
+}
+
+// N returns the vertex count.
+func (h *Handle[R]) N() int { return h.n }
+
+// Apply folds a batch of updates into the live sketch state. Updates
+// are validated and canonicalized exactly as a MemoryStream.Append
+// would, so a Query afterwards matches a cold Build over the base
+// stream plus every applied batch.
+func (h *Handle[R]) Apply(updates []Update) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	checked := make([]Update, 0, len(updates))
+	for _, u := range updates {
+		cu, err := stream.CheckUpdate(u, h.n)
+		if err != nil {
+			return fmt.Errorf("dynstream: Apply: %w", err)
+		}
+		checked = append(checked, cu)
+	}
+	return h.live.apply(checked)
+}
+
+// Query extracts the target's result from the live state's current
+// contents — bit-identical to what Build would return over the total
+// stream, at any worker count. Sketch-family targets (forest,
+// k-connectivity, bipartiteness, MSF) return the live sketch itself;
+// its decode methods (SpanningForestOpts, CertificateOpts, ...) are
+// what re-decode incrementally. Decode-family targets (spanner,
+// additive spanner, sparsifier) return a freshly extracted result.
+func (h *Handle[R]) Query(ctx context.Context) (R, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := parallel.NewPolicy(ctx, h.o.resolveWorkers(h.src), h.o.batch, h.o.progress).
+		WithDecode(h.o.resolveDecodeWorkers(h.src))
+	return h.live.query(p)
+}
+
+// Merge folds another sketch state — typically unmarshaled from a
+// remote worker's SKETCH blob — into the live state. The merged-in
+// state must be the target's own state type built with the same
+// configuration and seed: *ForestSketch, *KConnectivity,
+// *Bipartiteness, *MSF, or *AdditiveSpanner. Generation counters bump
+// only on the samplers the merge actually changed, so the next Query
+// re-decodes exactly the touched components. Two-pass targets
+// (SpannerTarget, SparsifierTarget) reject Merge: their live log
+// cannot absorb updates it never saw — Apply the remote updates, or
+// merge pass-1 states before Open.
+func (h *Handle[R]) Merge(state any) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live.merge(state)
+}
+
+// Invalidate drops every cached decode, so the next Query re-extracts
+// from scratch. Correctness never requires it — the digest checks
+// already reject stale cache entries — it only bounds memory or forces
+// a cold decode for measurement.
+func (h *Handle[R]) Invalidate() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.live.invalidate()
+}
+
+// ---- per-target live states ----
+
+type forestLive struct{ s *agm.Sketch }
+
+func (l forestLive) apply(b []Update) error { l.s.AddBatch(b); return nil }
+func (l forestLive) query(p *parallel.Policy) (*ForestSketch, error) {
+	_ = p
+	return l.s, nil
+}
+func (l forestLive) enableCache(on bool) { l.s.EnableDecodeCache(on) }
+func (l forestLive) invalidate()         { l.s.InvalidateDecodeCache() }
+func (l forestLive) merge(state any) error {
+	o, ok := state.(*agm.Sketch)
+	if !ok {
+		return fmt.Errorf("%w: a ForestTarget handle merges *ForestSketch, got %T", ErrBadConfig, state)
+	}
+	return l.s.Merge(o)
+}
+
+func (t ForestTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*ForestSketch], error) {
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	s, err := parallel.IngestBatchedOpts(p, src, func() *agm.Sketch {
+		return agm.New(seed, src.N(), t.Config)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return forestLive{s}, nil
+}
+
+type kconnLive struct{ kc *agm.KConnectivity }
+
+func (l kconnLive) apply(b []Update) error { l.kc.AddBatch(b); return nil }
+func (l kconnLive) query(p *parallel.Policy) (*KConnectivity, error) {
+	_ = p
+	return l.kc, nil
+}
+func (l kconnLive) enableCache(on bool) { l.kc.EnableDecodeCache(on) }
+func (l kconnLive) invalidate()         { l.kc.InvalidateDecodeCache() }
+func (l kconnLive) merge(state any) error {
+	o, ok := state.(*agm.KConnectivity)
+	if !ok {
+		return fmt.Errorf("%w: a KConnectivityTarget handle merges *KConnectivity, got %T", ErrBadConfig, state)
+	}
+	return l.kc.Merge(o)
+}
+
+func (t KConnectivityTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*KConnectivity], error) {
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	kc, err := parallel.IngestBatchedOpts(p, src, func() *agm.KConnectivity {
+		return agm.NewKConnectivity(seed, src.N(), t.K)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return kconnLive{kc}, nil
+}
+
+type bipLive struct{ b *agm.Bipartiteness }
+
+func (l bipLive) apply(b []Update) error { l.b.AddBatch(b); return nil }
+func (l bipLive) query(p *parallel.Policy) (*Bipartiteness, error) {
+	_ = p
+	return l.b, nil
+}
+func (l bipLive) enableCache(on bool) { l.b.EnableDecodeCache(on) }
+func (l bipLive) invalidate()         { l.b.InvalidateDecodeCache() }
+func (l bipLive) merge(state any) error {
+	o, ok := state.(*agm.Bipartiteness)
+	if !ok {
+		return fmt.Errorf("%w: a BipartitenessTarget handle merges *Bipartiteness, got %T", ErrBadConfig, state)
+	}
+	return l.b.Merge(o)
+}
+
+func (t BipartitenessTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*Bipartiteness], error) {
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	b, err := parallel.IngestBatchedOpts(p, src, func() *agm.Bipartiteness {
+		return agm.NewBipartiteness(seed, src.N())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bipLive{b}, nil
+}
+
+type msfLive struct{ m *agm.MSF }
+
+func (l msfLive) apply(b []Update) error { l.m.AddBatch(b); return nil }
+func (l msfLive) query(p *parallel.Policy) (*MSF, error) {
+	_ = p
+	return l.m, nil
+}
+func (l msfLive) enableCache(on bool) { l.m.EnableDecodeCache(on) }
+func (l msfLive) invalidate()         { l.m.InvalidateDecodeCache() }
+func (l msfLive) merge(state any) error {
+	o, ok := state.(*agm.MSF)
+	if !ok {
+		return fmt.Errorf("%w: an MSFTarget handle merges *MSF, got %T", ErrBadConfig, state)
+	}
+	return l.m.Merge(o)
+}
+
+func (t MSFTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*MSF], error) {
+	if t.WMax <= 0 {
+		return nil, fmt.Errorf("%w: a live MSF handle needs an explicit WMax (a scanned bound could be exceeded by a later Apply)", ErrBadConfig)
+	}
+	seed := t.Seed
+	if o.seedSet {
+		seed = o.seed
+	}
+	m, err := parallel.IngestBatchedOpts(p, src, func() *agm.MSF {
+		return agm.NewMSF(seed, src.N(), t.WMax, t.Gamma)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return msfLive{m}, nil
+}
+
+type additiveLive struct{ a *spanner.Additive }
+
+func (l additiveLive) apply(b []Update) error { return l.a.AddBatch(b) }
+func (l additiveLive) query(p *parallel.Policy) (*AdditiveResult, error) {
+	return l.a.ExtractOpts(p)
+}
+func (l additiveLive) enableCache(on bool) { l.a.EnableDecodeCache(on) }
+func (l additiveLive) invalidate()         { l.a.InvalidateDecodeCache() }
+func (l additiveLive) merge(state any) error {
+	o, ok := state.(*spanner.Additive)
+	if !ok {
+		return fmt.Errorf("%w: an AdditiveTarget handle merges *AdditiveSpanner, got %T", ErrBadConfig, state)
+	}
+	return l.a.Merge(o)
+}
+
+func (t AdditiveTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*AdditiveResult], error) {
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	a, err := parallel.IngestOpts(p, src,
+		func() (*spanner.Additive, error) { return spanner.NewAdditive(src.N(), cfg), nil },
+		(*spanner.Additive).AddBatch, (*spanner.Additive).Merge)
+	if err != nil {
+		return nil, err
+	}
+	return additiveLive{a}, nil
+}
+
+type twoPassLive struct{ tp *spanner.TwoPass }
+
+func (l twoPassLive) apply(b []Update) error { return l.tp.ApplyLive(b) }
+func (l twoPassLive) query(p *parallel.Policy) (*SpannerResult, error) {
+	return l.tp.QueryLive(p)
+}
+func (l twoPassLive) enableCache(on bool) { l.tp.EnableDecodeCache(on) }
+func (l twoPassLive) invalidate()         { l.tp.InvalidateDecodeCache() }
+func (l twoPassLive) merge(any) error {
+	return fmt.Errorf("%w: a two-pass spanner handle cannot merge remote state (its live log never saw those updates); Apply them instead", ErrBadConfig)
+}
+
+func (t SpannerTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*SpannerResult], error) {
+	_ = p // ingest is the serial replay StartLive runs; queries use the per-call policy
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	tp := spanner.NewTwoPass(src.N(), cfg)
+	if err := tp.StartLive(src.(Stream)); err != nil {
+		return nil, err
+	}
+	return twoPassLive{tp}, nil
+}
+
+type sparsifyLive struct{ ls *sparsify.Live }
+
+func (l sparsifyLive) apply(b []Update) error { return l.ls.Apply(b) }
+func (l sparsifyLive) query(p *parallel.Policy) (*SparsifierResult, error) {
+	return l.ls.Query(p)
+}
+func (l sparsifyLive) enableCache(on bool) { l.ls.EnableDecodeCache(on) }
+func (l sparsifyLive) invalidate()         { l.ls.InvalidateDecodeCache() }
+func (l sparsifyLive) merge(any) error {
+	return fmt.Errorf("%w: a sparsifier handle cannot merge remote state (its live logs never saw those updates); Apply them instead", ErrBadConfig)
+}
+
+func (t SparsifierTarget) openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[*SparsifierResult], error) {
+	_ = p
+	cfg := t.Config
+	if o.seedSet {
+		cfg.Seed = o.seed
+	}
+	ls, err := sparsify.StartLive(src.(Stream), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sparsifyLive{ls}, nil
+}

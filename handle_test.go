@@ -1,0 +1,631 @@
+package dynstream_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dynstream"
+	"dynstream/internal/graph"
+)
+
+// Seeded Apply/Query interleaving matrix for live handles: after every
+// applied batch, a handle's incremental, cache-served query must be
+// bit-identical to a cold Build over the base stream plus every batch
+// so far — for all seven targets, at 1/2/4/8 decode workers, over
+// random and churned streams. `go test -race` doubles as the data-race
+// gate for the dirty-subset decode fan-out.
+
+const handleRounds = 4
+
+// handleStream generates a churned stream and splits it into a base
+// prefix (what Open ingests) and handleRounds apply batches. The full
+// stream is a valid update sequence, and splitting preserves order, so
+// every prefix the matrix rebuilds is valid too.
+func handleStream(t *testing.T, seed uint64) (base *dynstream.MemoryStream, batches [][]dynstream.Update) {
+	t.Helper()
+	g := graph.ConnectedGNP(48, 0.12, seed)
+	for i := 0; i < g.N(); i++ {
+		g.AddEdge(i, (i+5)%g.N(), float64(1+i%6))
+	}
+	full := dynstream.StreamWithChurn(g, 300, seed+1)
+	var ups []dynstream.Update
+	if err := full.Replay(func(u dynstream.Update) error { ups = append(ups, u); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(ups) / 2
+	base = dynstream.NewMemoryStream(full.N())
+	appendAll(t, base, ups[:cut])
+	rest := ups[cut:]
+	per := (len(rest) + handleRounds - 1) / handleRounds
+	for i := 0; i < len(rest); i += per {
+		end := i + per
+		if end > len(rest) {
+			end = len(rest)
+		}
+		batches = append(batches, rest[i:end])
+	}
+	return base, batches
+}
+
+func appendAll(t *testing.T, st *dynstream.MemoryStream, ups []dynstream.Update) {
+	t.Helper()
+	for _, u := range ups {
+		if err := st.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// cloneStream copies a MemoryStream so the cold-rebuild cumulative
+// stream can grow without touching the handle's base stream.
+func cloneStream(t *testing.T, st *dynstream.MemoryStream) *dynstream.MemoryStream {
+	t.Helper()
+	out := dynstream.NewMemoryStream(st.N())
+	if err := st.Replay(func(u dynstream.Update) error { return out.Append(u) }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runHandleMatrix drives one target through the interleaving matrix:
+// Open on the base stream, then per round Query (incremental) and diff
+// against cold(cum) (a from-scratch rebuild over the cumulative
+// stream), then Apply the next batch. The final round re-queries after
+// Invalidate, proving a cold in-handle decode agrees too.
+func runHandleMatrix[X any](
+	t *testing.T, seed uint64, w int,
+	open func(base *dynstream.MemoryStream) (apply func([]dynstream.Update) error, query func() (X, error), invalidate func(), err error),
+	cold func(cum *dynstream.MemoryStream) (X, error),
+	equal func(t *testing.T, round int, got, want X),
+) {
+	t.Helper()
+	base, batches := handleStream(t, seed)
+	apply, query, invalidate, err := open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := cloneStream(t, base)
+	check := func(round int) {
+		t.Helper()
+		got, err := query()
+		if err != nil {
+			t.Fatalf("round %d: query: %v", round, err)
+		}
+		want, err := cold(cum)
+		if err != nil {
+			t.Fatalf("round %d: cold rebuild: %v", round, err)
+		}
+		equal(t, round, got, want)
+		// Immediate re-query: the all-cache-hits path must reproduce
+		// the same result.
+		again, err := query()
+		if err != nil {
+			t.Fatalf("round %d: re-query: %v", round, err)
+		}
+		equal(t, round, again, want)
+	}
+	check(0)
+	for i, b := range batches {
+		if err := apply(b); err != nil {
+			t.Fatalf("round %d: apply: %v", i+1, err)
+		}
+		appendAll(t, cum, b)
+		check(i + 1)
+	}
+	// Dropping the caches must not change what a query returns.
+	invalidate()
+	check(len(batches))
+}
+
+func TestHandleForestMatrix(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.ForestTarget{Seed: 8101}
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			runHandleMatrix(t, 8100, w,
+				func(base *dynstream.MemoryStream) (func([]dynstream.Update) error, func() ([]graph.Edge, error), func(), error) {
+					h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					query := func() ([]graph.Edge, error) {
+						sk, err := h.Query(ctx)
+						if err != nil {
+							return nil, err
+						}
+						return sk.SpanningForestParallel(nil, w)
+					}
+					return h.Apply, query, h.Invalidate, nil
+				},
+				func(cum *dynstream.MemoryStream) ([]graph.Edge, error) {
+					sk, err := dynstream.Build(ctx, cum, target)
+					if err != nil {
+						return nil, err
+					}
+					return sk.SpanningForest(nil)
+				},
+				func(t *testing.T, round int, got, want []graph.Edge) {
+					t.Helper()
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("round %d: incremental forest diverged from cold rebuild:\n got %v\nwant %v", round, got, want)
+					}
+				})
+		})
+	}
+}
+
+func TestHandleKConnectivityMatrix(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.KConnectivityTarget{Seed: 8201, K: 3}
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			runHandleMatrix(t, 8200, w,
+				func(base *dynstream.MemoryStream) (func([]dynstream.Update) error, func() ([][]graph.Edge, error), func(), error) {
+					h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					query := func() ([][]graph.Edge, error) {
+						kc, err := h.Query(ctx)
+						if err != nil {
+							return nil, err
+						}
+						return kc.CertificateParallel(w)
+					}
+					return h.Apply, query, h.Invalidate, nil
+				},
+				func(cum *dynstream.MemoryStream) ([][]graph.Edge, error) {
+					kc, err := dynstream.Build(ctx, cum, target)
+					if err != nil {
+						return nil, err
+					}
+					return kc.Certificate()
+				},
+				func(t *testing.T, round int, got, want [][]graph.Edge) {
+					t.Helper()
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("round %d: incremental certificate diverged from cold rebuild", round)
+					}
+				})
+		})
+	}
+}
+
+func TestHandleBipartitenessMatrix(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.BipartitenessTarget{Seed: 8301}
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			runHandleMatrix(t, 8300, w,
+				func(base *dynstream.MemoryStream) (func([]dynstream.Update) error, func() (bool, error), func(), error) {
+					h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					query := func() (bool, error) {
+						b, err := h.Query(ctx)
+						if err != nil {
+							return false, err
+						}
+						return b.IsBipartiteParallel(w)
+					}
+					return h.Apply, query, h.Invalidate, nil
+				},
+				func(cum *dynstream.MemoryStream) (bool, error) {
+					b, err := dynstream.Build(ctx, cum, target)
+					if err != nil {
+						return false, err
+					}
+					return b.IsBipartite()
+				},
+				func(t *testing.T, round int, got, want bool) {
+					t.Helper()
+					if got != want {
+						t.Fatalf("round %d: incremental verdict %v, cold rebuild %v", round, got, want)
+					}
+				})
+		})
+	}
+}
+
+func TestHandleMSFMatrix(t *testing.T) {
+	ctx := context.Background()
+	// Live MSF needs an explicit WMax; handleStream weights are ≤ 6.
+	target := dynstream.MSFTarget{Seed: 8401, WMax: 8, Gamma: 0.5}
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			runHandleMatrix(t, 8400, w,
+				func(base *dynstream.MemoryStream) (func([]dynstream.Update) error, func() ([]graph.Edge, error), func(), error) {
+					h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					query := func() ([]graph.Edge, error) {
+						m, err := h.Query(ctx)
+						if err != nil {
+							return nil, err
+						}
+						return m.ForestParallel(w)
+					}
+					return h.Apply, query, h.Invalidate, nil
+				},
+				func(cum *dynstream.MemoryStream) ([]graph.Edge, error) {
+					m, err := dynstream.Build(ctx, cum, target)
+					if err != nil {
+						return nil, err
+					}
+					return m.Forest()
+				},
+				func(t *testing.T, round int, got, want []graph.Edge) {
+					t.Helper()
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("round %d: incremental msf diverged from cold rebuild:\n got %v\nwant %v", round, got, want)
+					}
+				})
+		})
+	}
+}
+
+func TestHandleSpannerMatrix(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.SpannerTarget{Config: dynstream.SpannerConfig{
+		K: 3, Seed: 8501, CollectAugmented: true,
+	}}
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			runHandleMatrix(t, 8500, w,
+				func(base *dynstream.MemoryStream) (func([]dynstream.Update) error, func() (*dynstream.SpannerResult, error), func(), error) {
+					h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					query := func() (*dynstream.SpannerResult, error) { return h.Query(ctx) }
+					return h.Apply, query, h.Invalidate, nil
+				},
+				func(cum *dynstream.MemoryStream) (*dynstream.SpannerResult, error) {
+					return dynstream.Build(ctx, cum, target)
+				},
+				func(t *testing.T, round int, got, want *dynstream.SpannerResult) {
+					t.Helper()
+					edgesEqual(t, fmt.Sprintf("round %d spanner", round), got.Spanner, want.Spanner)
+					edgesEqual(t, fmt.Sprintf("round %d augmented", round), got.Augmented, want.Augmented)
+					if got.Terminals != want.Terminals || !reflect.DeepEqual(got.Stats, want.Stats) {
+						t.Fatalf("round %d: stats differ: %+v vs %+v", round, got.Stats, want.Stats)
+					}
+				})
+		})
+	}
+}
+
+func TestHandleAdditiveMatrix(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: 4, Seed: 8601}}
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			runHandleMatrix(t, 8600, w,
+				func(base *dynstream.MemoryStream) (func([]dynstream.Update) error, func() (*dynstream.AdditiveResult, error), func(), error) {
+					h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					query := func() (*dynstream.AdditiveResult, error) { return h.Query(ctx) }
+					return h.Apply, query, h.Invalidate, nil
+				},
+				func(cum *dynstream.MemoryStream) (*dynstream.AdditiveResult, error) {
+					return dynstream.Build(ctx, cum, target)
+				},
+				func(t *testing.T, round int, got, want *dynstream.AdditiveResult) {
+					t.Helper()
+					edgesEqual(t, fmt.Sprintf("round %d additive", round), got.Spanner, want.Spanner)
+				})
+		})
+	}
+}
+
+func TestHandleSparsifierMatrix(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{
+		K: 1, Z: 4, Seed: 8701,
+		Estimate: dynstream.EstimateConfig{K: 1, J: 2, T: 5, Delta: 0.34, Seed: 8702},
+	}}
+	// The sparsifier matrix grows a complete graph edge by edge: the
+	// base stream is a prefix of the insertions and each batch extends
+	// it, so every cold rebuild is a valid stream.
+	g := graph.Complete(10)
+	full := dynstream.StreamFromGraph(g, 8700)
+	var ups []dynstream.Update
+	if err := full.Replay(func(u dynstream.Update) error { ups = append(ups, u); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(ups) * 3 / 5
+	for _, w := range decodeWorkerCounts {
+		t.Run(fmt.Sprintf("decode%d", w), func(t *testing.T) {
+			base := dynstream.NewMemoryStream(full.N())
+			appendAll(t, base, ups[:cut])
+			h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeWorkers(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cum := cloneStream(t, base)
+			rest := ups[cut:]
+			per := (len(rest) + 2) / 3
+			for round := 0; ; round++ {
+				got, err := h.Query(ctx)
+				if err != nil {
+					t.Fatalf("round %d: query: %v", round, err)
+				}
+				want, err := dynstream.Build(ctx, cum, target)
+				if err != nil {
+					t.Fatalf("round %d: cold rebuild: %v", round, err)
+				}
+				edgesEqual(t, fmt.Sprintf("round %d sparsifier", round), got.Sparsifier, want.Sparsifier)
+				if len(rest) == 0 {
+					break
+				}
+				end := per
+				if end > len(rest) {
+					end = len(rest)
+				}
+				if err := h.Apply(rest[:end]); err != nil {
+					t.Fatalf("round %d: apply: %v", round, err)
+				}
+				appendAll(t, cum, rest[:end])
+				rest = rest[end:]
+			}
+		})
+	}
+}
+
+// TestHandleMergeDirtiesExactlyTouchedComponents pins the Merge
+// invalidation contract: folding a shipped SKETCH blob into a live
+// handle must bump generation counters on exactly the samplers the
+// blob touched — so cached decodes of untouched components survive —
+// while every query stays bit-identical to a cold build over the union
+// of both streams.
+func TestHandleMergeDirtiesExactlyTouchedComponents(t *testing.T) {
+	ctx := context.Background()
+	const n = 40
+	target := dynstream.ForestTarget{Seed: 8801}
+
+	// Shard A: a path over vertices 0..19. Shard B: a path over 20..39
+	// plus one bridge edge {5, 30} — B touches the low half only at 5.
+	a := dynstream.NewMemoryStream(n)
+	for v := 1; v < 20; v++ {
+		appendAll(t, a, []dynstream.Update{{U: v - 1, V: v, Delta: 1, W: 1}})
+	}
+	b := dynstream.NewMemoryStream(n)
+	for v := 21; v < 40; v++ {
+		appendAll(t, b, []dynstream.Update{{U: v - 1, V: v, Delta: 1, W: 1}})
+	}
+	appendAll(t, b, []dynstream.Update{{U: 5, V: 30, Delta: 1, W: 1}})
+
+	h, err := dynstream.Open(ctx, a, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := h.Query(ctx) // warm the decode cache over shard A
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.SpanningForest(nil); err != nil {
+		t.Fatal(err)
+	}
+	untouched := make([]int, 0, 19)
+	for v := 0; v < 20; v++ {
+		if v != 5 {
+			untouched = append(untouched, v)
+		}
+	}
+	cleanGen := sk.GenSum(untouched...)
+	touchedGen := sk.GenSum(5, 30)
+
+	// Ship shard B the way dynnet does: build, marshal, unmarshal into
+	// a fresh sketch, merge into the handle.
+	bsk, err := dynstream.Build(ctx, b, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := bsk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := dynstream.NewForestSketch(8801, n, dynstream.ForestConfig{})
+	if err := fresh.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := sk.GenSum(untouched...); got != cleanGen {
+		t.Fatalf("merge dirtied untouched samplers: GenSum %d, was %d", got, cleanGen)
+	}
+	if got := sk.GenSum(5, 30); got == touchedGen {
+		t.Fatal("merge left touched samplers clean: stale cached decodes would survive")
+	}
+
+	// The post-merge query must match a cold build over A + B.
+	got, err := sk.SpanningForest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := cloneStream(t, a)
+	if err := b.Replay(func(u dynstream.Update) error { return union.Append(u) }); err != nil {
+		t.Fatal(err)
+	}
+	coldSk, err := dynstream.Build(ctx, union, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := coldSk.SpanningForest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-merge forest diverged from cold union build:\n got %v\nwant %v", got, want)
+	}
+
+	// And an Apply after the Merge keeps the handle exact.
+	extra := []dynstream.Update{{U: 0, V: 39, Delta: 1, W: 1}}
+	if err := h.Apply(extra); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, union, extra)
+	got, err = sk.SpanningForest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSk, err = dynstream.Build(ctx, union, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = coldSk.SpanningForest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-merge apply diverged from cold union build:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestHandleMergeRemoteBlob drives the dynnet coordinator path into a
+// live handle: one shard is built on real protocol workers (worker
+// SKETCH blobs tree-merged by the coordinator), the result is merged
+// into a handle holding the other shard, and queries before and after
+// another Apply must match cold builds over the whole stream.
+func TestHandleMergeRemoteBlob(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	target := dynstream.ForestTarget{Seed: 8901}
+	full := remoteTestStream(t)
+	shards, err := dynstream.SplitStream(full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := dynstream.Open(ctx, shards[0], target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := h.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.SpanningForest(nil); err != nil { // warm the cache pre-merge
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, ctx, 2)
+	cluster, err := dynstream.DialWorkers(ctx, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	remote, err := dynstream.Build(ctx, shards[1], target, dynstream.WithRemoteCluster(cluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Merge(remote); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := sk.SpanningForest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSk, err := dynstream.Build(ctx, full, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := coldSk.SpanningForest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("handle + coordinator-built merge diverged from cold full build")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	ctx := context.Background()
+	st := dynstream.NewMemoryStream(8)
+	forest := dynstream.ForestTarget{Seed: 1}
+
+	if _, err := dynstream.Open(ctx, st, forest, dynstream.WithRemoteWorkers("unix:/nope")); !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Fatalf("remote option: got %v, want ErrBadConfig", err)
+	}
+	if _, err := dynstream.Open(ctx, st, dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 1}},
+		dynstream.WithWeightClasses(2)); !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Fatalf("weight classes: got %v, want ErrBadConfig", err)
+	}
+	if _, err := dynstream.Open(ctx, st, dynstream.MSFTarget{Seed: 1, Gamma: 0.5}); !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Fatalf("msf without WMax: got %v, want ErrBadConfig", err)
+	}
+	ch := make(chan dynstream.Update)
+	close(ch)
+	if _, err := dynstream.Open(ctx, dynstream.NewChannelSource(8, ch),
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 1}}); !errors.Is(err, dynstream.ErrNotReplayable) {
+		t.Fatalf("spanner over channel: got %v, want ErrNotReplayable", err)
+	}
+
+	h, err := dynstream.Open(ctx, st, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Apply([]dynstream.Update{{U: -1, V: 2, Delta: 1}}); err == nil {
+		t.Fatal("Apply accepted an out-of-range update")
+	}
+	if err := h.Merge("not a sketch"); !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Fatalf("merge of wrong type: got %v, want ErrBadConfig", err)
+	}
+
+	sp, err := dynstream.Open(ctx, st, dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Merge(dynstream.NewTwoPassSpanner(8, dynstream.SpannerConfig{K: 2, Seed: 1})); !errors.Is(err, dynstream.ErrBadConfig) {
+		t.Fatalf("two-pass merge: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestHandleCacheOff checks WithDecodeCache(false): queries re-extract
+// cold every time but stay identical to the cold rebuild.
+func TestHandleCacheOff(t *testing.T) {
+	ctx := context.Background()
+	target := dynstream.ForestTarget{Seed: 9001}
+	base, batches := handleStream(t, 9000)
+	h, err := dynstream.Open(ctx, base, target, dynstream.WithDecodeCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := cloneStream(t, base)
+	for i, b := range batches {
+		if err := h.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, cum, b)
+		sk, err := h.Query(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.SpanningForest(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldSk, err := dynstream.Build(ctx, cum, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := coldSk.SpanningForest(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: cache-off handle diverged from cold rebuild", i+1)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package dynstream
 // (linearity under deletions, weight classes, shared streams).
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestIntegrationFullCancellation(t *testing.T) {
 		_ = st.Append(Update{U: e.U, V: e.V, Delta: -1})
 	}
 
-	sp, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 1})
+	sp, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 1}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestIntegrationFullCancellation(t *testing.T) {
 		t.Errorf("spanner of cancelled stream has %d edges", sp.Spanner.M())
 	}
 
-	ad, err := BuildAdditiveSpanner(st, AdditiveConfig{D: 4, Seed: 2})
+	ad, err := Build(context.Background(), st, AdditiveTarget{Config: AdditiveConfig{D: 4, Seed: 2}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestIntegrationSharedStreamConsistency(t *testing.T) {
 	g := graph.ConnectedGNP(48, 0.2, 4)
 	st := StreamWithChurn(g, 300, 5)
 
-	sp, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 6})
+	sp, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 6}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ad, err := BuildAdditiveSpanner(st, AdditiveConfig{D: 4, Seed: 7})
+	ad, err := Build(context.Background(), st, AdditiveTarget{Config: AdditiveConfig{D: 4, Seed: 7}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,8 @@ func TestIntegrationWeightedPipeline(t *testing.T) {
 	g := graph.RandomWeighted(base, 1, 100, 10)
 	st := StreamFromGraph(g, 11)
 	const classBase = 2.0
-	res, err := BuildSpannerWeighted(st, SpannerConfig{K: 2, Seed: 12}, classBase)
+	res, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 12}},
+		WithWorkers(1), WithWeightClasses(classBase))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,8 @@ func TestIntegrationWeightedPipeline(t *testing.T) {
 func TestIntegrationStarvedBudgetStaysValid(t *testing.T) {
 	g := graph.ConnectedGNP(40, 0.25, 13)
 	st := StreamFromGraph(g, 14)
-	res, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 15, Budget: 2, Levels: 3})
+	res, err := Build(context.Background(), st,
+		SpannerTarget{Config: SpannerConfig{K: 2, Seed: 15, Budget: 2, Levels: 3}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestIntegrationMultigraphMultiplicity(t *testing.T) {
 	}
 	want := graph.Path(n)
 
-	sp, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 16})
+	sp, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 16}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +197,7 @@ func TestIntegrationInsertionOnlyBaselineContrast(t *testing.T) {
 	if _, err := baseline.StreamingGreedy(withDeletes, 2); err == nil {
 		t.Error("insertion-only baseline accepted deletions")
 	}
-	res, err := BuildSpanner(withDeletes, SpannerConfig{K: 2, Seed: 21})
+	res, err := Build(context.Background(), withDeletes, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 21}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,10 +213,10 @@ func TestIntegrationInsertionOnlyBaselineContrast(t *testing.T) {
 func TestIntegrationSparsifierCutsVsSpectral(t *testing.T) {
 	g := graph.Complete(14)
 	st := StreamFromGraph(g, 22)
-	res, err := BuildSparsifier(st, SparsifierConfig{
+	res, err := Build(context.Background(), st, SparsifierTarget{Config: SparsifierConfig{
 		K: 1, Z: 32, Seed: 23,
 		Estimate: EstimateConfig{K: 1, J: 3, T: 7, Delta: 0.34, Seed: 24, ExactOracles: true},
-	})
+	}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,11 +262,11 @@ func TestIntegrationStreamOrderInvariance(t *testing.T) {
 	g := graph.ConnectedGNP(30, 0.2, 25)
 	a := StreamFromGraph(g, 1)
 	b := StreamFromGraph(g, 2) // different order, same multiset
-	resA, err := BuildSpanner(a, SpannerConfig{K: 2, Seed: 26})
+	resA, err := Build(context.Background(), a, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 26}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := BuildSpanner(b, SpannerConfig{K: 2, Seed: 26})
+	resB, err := Build(context.Background(), b, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 26}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,159 @@ type Sketch struct {
 	perLvl int
 
 	hint sketch.L0Hint // scratch routing buffer reused across updates
+
+	// Decode cache (EnableDecodeCache): per-(round, component) Borůvka
+	// picks from the previous extraction, reused when the component's
+	// member list and the generation sum of its samplers are unchanged.
+	// Flat per-round arrays indexed by the component's union-find root —
+	// a map would put ~n lookups per round on the serial re-query path.
+	caching bool
+	picks   [][]pickEntry // picks[r][root]
+
+	// Merged-sampler cache: each decoded component's summed sampler,
+	// indexed by round and minimum member (stable across queries, unlike
+	// the union-find root). A dirty component refreshes its cached sum
+	// instead of re-merging every member sampler: fold the logged
+	// updates since its last sync, then reconcile the membership delta
+	// by merging gained members and subtracting lost ones — every step
+	// an exact linear cell operation. log records every AddEdge while
+	// caching is on; logGen invalidates fold windows when the log
+	// resets; epoch invalidates them on non-logged mutations (Merge).
+	merges [][]*mergeEntry // merges[r][minMember]
+	log    []logUpd
+	logGen uint64
+	epoch  uint64
+}
+
+// mergeCacheMinMembers is the component size from which extraction
+// keeps the component's merged sampler between queries. Singletons
+// never need an entry — their "sum" is the vertex sampler itself,
+// sampled in place.
+const mergeCacheMinMembers = 2
+
+// logUpd is one logged stream update in canonical (a < b) form.
+type logUpd struct {
+	key   uint64
+	a, b  int32
+	delta int64
+}
+
+// mergeEntry caches one component's merged sampler. samp equals the
+// sum of members' samplers as of (logGen, logPos): provided no
+// non-logged mutation happened (epoch) and the log window survives
+// (logGen), folding log[logPos:] restricted to members reproduces the
+// current sum bit for bit, because cell updates are commutative and
+// associative field additions. genSum lets a clean re-query re-stamp
+// the entry without any folding.
+type mergeEntry struct {
+	members []int
+	genSum  uint64
+	epoch   uint64
+	logGen  uint64
+	logPos  int
+	samp    *sketch.L0Sampler
+
+	// Cached Sample() result drawn from samp in its current state.
+	// Valid while pickKnown and samp untouched: a refresh that applies
+	// zero log hints and no membership delta leaves the sum — and so
+	// the deterministic Sample — bit-identical, letting the decode be
+	// skipped outright.
+	pa, pb    int
+	pok       bool
+	pickKnown bool
+}
+
+// pickEntry is a cached component decode. members is the exact member
+// list the pick was drawn over (nil marks an empty slot); genSum is
+// the sum of those members' sampler generations at decode time.
+// Generations are monotonic and bump on every mutation, so an equal
+// member list with an equal generation sum implies every member
+// sampler is bit-identical to the cached decode's input — and Sample
+// is a deterministic function of that state, so the cached pick IS the
+// pick a fresh decode would draw.
+type pickEntry struct {
+	members []int
+	genSum  uint64
+	a, b    int
+	ok      bool
+}
+
+// EnableDecodeCache turns on (or off) the per-component pick cache
+// used by SpanningForestOpts. Off (the default) keeps one-shot builds
+// allocation-lean; live handles turn it on so that re-queries after
+// small update batches re-decode only components whose samplers
+// changed (the Liu–Tarjan-style restart from the previous labeling).
+// Turning it off releases the cache.
+func (s *Sketch) EnableDecodeCache(on bool) {
+	s.caching = on
+	if !on {
+		s.picks = nil
+		s.merges = nil
+		s.log = nil
+		s.logGen++
+	}
+}
+
+// InvalidateDecodeCache drops every cached component decode; the next
+// extraction runs cold. Correctness never requires calling this — the
+// generation checks already reject stale entries — it only bounds
+// memory or forces a cold decode for measurement.
+func (s *Sketch) InvalidateDecodeCache() {
+	s.picks = nil
+	s.merges = nil
+	s.log = s.log[:0]
+	s.logGen++
+}
+
+// cachedPickCount reports how many component decodes the pick cache
+// currently holds (test hook).
+func (s *Sketch) cachedPickCount() int {
+	count := 0
+	for _, row := range s.picks {
+		for i := range row {
+			if row[i].members != nil {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// GenSum reports the total sampler generation over the given vertices
+// across all rounds — the monotonic dirtiness signal the decode cache
+// keys on. An unchanged GenSum over a vertex set means no mutation
+// (AddUpdate, Merge, Unmarshal) touched any of those samplers, so a
+// cached component decode over them is still exact. Tests use it to
+// pin down which components a Merge actually dirtied.
+func (s *Sketch) GenSum(vertices ...int) uint64 {
+	var sum uint64
+	for r := 0; r < s.rounds; r++ {
+		sum += s.genSumOf(r, vertices)
+	}
+	return sum
+}
+
+// genSumOf sums the generation counters of the given members' samplers
+// in round r.
+func (s *Sketch) genSumOf(r int, members []int) uint64 {
+	var sum uint64
+	for _, v := range members {
+		sum += s.samp[r][v].Gen()
+	}
+	return sum
+}
+
+// intsEqual reports whether two int slices are element-wise equal.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Config tunes the sketch.
@@ -96,11 +249,26 @@ func (s *Sketch) AddEdge(u, v int, delta int64) {
 		a, b = b, a
 	}
 	key := stream.PairKey(a, b, s.n)
+	if s.caching {
+		s.logUpdate(key, a, b, delta)
+	}
 	for r := 0; r < s.rounds; r++ {
 		s.fam[r].Hint(key, &s.hint)
 		s.samp[r][a].AddHint(key, delta, &s.hint)
 		s.samp[r][b].AddHint(key, -delta, &s.hint)
 	}
+}
+
+// logUpdate appends one update to the fold window. If the window
+// outgrows its budget the log resets and logGen advances: cached
+// merged samplers fall back to a full re-merge at their next dirty
+// query instead of folding an unbounded backlog.
+func (s *Sketch) logUpdate(key uint64, a, b int, delta int64) {
+	if len(s.log) >= 4*s.n+1024 {
+		s.log = s.log[:0]
+		s.logGen++
+	}
+	s.log = append(s.log, logUpd{key: key, a: int32(a), b: int32(b), delta: delta})
 }
 
 // AddUpdate folds a stream update.
@@ -182,55 +350,189 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 		members[root] = append(members[root], v)
 	}
 
+	// Roots in ascending order (map iteration order would make the
+	// union order — and so the forest — nondeterministic), sorted once:
+	// a union's surviving root is one of the two merged roots, so the
+	// root set only shrinks and each round filters the previous list in
+	// place instead of re-collecting and re-sorting.
+	roots := make([]int, 0, len(members))
+	for root := range members {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+
 	scratch := make([]*sketch.L0Sampler, p.Workers())
+	hints := make([]sketch.L0Hint, p.Workers())
+	// Per-component pick of the current round, indexed by sorted-root
+	// position so the serial union order below is independent of
+	// scheduling.
+	type found struct {
+		a, b int
+		ok   bool
+	}
+	// Per-round scratch, sized once to the initial component count and
+	// resliced as components merge away.
+	picks := make([]found, len(roots))
+	genSums := make([]uint64, len(roots))
+	dirty := make([]int, 0, len(roots))
+	var created []*mergeEntry
+	if s.caching {
+		created = make([]*mergeEntry, len(roots))
+		if s.picks == nil {
+			s.picks = make([][]pickEntry, s.rounds)
+			s.merges = make([][]*mergeEntry, s.rounds)
+		}
+	}
+
 	var forest []graph.Edge
 	for r := 0; r < s.rounds; r++ {
 		if uf.Sets() == 1 {
 			break
 		}
-		// Visit components in sorted root order: map iteration order
-		// would otherwise make the union order — and therefore the
-		// extracted forest — nondeterministic across runs on identical
-		// sketch states.
-		roots := make([]int, 0, len(members))
-		for root := range members {
-			roots = append(roots, root)
+		if r > 0 {
+			// Drop roots merged away last round; survivors keep order.
+			k := 0
+			for _, root := range roots {
+				if _, ok := members[root]; ok {
+					roots[k] = root
+					k++
+				}
+			}
+			roots = roots[:k]
 		}
-		sort.Ints(roots)
-		// Per-component picks, indexed by sorted-root position so the
-		// serial union order below is independent of scheduling. The
-		// workers only read samplers and the frozen membership lists;
-		// lazy power tables are materialized up front (Warm) because
-		// decoding shares them across the whole round.
+		picks = picks[:len(roots)]
+		genSums = genSums[:len(roots)]
+		dirty = dirty[:0]
+		// The workers only read samplers and the frozen membership
+		// lists; lazy power tables are materialized up front (Warm)
+		// because decoding shares them across the whole round.
 		s.fam[r].Warm()
-		type found struct {
-			a, b int
-			ok   bool
+		// Cache pass (serial, cheap): a component whose member list and
+		// sampler generation sum match the previous extraction decodes
+		// to the same pick; only the dirty subset fans out to workers.
+		if s.caching {
+			if s.picks[r] == nil {
+				s.picks[r] = make([]pickEntry, s.n)
+				s.merges[r] = make([]*mergeEntry, s.n)
+			}
+			for i, root := range roots {
+				m := members[root]
+				genSums[i] = s.genSumOf(r, m)
+				if e := &s.picks[r][root]; e.members != nil && e.genSum == genSums[i] && intsEqual(e.members, m) {
+					picks[i] = found{a: e.a, b: e.b, ok: e.ok}
+					// The generation match proves the member samplers —
+					// and so their cached sum — are untouched since the
+					// last sync: re-stamp the merged sampler to the
+					// current fold window so it stays foldable.
+					if me := s.merges[r][m[0]]; me != nil &&
+						me.genSum == genSums[i] && intsEqual(me.members, m) {
+						me.epoch = s.epoch
+						me.logGen = s.logGen
+						me.logPos = len(s.log)
+					}
+					continue
+				}
+				dirty = append(dirty, i)
+			}
+		} else {
+			for i := range roots {
+				dirty = append(dirty, i)
+			}
 		}
-		picks := make([]found, len(roots))
-		err := parallel.ForEachWorkerOpts(p, len(roots), func(w, i int) error {
+		// New merged-sampler entries are collected per dirty index and
+		// inserted serially after the fan-out: workers only read the
+		// merges table (and mutate entries of their own slot, which no
+		// other worker shares — dirty indices are disjoint components).
+		err := parallel.ForEachWorkerSubset(p, dirty, func(w, i int) error {
+			picks[i] = found{}
+			if s.caching {
+				created[i] = nil
+			}
 			m := members[roots[i]]
+			if len(m) == 1 {
+				// A singleton's merged sampler IS its vertex sampler:
+				// decode it in place (Sample is read-only).
+				if key, _, ok := s.samp[r][m[0]].Sample(); ok {
+					a, b := stream.DecodePairKey(key, s.n)
+					picks[i] = found{a: a, b: b, ok: true}
+				}
+				return nil
+			}
+			if s.caching {
+				// Fold path: refresh the cached merged sampler from the
+				// update log and the membership delta instead of
+				// re-merging every member sampler.
+				if me := s.refreshCached(r, m, genSums[i], &hints[w]); me != nil {
+					if me.pickKnown {
+						picks[i] = found{a: me.pa, b: me.pb, ok: me.pok}
+						return nil
+					}
+					if key, _, ok := me.samp.Sample(); ok {
+						a, b := stream.DecodePairKey(key, s.n)
+						picks[i] = found{a: a, b: b, ok: true}
+					}
+					me.pa, me.pb, me.pok = picks[i].a, picks[i].b, picks[i].ok
+					me.pickKnown = true
+					return nil
+				}
+			}
 			sc := scratch[w]
 			if sc == nil {
 				sc = &sketch.L0Sampler{}
 				scratch[w] = sc
 			}
-			sc.SetTo(s.samp[r][m[0]])
-			for _, v := range m[1:] {
-				if err := sc.Merge(s.samp[r][v]); err != nil {
-					return fmt.Errorf("agm: merge: %w", err)
+			if !(s.caching && s.composeCover(r, m, &hints[w], sc)) {
+				sc.SetTo(s.samp[r][m[0]])
+				for _, v := range m[1:] {
+					if err := sc.Merge(s.samp[r][v]); err != nil {
+						return fmt.Errorf("agm: merge: %w", err)
+					}
 				}
 			}
-			key, _, ok := sc.Sample()
-			if !ok {
-				return nil // isolated component (or decode failure)
+			if key, _, ok := sc.Sample(); ok {
+				a, b := stream.DecodePairKey(key, s.n)
+				picks[i] = found{a: a, b: b, ok: true}
 			}
-			a, b := stream.DecodePairKey(key, s.n)
-			picks[i] = found{a: a, b: b, ok: true}
+			if s.caching && len(m) >= mergeCacheMinMembers {
+				pk := picks[i]
+				if me := s.merges[r][m[0]]; me != nil {
+					me.samp.SetTo(sc)
+					me.members = m
+					me.genSum = genSums[i]
+					me.epoch = s.epoch
+					me.logGen = s.logGen
+					me.logPos = len(s.log)
+					me.pa, me.pb, me.pok, me.pickKnown = pk.a, pk.b, pk.ok, true
+				} else {
+					fresh := &sketch.L0Sampler{}
+					fresh.SetTo(sc)
+					created[i] = &mergeEntry{
+						members: m, genSum: genSums[i],
+						epoch: s.epoch, logGen: s.logGen, logPos: len(s.log),
+						samp: fresh,
+						pa:   pk.a, pb: pk.b, pok: pk.ok, pickKnown: true,
+					}
+				}
+			}
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		if s.caching {
+			for _, i := range dirty {
+				if e := created[i]; e != nil {
+					s.merges[r][e.members[0]] = e
+				}
+				root := roots[i]
+				s.picks[r][root] = pickEntry{
+					members: members[root],
+					genSum:  genSums[i],
+					a:       picks[i].a,
+					b:       picks[i].b,
+					ok:      picks[i].ok,
+				}
+			}
 		}
 		progress := false
 		for _, pk := range picks {
@@ -254,7 +556,227 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 			break
 		}
 	}
+	if s.caching {
+		s.completeQueryWindow()
+	}
 	return forest, nil
+}
+
+// refreshCached serves a dirty component's merged sampler from the
+// cache. Entries are keyed by the component's minimum member (stable
+// when the component gains or loses a branch across queries, unlike
+// the union-find root). The refresh folds the logged updates since the
+// entry's sync into the cached sum, then reconciles the membership
+// delta by merging gained members' current samplers and subtracting
+// lost ones — every step an exact linear cell operation, so the result
+// is bit-identical to re-merging the current member samplers from
+// scratch. Returns nil when no entry is usable or the delta is big
+// enough that the full re-merge is cheaper.
+func (s *Sketch) refreshCached(r int, m []int, genSum uint64, h *sketch.L0Hint) *mergeEntry {
+	me := s.merges[r][m[0]]
+	if me == nil {
+		return nil
+	}
+	if me.epoch != s.epoch || me.logGen != s.logGen {
+		return nil
+	}
+	gained, lost := sortedDiff(m, me.members)
+	if len(gained)+len(lost)+4 >= len(m) {
+		return nil
+	}
+	applied := s.foldInto(me, r, me.members, h)
+	if applied > 0 {
+		me.pickKnown = false
+	}
+	bad := false
+	for _, v := range gained {
+		if me.samp.Merge(s.samp[r][v]) != nil {
+			bad = true
+		}
+	}
+	for _, v := range lost {
+		if me.samp.Sub(s.samp[r][v]) != nil {
+			bad = true
+		}
+	}
+	if bad {
+		// Unreachable with same-family samplers; invalidate the entry
+		// rather than trusting a half-applied refresh.
+		me.logGen = s.logGen - 1
+		return nil
+	}
+	if len(gained)+len(lost) > 0 {
+		me.pickKnown = false
+	}
+	me.members = m
+	me.genSum = genSum
+	me.logPos = len(s.log)
+	return me
+}
+
+// composeCover assembles a dirty component's merged sampler from
+// cached sub-component entries when no single entry is close enough
+// for a delta refresh. After churn, Borůvka's merge cascade often
+// reshuffles which components join in a round; the new component is
+// then a union of previously cached components plus a few stragglers.
+// Valid entries whose member lists lie wholly inside m (and don't
+// overlap an already claimed chunk) cover disjoint chunks: refresh
+// each chunk by folding the update log, merge the chunk sums, and top
+// up the uncovered members from their vertex samplers — exact linear
+// steps, bit-identical to the full re-merge. Returns false (sc
+// untouched or safely overwritable) when too little of m is covered
+// to beat the plain re-merge.
+func (s *Sketch) composeCover(r int, m []int, h *sketch.L0Hint, sc *sketch.L0Sampler) bool {
+	if len(m) < 2*mergeCacheMinMembers {
+		return false
+	}
+	claimed := make([]bool, len(m))
+	var covers []*mergeEntry
+	covered := 0
+	for idx, v := range m {
+		if claimed[idx] {
+			continue
+		}
+		me := s.merges[r][v]
+		if me == nil || me.epoch != s.epoch || me.logGen != s.logGen {
+			continue
+		}
+		// me.members[0] == v; verify the rest lie in m unclaimed.
+		t := idx
+		usable := true
+		for _, x := range me.members {
+			for t < len(m) && m[t] < x {
+				t++
+			}
+			if t >= len(m) || m[t] != x || claimed[t] {
+				usable = false
+				break
+			}
+			t++
+		}
+		if !usable {
+			continue
+		}
+		t = idx
+		for _, x := range me.members {
+			for m[t] < x {
+				t++
+			}
+			claimed[t] = true
+			t++
+		}
+		covers = append(covers, me)
+		covered += len(me.members)
+	}
+	if covered-len(covers) < len(m)/4 {
+		return false // the chunks save fewer merges than they cost to stitch
+	}
+	for _, me := range covers {
+		if s.foldInto(me, r, me.members, h) > 0 {
+			me.pickKnown = false
+		}
+		me.logPos = len(s.log)
+		me.genSum = s.genSumOf(r, me.members)
+	}
+	sc.SetTo(covers[0].samp)
+	for _, me := range covers[1:] {
+		if sc.Merge(me.samp) != nil {
+			return false
+		}
+	}
+	for idx, v := range m {
+		if !claimed[idx] {
+			if sc.Merge(s.samp[r][v]) != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedDiff returns the elements of cur absent from old (gained) and
+// of old absent from cur (lost); both inputs ascending.
+func sortedDiff(cur, old []int) (gained, lost []int) {
+	i, j := 0, 0
+	for i < len(cur) && j < len(old) {
+		switch {
+		case cur[i] == old[j]:
+			i++
+			j++
+		case cur[i] < old[j]:
+			gained = append(gained, cur[i])
+			i++
+		default:
+			lost = append(lost, old[j])
+			j++
+		}
+	}
+	gained = append(gained, cur[i:]...)
+	lost = append(lost, old[j:]...)
+	return gained, lost
+}
+
+// foldInto replays the logged update suffix since the entry's last
+// sync into its merged sampler. An update on edge {a, b} (a < b)
+// contributed +delta at the pair key to a's sampler and -delta to b's
+// — so its contribution to the members' sum is +delta if a is a
+// member, -delta if b is. Both or neither member means exact
+// cancellation: skip. Cell updates are commutative, associative,
+// exact field additions, so the folded sampler is bit-identical to a
+// full re-merge of the current member samplers.
+func (s *Sketch) foldInto(me *mergeEntry, r int, m []int, h *sketch.L0Hint) int {
+	applied := 0
+	for _, lu := range s.log[me.logPos:] {
+		inA := containsSorted(m, int(lu.a))
+		inB := containsSorted(m, int(lu.b))
+		if inA == inB {
+			continue
+		}
+		s.fam[r].Hint(lu.key, h)
+		if inA {
+			me.samp.AddHint(lu.key, lu.delta, h)
+		} else {
+			me.samp.AddHint(lu.key, -lu.delta, h)
+		}
+		applied++
+	}
+	return applied
+}
+
+// containsSorted reports whether ascending list m contains v.
+func containsSorted(m []int, v int) bool {
+	i := sort.SearchInts(m, v)
+	return i < len(m) && m[i] == v
+}
+
+// completeQueryWindow runs after each cached extraction: entries
+// synced to the current end of the log are re-stamped to position 0
+// of the next window, then the log is cleared — so the fold backlog
+// never spans more than one update batch for live handles that query
+// after every Apply. Entries that missed two consecutive windows
+// (their component vanished or shrank below the threshold) are swept
+// periodically.
+func (s *Sketch) completeQueryWindow() {
+	cur := len(s.log)
+	for _, row := range s.merges {
+		for _, me := range row {
+			if me != nil && me.logGen == s.logGen && me.logPos == cur {
+				me.logGen = s.logGen + 1
+				me.logPos = 0
+			}
+		}
+	}
+	s.logGen++
+	s.log = s.log[:0]
+	if s.logGen%32 == 0 {
+		for _, row := range s.merges {
+			for v, me := range row {
+				if me != nil && me.logGen+2 < s.logGen {
+					row[v] = nil
+				}
+			}
+		}
+	}
 }
 
 // mergeSortedInts merges two ascending duplicate-free lists into one.

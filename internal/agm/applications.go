@@ -30,6 +30,15 @@ type KConnectivity struct {
 	k        int
 	n        int
 	sketches []*Sketch
+
+	// subtracted[i] is the edge multiset currently folded OUT of
+	// sketch i (the prior forests of the last Certificate call).
+	// Extraction reconciles it against the forests it actually needs
+	// subtracted, applying only the difference — so a re-query whose
+	// upstream forests are unchanged leaves every sampler generation
+	// untouched and the decode caches hot, and repeated Certificate
+	// calls are idempotent instead of double-subtracting.
+	subtracted [][]graph.Edge
 }
 
 // NewKConnectivity creates the certificate sketch for a graph on n
@@ -38,11 +47,70 @@ func NewKConnectivity(seed uint64, n, k int) *KConnectivity {
 	if k < 1 {
 		k = 1
 	}
-	kc := &KConnectivity{k: k, n: n, sketches: make([]*Sketch, k)}
+	kc := &KConnectivity{k: k, n: n, sketches: make([]*Sketch, k), subtracted: make([][]graph.Edge, k)}
 	for i := 0; i < k; i++ {
 		kc.sketches[i] = New(hashing.Mix(seed, 0x6c, uint64(i)), n, Config{})
 	}
 	return kc
+}
+
+// EnableDecodeCache turns the per-component pick cache on or off for
+// every constituent sketch (see Sketch.EnableDecodeCache).
+func (kc *KConnectivity) EnableDecodeCache(on bool) {
+	for _, s := range kc.sketches {
+		s.EnableDecodeCache(on)
+	}
+}
+
+// InvalidateDecodeCache drops every constituent sketch's cached
+// component decodes; the next Certificate runs cold.
+func (kc *KConnectivity) InvalidateDecodeCache() {
+	for _, s := range kc.sketches {
+		s.InvalidateDecodeCache()
+	}
+}
+
+// reconcile adjusts sketch i so that exactly `want` is folded out of
+// it, applying only the multiset difference against what is currently
+// subtracted. An unchanged `want` is a no-op that touches no sampler.
+func (kc *KConnectivity) reconcile(i int, want []graph.Edge) {
+	have := kc.subtracted[i]
+	if len(have) == len(want) {
+		same := true
+		for j := range have {
+			if have[j] != want[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	counts := map[[2]int]int64{}
+	for _, e := range want {
+		e = e.Canon()
+		counts[[2]int{e.U, e.V}]++
+	}
+	for _, e := range have {
+		e = e.Canon()
+		counts[[2]int{e.U, e.V}]--
+	}
+	for key, d := range counts {
+		if d != 0 {
+			kc.sketches[i].AddEdge(key[0], key[1], -d)
+		}
+	}
+	kc.subtracted[i] = append([]graph.Edge(nil), want...)
+}
+
+// restoreStream folds every subtracted forest back in, returning all
+// sketches to pure functions of the update stream — the state the
+// wire format and Merge are defined over.
+func (kc *KConnectivity) restoreStream() {
+	for i := range kc.sketches {
+		kc.reconcile(i, nil)
+	}
 }
 
 // N returns the vertex count.
@@ -77,6 +145,10 @@ func (kc *KConnectivity) Merge(o *KConnectivity) error {
 		return fmt.Errorf("agm: merging incompatible k-connectivity sketches (k %d/%d, n %d/%d)",
 			kc.k, o.k, kc.n, o.n)
 	}
+	// Merge is defined over pure stream states: fold any extraction-era
+	// subtractions back in on both sides first.
+	kc.restoreStream()
+	o.restoreStream()
 	for i := range kc.sketches {
 		if err := kc.sketches[i].Merge(o.sketches[i]); err != nil {
 			return fmt.Errorf("agm: k-connectivity merge sketch %d: %w", i, err)
@@ -108,7 +180,7 @@ func (kc *KConnectivity) CertificateOpts(p *parallel.Policy) ([][]graph.Edge, er
 	var prior []graph.Edge
 	out := make([][]graph.Edge, 0, kc.k)
 	for i, s := range kc.sketches {
-		s.SubtractEdges(prior)
+		kc.reconcile(i, prior)
 		f, err := s.SpanningForestOpts(nil, p)
 		if err != nil {
 			return nil, fmt.Errorf("agm: certificate forest %d: %w", i, err)
@@ -179,6 +251,20 @@ func NewBipartiteness(seed uint64, n int) *Bipartiteness {
 
 // N returns the vertex count.
 func (b *Bipartiteness) N() int { return b.n }
+
+// EnableDecodeCache turns the per-component pick cache on or off for
+// both the base and double-cover sketches.
+func (b *Bipartiteness) EnableDecodeCache(on bool) {
+	b.base.EnableDecodeCache(on)
+	b.cover.EnableDecodeCache(on)
+}
+
+// InvalidateDecodeCache drops both sketches' cached component decodes;
+// the next IsBipartite runs cold.
+func (b *Bipartiteness) InvalidateDecodeCache() {
+	b.base.InvalidateDecodeCache()
+	b.cover.InvalidateDecodeCache()
+}
 
 // AddUpdate folds a stream update into both sketches.
 func (b *Bipartiteness) AddUpdate(u stream.Update) {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"dynstream/internal/graph"
 )
 
 const (
@@ -125,6 +127,10 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	if pos != len(data) {
 		return errCorrupt
 	}
+	// Whole-state replacement: keep the caching preference but drop the
+	// cached picks — the rebuilt samplers carry fresh generations, so
+	// old entries must not be consulted against them.
+	rebuilt.caching = s.caching
 	*s = *rebuilt
 	return nil
 }
@@ -137,6 +143,12 @@ func (s *Sketch) Merge(o *Sketch) error {
 		return fmt.Errorf("agm: merging incompatible sketches (seed %d/%d n %d/%d rounds %d/%d perLevel %d/%d)",
 			s.seed, o.seed, s.n, o.n, s.rounds, o.rounds, s.perLvl, o.perLvl)
 	}
+	// A merge mutates samplers without passing through the update log:
+	// advance the epoch so cached merged samplers stop folding and fall
+	// back to full re-merges (the pick cache itself stays valid for
+	// components the merge didn't touch — their generations are
+	// unchanged).
+	s.epoch++
 	for r := 0; r < s.rounds; r++ {
 		for v := 0; v < s.n; v++ {
 			if err := s.samp[r][v].Merge(o.samp[r][v]); err != nil {
@@ -199,6 +211,9 @@ func (r *blockReader) done() error {
 // MarshalBinary encodes the k-connectivity certificate sketch as its k
 // constituent AGM sketches (each carries its own seed and geometry).
 func (kc *KConnectivity) MarshalBinary() ([]byte, error) {
+	// The wire format carries pure stream states: fold any
+	// extraction-era subtractions back in first.
+	kc.restoreStream()
 	var out []byte
 	var tmp [8]byte
 	for _, v := range []uint64{tagKConn, uint64(kc.k), uint64(kc.n)} {
@@ -234,7 +249,7 @@ func (kc *KConnectivity) UnmarshalBinary(data []byte) error {
 	if k == 0 || k > 1<<16 || n == 0 || n > 1<<24 {
 		return errCorrupt
 	}
-	rebuilt := &KConnectivity{k: int(k), n: int(n), sketches: make([]*Sketch, k)}
+	rebuilt := &KConnectivity{k: int(k), n: int(n), sketches: make([]*Sketch, k), subtracted: make([][]graph.Edge, k)}
 	for i := range rebuilt.sketches {
 		enc, err := r.block()
 		if err != nil {

@@ -51,6 +51,22 @@ func NewMSF(seed uint64, n int, wmax, gamma float64) *MSF {
 // N returns the vertex count.
 func (m *MSF) N() int { return m.n }
 
+// EnableDecodeCache turns the per-component pick cache on or off for
+// every class-prefix sketch (see Sketch.EnableDecodeCache).
+func (m *MSF) EnableDecodeCache(on bool) {
+	for _, s := range m.prefixes {
+		s.EnableDecodeCache(on)
+	}
+}
+
+// InvalidateDecodeCache drops every prefix sketch's cached component
+// decodes; the next Forest runs cold.
+func (m *MSF) InvalidateDecodeCache() {
+	for _, s := range m.prefixes {
+		s.InvalidateDecodeCache()
+	}
+}
+
 // AddUpdate folds a weighted update into every prefix sketch whose
 // class bound covers the edge's weight class.
 func (m *MSF) AddUpdate(u stream.Update) {

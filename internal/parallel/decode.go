@@ -103,6 +103,21 @@ func ForEachWorkerOpts(p *Policy, n int, fn func(worker, i int) error) error {
 	return nil
 }
 
+// ForEachWorkerSubset is ForEachWorkerOpts restricted to an explicit
+// index subset: fn(worker, idxs[j]) runs for every j, fanned across
+// the policy's workers. It is the dirty-subset primitive of
+// incremental decode — a cache-aware extraction first partitions its
+// index space into hits and misses serially (cheap generation-counter
+// comparisons), then fans only the misses out here, so a re-query
+// after a small churn touches a handful of components instead of all
+// of them. The contract matches ForEachWorkerOpts: every listed index
+// runs even after a failure, and the first error in idxs order wins.
+func ForEachWorkerSubset(p *Policy, idxs []int, fn func(worker, i int) error) error {
+	return ForEachWorkerOpts(p, len(idxs), func(w, j int) error {
+		return fn(w, idxs[j])
+	})
+}
+
 // TreeMerge folds items into items[0] with a parallel binary tree:
 // each level merges items[i] ← items[i+stride] for stride-aligned i on
 // the policy's workers, doubling the stride until one state remains.

@@ -1,0 +1,88 @@
+package sketch
+
+import "encoding/binary"
+
+// StateDigest accumulates a cheap, injective fingerprint of a decode
+// region's identifying state: kind tags, seeds, geometry, and
+// generation counters. Decode caches (the spanner's per-center cluster
+// tables, the sparsifier's per-cell grid extractions) key cached
+// results by the digest of everything the extraction read; a region
+// whose digest is unchanged since the cached decode is provably in the
+// same state, because generations are monotonic and the encoding is
+// injective.
+//
+// Injectivity is by framing, not hashing: every append writes a
+// self-describing op byte followed by a fixed-width value, so two
+// distinct append sequences can never encode to the same bytes and a
+// corrupted byte string can never alias a clean digest while parsing
+// as the same sequence. There is no compression step to collide.
+type StateDigest struct {
+	b []byte
+}
+
+// Digest op bytes. Each op is followed by a fixed-width payload, which
+// is what makes the framing prefix-free and the encoding injective.
+const (
+	digestOpTag byte = 0x01 // 1-byte region kind tag
+	digestOpU64 byte = 0x02 // 8-byte little-endian value
+)
+
+// Reset clears the digest for reuse, keeping its buffer.
+func (d *StateDigest) Reset() { d.b = d.b[:0] }
+
+// Tag appends a region kind tag (which sketch family, which cache).
+func (d *StateDigest) Tag(kind byte) {
+	d.b = append(d.b, digestOpTag, kind)
+}
+
+// U64 appends a 64-bit value: a seed, a generation counter, a
+// geometry parameter.
+func (d *StateDigest) U64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	d.b = append(d.b, digestOpU64)
+	d.b = append(d.b, tmp[:]...)
+}
+
+// Int appends an int as its 64-bit value.
+func (d *StateDigest) Int(v int) { d.U64(uint64(int64(v))) }
+
+// Key returns the digest as a string, usable directly as a map key.
+// The returned string copies the buffer, so the digest can be Reset
+// and reused.
+func (d *StateDigest) Key() string { return string(d.b) }
+
+// digestField is one parsed field of a digest encoding — the fuzzing
+// surface that proves a corrupted digest can never alias a clean one.
+type digestField struct {
+	op  byte
+	val uint64
+}
+
+// parseDigest decodes a digest byte string back into its field
+// sequence, rejecting anything the append ops could not have produced.
+// It exists for the aliasing proof: parseDigest(enc(seq)) == seq for
+// every sequence, and every byte string parses to at most one
+// sequence, so distinct byte strings never stand for the same fields.
+func parseDigest(b []byte) ([]digestField, bool) {
+	var out []digestField
+	for len(b) > 0 {
+		switch b[0] {
+		case digestOpTag:
+			if len(b) < 2 {
+				return nil, false
+			}
+			out = append(out, digestField{op: digestOpTag, val: uint64(b[1])})
+			b = b[2:]
+		case digestOpU64:
+			if len(b) < 9 {
+				return nil, false
+			}
+			out = append(out, digestField{op: digestOpU64, val: binary.LittleEndian.Uint64(b[1:9])})
+			b = b[9:]
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,110 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDigest drives arbitrary field sequences through the digest
+// encoder and checks the two properties the decode caches rely on:
+// the encoding round-trips (parse ∘ encode = identity), and no
+// corruption of the byte string can alias a clean digest — a mutated
+// encoding either fails to parse or parses to a different field
+// sequence, so a stale cache entry can never be served for changed
+// state.
+func FuzzDigest(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{0})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, fields []byte, mut []byte) {
+		// Build a field sequence from the fuzz input: each input byte
+		// becomes a Tag, each run of 8 a U64.
+		var d StateDigest
+		var want []digestField
+		for i := 0; i < len(fields); i++ {
+			if fields[i]%2 == 0 && i+8 < len(fields) {
+				var v uint64
+				for j := 0; j < 8; j++ {
+					v = v<<8 | uint64(fields[i+1+j])
+				}
+				d.U64(v)
+				want = append(want, digestField{op: digestOpU64, val: v})
+				i += 8
+			} else {
+				d.Tag(fields[i])
+				want = append(want, digestField{op: digestOpTag, val: uint64(fields[i])})
+			}
+		}
+		enc := []byte(d.Key())
+
+		// Round-trip: the encoding parses back to exactly the appended
+		// sequence.
+		got, ok := parseDigest(enc)
+		if !ok {
+			t.Fatalf("clean digest failed to parse: %x", enc)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round-trip length: got %d fields, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("field %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+
+		// No aliasing: corrupt the encoding with the mutation input;
+		// any byte string that differs from enc must not parse to the
+		// same sequence.
+		if len(enc) == 0 || len(mut) == 0 {
+			return
+		}
+		cor := append([]byte(nil), enc...)
+		for i, m := range mut {
+			cor[i%len(cor)] ^= m
+		}
+		if bytes.Equal(cor, enc) {
+			return // mutation canceled out; nothing corrupted
+		}
+		gotCor, ok := parseDigest(cor)
+		if !ok {
+			return // corruption detected at parse — cannot alias
+		}
+		same := len(gotCor) == len(want)
+		for i := 0; same && i < len(gotCor); i++ {
+			same = gotCor[i] == want[i]
+		}
+		if same {
+			t.Fatalf("corrupted digest %x aliases clean digest %x", cor, enc)
+		}
+	})
+}
+
+// TestDigestDistinguishesOrderAndKind pins the injectivity corners a
+// hash-based digest would get wrong: field order, tag-vs-value kind,
+// and value splits.
+func TestDigestDistinguishesOrderAndKind(t *testing.T) {
+	var a, b StateDigest
+	a.Tag(1)
+	a.U64(2)
+	b.U64(2)
+	b.Tag(1)
+	if a.Key() == b.Key() {
+		t.Error("digest does not distinguish field order")
+	}
+	a.Reset()
+	b.Reset()
+	a.Tag(7)
+	b.U64(7)
+	if a.Key() == b.Key() {
+		t.Error("digest does not distinguish tag from value")
+	}
+	a.Reset()
+	b.Reset()
+	a.U64(1)
+	a.U64(2)
+	b.U64(2)
+	b.U64(1)
+	if a.Key() == b.Key() {
+		t.Error("digest does not distinguish value order")
+	}
+}

@@ -45,7 +45,17 @@ type KeyedEdgeSketch struct {
 
 	recovered map[uint64]keyedBucket
 	dirty     bool
+	gen       uint64
 }
+
+// Gen returns the table's generation counter: a monotonic count of
+// state mutations, the key decode-side caches use to detect that a
+// table is unchanged since the cached extraction.
+func (t *KeyedEdgeSketch) Gen() uint64 { return t.gen }
+
+// BumpGen forces a generation bump (used by whole-state replacement
+// such as deserialization).
+func (t *KeyedEdgeSketch) BumpGen() { t.gen++; t.dirty = true }
 
 type keyedBucket struct {
 	edgeCount int64
@@ -155,6 +165,7 @@ func (t *KeyedEdgeSketch) Add(w, v int, delta int64) {
 		return
 	}
 	t.dirty = true
+	t.gen++
 	key := uint64(v)
 	e := t.encode(w, v)
 	d := field.FromInt64(delta)
@@ -197,6 +208,7 @@ func (t *KeyedEdgeSketch) Merge(o *KeyedEdgeSketch) error {
 		t.buckets[i].merge(o.buckets[i])
 	}
 	t.dirty = true
+	t.gen++
 	return nil
 }
 

@@ -132,7 +132,20 @@ func (f *L0Family) Hint(key uint64, h *L0Hint) {
 type L0Sampler struct {
 	fam    *L0Family
 	levels []*SketchB
+	gen    uint64
 }
+
+// Gen returns the sampler's generation counter: a monotonic count of
+// state mutations. Zero-valued merges (the other side has no
+// materialized levels, i.e. sketches the zero vector) do not count, so
+// merging a zero-suppressed wire blob bumps exactly the samplers the
+// blob actually touches.
+func (s *L0Sampler) Gen() uint64 { return s.gen }
+
+// BumpGen forces a generation bump, invalidating any decode-cache
+// entry that covers this sampler. Deserialization and other
+// whole-state replacements call it.
+func (s *L0Sampler) BumpGen() { s.gen++ }
 
 // NewL0Sampler creates a sampler for keys from a universe of the given
 // size. perLevel is the sparse-recovery budget at each level; 4–8 is
@@ -157,6 +170,7 @@ func (s *L0Sampler) Add(key uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	s.gen++
 	lv := s.fam.levelHash.Level(key)
 	if lv >= len(s.levels) {
 		lv = len(s.levels) - 1
@@ -186,6 +200,7 @@ func (s *L0Sampler) AddHint(key uint64, delta int64, h *L0Hint) {
 	if delta == 0 {
 		return
 	}
+	s.gen++
 	rows := s.fam.rows
 	for j := 0; j <= h.level; j++ {
 		s.level(j).addRouted(key, delta, h.fkeys[j], h.cells[j*rows:(j+1)*rows])
@@ -200,13 +215,18 @@ func (s *L0Sampler) Merge(o *L0Sampler) error {
 	if len(s.levels) != len(o.levels) {
 		return errIncompatible
 	}
+	touched := false
 	for j := range s.levels {
 		if o.levels[j] == nil {
 			continue
 		}
+		touched = true
 		if err := s.level(j).Merge(o.levels[j]); err != nil {
 			return err
 		}
+	}
+	if touched {
+		s.gen++
 	}
 	return nil
 }
@@ -216,13 +236,18 @@ func (s *L0Sampler) Sub(o *L0Sampler) error {
 	if len(s.levels) != len(o.levels) {
 		return errIncompatible
 	}
+	touched := false
 	for j := range s.levels {
 		if o.levels[j] == nil {
 			continue
 		}
+		touched = true
 		if err := s.level(j).Sub(o.levels[j]); err != nil {
 			return err
 		}
+	}
+	if touched {
+		s.gen++
 	}
 	return nil
 }
@@ -233,6 +258,7 @@ func (s *L0Sampler) Sub(o *L0Sampler) error {
 // otherwise Clone a sampler per component per round. Levels that are
 // zero (nil) in o become nil in s, so the copy decodes exactly like o.
 func (s *L0Sampler) SetTo(o *L0Sampler) {
+	s.gen++
 	s.fam = o.fam
 	if len(s.levels) != len(o.levels) {
 		s.levels = make([]*SketchB, len(o.levels))

@@ -94,6 +94,7 @@ func (s *SketchB) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
+	rebuilt.gen = s.gen + 1 // whole-state replacement keeps gen monotonic
 	*s = *rebuilt
 	return nil
 }
@@ -257,6 +258,7 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 	if len(r.b) != 0 {
 		return errCorrupt
 	}
+	rebuilt.gen = s.gen + 1 // whole-state replacement keeps gen monotonic
 	*s = *rebuilt
 	return nil
 }
@@ -313,6 +315,7 @@ func (t *KeyedEdgeSketch) UnmarshalBinary(data []byte) error {
 	if len(r.b) != 0 {
 		return errCorrupt
 	}
+	rebuilt.gen = t.gen + 1 // whole-state replacement keeps gen monotonic
 	*t = *rebuilt
 	return nil
 }

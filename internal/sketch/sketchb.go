@@ -85,7 +85,15 @@ type SketchB struct {
 	counts  []int64
 	keySums []uint64
 	fings   []uint64
+	gen     uint64
 }
+
+// Gen returns the sketch's generation counter: a monotonic count of
+// state mutations (Add/AddBatch/Merge/Sub/SetTo and deserialization).
+// Decode-side caches key reuse on it — equal generation sums over a
+// fixed sketch set imply the states are unchanged, with no collision
+// risk, because generations only grow.
+func (s *SketchB) Gen() uint64 { return s.gen }
 
 // SketchConfig tunes the redundancy of sparse recovery. Zero values take
 // defaults suitable for whp recovery at small polynomial scale.
@@ -192,6 +200,7 @@ func (s *SketchB) AddFkey(key uint64, delta int64, fkey uint64) {
 	if delta == 0 {
 		return
 	}
+	s.gen++
 	d := field.FromInt64(delta)
 	ks := field.Mul(d, field.Reduce(key))
 	fg := field.Mul(d, fkey)
@@ -207,6 +216,7 @@ func (s *SketchB) AddFkey(key uint64, delta int64, fkey uint64) {
 // addRouted is AddFkey with the per-row cell indices also precomputed
 // (idx[r] as computed by AddFkey); the hint path of L0 families.
 func (s *SketchB) addRouted(key uint64, delta int64, fkey uint64, idx []int32) {
+	s.gen++
 	d := field.FromInt64(delta)
 	ks := field.Mul(d, field.Reduce(key))
 	fg := field.Mul(d, fkey)
@@ -231,6 +241,7 @@ func (s *SketchB) Merge(o *SketchB) error {
 	if err := s.compatible(o); err != nil {
 		return err
 	}
+	s.gen++
 	for i := range s.counts {
 		s.counts[i] += o.counts[i]
 		s.keySums[i] = field.Add(s.keySums[i], o.keySums[i])
@@ -244,6 +255,7 @@ func (s *SketchB) Sub(o *SketchB) error {
 	if err := s.compatible(o); err != nil {
 		return err
 	}
+	s.gen++
 	for i := range s.counts {
 		s.counts[i] -= o.counts[i]
 		s.keySums[i] = field.Sub(s.keySums[i], o.keySums[i])
@@ -268,6 +280,7 @@ func (s *SketchB) Clone() *SketchB {
 // decoded, round after round, without allocating a fresh Clone each
 // time.
 func (s *SketchB) SetTo(o *SketchB) {
+	s.gen++
 	s.shape = o.shape
 	if len(s.counts) != len(o.counts) {
 		s.counts = make([]int64, len(o.counts))

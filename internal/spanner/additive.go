@@ -3,6 +3,7 @@ package spanner
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dynstream/internal/agm"
 	"dynstream/internal/graph"
@@ -72,6 +73,42 @@ type Additive struct {
 	degF0   []*sketch.F0        // optional Theorem 9 degree sketch
 	forest  *agm.Sketch         // AGM sketches (Theorem 10)
 	done    bool
+
+	// subtracted is the E_low multiset currently folded OUT of the
+	// forest sketch (canonical edge -> multiplicity). Extraction
+	// reconciles it against the E_low it actually needs subtracted,
+	// applying only the difference — so a re-query whose low-degree
+	// edge set is unchanged leaves every forest sampler generation
+	// untouched, and repeated extractions never double-subtract.
+	subtracted map[[2]int]int64
+
+	// Decode caches (EnableDecodeCache), keyed by monotonic generation
+	// counters: a hit provably reproduces the cold decode.
+	caching  bool
+	lowCache map[int]lowEntry // per-vertex neighborhood decode
+	parCache map[int]parEntry // per-vertex center attachment
+}
+
+// lowEntry caches one vertex's low-degree classification and decoded
+// neighborhood under the generation of nbr[u] and the exact degree
+// counter it was classified with.
+type lowEntry struct {
+	gen  uint64
+	deg  int64
+	low  bool
+	nbrs []nbrItem // valid decoded neighbors, ascending
+}
+
+type nbrItem struct {
+	v    int
+	mult int64
+}
+
+// parEntry caches one vertex's star-forest attachment under the summed
+// generation of its centerS row.
+type parEntry struct {
+	gens   uint64
+	parent int // -1 if unattached
 }
 
 // NewAdditive creates the streaming state for a graph on n vertices.
@@ -120,6 +157,55 @@ func NewAdditive(n int, cfg AdditiveConfig) *Additive {
 
 // N returns the vertex count.
 func (a *Additive) N() int { return a.n }
+
+// EnableDecodeCache turns the per-vertex decode caches — neighborhood
+// peels, center attachments, and the forest sketch's component pick
+// cache — on or off. Off releases the caches. Cached and uncached
+// extraction are bit-identical.
+func (a *Additive) EnableDecodeCache(on bool) {
+	a.caching = on
+	a.forest.EnableDecodeCache(on)
+	if !on {
+		a.lowCache = nil
+		a.parCache = nil
+	}
+}
+
+// InvalidateDecodeCache drops every cached per-vertex decode and the
+// forest sketch's pick cache; the next ExtractOpts runs cold.
+func (a *Additive) InvalidateDecodeCache() {
+	a.lowCache = nil
+	a.parCache = nil
+	a.forest.InvalidateDecodeCache()
+}
+
+// reconcileElow adjusts the forest sketch so that exactly `want` is
+// folded out of it, applying only the multiset difference against what
+// is currently subtracted. An unchanged E_low is a no-op that touches
+// no sampler.
+func (a *Additive) reconcileElow(want map[[2]int]int64) {
+	for key, m := range want {
+		if d := m - a.subtracted[key]; d != 0 {
+			a.forest.AddEdge(key[0], key[1], -d)
+		}
+	}
+	for key, m := range a.subtracted {
+		if _, ok := want[key]; !ok && m != 0 {
+			a.forest.AddEdge(key[0], key[1], m)
+		}
+	}
+	a.subtracted = make(map[[2]int]int64, len(want))
+	for key, m := range want {
+		a.subtracted[key] = m
+	}
+}
+
+// restoreStream folds the subtracted E_low back in, returning the
+// forest sketch to a pure function of the update stream — the state
+// the wire format and Merge are defined over.
+func (a *Additive) restoreStream() {
+	a.reconcileElow(nil)
+}
 
 // Update ingests one stream update.
 func (a *Additive) Update(u stream.Update) error {
@@ -184,50 +270,94 @@ func (a *Additive) FinishOpts(p *parallel.Policy) (*AdditiveResult, error) {
 	if a.done {
 		return nil, fmt.Errorf("spanner: additive Finish called twice")
 	}
+	res, err := a.ExtractOpts(p)
+	if err != nil {
+		return nil, err
+	}
+	a.done = true
+	return res, nil
+}
+
+// ExtractOpts is the repeatable form of FinishOpts: it leaves the
+// state open for further updates (live handles interleave Update and
+// ExtractOpts), keeping the forest sketch consistent across queries by
+// delta-subtracting E_low (see reconcileElow) instead of destructively
+// folding it out. With the decode cache enabled, a vertex whose
+// sketches are unchanged since the previous query reuses its cached
+// neighborhood peel and center attachment.
+func (a *Additive) ExtractOpts(p *parallel.Policy) (*AdditiveResult, error) {
+	if a.done {
+		return nil, fmt.Errorf("spanner: additive extract after Finish")
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("spanner: %w", err)
 	}
-	a.done = true
 	n := a.n
 	out := graph.New(n)
 	res := &AdditiveResult{}
 
-	// (1) Low-degree vertices: recover all incident edges.
-	var elow []graph.Edge
+	// (1) Low-degree vertices: recover all incident edges. The decode
+	// and classification are cacheable per vertex: both depend only on
+	// nbr[u] (generation-tracked) and the degree counter.
 	elowSeen := map[[2]int]int64{} // canonical edge -> multiplicity
 	lowDeg := make([]bool, n)
 	for u := 0; u < n; u++ {
-		if !a.isLowDegree(u) {
-			continue
+		var items []nbrItem
+		low := false
+		gen := a.nbr[u].Gen()
+		deg := a.degree[u]
+		// The F0 degree sketch has no generation counter; skip the
+		// cache for that (rarely used) configuration.
+		cacheable := a.caching && a.degF0 == nil
+		if ent, ok := a.lowCache[u]; cacheable && ok && ent.gen == gen && ent.deg == deg {
+			low, items = ent.low, ent.nbrs
+		} else {
+			if a.isLowDegree(u) {
+				raw, ok := a.nbr[u].Decode()
+				if ok {
+					// Deterministic order: ascending neighbor id.
+					low = true
+					for key, mult := range raw {
+						v := int(key)
+						if v < 0 || v >= n || v == u || mult <= 0 {
+							continue
+						}
+						items = append(items, nbrItem{v: v, mult: mult})
+					}
+					sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+				}
+				// Decode failure (1/poly probability, or a multigraph
+				// whose multiplicities exceed the counter-based
+				// estimate): treat the vertex as high-degree rather
+				// than emit garbage.
+			}
+			if cacheable {
+				if a.lowCache == nil {
+					a.lowCache = map[int]lowEntry{}
+				}
+				a.lowCache[u] = lowEntry{gen: gen, deg: deg, low: low, nbrs: items}
+			}
 		}
-		items, ok := a.nbr[u].Decode()
-		if !ok {
-			// Decode failure (1/poly probability, or a multigraph whose
-			// multiplicities exceed the counter-based estimate): treat
-			// the vertex as high-degree rather than emit garbage.
+		if !low {
 			continue
 		}
 		lowDeg[u] = true
 		res.LowDegree++
-		for key, mult := range items {
-			v := int(key)
-			if v < 0 || v >= n || v == u || mult <= 0 {
-				continue
-			}
-			out.AddUnitEdge(u, v)
-			c := [2]int{u, v}
+		for _, it := range items {
+			out.AddUnitEdge(u, it.v)
+			c := [2]int{u, it.v}
 			if c[0] > c[1] {
 				c[0], c[1] = c[1], c[0]
 			}
 			if _, dup := elowSeen[c]; !dup {
-				elowSeen[c] = mult
-				elow = append(elow, graph.Edge{U: c[0], V: c[1], W: 1})
+				elowSeen[c] = it.mult
 			}
 		}
 	}
 
 	// (2) High-degree vertices: attach to a center neighbor, forming
-	// the star forest F.
+	// the star forest F. The attachment depends only on the centerS
+	// row, so it caches under the row's summed generation.
 	parent := make([]int, n)
 	for u := range parent {
 		parent[u] = -1
@@ -236,31 +366,50 @@ func (a *Additive) FinishOpts(p *parallel.Policy) (*AdditiveResult, error) {
 		if lowDeg[u] || a.inC[u] {
 			continue // centers root their own clusters
 		}
-		for r := a.log2n; r >= 0; r-- {
-			items, ok := a.centerS[u][r].Decode()
-			if !ok || len(items) == 0 {
-				continue
-			}
-			for key, mult := range items {
-				w := int(key)
-				if w < 0 || w >= n || w == u || mult <= 0 || !a.inC[w] {
+		var gens uint64
+		for _, s := range a.centerS[u] {
+			gens += s.Gen()
+		}
+		if ent, ok := a.parCache[u]; a.caching && ok && ent.gens == gens {
+			parent[u] = ent.parent
+		} else {
+			for r := a.log2n; r >= 0 && parent[u] == -1; r-- {
+				items, ok := a.centerS[u][r].Decode()
+				if !ok || len(items) == 0 {
 					continue
 				}
-				parent[u] = w
-				out.AddUnitEdge(u, w)
-				break
+				// Deterministic choice: smallest valid center id.
+				keys := make([]uint64, 0, len(items))
+				for key := range items {
+					keys = append(keys, key)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				for _, key := range keys {
+					w := int(key)
+					if w < 0 || w >= n || w == u || items[key] <= 0 || !a.inC[w] {
+						continue
+					}
+					parent[u] = w
+					break
+				}
 			}
-			if parent[u] != -1 {
-				break
+			if a.caching {
+				if a.parCache == nil {
+					a.parCache = map[int]parEntry{}
+				}
+				a.parCache[u] = parEntry{gens: gens, parent: parent[u]}
 			}
+		}
+		if parent[u] != -1 {
+			out.AddUnitEdge(u, parent[u])
 		}
 	}
 
 	// (3) G' = G − E_low; contract clusters T_c = {c} ∪ followers.
-	for _, e := range elow {
-		c := [2]int{e.U, e.V}
-		a.forest.AddEdge(e.U, e.V, -elowSeen[c])
-	}
+	// Delta-subtraction: only the E_low difference against the previous
+	// query touches the forest samplers, so unchanged components keep
+	// their pick caches hot.
+	a.reconcileElow(elowSeen)
 	groups := map[int][]int{}
 	for u := 0; u < n; u++ {
 		if a.inC[u] {
@@ -273,9 +422,13 @@ func (a *Additive) FinishOpts(p *parallel.Policy) (*AdditiveResult, error) {
 			groups[p] = append(groups[p], u)
 		}
 	}
+	// Deterministic group order: ascending center id (groups exist only
+	// for centers).
 	groupList := make([][]int, 0, len(groups))
-	for _, g := range groups {
-		groupList = append(groupList, g)
+	for u := 0; u < n; u++ {
+		if g, ok := groups[u]; ok {
+			groupList = append(groupList, g)
+		}
 	}
 	fprime, err := a.forest.SpanningForestOpts(groupList, p)
 	if err != nil {

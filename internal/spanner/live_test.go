@@ -1,0 +1,254 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynstream/internal/graph"
+	"dynstream/internal/parallel"
+	"dynstream/internal/stream"
+)
+
+func memStream(t *testing.T, n int, ups []stream.Update) *stream.MemoryStream {
+	t.Helper()
+	ms := stream.NewMemoryStream(n)
+	for _, u := range ups {
+		if err := ms.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ms
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTwoPassLiveBitIdentical interleaves churn with live queries and
+// checks every query against a cold from-scratch two-pass build over
+// the same total stream, at several worker counts.
+func TestTwoPassLiveBitIdentical(t *testing.T) {
+	const n = 120
+	cfg := Config{K: 2, Seed: 99, CollectAugmented: true}
+	rng := rand.New(rand.NewSource(3))
+
+	var base []stream.Update
+	for i := 0; i < 400; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		base = append(base, stream.Update{U: u, V: v, Delta: 1})
+	}
+	live := NewTwoPass(n, cfg)
+	live.EnableDecodeCache(true)
+	if err := live.StartLive(memStream(t, n, base)); err != nil {
+		t.Fatal(err)
+	}
+
+	total := append([]stream.Update(nil), base...)
+	for round := 0; round < 5; round++ {
+		for _, workers := range []int{1, 2, 4} {
+			p := parallel.Default().WithWorkers(workers)
+			got, err := live.QueryLive(p)
+			if err != nil {
+				t.Fatalf("round %d workers %d: live: %v", round, workers, err)
+			}
+			want, err := BuildTwoPassOpts(memStream(t, n, total), cfg, p)
+			if err != nil {
+				t.Fatalf("round %d workers %d: cold: %v", round, workers, err)
+			}
+			if !graphsEqual(got.Spanner, want.Spanner) {
+				t.Fatalf("round %d workers %d: live spanner diverged from cold build", round, workers)
+			}
+			if !graphsEqual(got.Augmented, want.Augmented) {
+				t.Fatalf("round %d workers %d: live augmented set diverged", round, workers)
+			}
+			if got.Terminals != want.Terminals || got.Stats.RecoveredEdges != want.Stats.RecoveredEdges {
+				t.Fatalf("round %d workers %d: live stats diverged: %+v vs %+v",
+					round, workers, got.Stats, want.Stats)
+			}
+		}
+		// Churn: delete a few inserted edges, insert a few new ones.
+		var batch []stream.Update
+		for j := 0; j < 4 && len(total) > 0; j++ {
+			e := total[rng.Intn(len(base))]
+			batch = append(batch, stream.Update{U: e.U, V: e.V, Delta: -e.Delta})
+		}
+		for j := 0; j < 4; j++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			batch = append(batch, stream.Update{U: u, V: v, Delta: 1})
+		}
+		if err := live.ApplyLive(batch); err != nil {
+			t.Fatal(err)
+		}
+		total = append(total, batch...)
+	}
+}
+
+// TestTwoPassLiveCacheReuse checks that re-querying an unchanged live
+// state hits the attachment and recovery caches (no growth, same
+// output), and that pass-1 stays open after queries.
+func TestTwoPassLiveCacheReuse(t *testing.T) {
+	const n = 80
+	cfg := Config{K: 2, Seed: 5}
+	var ups []stream.Update
+	for v := 1; v < n; v++ {
+		ups = append(ups, stream.Update{U: v - 1, V: v, Delta: 1})
+		ups = append(ups, stream.Update{U: (v * 13) % n, V: v, Delta: 1})
+	}
+	ups = filterSelfLoops(ups)
+	tp := NewTwoPass(n, cfg)
+	tp.EnableDecodeCache(true)
+	if err := tp.StartLive(memStream(t, n, ups)); err != nil {
+		t.Fatal(err)
+	}
+	p := parallel.Default()
+	first, err := tp.QueryLive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attached, recs := len(tp.attach), len(tp.recCache)
+	if attached == 0 || recs == 0 {
+		t.Fatalf("caches empty after first query: attach=%d rec=%d", attached, recs)
+	}
+	again, err := tp.QueryLive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(first.Spanner, again.Spanner) {
+		t.Fatal("re-query of unchanged live state diverged")
+	}
+	if len(tp.attach) != attached || len(tp.recCache) != recs {
+		t.Fatalf("re-query of unchanged state re-decoded: attach %d->%d rec %d->%d",
+			attached, len(tp.attach), recs, len(tp.recCache))
+	}
+	if tp.Phase() != 0 {
+		t.Fatalf("live state left phase 0: %d", tp.Phase())
+	}
+}
+
+func filterSelfLoops(ups []stream.Update) []stream.Update {
+	out := ups[:0]
+	for _, u := range ups {
+		if u.U != u.V {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// TestAdditiveLiveBitIdentical interleaves updates with repeatable
+// extractions and checks each against a cold single-pass build over
+// the same total stream.
+func TestAdditiveLiveBitIdentical(t *testing.T) {
+	const n = 100
+	cfg := AdditiveConfig{D: 3, Seed: 17}
+	rng := rand.New(rand.NewSource(11))
+
+	live := NewAdditive(n, cfg)
+	live.EnableDecodeCache(true)
+	var total []stream.Update
+	add := func(count int) {
+		var batch []stream.Update
+		for j := 0; j < count; j++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			batch = append(batch, stream.Update{U: u, V: v, Delta: 1})
+		}
+		if err := live.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		total = append(total, batch...)
+	}
+	add(300)
+	for round := 0; round < 5; round++ {
+		for _, workers := range []int{1, 2, 4} {
+			p := parallel.Default().WithWorkers(workers)
+			got, err := live.ExtractOpts(p)
+			if err != nil {
+				t.Fatalf("round %d workers %d: live: %v", round, workers, err)
+			}
+			cold := NewAdditive(n, cfg)
+			if err := cold.AddBatch(total); err != nil {
+				t.Fatal(err)
+			}
+			want, err := cold.ExtractOpts(p)
+			if err != nil {
+				t.Fatalf("round %d workers %d: cold: %v", round, workers, err)
+			}
+			if !graphsEqual(got.Spanner, want.Spanner) {
+				t.Fatalf("round %d workers %d: live additive spanner diverged", round, workers)
+			}
+			if got.LowDegree != want.LowDegree || got.Centers != want.Centers {
+				t.Fatalf("round %d workers %d: diagnostics diverged: %d/%d vs %d/%d",
+					round, workers, got.LowDegree, got.Centers, want.LowDegree, want.Centers)
+			}
+		}
+		// Churn: a few deletions of present edges plus fresh inserts.
+		var batch []stream.Update
+		for j := 0; j < 3; j++ {
+			e := total[rng.Intn(len(total))]
+			if e.Delta > 0 {
+				batch = append(batch, stream.Update{U: e.U, V: e.V, Delta: -1})
+				total = append(total, stream.Update{U: e.U, V: e.V, Delta: -1})
+			}
+		}
+		if err := live.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		add(3)
+	}
+}
+
+// TestAdditiveMarshalRestoresElow pins the purity of the wire format:
+// a state that has been queried (and so carries E_low subtractions)
+// marshals to the same bytes as a never-queried twin.
+func TestAdditiveMarshalRestoresElow(t *testing.T) {
+	const n = 60
+	cfg := AdditiveConfig{D: 2, Seed: 23}
+	rng := rand.New(rand.NewSource(29))
+	a := NewAdditive(n, cfg)
+	b := NewAdditive(n, cfg)
+	for i := 0; i < 150; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		up := stream.Update{U: u, V: v, Delta: 1}
+		if err := a.Update(up); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Update(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.ExtractOpts(parallel.Default()); err != nil {
+		t.Fatal(err)
+	}
+	encA, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(encA) != string(encB) {
+		t.Fatal("queried state marshals differently from pure twin")
+	}
+}

@@ -443,6 +443,9 @@ func (a *Additive) MarshalBinary() ([]byte, error) {
 	if a.done {
 		return nil, fmt.Errorf("spanner: cannot marshal a finished additive state")
 	}
+	// The wire format carries pure stream states: fold any
+	// extraction-era E_low subtractions back in first.
+	a.restoreStream()
 	w := &wbuf{}
 	w.u64(tagAdditiveV2)
 	w.u64(uint64(a.n))

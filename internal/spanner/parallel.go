@@ -217,6 +217,10 @@ func (a *Additive) Merge(o *Additive) error {
 	if a.n != o.n || a.cfg != o.cfg {
 		return fmt.Errorf("spanner: merging incompatible additive states (n %d/%d)", a.n, o.n)
 	}
+	// Merge is defined over pure stream states: fold any extraction-era
+	// E_low subtractions back in on both sides first.
+	a.restoreStream()
+	o.restoreStream()
 	for u := 0; u < a.n; u++ {
 		if err := a.nbr[u].Merge(o.nbr[u]); err != nil {
 			return fmt.Errorf("spanner: additive merge nbr[%d]: %w", u, err)

@@ -25,19 +25,30 @@ type Option func(*buildOptions)
 
 // buildOptions is the resolved option set of one Build call.
 type buildOptions struct {
-	workers       int
-	workersSet    bool
-	decodeWorkers int
-	decodeSet     bool
-	batch         int
-	classBase     float64
-	seed          uint64
-	seedSet       bool
-	progress      func(int64)
-	remoteAddrs   []string
-	remoteSet     bool
-	cluster       *RemoteCluster
-	workerShards  bool
+	workers        int
+	workersSet     bool
+	decodeWorkers  int
+	decodeSet      bool
+	batch          int
+	classBase      float64
+	seed           uint64
+	seedSet        bool
+	progress       func(int64)
+	remoteAddrs    []string
+	remoteSet      bool
+	cluster        *RemoteCluster
+	workerShards   bool
+	decodeCache    bool
+	decodeCacheSet bool
+}
+
+// cacheOn resolves the live-handle decode-cache setting: an explicit
+// WithDecodeCache wins; handles default to caching on.
+func (o *buildOptions) cacheOn() bool {
+	if o.decodeCacheSet {
+		return o.decodeCache
+	}
+	return true
 }
 
 // remote reports whether this build runs on remote worker processes.
@@ -81,6 +92,16 @@ func WithWeightClasses(base float64) Option {
 // the build derives its randomness from it.
 func WithSeed(s uint64) Option {
 	return func(o *buildOptions) { o.seed = s; o.seedSet = true }
+}
+
+// WithDecodeCache turns a live handle's per-region decode caches on or
+// off (default on for Open). Off, every Query re-extracts cold; on,
+// only regions whose sketch state changed since the last Query are
+// re-decoded. Cached and uncached queries are bit-identical — the
+// caches are keyed by injective state digests, never hashes. Build
+// ignores this option (a one-shot build decodes exactly once).
+func WithDecodeCache(on bool) Option {
+	return func(o *buildOptions) { o.decodeCache = on; o.decodeCacheSet = true }
 }
 
 // WithProgress installs a progress callback invoked with the

@@ -1,16 +1,15 @@
 package dynstream
 
-// Concurrent sharded-ingest front door, kept as thin deprecated
-// wrappers over the unified Build driver. Every construction in this
-// package is a linear sketch, so a stream split into P shards,
-// ingested by P workers into states built from the same seed, and
-// merged yields a state — and therefore an output — identical to
-// single-threaded ingestion (the distributed setting of the paper's
-// introduction, Theorem 10's mergeability, realized as goroutines).
+// Stream sharding utilities. Every construction in this package is a
+// linear sketch, so a stream split into P shards, ingested by P
+// workers into states built from the same seed, and merged yields a
+// state — and therefore an output — identical to single-threaded
+// ingestion (the distributed setting of the paper's introduction,
+// Theorem 10's mergeability, realized as goroutines). Build with
+// WithWorkers does this automatically; the shard views below are for
+// callers that drive their own states.
 
 import (
-	"context"
-
 	"dynstream/internal/stream"
 )
 
@@ -21,45 +20,3 @@ type StreamShard = stream.Shard
 // exactly src. Shards replay concurrently; feed each to its own
 // same-seeded sketch state and merge.
 func SplitStream(src Source, p int) ([]Stream, error) { return stream.Split(src, p) }
-
-// BuildSpannerParallel is BuildSpanner with both passes ingested by
-// `workers` goroutines over shards of st.
-//
-// Deprecated: use Build with SpannerTarget and WithWorkers.
-func BuildSpannerParallel(st Stream, cfg SpannerConfig, workers int) (*SpannerResult, error) {
-	return Build(context.Background(), st, SpannerTarget{Config: cfg}, WithWorkers(workers))
-}
-
-// BuildAdditiveSpannerParallel is BuildAdditiveSpanner with the single
-// pass ingested by `workers` goroutines.
-//
-// Deprecated: use Build with AdditiveTarget and WithWorkers.
-func BuildAdditiveSpannerParallel(st Stream, cfg AdditiveConfig, workers int) (*AdditiveResult, error) {
-	return Build(context.Background(), st, AdditiveTarget{Config: cfg}, WithWorkers(workers))
-}
-
-// BuildSparsifierParallel is BuildSparsifier with sharded-ingest oracle
-// grids and the Z×H sample constructions fanned out over a worker
-// pool.
-//
-// Deprecated: use Build with SparsifierTarget and WithWorkers.
-func BuildSparsifierParallel(st Stream, cfg SparsifierConfig, workers int) (*SparsifierResult, error) {
-	return Build(context.Background(), st, SparsifierTarget{Config: cfg}, WithWorkers(workers))
-}
-
-// NewForestSketchParallel ingests st into an AGM connectivity sketch
-// using `workers` goroutines over round-robin shards, merging the
-// per-shard sketches.
-//
-// Deprecated: use Build with ForestTarget and WithWorkers.
-func NewForestSketchParallel(seed uint64, st Stream, cfg ForestConfig, workers int) (*ForestSketch, error) {
-	return Build(context.Background(), st, ForestTarget{Seed: seed, Config: cfg}, WithWorkers(workers))
-}
-
-// NewKConnectivityParallel ingests st into a k-edge-connectivity
-// certificate sketch using `workers` goroutines over shards.
-//
-// Deprecated: use Build with KConnectivityTarget and WithWorkers.
-func NewKConnectivityParallel(seed uint64, st Stream, k, workers int) (*KConnectivity, error) {
-	return Build(context.Background(), st, KConnectivityTarget{Seed: seed, K: k}, WithWorkers(workers))
-}

@@ -1,13 +1,14 @@
 package dynstream
 
 import (
+	"context"
 	"testing"
 
 	"dynstream/internal/graph"
 )
 
-// Front-door equivalence: each Parallel builder must produce output
-// identical to its serial counterpart for the same configuration (run
+// Front-door equivalence: Build with WithWorkers(p) must produce
+// output identical to WithWorkers(1) for the same configuration (run
 // under -race; the shards ingest concurrently).
 
 func edgesEqual(t *testing.T, name string, a, b *Graph) {
@@ -26,11 +27,11 @@ func edgesEqual(t *testing.T, name string, a, b *Graph) {
 func TestBuildSpannerParallelFacade(t *testing.T) {
 	g := graph.ConnectedGNP(50, 0.15, 301)
 	st := StreamWithChurn(g, 200, 302)
-	serial, err := BuildSpanner(st, SpannerConfig{K: 2, Seed: 303})
+	serial, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 303}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := BuildSpannerParallel(st, SpannerConfig{K: 2, Seed: 303}, 4)
+	par, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 2, Seed: 303}}, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestBuildSpannerParallelFacade(t *testing.T) {
 func TestBuildAdditiveSpannerParallelFacade(t *testing.T) {
 	g := graph.ConnectedGNP(50, 0.2, 304)
 	st := StreamWithChurn(g, 150, 305)
-	serial, err := BuildAdditiveSpanner(st, AdditiveConfig{D: 3, Seed: 306})
+	serial, err := Build(context.Background(), st, AdditiveTarget{Config: AdditiveConfig{D: 3, Seed: 306}}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := BuildAdditiveSpannerParallel(st, AdditiveConfig{D: 3, Seed: 306}, 3)
+	par, err := Build(context.Background(), st, AdditiveTarget{Config: AdditiveConfig{D: 3, Seed: 306}}, WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestBuildSparsifierParallelFacade(t *testing.T) {
 		K: 1, Z: 6, Seed: 308,
 		Estimate: EstimateConfig{K: 1, J: 2, T: 5, Delta: 0.34, Seed: 309},
 	}
-	serial, err := BuildSparsifier(st, cfg)
+	serial, err := Build(context.Background(), st, SparsifierTarget{Config: cfg}, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := BuildSparsifierParallel(st, cfg, 4)
+	par, err := Build(context.Background(), st, SparsifierTarget{Config: cfg}, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestForestSketchParallelFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := NewForestSketchParallel(312, st, ForestConfig{}, 4)
+	par, err := Build(context.Background(), st, ForestTarget{Seed: 312, Config: ForestConfig{}}, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestKConnectivityParallelFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kc, err := NewKConnectivityParallel(318, st, 2, 3)
+	kc, err := Build(context.Background(), st, KConnectivityTarget{Seed: 318, K: 2}, WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,10 +164,10 @@ func TestParallelFacadeRejectsBadWorkers(t *testing.T) {
 	if _, err := SplitStream(st, 0); err == nil {
 		t.Error("SplitStream accepted p=0")
 	}
-	if _, err := BuildSpannerParallel(st, SpannerConfig{K: 1}, 0); err == nil {
-		t.Error("BuildSpannerParallel accepted workers=0")
+	if _, err := Build(context.Background(), st, SpannerTarget{Config: SpannerConfig{K: 1}}, WithWorkers(0)); err == nil {
+		t.Error("Build accepted workers=0")
 	}
-	if _, err := NewForestSketchParallel(1, st, ForestConfig{}, -1); err == nil {
-		t.Error("NewForestSketchParallel accepted workers=-1")
+	if _, err := Build(context.Background(), st, ForestTarget{Seed: 1}, WithWorkers(-1)); err == nil {
+		t.Error("Build accepted workers=-1")
 	}
 }

@@ -1,6 +1,7 @@
 package dynstream
 
 import (
+	"context"
 	"testing"
 
 	"dynstream/internal/graph"
@@ -118,7 +119,7 @@ func TestSketchViewsWirePipeline(t *testing.T) {
 
 	t.Run("twopass", func(t *testing.T) {
 		cfg := SpannerConfig{K: 2, Seed: 1008}
-		want, err := BuildSpanner(st, cfg)
+		want, err := Build(context.Background(), st, SpannerTarget{Config: cfg}, WithWorkers(1))
 		if err != nil {
 			t.Fatal(err)
 		}
