@@ -2,9 +2,11 @@ package dynstream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"dynstream/internal/agm"
+	"dynstream/internal/dynnet"
 	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
@@ -53,16 +55,36 @@ func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Opt
 	}
 	if o.remote() {
 		cluster := o.cluster
+		var dialErr error
 		if cluster == nil {
-			var err error
-			cluster, err = DialWorkers(ctx, o.remoteAddrs...)
-			if err != nil {
-				return zero, err
+			cluster, dialErr = DialWorkersWith(ctx, o.remoteOpts, o.remoteAddrs...)
+			if dialErr == nil {
+				defer cluster.Close()
 			}
-			defer cluster.Close()
 		}
-		decodeP := parallel.NewPolicy(ctx, o.resolveDecodeWorkers(src), o.batch, nil)
-		return target.buildRemote(ctx, src, o, &remoteRun{cluster: cluster, o: o, p: decodeP})
+		var res R
+		var err error
+		if dialErr != nil {
+			res, err = zero, dialErr
+		} else {
+			decodeP := parallel.NewPolicy(ctx, o.resolveDecodeWorkers(src), o.batch, nil)
+			res, err = target.buildRemote(ctx, src, o, &remoteRun{cluster: cluster, o: o, p: decodeP})
+		}
+		// Opt-in degradation: when the whole cluster is gone (every
+		// worker unreachable or lost mid-build) and the source can be
+		// replayed, rerun the build locally — bit-identical by
+		// linearity, since local and remote ingest share seeds. Typed
+		// worker errors and ctx cancellation are not retried. A
+		// WithProgress callback sees the local rerun's counts on top of
+		// whatever the aborted remote build reported.
+		clusterLost := dialErr != nil || errors.Is(err, dynnet.ErrNoWorkers)
+		if err != nil && o.localFallback && ctx.Err() == nil &&
+			clusterLost && CanReplay(src) {
+			p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
+				WithDecode(o.resolveDecodeWorkers(src))
+			return target.build(src, o, p)
+		}
+		return res, err
 	}
 	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
 		WithDecode(o.resolveDecodeWorkers(src))
@@ -89,6 +111,9 @@ type Target[R any] interface {
 	// openLive ingests src and returns the mutable state behind a live
 	// Handle (see Open).
 	openLive(src Source, o *buildOptions, p *parallel.Policy) (liveState[R], error)
+	// restoreLive rebuilds the live state behind a Handle from a
+	// checkpoint's state section (see Restore in checkpoint.go).
+	restoreLive(src Source, o *buildOptions, kind dynnet.StateKind, state []byte) (liveState[R], error)
 }
 
 // noWeightClasses rejects WithWeightClasses for targets without a

@@ -1,0 +1,259 @@
+package dynstream_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dynstream"
+	"dynstream/internal/dynnet"
+	"dynstream/internal/dynnet/chaos"
+)
+
+// The fault-injection matrix: every target × every fault kind, with a
+// seeded chaos.Conn wrapped around one (or every) worker's connection.
+// The contract under fire is strict — each build must end in either a
+// result bit-identical to the serial build or a typed error, within a
+// bounded time. Never a hang, never silent corruption.
+
+// chaosCluster starts three in-process workers connected to an
+// accepting coordinator over unix sockets, with each worker's
+// connection passed through wrap (identity for clean workers). It
+// returns the established cluster.
+func chaosCluster(t *testing.T, ctx context.Context, ro dynstream.RemoteOptions,
+	wrap func(i int, c net.Conn) net.Conn) *dynstream.RemoteCluster {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	sock := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	const workers = 3
+	for i := 0; i < workers; i++ {
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc := wrap(i, conn)
+		// ServeWorker closes wc when ctx is canceled, which also
+		// unblocks a chaos stall at teardown.
+		go dynnet.ServeWorker(ctx, wc, dynnet.WorkerConfig{ID: fmt.Sprintf("w%d", i)})
+	}
+	cluster, err := dynstream.AcceptWorkersWith(ctx, ln, workers, ro)
+	if err != nil {
+		t.Fatalf("accept workers: %v", err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	return cluster
+}
+
+// chaosBuilders runs each of the seven targets and diffs the faulted
+// remote result against a serial build: decoded payloads for the
+// decode-family targets, marshaled state for the sketch family.
+func chaosBuilders(st *dynstream.MemoryStream) map[string]func(ctx context.Context, t *testing.T, opts ...dynstream.Option) error {
+	diff := func(t *testing.T, what string, remote, serial any, err error) error {
+		if err != nil {
+			return err
+		}
+		if m, ok := remote.(interface{ MarshalBinary() ([]byte, error) }); ok {
+			marshalEqual(t, what, m, serial.(interface{ MarshalBinary() ([]byte, error) }))
+			return nil
+		}
+		if !reflect.DeepEqual(remote, serial) {
+			t.Fatalf("%s: faulted build diverged from serial build", what)
+		}
+		return nil
+	}
+	run := func(what string, build func(ctx context.Context, opts ...dynstream.Option) (any, error)) func(ctx context.Context, t *testing.T, opts ...dynstream.Option) error {
+		return func(ctx context.Context, t *testing.T, opts ...dynstream.Option) error {
+			serial, err := build(ctx)
+			if err != nil {
+				t.Fatalf("%s: serial build: %v", what, err)
+			}
+			remote, err := build(ctx, opts...)
+			return diff(t, what, remote, serial, err)
+		}
+	}
+	return map[string]func(ctx context.Context, t *testing.T, opts ...dynstream.Option) error{
+		"forest": run("forest", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			return dynstream.Build(ctx, st, dynstream.ForestTarget{Seed: 21}, opts...)
+		}),
+		"kconn": run("kconn", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			return dynstream.Build(ctx, st, dynstream.KConnectivityTarget{Seed: 22, K: 2}, opts...)
+		}),
+		"bipartite": run("bipartite", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			return dynstream.Build(ctx, st, dynstream.BipartitenessTarget{Seed: 23}, opts...)
+		}),
+		"msf": run("msf", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			return dynstream.Build(ctx, st, dynstream.MSFTarget{Seed: 24, WMax: 8, Gamma: 0.5}, opts...)
+		}),
+		"additive": run("additive", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			r, err := dynstream.Build(ctx, st, dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: 4, Seed: 25}}, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return r.Spanner.Edges(), nil
+		}),
+		"spanner": run("spanner", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			r, err := dynstream.Build(ctx, st, dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2, Seed: 26}}, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return r.Spanner.Edges(), nil
+		}),
+		"sparsifier": run("sparsifier", func(ctx context.Context, opts ...dynstream.Option) (any, error) {
+			r, err := dynstream.Build(ctx, st, dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{
+				K: 1, Z: 3, Seed: 27,
+				Estimate: dynstream.EstimateConfig{K: 1, J: 2, T: 4, Delta: 0.34, Seed: 28},
+			}}, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return r.Sparsifier.Edges(), nil
+		}),
+	}
+}
+
+// chaosFaults is the fault schedule matrix: every kind targets worker
+// 1's connection with a byte budget that trips mid-stream (well past
+// the ~50-byte handshake, inside the UPDATES traffic).
+var chaosFaults = []chaos.Config{
+	{Kind: chaos.Delay, Seed: 1, Delay: 2 * time.Millisecond},
+	{Kind: chaos.ShortWrite, Seed: 2},
+	{Kind: chaos.Stall, Seed: 3, ByteBudget: 2048},
+	{Kind: chaos.Disconnect, Seed: 4, ByteBudget: 2048},
+	{Kind: chaos.BitFlip, Seed: 5, ByteBudget: 2048},
+}
+
+// TestChaosMatrix drives every target through every fault kind. The
+// lossless faults (delay, short-write) must leave the build
+// bit-identical; the lossy ones (stall, disconnect, bit-flip) hit one
+// worker out of three, so failover must still deliver the
+// bit-identical result. Per-frame deadlines (FrameTimeout) are what
+// turn a stalled worker into a dead one instead of a hung build.
+func TestChaosMatrix(t *testing.T) {
+	st := remoteTestStream(t)
+	builders := chaosBuilders(st)
+	for _, cfg := range chaosFaults {
+		cfg := cfg
+		t.Run(cfg.Kind.String(), func(t *testing.T) {
+			for name, build := range builders {
+				build := build
+				t.Run(name, func(t *testing.T) {
+					ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+					defer cancel()
+					// Generous relative to the stall-detection need (the
+					// 1-min ctx is the ceiling): under -race a healthy
+					// worker's ingest gap can exceed tight deadlines.
+					ro := dynstream.RemoteOptions{FrameTimeout: 3 * time.Second}
+					cluster := chaosCluster(t, ctx, ro, func(i int, c net.Conn) net.Conn {
+						if i == 1 {
+							return chaos.Wrap(c, cfg)
+						}
+						return c
+					})
+					err := build(ctx, t, dynstream.WithRemoteCluster(cluster))
+					if err != nil {
+						// Only a typed, classifiable failure is
+						// acceptable — and never for lossless faults.
+						if cfg.Kind == chaos.Delay || cfg.Kind == chaos.ShortWrite {
+							t.Fatalf("lossless fault %v failed the build: %v", cfg.Kind, err)
+						}
+						if !errors.Is(err, dynstream.ErrNoWorkers) && !errors.Is(err, context.DeadlineExceeded) {
+							t.Fatalf("fault %v produced an untyped error: %v", cfg.Kind, err)
+						}
+					}
+					if ctx.Err() != nil {
+						t.Fatalf("fault %v timed out the build (deadlock?)", cfg.Kind)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosAllWorkersLostFallsBackLocally kills every worker mid-build
+// (disconnect budgets on all three connections): the pass must surface
+// ErrNoWorkers without WithLocalFallback, and degrade to the
+// bit-identical local build with it.
+func TestChaosAllWorkersLostFallsBackLocally(t *testing.T) {
+	st := remoteTestStream(t)
+	target := dynstream.ForestTarget{Seed: 31}
+	wrapAll := func(i int, c net.Conn) net.Conn {
+		return chaos.Wrap(c, chaos.Config{Kind: chaos.Disconnect, Seed: uint64(40 + i), ByteBudget: 2048})
+	}
+	ro := dynstream.RemoteOptions{FrameTimeout: 500 * time.Millisecond}
+
+	t.Run("typed error without fallback", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		cluster := chaosCluster(t, ctx, ro, wrapAll)
+		_, err := dynstream.Build(ctx, st, target, dynstream.WithRemoteCluster(cluster))
+		if !errors.Is(err, dynstream.ErrNoWorkers) {
+			t.Fatalf("all workers lost: got %v, want ErrNoWorkers", err)
+		}
+	})
+	t.Run("bit-identical with fallback", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		cluster := chaosCluster(t, ctx, ro, wrapAll)
+		serial, err := dynstream.Build(ctx, st, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dynstream.Build(ctx, st, target,
+			dynstream.WithRemoteCluster(cluster), dynstream.WithLocalFallback())
+		if err != nil {
+			t.Fatalf("fallback build: %v", err)
+		}
+		marshalEqual(t, "fallback forest", got, serial)
+	})
+}
+
+// TestChaosSmoke is the CI chaos gate (DYNSTREAM_CHAOS_SMOKE=1): the
+// seeded fault matrix over a 3-worker two-pass spanner build at a
+// larger stream, exercising failover inside both passes.
+func TestChaosSmoke(t *testing.T) {
+	if os.Getenv("DYNSTREAM_CHAOS_SMOKE") == "" {
+		t.Skip("set DYNSTREAM_CHAOS_SMOKE=1 to run the chaos smoke build")
+	}
+	st := remoteTestStream(t)
+	target := dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 3, Seed: 51}}
+	ctx0 := context.Background()
+	serial, err := dynstream.Build(ctx0, st, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range chaosFaults {
+		cfg := cfg
+		t.Run(cfg.Kind.String(), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(ctx0, 2*time.Minute)
+			defer cancel()
+			ro := dynstream.RemoteOptions{FrameTimeout: time.Second}
+			cluster := chaosCluster(t, ctx, ro, func(i int, c net.Conn) net.Conn {
+				if i == 1 {
+					return chaos.Wrap(c, cfg)
+				}
+				return c
+			})
+			got, err := dynstream.Build(ctx, st, target,
+				dynstream.WithRemoteCluster(cluster), dynstream.WithLocalFallback())
+			if err != nil {
+				t.Fatalf("fault %v: %v", cfg.Kind, err)
+			}
+			edgesEqual(t, "smoke spanner", got.Spanner, serial.Spanner)
+		})
+	}
+}

@@ -41,11 +41,21 @@
 //   - <u> <v> [w]     apply an insert
 //   - <u> <v> [w]     apply a delete
 //     query             re-extract and print the current result
+//     save <path>       write a checkpoint of the live state
+//     load <path>       replace the live state from a checkpoint
 //     quit              exit
 //
 // Applied updates fold into the live sketch state; each query is
 // served incrementally from the decode caches and is bit-identical to
 // a cold rebuild over the base stream plus every applied update.
+//
+// With -checkpoint PATH -every N the repl snapshots automatically:
+// every N applied updates the pending batch is flushed and the live
+// state is written to PATH (atomically, via rename), so a killed
+// process can be resumed by restarting with `load PATH` — or through
+// the library's Restore — and replaying the update suffix past the
+// snapshot's AppliedUpdates count. Restored queries are bit-identical
+// to an uninterrupted session's.
 //
 // Multi-process builds pair one coordinator with worker processes over
 // TCP or unix sockets; the output is byte-identical to a local build:
@@ -76,6 +86,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"dynstream"
 	"dynstream/internal/dynnet"
@@ -193,11 +204,13 @@ func runCoord(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 	fs := flag.NewFlagSet("coord", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		remote = fs.String("remote", "", "comma-separated worker addresses to dial")
-		listen = fs.String("listen", "", "address to accept worker registrations on")
-		await  = fs.Int("await", 0, "number of worker registrations to wait for (with -listen)")
-		shards = fs.Bool("workershards", false, "workers ingest their own -shard files; the stream is not sent (requires -n)")
-		nFlag  = fs.Int("n", 0, "vertex count for -workershards builds (no coordinator-side stream)")
+		remote    = fs.String("remote", "", "comma-separated worker addresses to dial")
+		listen    = fs.String("listen", "", "address to accept worker registrations on")
+		await     = fs.Int("await", 0, "number of worker registrations to wait for (with -listen)")
+		shards    = fs.Bool("workershards", false, "workers ingest their own -shard files; the stream is not sent (requires -n)")
+		nFlag     = fs.Int("n", 0, "vertex count for -workershards builds (no coordinator-side stream)")
+		handshake = fs.Duration("handshake-timeout", 10*time.Second, "per-worker registration timeout (> 0)")
+		frame     = fs.Duration("frame-timeout", 0, "per-frame read/write deadline; a worker silent past it is declared dead (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -213,13 +226,18 @@ func runCoord(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 		return fmt.Errorf("coord: -listen needs -await >= 1, got %d: %w", *await, dynstream.ErrBadConfig)
 	case *shards && *nFlag < 1:
 		return fmt.Errorf("coord: -workershards needs -n >= 1, got %d: %w", *nFlag, dynstream.ErrBadConfig)
+	case *handshake <= 0:
+		return fmt.Errorf("coord: -handshake-timeout must be > 0, got %v: %w", *handshake, dynstream.ErrBadConfig)
+	case *frame < 0:
+		return fmt.Errorf("coord: -frame-timeout must be >= 0, got %v: %w", *frame, dynstream.ErrBadConfig)
 	}
+	ro := dynstream.RemoteOptions{HandshakeTimeout: *handshake, FrameTimeout: *frame}
 
 	var cluster *dynstream.RemoteCluster
 	var err error
 	if *remote != "" {
 		addrs := strings.Split(*remote, ",")
-		cluster, err = dynstream.DialWorkers(ctx, addrs...)
+		cluster, err = dynstream.DialWorkersWith(ctx, ro, addrs...)
 	} else {
 		network, address := dynnet.ResolveNetwork(*listen)
 		var ln net.Listener
@@ -232,7 +250,7 @@ func runCoord(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 			defer os.Remove(address)
 		}
 		fmt.Fprintf(stderr, "coordinator: awaiting %d worker registrations on %s\n", *await, *listen)
-		cluster, err = dynstream.AcceptWorkers(ctx, ln, *await)
+		cluster, err = dynstream.AcceptWorkersWith(ctx, ln, *await, ro)
 	}
 	if err != nil {
 		return err
@@ -285,8 +303,10 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		batch   = fs.Int("batch", 0, "ingest batch size (0 = default)")
 		wmax    = fs.Float64("wmax", 0, "msf: weight upper bound (0 = scan the stream)")
 		input   = fs.String("in", "", "input file (default stdin)")
-		repl    = fs.Bool("repl", false, "serve a live handle: base stream from -in/-n, then +/-/query commands on stdin")
+		repl    = fs.Bool("repl", false, "serve a live handle: base stream from -in/-n, then +/-/query/save/load commands on stdin")
 		nFlag   = fs.Int("n", 0, "vertex count for -repl without -in (empty base graph)")
+		ckpt    = fs.String("checkpoint", "", "repl: auto-snapshot the live state to this path (atomic rename; with -every)")
+		every   = fs.Int("every", 0, "repl: flush and snapshot after this many applied updates (with -checkpoint)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -304,6 +324,12 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		return fmt.Errorf("-wmax must be >= 0, got %v: %w", *wmax, dynstream.ErrBadConfig)
 	case *decodeW < 0:
 		return fmt.Errorf("-decodeworkers must be >= 0, got %d: %w", *decodeW, dynstream.ErrBadConfig)
+	case *every < 0:
+		return fmt.Errorf("-every must be >= 0, got %d: %w", *every, dynstream.ErrBadConfig)
+	case (*ckpt == "") != (*every == 0):
+		return fmt.Errorf("-checkpoint and -every go together (snapshot where, how often): %w", dynstream.ErrBadConfig)
+	case *ckpt != "" && !*repl:
+		return fmt.Errorf("-checkpoint/-every only apply to -repl sessions: %w", dynstream.ErrBadConfig)
 	}
 	// Sketch-target subcommands decode after Build returns; they run
 	// their extraction at the decode worker count (same output at any
@@ -345,7 +371,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 			opts = append(opts, dynstream.WithDecodeWorkers(*decodeW))
 		}
 		return runRepl(ctx, cmd, base, replParams{k: *k, d: *d, z: *z, seed: *seed, wmax: *wmax, dw: dw},
-			opts, stdin, stdout, stderr)
+			replCkpt{path: *ckpt, every: *every}, opts, stdin, stdout, stderr)
 	}
 	var src dynstream.Source
 	if srcOverride != nil {
@@ -496,128 +522,162 @@ type replParams struct {
 	dw      int
 }
 
+// replCkpt is the repl's auto-snapshot schedule (-checkpoint/-every).
+type replCkpt struct {
+	path  string
+	every int
+}
+
 // runRepl opens a live handle for the subcommand's target and serves
-// the +/-/query command loop over it.
-func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replParams,
+// the +/-/query/save/load command loop over it.
+func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replParams, ck replCkpt,
 	opts []dynstream.Option, stdin io.Reader, stdout, stderr io.Writer) error {
-	fmt.Fprintf(stderr, "repl: n=%d, serving %s (+/-/query/quit on stdin)\n", base.N(), cmd)
+	fmt.Fprintf(stderr, "repl: n=%d, serving %s (+/-/query/save/load/quit on stdin)\n", base.N(), cmd)
 	switch cmd {
 	case "spanner":
-		h, err := dynstream.Open(ctx, base,
-			dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: pr.k, Seed: pr.seed}}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveRepl(ctx, h, stdin, stdout, stderr, func(res *dynstream.SpannerResult) (*graph.Graph, string) {
-			return res.Spanner, fmt.Sprintf("2^%d-spanner: %d edges", pr.k, res.Spanner.M())
-		})
+		return serveLive(ctx, base,
+			dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: pr.k, Seed: pr.seed}},
+			ck, opts, stdin, stdout, stderr,
+			func(res *dynstream.SpannerResult) (*graph.Graph, string, error) {
+				return res.Spanner, fmt.Sprintf("2^%d-spanner: %d edges", pr.k, res.Spanner.M()), nil
+			})
 
 	case "additive":
-		h, err := dynstream.Open(ctx, base,
-			dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: pr.d, Seed: pr.seed}}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveRepl(ctx, h, stdin, stdout, stderr, func(res *dynstream.AdditiveResult) (*graph.Graph, string) {
-			return res.Spanner, fmt.Sprintf("n/%d-additive spanner: %d edges", pr.d, res.Spanner.M())
-		})
+		return serveLive(ctx, base,
+			dynstream.AdditiveTarget{Config: dynstream.AdditiveConfig{D: pr.d, Seed: pr.seed}},
+			ck, opts, stdin, stdout, stderr,
+			func(res *dynstream.AdditiveResult) (*graph.Graph, string, error) {
+				return res.Spanner, fmt.Sprintf("n/%d-additive spanner: %d edges", pr.d, res.Spanner.M()), nil
+			})
 
 	case "sparsify":
-		h, err := dynstream.Open(ctx, base,
-			dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{K: pr.k, Z: pr.z, Seed: pr.seed}}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveRepl(ctx, h, stdin, stdout, stderr, func(res *dynstream.SparsifierResult) (*graph.Graph, string) {
-			return res.Sparsifier, fmt.Sprintf("sparsifier: %d edges from %d samples", res.Sparsifier.M(), res.Samples)
-		})
+		return serveLive(ctx, base,
+			dynstream.SparsifierTarget{Config: dynstream.SparsifierConfig{K: pr.k, Z: pr.z, Seed: pr.seed}},
+			ck, opts, stdin, stdout, stderr,
+			func(res *dynstream.SparsifierResult) (*graph.Graph, string, error) {
+				return res.Sparsifier, fmt.Sprintf("sparsifier: %d edges from %d samples", res.Sparsifier.M(), res.Samples), nil
+			})
 
 	case "forest":
-		h, err := dynstream.Open(ctx, base, dynstream.ForestTarget{Seed: pr.seed}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveReplErr(ctx, h, stdin, stdout, stderr, func(sk *dynstream.ForestSketch) (*graph.Graph, string, error) {
-			forest, err := sk.SpanningForestParallel(nil, pr.dw)
-			if err != nil {
-				return nil, "", err
-			}
-			g := graph.New(base.N())
-			for _, e := range forest {
-				g.AddUnitEdge(e.U, e.V)
-			}
-			return g, fmt.Sprintf("spanning forest: %d edges", len(forest)), nil
-		})
+		return serveLive(ctx, base, dynstream.ForestTarget{Seed: pr.seed},
+			ck, opts, stdin, stdout, stderr,
+			func(sk *dynstream.ForestSketch) (*graph.Graph, string, error) {
+				forest, err := sk.SpanningForestParallel(nil, pr.dw)
+				if err != nil {
+					return nil, "", err
+				}
+				g := graph.New(base.N())
+				for _, e := range forest {
+					g.AddUnitEdge(e.U, e.V)
+				}
+				return g, fmt.Sprintf("spanning forest: %d edges", len(forest)), nil
+			})
 
 	case "kcert":
-		h, err := dynstream.Open(ctx, base,
-			dynstream.KConnectivityTarget{Seed: pr.seed, K: pr.k}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveReplErr(ctx, h, stdin, stdout, stderr, func(kc *dynstream.KConnectivity) (*graph.Graph, string, error) {
-			cert, err := kc.CertificateGraphParallel(pr.dw)
-			if err != nil {
-				return nil, "", err
-			}
-			return cert, fmt.Sprintf("%d-connectivity certificate: %d edges", pr.k, cert.M()), nil
-		})
+		return serveLive(ctx, base, dynstream.KConnectivityTarget{Seed: pr.seed, K: pr.k},
+			ck, opts, stdin, stdout, stderr,
+			func(kc *dynstream.KConnectivity) (*graph.Graph, string, error) {
+				cert, err := kc.CertificateGraphParallel(pr.dw)
+				if err != nil {
+					return nil, "", err
+				}
+				return cert, fmt.Sprintf("%d-connectivity certificate: %d edges", pr.k, cert.M()), nil
+			})
 
 	case "msf":
-		h, err := dynstream.Open(ctx, base,
-			dynstream.MSFTarget{Seed: pr.seed, WMax: pr.wmax, Gamma: 0.5}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveReplErr(ctx, h, stdin, stdout, stderr, func(m *dynstream.MSF) (*graph.Graph, string, error) {
-			forest, err := m.ForestParallel(pr.dw)
-			if err != nil {
-				return nil, "", err
-			}
-			g := graph.New(base.N())
-			for _, e := range forest {
-				g.AddEdge(e.U, e.V, e.W)
-			}
-			return g, fmt.Sprintf("approximate MSF: %d edges", len(forest)), nil
-		})
+		return serveLive(ctx, base, dynstream.MSFTarget{Seed: pr.seed, WMax: pr.wmax, Gamma: 0.5},
+			ck, opts, stdin, stdout, stderr,
+			func(m *dynstream.MSF) (*graph.Graph, string, error) {
+				forest, err := m.ForestParallel(pr.dw)
+				if err != nil {
+					return nil, "", err
+				}
+				g := graph.New(base.N())
+				for _, e := range forest {
+					g.AddEdge(e.U, e.V, e.W)
+				}
+				return g, fmt.Sprintf("approximate MSF: %d edges", len(forest)), nil
+			})
 
 	case "bipartite":
-		h, err := dynstream.Open(ctx, base, dynstream.BipartitenessTarget{Seed: pr.seed}, opts...)
-		if err != nil {
-			return err
-		}
-		return serveReplErr(ctx, h, stdin, stdout, stderr, func(b *dynstream.Bipartiteness) (*graph.Graph, string, error) {
-			bip, err := b.IsBipartiteParallel(pr.dw)
-			if err != nil {
-				return nil, "", err
-			}
-			return graph.New(0), fmt.Sprintf("bipartite: %v", bip), nil
-		})
+		return serveLive(ctx, base, dynstream.BipartitenessTarget{Seed: pr.seed},
+			ck, opts, stdin, stdout, stderr,
+			func(b *dynstream.Bipartiteness) (*graph.Graph, string, error) {
+				bip, err := b.IsBipartiteParallel(pr.dw)
+				if err != nil {
+					return nil, "", err
+				}
+				return graph.New(0), fmt.Sprintf("bipartite: %v", bip), nil
+			})
 
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 }
 
-// serveRepl drives the live command loop: +/- lines accumulate into a
-// pending batch, "query" flushes the batch into the handle and prints
-// the freshly extracted result (edges on stdout, a summary line on
-// stderr), "quit" exits. Malformed lines are reported and skipped, so
-// a scripted session survives typos.
-func serveRepl[R any](ctx context.Context, h *dynstream.Handle[R],
-	stdin io.Reader, stdout, stderr io.Writer, render func(R) (*graph.Graph, string)) error {
-	return serveReplErr(ctx, h, stdin, stdout, stderr, func(res R) (*graph.Graph, string, error) {
-		g, s := render(res)
-		return g, s, nil
-	})
+// serveLive opens the target's handle over the base stream and serves
+// the command loop, wiring `load` to the library's Restore over the
+// same base/target/options.
+func serveLive[R any](ctx context.Context, base dynstream.Source, target dynstream.Target[R],
+	ck replCkpt, opts []dynstream.Option, stdin io.Reader, stdout, stderr io.Writer,
+	render func(R) (*graph.Graph, string, error)) error {
+	h, err := dynstream.Open(ctx, base, target, opts...)
+	if err != nil {
+		return err
+	}
+	restore := func(r io.Reader) (*dynstream.Handle[R], error) {
+		return dynstream.Restore(ctx, r, base, target, opts...)
+	}
+	return serveReplErr(ctx, h, restore, ck, stdin, stdout, stderr, render)
 }
 
+// saveCheckpoint writes the handle's snapshot atomically: a temp file
+// in the same directory, renamed into place only after a clean close —
+// a process killed mid-write can never leave a torn checkpoint at
+// path.
+func saveCheckpoint[R any](h *dynstream.Handle[R], path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := h.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// serveReplErr drives the live command loop: +/- lines accumulate into
+// a pending batch, "query" flushes the batch into the handle and
+// prints the freshly extracted result (edges on stdout, a summary line
+// on stderr), "save"/"load" checkpoint and restore the live state, and
+// "quit" exits. Malformed lines are reported and skipped, so a
+// scripted session survives typos. With an auto-snapshot schedule
+// (-checkpoint/-every) the pending batch is flushed and the state
+// saved every `every` applied updates.
 func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
+	restore func(io.Reader) (*dynstream.Handle[R], error), ck replCkpt,
 	stdin io.Reader, stdout, stderr io.Writer, render func(R) (*graph.Graph, string, error)) error {
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	var pending []dynstream.Update
 	queries := 0
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := h.Apply(pending); err != nil {
+			return err
+		}
+		pending = pending[:0]
+		return nil
+	}
 	for sc.Scan() {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -634,12 +694,18 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 				continue
 			}
 			pending = append(pending, u)
-		case "query":
-			if len(pending) > 0 {
-				if err := h.Apply(pending); err != nil {
+			if ck.every > 0 && len(pending) >= ck.every {
+				if err := flush(); err != nil {
 					return err
 				}
-				pending = pending[:0]
+				if err := saveCheckpoint(h, ck.path); err != nil {
+					return fmt.Errorf("repl: auto-checkpoint: %w", err)
+				}
+				fmt.Fprintf(stderr, "repl: checkpoint saved to %s (%d updates applied)\n", ck.path, h.AppliedUpdates())
+			}
+		case "query":
+			if err := flush(); err != nil {
+				return err
 			}
 			res, err := h.Query(ctx)
 			if err != nil {
@@ -657,10 +723,45 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 				return err
 			}
 			fmt.Fprintf(stderr, "repl query %d: %s\n", queries, summary)
+		case "save":
+			if len(fields) != 2 {
+				fmt.Fprintf(stderr, "repl: want: save <path>\n")
+				continue
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := saveCheckpoint(h, fields[1]); err != nil {
+				fmt.Fprintf(stderr, "repl: save: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stderr, "repl: checkpoint saved to %s (%d updates applied)\n", fields[1], h.AppliedUpdates())
+		case "load":
+			if len(fields) != 2 {
+				fmt.Fprintf(stderr, "repl: want: load <path>\n")
+				continue
+			}
+			if len(pending) > 0 {
+				fmt.Fprintf(stderr, "repl: load discards %d pending updates\n", len(pending))
+				pending = pending[:0]
+			}
+			f, err := os.Open(fields[1])
+			if err != nil {
+				fmt.Fprintf(stderr, "repl: load: %v\n", err)
+				continue
+			}
+			h2, err := restore(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "repl: load: %v\n", err)
+				continue
+			}
+			h = h2
+			fmt.Fprintf(stderr, "repl: restored %s (%d updates applied)\n", fields[1], h.AppliedUpdates())
 		case "quit", "exit":
 			return nil
 		default:
-			fmt.Fprintf(stderr, "repl: unknown command %q (want: + u v [w] | - u v [w] | query | quit)\n", fields[0])
+			fmt.Fprintf(stderr, "repl: unknown command %q (want: + u v [w] | - u v [w] | query | save PATH | load PATH | quit)\n", fields[0])
 		}
 	}
 	return sc.Err()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -76,19 +77,36 @@ func startWorkerProcs(t *testing.T, n int, extraArgs ...string) ([]string, []*ex
 		})
 		addrs[i] = sock
 	}
+	readyCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 	for _, sock := range addrs {
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			if _, err := os.Stat(sock); err == nil {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("worker socket %s never appeared", sock)
-			}
-			time.Sleep(10 * time.Millisecond)
+		if err := waitSocketReady(readyCtx, sock); err != nil {
+			t.Fatalf("worker socket %s never became dialable: %v", sock, err)
 		}
 	}
 	return addrs, procs
+}
+
+// waitSocketReady probes the socket with short ctx-bounded dials until
+// the worker accepts. The probe connection is closed immediately; the
+// worker's accept loop survives the dropped session and keeps
+// listening for the real coordinator.
+func waitSocketReady(ctx context.Context, sock string) error {
+	d := net.Dialer{}
+	for {
+		probeCtx, cancelProbe := context.WithTimeout(ctx, 100*time.Millisecond)
+		conn, err := d.DialContext(probeCtx, "unix", sock)
+		cancelProbe()
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
 }
 
 func processTestStream(t *testing.T) *dynstream.MemoryStream {

@@ -68,15 +68,11 @@ func main() {
 		defer func() { cmd.Process.Kill(); cmd.Wait() }()
 		addrs[i] = sock
 	}
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelReady()
 	for _, sock := range addrs {
-		for deadline := time.Now().Add(5 * time.Second); ; {
-			if _, err := os.Stat(sock); err == nil {
-				break
-			}
-			if time.Now().After(deadline) {
-				log.Fatalf("worker socket %s never appeared", sock)
-			}
-			time.Sleep(10 * time.Millisecond)
+		if err := waitWorkerReady(readyCtx, sock); err != nil {
+			log.Fatalf("worker %s never became dialable: %v", sock, err)
 		}
 	}
 
@@ -151,6 +147,29 @@ func main() {
 	_, want := g.Components()
 	fmt.Printf("forest spans %d component(s); graph has %d — %s\n",
 		len(components), want, okString(len(components) == want))
+}
+
+// waitWorkerReady probes the worker's socket with short dials until it
+// accepts, honoring ctx instead of a fixed poll budget. A successful
+// probe connection is closed immediately; the worker's accept loop
+// treats the dropped session as a failed coordinator and keeps
+// listening.
+func waitWorkerReady(ctx context.Context, sock string) error {
+	d := net.Dialer{}
+	for {
+		probeCtx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		conn, err := d.DialContext(probeCtx, "unix", sock)
+		cancel()
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
 }
 
 // workerMain is the re-exec'd worker role: listen on the socket, serve

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dynstream/internal/agm"
+	"dynstream/internal/dynnet"
 	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
@@ -39,6 +40,11 @@ type Handle[R any] struct {
 	src  Source
 	o    *buildOptions
 	live liveState[R]
+	// applied counts the updates folded in with Apply since Open (or
+	// since the checkpointed handle's own Open, for a restored handle).
+	// It is written into every checkpoint, so a restorer knows exactly
+	// which stream suffix to replay.
+	applied int64
 }
 
 // liveState is the per-target mutable state behind a Handle.
@@ -48,6 +54,9 @@ type liveState[R any] interface {
 	enableCache(on bool)
 	invalidate()
 	merge(state any) error
+	// snapshot returns the state's kind tag and its serialized live
+	// contents for Handle.Checkpoint (see checkpoint.go).
+	snapshot() (dynnet.StateKind, []byte, error)
 }
 
 // Open is the live front door: it ingests src into the target's sketch
@@ -122,7 +131,22 @@ func (h *Handle[R]) Apply(updates []Update) error {
 		}
 		checked = append(checked, cu)
 	}
-	return h.live.apply(checked)
+	if err := h.live.apply(checked); err != nil {
+		return err
+	}
+	h.applied += int64(len(checked))
+	return nil
+}
+
+// AppliedUpdates returns the number of updates folded in with Apply
+// over this handle's lifetime — for a handle from Restore, continuing
+// the checkpointed handle's count. A caller replaying a stream through
+// Apply can therefore checkpoint at any point, crash, Restore, and
+// resume from exactly update AppliedUpdates() of its log.
+func (h *Handle[R]) AppliedUpdates() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.applied
 }
 
 // Query extracts the target's result from the live state's current

@@ -1,0 +1,274 @@
+// Package chaos is a deterministic fault injector for net.Conn. It
+// wraps a connection and perturbs its reads and writes according to a
+// seeded schedule — added latency, indefinite stalls, short writes,
+// mid-frame disconnects, bit flips — so the dynnet failure paths can
+// be driven repeatably from tests: the same Config produces the same
+// fault at the same byte offset on every run.
+//
+// The faults map onto the failure modes the protocol must survive:
+//
+//   - Delay: fixed per-operation latency (slow network; exercises
+//     nothing but patience — results must stay bit-identical).
+//   - Stall: after ByteBudget bytes the connection goes silent without
+//     closing (hung peer; the coordinator's per-frame deadlines must
+//     declare it dead rather than hang the pass).
+//   - ShortWrite: every write is split into small chunks (fragmented
+//     TCP; semantically lossless, must stay bit-identical).
+//   - Disconnect: after ByteBudget bytes the connection drops, cutting
+//     the current frame mid-payload (crashed peer; the reader sees a
+//     truncated frame, the coordinator fails the worker over).
+//   - BitFlip: after ByteBudget bytes one bit of each written chunk is
+//     flipped (corrupted link; the frame CRC must catch every flip —
+//     never silent corruption).
+//
+// A stalled operation honors the deadlines set through the wrapper
+// (SetDeadline and friends are tracked before being forwarded), so a
+// read deadline converts a stall into os.ErrDeadlineExceeded exactly
+// as a real hung socket would.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Kind selects the injected fault.
+type Kind int
+
+const (
+	// None passes everything through unchanged.
+	None Kind = iota
+	// Delay sleeps Config.Delay before every read and write.
+	Delay
+	// Stall blocks reads and writes forever once ByteBudget total bytes
+	// have passed, honoring deadlines set via the wrapper.
+	Stall
+	// ShortWrite fragments every write into chunks of 1-8 bytes.
+	ShortWrite
+	// Disconnect closes the connection once ByteBudget total bytes have
+	// passed, truncating any write in flight.
+	Disconnect
+	// BitFlip flips one seeded-random bit per written chunk once
+	// ByteBudget total bytes have passed.
+	BitFlip
+)
+
+// String names the fault kind (test matrix labels).
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Stall:
+		return "stall"
+	case ShortWrite:
+		return "short-write"
+	case Disconnect:
+		return "disconnect"
+	case BitFlip:
+		return "bit-flip"
+	default:
+		return fmt.Sprintf("chaos.Kind(%d)", int(k))
+	}
+}
+
+// Config is a deterministic fault schedule.
+type Config struct {
+	// Kind selects the fault.
+	Kind Kind
+	// Seed drives every random choice (bit positions, chunk sizes);
+	// identical seeds replay identical faults.
+	Seed uint64
+	// Delay is the per-operation latency of Kind Delay.
+	Delay time.Duration
+	// ByteBudget is the total traffic (reads + writes through the
+	// wrapper) after which Stall, Disconnect, or BitFlip triggers.
+	// Choosing a budget inside a frame cuts that frame mid-payload.
+	ByteBudget int64
+}
+
+// Conn is a net.Conn with the configured fault injected. All methods
+// are safe for the usual one-reader/one-writer connection use.
+type Conn struct {
+	inner net.Conn
+	cfg   Config
+
+	mu     sync.Mutex
+	rng    uint64
+	total  int64 // bytes passed through, both directions
+	rd, wd time.Time
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Wrap returns conn with the fault schedule of cfg injected.
+func Wrap(conn net.Conn, cfg Config) *Conn {
+	return &Conn{inner: conn, cfg: cfg, rng: cfg.Seed, closed: make(chan struct{})}
+}
+
+// next steps the seeded generator (splitmix64). Callers hold c.mu.
+func (c *Conn) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// injectedError marks errors produced by the injector itself (as
+// opposed to errors of the underlying connection).
+type injectedError struct{ msg string }
+
+func (e *injectedError) Error() string { return "chaos: " + e.msg }
+
+// Timeout makes an injected stall satisfy net.Error's timeout check
+// like a real deadline miss would.
+func (e *injectedError) Timeout() bool   { return e.msg == "stall timed out" }
+func (e *injectedError) Temporary() bool { return false }
+
+// tripped reports whether the byte budget has been consumed. Callers
+// hold c.mu.
+func (c *Conn) tripped() bool { return c.total >= c.cfg.ByteBudget }
+
+// stall blocks until the given deadline (zero: forever) or until the
+// connection is closed.
+func (c *Conn) stall(deadline time.Time) error {
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-timer:
+		return fmt.Errorf("%w: %v", os.ErrDeadlineExceeded, &injectedError{"stall timed out"})
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	kind := c.cfg.Kind
+	stalled := kind == Stall && c.tripped()
+	dropped := kind == Disconnect && c.tripped()
+	rd := c.rd
+	c.mu.Unlock()
+	switch {
+	case kind == Delay:
+		time.Sleep(c.cfg.Delay)
+	case stalled:
+		return 0, c.stall(rd)
+	case dropped:
+		c.Close()
+		return 0, &injectedError{"injected disconnect"}
+	}
+	n, err := c.inner.Read(b)
+	c.mu.Lock()
+	c.total += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	written := 0
+	for written < len(b) {
+		c.mu.Lock()
+		kind := c.cfg.Kind
+		stalled := kind == Stall && c.tripped()
+		dropped := kind == Disconnect && c.tripped()
+		wd := c.wd
+		// Chunk the remaining bytes: short writes use tiny seeded
+		// chunks; a pending disconnect or bit flip cuts at the budget
+		// boundary so the fault lands at a deterministic byte offset.
+		chunk := len(b) - written
+		switch {
+		case kind == ShortWrite:
+			if m := int(c.next()%8) + 1; m < chunk {
+				chunk = m
+			}
+		case (kind == Disconnect || kind == BitFlip) && !c.tripped():
+			if left := int(c.cfg.ByteBudget - c.total); left < chunk {
+				chunk = left
+			}
+		case kind == BitFlip:
+			// Flip one bit of this chunk on a copy; the original
+			// buffer belongs to the caller.
+			bit := c.next() % uint64(chunk*8)
+			mut := append([]byte(nil), b[written:written+chunk]...)
+			mut[bit/8] ^= 1 << (bit % 8)
+			c.mu.Unlock()
+			n, err := c.inner.Write(mut)
+			c.mu.Lock()
+			c.total += int64(n)
+			c.mu.Unlock()
+			written += n
+			if err != nil {
+				return written, err
+			}
+			continue
+		}
+		c.mu.Unlock()
+		switch {
+		case kind == Delay && written == 0:
+			time.Sleep(c.cfg.Delay)
+		case stalled:
+			return written, c.stall(wd)
+		case dropped:
+			c.Close()
+			return written, &injectedError{"injected disconnect"}
+		}
+		n, err := c.inner.Write(b[written : written+chunk])
+		c.mu.Lock()
+		c.total += int64(n)
+		c.mu.Unlock()
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn, tracking the deadline so injected
+// stalls honor it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rd, c.wd = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rd = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wd = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestPassthroughAndShortWrite(t *testing.T) {
+	for _, cfg := range []Config{
+		{Kind: None},
+		{Kind: ShortWrite, Seed: 42},
+		{Kind: Delay, Delay: time.Millisecond},
+	} {
+		t.Run(cfg.Kind.String(), func(t *testing.T) {
+			a, b := pipePair()
+			defer a.Close()
+			defer b.Close()
+			w := Wrap(a, cfg)
+			msg := bytes.Repeat([]byte("fault-injection"), 20)
+			go func() {
+				w.Write(msg)
+				w.Close()
+			}()
+			got, err := io.ReadAll(b)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("%v corrupted a lossless fault: got %d bytes, want %d", cfg.Kind, len(got), len(msg))
+			}
+		})
+	}
+}
+
+func TestDisconnectCutsAtBudget(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := Wrap(a, Config{Kind: Disconnect, ByteBudget: 10})
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		for {
+			n, err := b.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	n, err := w.Write(bytes.Repeat([]byte{0xab}, 64))
+	if err == nil {
+		t.Fatal("write past the budget did not fail")
+	}
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before disconnect, want exactly the 10-byte budget", n)
+	}
+	<-done
+	if len(got) != 10 {
+		t.Fatalf("peer saw %d bytes, want 10", len(got))
+	}
+	// The fault is sticky: the connection stays dead.
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write on a disconnected chaos conn succeeded")
+	}
+}
+
+func TestBitFlipCorruptsAfterBudget(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := Wrap(a, Config{Kind: BitFlip, Seed: 7, ByteBudget: 8})
+	msg := make([]byte, 32)
+	go func() {
+		w.Write(msg)
+		w.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(msg) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(msg))
+	}
+	if !bytes.Equal(got[:8], msg[:8]) {
+		t.Fatal("bytes before the budget were corrupted")
+	}
+	if bytes.Equal(got[8:], msg[8:]) {
+		t.Fatal("no bit was flipped after the budget")
+	}
+}
+
+func TestBitFlipIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		a, b := pipePair()
+		defer b.Close()
+		w := Wrap(a, Config{Kind: BitFlip, Seed: 99, ByteBudget: 4})
+		go func() {
+			w.Write(make([]byte, 24))
+			w.Close()
+		}()
+		got, _ := io.ReadAll(b)
+		return got
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical seeds produced different corruption")
+	}
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, Config{Kind: Stall, ByteBudget: 0}) // stalled from byte zero
+	if err := w.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatalf("set deadline: %v", err)
+	}
+	start := time.Now()
+	_, err := w.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read returned %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stalled read blocked %v despite the deadline", d)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stall error %v is not a net.Error timeout", err)
+	}
+}
+
+func TestStallUnblocksOnClose(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := Wrap(a, Config{Kind: Stall, ByteBudget: 0})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("stalled read returned %v after close, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled read did not unblock on close")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,13 +18,73 @@ import (
 // ErrNoWorkers reports a pass with no live workers left.
 var ErrNoWorkers = errors.New("dynnet: no live workers")
 
-// handshakeTimeout bounds the HELLO exchange so a silent peer cannot
-// hang coordinator setup.
-const handshakeTimeout = 10 * time.Second
+// defaultHandshakeTimeout bounds the HELLO exchange so a silent peer
+// cannot hang coordinator setup (Options.HandshakeTimeout overrides).
+const defaultHandshakeTimeout = 10 * time.Second
+
+// Options tunes the coordinator's connection management. The zero
+// value gives the historical behavior: a 10s handshake timeout, one
+// dial attempt per address, no per-frame deadlines, no redialing.
+type Options struct {
+	// HandshakeTimeout bounds the HELLO exchange per worker
+	// (default 10s).
+	HandshakeTimeout time.Duration
+	// FrameTimeout, when > 0, bounds every frame read and write on a
+	// worker connection — the heartbeat that declares a silent worker
+	// dead (and recovers its shard) instead of hanging the pass. Size
+	// it to the slowest expected single-frame exchange: the worker's
+	// end-of-pass marshal+SKETCH is the longest gap.
+	FrameTimeout time.Duration
+	// DialAttempts is the number of connection attempts per address
+	// (default 1). Attempts after the first back off exponentially.
+	DialAttempts int
+	// DialBackoff is the delay before the second attempt (default
+	// 100ms), doubling per attempt up to DialMaxBackoff (default 5s),
+	// each sleep jittered deterministically from JitterSeed.
+	DialBackoff    time.Duration
+	DialMaxBackoff time.Duration
+	// JitterSeed seeds the deterministic backoff jitter, so tests (and
+	// reruns) sleep the same schedule.
+	JitterSeed uint64
+	// Redial lets shard recovery re-dial dropped workers that were
+	// registered by address (DialOpts): the restarted worker re-enters
+	// the build and its shard is re-replayed to it. Without it (or for
+	// accepted connections, which have no address) shards only move to
+	// surviving workers.
+	Redial bool
+}
+
+// withDefaults resolves unset fields; negative durations are treated
+// as unset.
+func (o Options) withDefaults() Options {
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = defaultHandshakeTimeout
+	}
+	if o.FrameTimeout < 0 {
+		o.FrameTimeout = 0
+	}
+	if o.DialAttempts < 1 {
+		o.DialAttempts = 1
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 100 * time.Millisecond
+	}
+	if o.DialMaxBackoff <= 0 {
+		o.DialMaxBackoff = 5 * time.Second
+	}
+	return o
+}
 
 // workerConn is one registered worker connection.
 type workerConn struct {
-	id   string
+	id string
+	// addr is the dialable address this worker was registered from;
+	// empty for accepted connections. A non-empty addr is what makes a
+	// dead worker redialable.
+	addr string
+	// mu guards conn (replaced on redial) against the ctx-cancel
+	// watchdogs, which close connections from their own goroutine.
+	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
@@ -30,6 +92,32 @@ type workerConn struct {
 	// because the ctx-cancel watchdog closes connections from its own
 	// goroutine while RunPass reads the flag.
 	alive atomic.Bool
+}
+
+// netConn returns the current connection under the swap lock.
+func (w *workerConn) netConn() net.Conn {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn
+}
+
+// closeConn closes the current connection (nil-safe for a worker whose
+// redial never completed).
+func (w *workerConn) closeConn() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.conn == nil {
+		return nil
+	}
+	return w.conn.Close()
+}
+
+// adopt installs a freshly handshaken connection on this worker slot.
+func (w *workerConn) adopt(nw *workerConn) {
+	w.mu.Lock()
+	w.conn, w.br, w.bw, w.id = nw.conn, nw.br, nw.bw, nw.id
+	w.mu.Unlock()
+	w.alive.Store(true)
 }
 
 // Coordinator drives multi-process builds over a set of registered
@@ -40,6 +128,7 @@ type workerConn struct {
 // A Coordinator serves one RunPass at a time (passes of one build are
 // sequential by nature); it is not safe for concurrent RunPass calls.
 type Coordinator struct {
+	opts     Options
 	workers  []*workerConn
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
@@ -63,25 +152,107 @@ func ResolveNetwork(addr string) (network, address string) {
 // Dial connects to worker processes listening at addrs ("host:port",
 // "unix:/path", or a bare socket path) and registers each one.
 func Dial(ctx context.Context, addrs ...string) (*Coordinator, error) {
-	var d net.Dialer
+	return DialOpts(ctx, Options{}, addrs...)
+}
+
+// DialOpts is Dial with explicit connection-management options:
+// per-address exponential backoff with deterministic jitter
+// (DialAttempts/DialBackoff), handshake and per-frame deadlines, and
+// redial-on-recovery. Workers registered by address are redialable.
+func DialOpts(ctx context.Context, opts Options, addrs ...string) (*Coordinator, error) {
+	opts = opts.withDefaults()
 	conns := make([]net.Conn, 0, len(addrs))
 	for _, a := range addrs {
-		network, address := ResolveNetwork(a)
-		conn, err := d.DialContext(ctx, network, address)
+		conn, err := dialRetry(ctx, a, opts)
 		if err != nil {
 			for _, c := range conns {
 				c.Close()
 			}
-			return nil, fmt.Errorf("dynnet: dial worker %s: %w", a, err)
+			return nil, err
 		}
 		conns = append(conns, conn)
 	}
-	return NewCoordinator(ctx, conns)
+	c, err := NewCoordinatorOpts(ctx, conns, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range addrs {
+		c.workers[i].addr = a
+	}
+	return c, nil
+}
+
+// dialRetry dials one worker address under ctx, backing off
+// exponentially between attempts with deterministic jitter.
+func dialRetry(ctx context.Context, addr string, opts Options) (net.Conn, error) {
+	network, address := ResolveNetwork(addr)
+	var d net.Dialer
+	delay := opts.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < opts.DialAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, jitter(delay, opts.JitterSeed, addr, attempt)); err != nil {
+				return nil, fmt.Errorf("dynnet: dial worker %s: %w (last attempt: %v)", addr, err, lastErr)
+			}
+			delay *= 2
+			if delay > opts.DialMaxBackoff {
+				delay = opts.DialMaxBackoff
+			}
+		}
+		conn, err := d.DialContext(ctx, network, address)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("dynnet: dial worker %s: %w", addr, err)
+		}
+	}
+	return nil, fmt.Errorf("dynnet: dial worker %s after %d attempts: %w", addr, opts.DialAttempts, lastErr)
+}
+
+// jitter spreads one backoff sleep over [delay/2, delay], picked
+// deterministically from (seed, address, attempt) — reruns of the same
+// configuration sleep the same schedule, and distinct addresses
+// desynchronize.
+func jitter(delay time.Duration, seed uint64, addr string, attempt int) time.Duration {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	x := seed ^ h.Sum64() ^ uint64(attempt)
+	// splitmix64 finalizer: a full-avalanche mix of the inputs.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	half := delay / 2
+	if half <= 0 {
+		return delay
+	}
+	return half + time.Duration(x%uint64(half+1))
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Accept waits for count workers to connect to ln and register — the
 // coordinator-listens topology, where workers dial in with HELLO.
 func Accept(ctx context.Context, ln net.Listener, count int) (*Coordinator, error) {
+	return AcceptOpts(ctx, ln, count, Options{})
+}
+
+// AcceptOpts is Accept with explicit connection-management options.
+// Accepted workers have no dialable address, so Options.Redial does
+// not apply to them; the handshake and frame deadlines do.
+func AcceptOpts(ctx context.Context, ln net.Listener, count int, opts Options) (*Coordinator, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("dynnet: accept: need at least 1 worker, got %d", count)
 	}
@@ -101,7 +272,7 @@ func Accept(ctx context.Context, ln net.Listener, count int) (*Coordinator, erro
 		}
 		conns = append(conns, conn)
 	}
-	return NewCoordinator(ctx, conns)
+	return NewCoordinatorOpts(ctx, conns, opts)
 }
 
 // NewCoordinator performs the HELLO registration exchange on each
@@ -111,10 +282,16 @@ func Accept(ctx context.Context, ln net.Listener, count int) (*Coordinator, erro
 // version skew is a deployment bug, not a runtime condition to paper
 // over.
 func NewCoordinator(ctx context.Context, conns []net.Conn) (*Coordinator, error) {
+	return NewCoordinatorOpts(ctx, conns, Options{})
+}
+
+// NewCoordinatorOpts is NewCoordinator with explicit
+// connection-management options.
+func NewCoordinatorOpts(ctx context.Context, conns []net.Conn, opts Options) (*Coordinator, error) {
 	if len(conns) == 0 {
 		return nil, ErrNoWorkers
 	}
-	c := &Coordinator{}
+	c := &Coordinator{opts: opts.withDefaults()}
 	closeAll := func() {
 		for _, conn := range conns {
 			conn.Close()
@@ -123,43 +300,11 @@ func NewCoordinator(ctx context.Context, conns []net.Conn) (*Coordinator, error)
 	stop := context.AfterFunc(ctx, closeAll)
 	defer stop()
 	for i, conn := range conns {
-		w := &workerConn{
-			conn: conn,
-			br:   bufio.NewReaderSize(conn, 1<<16),
-			bw:   bufio.NewWriterSize(conn, 1<<16),
-		}
-		conn.SetDeadline(time.Now().Add(handshakeTimeout))
-		f, nr, err := ReadFrame(w.br)
-		c.bytesIn.Add(int64(nr))
+		w, err := c.handshake(conn, fmt.Sprintf("worker-%d", i))
 		if err != nil {
-			if errors.Is(err, ErrWrongVersion) {
-				c.write(w, FrameError, EncodeError(ErrorMsg{
-					Code: CodeWrongVersion,
-					Msg:  fmt.Sprintf("coordinator speaks protocol version %d", ProtocolVersion),
-				}))
-			}
 			closeAll()
 			return nil, fmt.Errorf("dynnet: worker %d registration: %w", i, err)
 		}
-		if f.Type != FrameHello {
-			closeAll()
-			return nil, fmt.Errorf("%w: worker %d sent %v instead of HELLO", ErrBadFrame, i, f.Type)
-		}
-		h, err := DecodeHello(f.Payload)
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("dynnet: worker %d hello: %w", i, err)
-		}
-		w.id = h.ID
-		if w.id == "" {
-			w.id = fmt.Sprintf("worker-%d", i)
-		}
-		if err := c.write(w, FrameHello, EncodeHello(Hello{ID: "coordinator"})); err != nil {
-			closeAll()
-			return nil, fmt.Errorf("dynnet: worker %s hello ack: %w", w.id, err)
-		}
-		conn.SetDeadline(time.Time{})
-		w.alive.Store(true)
 		c.workers = append(c.workers, w)
 	}
 	if ctx.Err() != nil {
@@ -169,11 +314,51 @@ func NewCoordinator(ctx context.Context, conns []net.Conn) (*Coordinator, error)
 	return c, nil
 }
 
+// handshake runs the coordinator side of the HELLO exchange on one
+// established connection: read the worker's HELLO under the handshake
+// deadline, ack it, and return the registered connection.
+func (c *Coordinator) handshake(conn net.Conn, fallbackID string) (*workerConn, error) {
+	w := &workerConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+	conn.SetDeadline(time.Now().Add(c.opts.HandshakeTimeout))
+	f, nr, err := ReadFrame(w.br)
+	c.bytesIn.Add(int64(nr))
+	if err != nil {
+		if errors.Is(err, ErrWrongVersion) {
+			c.write(w, FrameError, EncodeError(ErrorMsg{
+				Code: CodeWrongVersion,
+				Msg:  fmt.Sprintf("coordinator speaks protocol version %d", ProtocolVersion),
+			}))
+		}
+		return nil, err
+	}
+	if f.Type != FrameHello {
+		return nil, fmt.Errorf("%w: sent %v instead of HELLO", ErrBadFrame, f.Type)
+	}
+	h, err := DecodeHello(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	w.id = h.ID
+	if w.id == "" {
+		w.id = fallbackID
+	}
+	if err := c.write(w, FrameHello, EncodeHello(Hello{ID: "coordinator"})); err != nil {
+		return nil, fmt.Errorf("hello ack: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	w.alive.Store(true)
+	return w, nil
+}
+
 // Close tears down every worker connection.
 func (c *Coordinator) Close() error {
 	var first error
 	for _, w := range c.workers {
-		if err := w.conn.Close(); err != nil && first == nil {
+		if err := w.closeConn(); err != nil && first == nil {
 			first = err
 		}
 		w.alive.Store(false)
@@ -207,13 +392,26 @@ func (c *Coordinator) Bytes() (out, in int64) {
 	return c.bytesOut.Load(), c.bytesIn.Load()
 }
 
+// write ships one frame to a worker, under the per-frame write
+// deadline when Options.FrameTimeout is set.
 func (c *Coordinator) write(w *workerConn, t FrameType, payload []byte) error {
+	if d := c.opts.FrameTimeout; d > 0 {
+		w.netConn().SetWriteDeadline(time.Now().Add(d))
+		defer w.netConn().SetWriteDeadline(time.Time{})
+	}
 	n, err := WriteFrame(w.bw, t, payload)
 	c.bytesOut.Add(int64(n))
 	return err
 }
 
+// read collects one frame from a worker, under the per-frame read
+// deadline when Options.FrameTimeout is set: a worker that goes silent
+// mid-pass times out and is declared dead instead of hanging the pass.
 func (c *Coordinator) read(w *workerConn) (Frame, error) {
+	if d := c.opts.FrameTimeout; d > 0 {
+		w.netConn().SetReadDeadline(time.Now().Add(d))
+		defer w.netConn().SetReadDeadline(time.Time{})
+	}
 	f, n, err := ReadFrame(w.br)
 	c.bytesIn.Add(int64(n))
 	return f, err
@@ -221,7 +419,29 @@ func (c *Coordinator) read(w *workerConn) (Frame, error) {
 
 func (c *Coordinator) markDead(w *workerConn) {
 	w.alive.Store(false)
-	w.conn.Close()
+	w.closeConn()
+}
+
+// redial re-establishes a dropped worker that was registered by
+// address: one dial attempt (a dead process refuses instantly; a
+// restarted one answers), then the normal HELLO exchange. On success
+// the worker slot is live again and ready for re-replay.
+func (c *Coordinator) redial(ctx context.Context, w *workerConn) error {
+	network, address := ResolveNetwork(w.addr)
+	dctx, cancel := context.WithTimeout(ctx, c.opts.HandshakeTimeout)
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, network, address)
+	cancel()
+	if err != nil {
+		return err
+	}
+	nw, err := c.handshake(conn, w.id)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	w.adopt(nw)
+	return nil
 }
 
 // Pass describes one build pass to run across the workers.
@@ -266,12 +486,15 @@ type Pass struct {
 // stream.Shard's assignment), FLUSH, collect the SKETCH blobs, and
 // merge them in shard order.
 //
-// Failure handling: a worker whose connection drops mid-pass is marked
-// dead and its shard is re-replayed in full to a surviving worker —
-// legal because the source is replayable and the sketches are linear
-// (the dead worker's partial state is simply discarded). A worker that
-// *reports* a typed ERROR (bad update, non-replayable local source)
-// fails the pass instead: the same error would recur on any worker.
+// Failure handling: a worker whose connection drops — or, with a frame
+// timeout set, goes silent — mid-pass is marked dead and its shard is
+// re-replayed in full: first to the dropped worker itself if it came
+// back and Options.Redial is set, otherwise to a surviving worker.
+// Either is legal because the source is replayable and the sketches
+// are linear (the dead worker's partial state is simply discarded). A
+// worker that *reports* a typed ERROR (bad update, non-replayable
+// local source) fails the pass instead: the same error would recur on
+// any worker.
 //
 // Cancelling ctx tears down every connection, unblocking all reads and
 // writes; RunPass then returns ctx.Err().
@@ -392,12 +615,13 @@ func (c *Coordinator) RunPass(ctx context.Context, p Pass) error {
 		}
 	}
 
-	// Re-replay dropped shards to survivors.
+	// Re-replay dropped shards: to their redialed owner when possible,
+	// otherwise to survivors.
 	for _, s := range failed {
 		if blobs[s] != nil {
 			continue
 		}
-		blob, err := c.recoverShard(ctx, p, s, W, counted[s])
+		blob, err := c.recoverShard(ctx, p, s, W, counted[s], live[s])
 		if err != nil {
 			return wrapCtx(fmt.Errorf("dynnet: shard %d/%d lost: %w", s, W, err))
 		}
@@ -458,11 +682,15 @@ func (c *Coordinator) collectSketch(w *workerConn, p Pass) ([]byte, error) {
 	}
 }
 
-// recoverShard re-replays shard s (of the round-robin split into W) to
-// a surviving worker. The shard view replays the base source, so this
-// requires a replayable source; local-shard passes cannot be recovered
-// (the data lived with the dead worker).
-func (c *Coordinator) recoverShard(ctx context.Context, p Pass, s, W int, already int64) ([]byte, error) {
+// recoverShard re-replays shard s (of the round-robin split into W).
+// The candidate order per attempt: the shard's own dropped worker if
+// it can be redialed (Options.Redial and a dialable address — a
+// restarted worker process re-registers mid-build and takes its shard
+// back), then any surviving worker, then any other redialable dead
+// worker. The shard view replays the base source, so this requires a
+// replayable source; local-shard passes cannot be recovered (the data
+// lived with the dead worker).
+func (c *Coordinator) recoverShard(ctx context.Context, p Pass, s, W int, already int64, owner *workerConn) ([]byte, error) {
 	if p.Local {
 		return nil, fmt.Errorf("dynnet: worker with a local shard died; its data is unreachable")
 	}
@@ -471,17 +699,37 @@ func (c *Coordinator) recoverShard(ctx context.Context, p Pass, s, W int, alread
 	}
 	shard := &stream.Shard{Base: p.Src, Index: s, Count: W}
 	assign := EncodeAssign(Assign{Kind: p.Kind, Local: false, Seq: p.Seq, N: p.N, Blob: p.Blob})
+	redialed := make(map[*workerConn]bool)
+	pick := func() *workerConn {
+		if owner != nil && c.opts.Redial && owner.addr != "" &&
+			!owner.alive.Load() && !redialed[owner] {
+			redialed[owner] = true
+			if c.redial(ctx, owner) == nil {
+				return owner
+			}
+		}
+		for _, cand := range c.workers {
+			if cand.alive.Load() {
+				return cand
+			}
+		}
+		if c.opts.Redial {
+			for _, cand := range c.workers {
+				if cand.addr != "" && !redialed[cand] {
+					redialed[cand] = true
+					if c.redial(ctx, cand) == nil {
+						return cand
+					}
+				}
+			}
+		}
+		return nil
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var w *workerConn
-		for _, cand := range c.workers {
-			if cand.alive.Load() {
-				w = cand
-				break
-			}
-		}
+		w := pick()
 		if w == nil {
 			return nil, ErrNoWorkers
 		}
@@ -501,7 +749,7 @@ func (c *Coordinator) recoverShard(ctx context.Context, p Pass, s, W int, alread
 		if errors.As(err, &re) {
 			return nil, err
 		}
-		c.markDead(w) // this survivor died too; try the next one
+		c.markDead(w) // this worker died too; try the next one
 	}
 }
 

@@ -1,0 +1,357 @@
+package dynnet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynstream/internal/dynnet/chaos"
+)
+
+// TestFrameCorruptTyped is the hostile-peer corruption table: every
+// mid-frame damage pattern must surface ErrFrameCorrupt (which also
+// matches ErrBadFrame, so older checks keep working); protocol-level
+// surprises that are NOT corruption must stay plain ErrBadFrame.
+func TestFrameCorruptTyped(t *testing.T) {
+	enc := AppendFrame(nil, FrameUpdates, []byte("some payload bytes"))
+	read := func(b []byte) error {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(b)))
+		return err
+	}
+	corrupt := []struct {
+		name string
+		data []byte
+	}{
+		{"flipped crc", func() []byte {
+			b := append([]byte(nil), enc...)
+			b[len(b)-1] ^= 0x01
+			return b
+		}()},
+		{"flipped payload byte", func() []byte {
+			b := append([]byte(nil), enc...)
+			b[len(b)-8] ^= 0x80
+			return b
+		}()},
+		{"truncated mid-payload", enc[:len(enc)-6]},
+		{"truncated checksum", enc[:len(enc)-2]},
+		{"truncated after version", enc[:1]},
+		{"unterminated length varint", []byte{ProtocolVersion, byte(FrameUpdates), 0xff, 0xff}},
+		{"oversized length", []byte{ProtocolVersion, byte(FrameUpdates), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			err := read(tc.data)
+			if !errors.Is(err, ErrFrameCorrupt) {
+				t.Fatalf("got %v, want ErrFrameCorrupt", err)
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("%v does not match ErrBadFrame; corruption must stay a bad frame", err)
+			}
+		})
+	}
+	// Not corruption: unknown frame type (well-formed, unexpected) and
+	// wrong version keep their own identities.
+	unknown := AppendFrame(nil, FrameType(250), []byte("x"))
+	if err := read(unknown); !errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("unknown type: got %v, want plain ErrBadFrame", err)
+	}
+	wrongVer := append([]byte(nil), enc...)
+	wrongVer[0] = ProtocolVersion + 1
+	if err := read(wrongVer); !errors.Is(err, ErrWrongVersion) || errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("wrong version: got %v, want ErrWrongVersion", err)
+	}
+	if err := read(nil); err != io.EOF {
+		t.Fatalf("clean boundary: got %v, want io.EOF", err)
+	}
+}
+
+// silentWorker registers like a real worker, then never reads or
+// writes again — the canonical hung peer.
+func silentWorker(t *testing.T, ctx context.Context) net.Conn {
+	t.Helper()
+	cc, wc := net.Pipe()
+	go func() {
+		defer wc.Close()
+		bw := bufio.NewWriter(wc)
+		if _, err := WriteFrame(bw, FrameHello, EncodeHello(Hello{ID: "silent"})); err != nil {
+			return
+		}
+		br := bufio.NewReader(wc)
+		if _, _, err := ReadFrame(br); err != nil {
+			return // ack
+		}
+		<-ctx.Done() // now go silent; close at test teardown
+	}()
+	return cc
+}
+
+// TestFrameTimeoutDeclaresSilentWorkerDead: without per-frame
+// deadlines a silent worker hangs the pass forever (net.Pipe has no
+// buffering, so the coordinator's first unread frame blocks). With
+// FrameTimeout the worker is declared dead within the deadline and the
+// pass fails over — here to nobody, so ErrNoWorkers, within a bound.
+func TestFrameTimeoutDeclaresSilentWorkerDead(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st := testStream(t, 30, 100, 71)
+	c, err := NewCoordinatorOpts(ctx, []net.Conn{silentWorker(t, ctx)},
+		Options{FrameTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p, _ := forestPass(t, st, 6)
+	p.Batch = 8
+	start := time.Now()
+	if err := c.RunPass(ctx, p); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("got %v, want ErrNoWorkers", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("silent worker held the pass for %v", d)
+	}
+}
+
+// TestFrameTimeoutFailsOver pairs the silent worker with a healthy
+// one: the pass must complete bit-identically on the survivor.
+func TestFrameTimeoutFailsOver(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st := testStream(t, 40, 200, 73)
+	conns := []net.Conn{
+		pipeWorker(t, ctx, WorkerConfig{ID: "ok"}),
+		silentWorker(t, ctx),
+	}
+	c, err := NewCoordinatorOpts(ctx, conns, Options{FrameTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p, proto := forestPass(t, st, 8)
+	p.Batch = 8
+	if err := c.RunPass(ctx, p); err != nil {
+		t.Fatalf("pass with a silent worker failed: %v", err)
+	}
+	if c.Live() != 1 {
+		t.Fatalf("live workers: %d, want 1", c.Live())
+	}
+	got, err := proto.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, serialForest(t, st, 8)) {
+		t.Fatal("failover state differs from serial ingest")
+	}
+}
+
+// TestDialRetryBackoff pins the dial loop: a worker whose socket only
+// appears after a delay is reached by later attempts, and a worker
+// that never appears consumes exactly DialAttempts tries.
+func TestDialRetryBackoff(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dir := t.TempDir()
+
+	t.Run("late listener is reached", func(t *testing.T) {
+		sock := filepath.Join(dir, "late.sock")
+		go func() {
+			time.Sleep(150 * time.Millisecond)
+			ln, err := net.Listen("unix", sock)
+			if err != nil {
+				return
+			}
+			ListenAndServeWorker(ctx, ln, WorkerConfig{ID: "late"})
+		}()
+		c, err := DialOpts(ctx, Options{
+			DialAttempts: 20,
+			DialBackoff:  50 * time.Millisecond,
+		}, "unix:"+sock)
+		if err != nil {
+			t.Fatalf("dial with retries failed: %v", err)
+		}
+		defer c.Close()
+		if c.Live() != 1 {
+			t.Fatalf("live: %d", c.Live())
+		}
+	})
+	t.Run("dead address exhausts attempts", func(t *testing.T) {
+		start := time.Now()
+		_, err := DialOpts(ctx, Options{
+			DialAttempts: 3,
+			DialBackoff:  40 * time.Millisecond,
+		}, "unix:"+filepath.Join(dir, "never.sock"))
+		if err == nil {
+			t.Fatal("dialing a nonexistent worker succeeded")
+		}
+		if want := "after 3 attempts"; !contains(err.Error(), want) {
+			t.Fatalf("error %q does not name the attempts", err)
+		}
+		// Two backoff sleeps, each jittered into [delay/2, delay].
+		if d := time.Since(start); d < 40*time.Millisecond {
+			t.Fatalf("retries returned after %v, backoff never slept", d)
+		}
+	})
+	t.Run("ctx cancels the backoff sleep", func(t *testing.T) {
+		cctx, ccancel := context.WithTimeout(ctx, 60*time.Millisecond)
+		defer ccancel()
+		start := time.Now()
+		_, err := DialOpts(cctx, Options{
+			DialAttempts: 1000,
+			DialBackoff:  10 * time.Second,
+		}, "unix:"+filepath.Join(dir, "never2.sock"))
+		if err == nil {
+			t.Fatal("canceled dial succeeded")
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cancellation took %v", d)
+		}
+	})
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+// TestJitterDeterministicAndBounded pins the backoff jitter: pure in
+// (seed, addr, attempt), always within [delay/2, delay].
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	const delay = 100 * time.Millisecond
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := jitter(delay, 7, "unix:/tmp/w.sock", attempt)
+		b := jitter(delay, 7, "unix:/tmp/w.sock", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a < delay/2 || a > delay {
+			t.Fatalf("attempt %d: jitter %v outside [%v, %v]", attempt, a, delay/2, delay)
+		}
+	}
+	if jitter(delay, 7, "unix:/tmp/w.sock", 1) == jitter(delay, 7, "unix:/tmp/other.sock", 1) &&
+		jitter(delay, 7, "unix:/tmp/w.sock", 2) == jitter(delay, 7, "unix:/tmp/other.sock", 2) {
+		t.Fatal("distinct addresses share the whole jitter schedule")
+	}
+}
+
+// TestRedialRecoversRestartedWorker: a dialed worker whose first
+// session drops mid-stream is redialed by shard recovery (Redial
+// option), re-registered, and its shard re-replayed — the pass
+// completes bit-identically with the worker alive again, even with no
+// survivor to fail over to.
+func TestRedialRecoversRestartedWorker(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st := testStream(t, 40, 200, 91)
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "w.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// First session dies after 2KB (mid-UPDATES); every later session
+	// is clean — a worker process that crashed and was restarted.
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wc := conn
+			if first {
+				first = false
+				wc = chaos.Wrap(conn, chaos.Config{Kind: chaos.Disconnect, Seed: 1, ByteBudget: 2048})
+			}
+			go ServeWorker(ctx, wc, WorkerConfig{ID: "restarting"})
+		}
+	}()
+	c, err := DialOpts(ctx, Options{
+		FrameTimeout: 500 * time.Millisecond,
+		Redial:       true,
+	}, "unix:"+sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p, proto := forestPass(t, st, 12)
+	p.Batch = 16
+	if err := c.RunPass(ctx, p); err != nil {
+		t.Fatalf("pass with a restarting worker failed: %v", err)
+	}
+	if c.Live() != 1 {
+		t.Fatalf("live workers after redial: %d, want 1", c.Live())
+	}
+	got, err := proto.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, serialForest(t, st, 12)) {
+		t.Fatal("redial state differs from serial ingest")
+	}
+	// The redialed session keeps serving subsequent passes.
+	p2, proto2 := forestPass(t, st, 13)
+	if err := c.RunPass(ctx, p2); err != nil {
+		t.Fatal(err)
+	}
+	enc2, _ := proto2.MarshalBinary()
+	if !bytes.Equal(enc2, serialForest(t, st, 13)) {
+		t.Fatal("post-redial pass differs from serial ingest")
+	}
+}
+
+// TestNoRedialWithoutOptIn: the same restarting worker without Redial
+// must surface ErrNoWorkers — recovery never dials on its own unless
+// asked.
+func TestNoRedialWithoutOptIn(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st := testStream(t, 30, 150, 93)
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "w.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go ServeWorker(ctx, chaos.Wrap(conn, chaos.Config{Kind: chaos.Disconnect, Seed: 2, ByteBudget: 2048}),
+				WorkerConfig{ID: "doomed"})
+		}
+	}()
+	c, err := DialOpts(ctx, Options{FrameTimeout: 500 * time.Millisecond}, "unix:"+sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p, _ := forestPass(t, st, 14)
+	p.Batch = 16
+	if err := c.RunPass(ctx, p); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("got %v, want ErrNoWorkers without Redial", err)
+	}
+}
+
+// TestHandshakeTimeoutConfigurable: a peer that connects but never
+// sends HELLO must be rejected within the configured handshake
+// timeout, not the 10s default.
+func TestHandshakeTimeoutConfigurable(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cc, wc := net.Pipe()
+	defer wc.Close() // never speaks
+	start := time.Now()
+	_, err := NewCoordinatorOpts(ctx, []net.Conn{cc}, Options{HandshakeTimeout: 150 * time.Millisecond})
+	if err == nil {
+		t.Fatal("mute peer registered")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("mute peer held registration for %v", d)
+	}
+}

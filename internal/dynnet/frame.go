@@ -78,6 +78,13 @@ var (
 	// ErrBadFrame reports a malformed frame: truncated header, oversized
 	// payload, CRC mismatch, or an unknown frame type.
 	ErrBadFrame = errors.New("dynnet: malformed frame")
+	// ErrFrameCorrupt reports wire-level corruption of a frame: a CRC
+	// mismatch, a hostile or truncated length, or a frame cut off
+	// mid-payload. It wraps ErrBadFrame, so existing ErrBadFrame checks
+	// still match; callers that need to distinguish "the bytes were
+	// damaged in transit" from a clean EOF or a protocol-state error
+	// (an unexpected frame type) match this error specifically.
+	ErrFrameCorrupt = fmt.Errorf("%w: corrupt frame", ErrBadFrame)
 	// ErrWrongVersion reports a frame carrying a different protocol
 	// version byte — the connection cannot be used.
 	ErrWrongVersion = errors.New("dynnet: protocol version mismatch")
@@ -132,9 +139,10 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) (int, error) {
 
 // ReadFrame reads and validates one frame. It returns the frame, the
 // number of bytes consumed, and an error: ErrWrongVersion for a version
-// mismatch, ErrBadFrame (wrapped) for any structural corruption, and
-// the underlying read error (io.EOF at a clean frame boundary) for
-// truncated input.
+// mismatch, ErrFrameCorrupt (which wraps ErrBadFrame) for wire-level
+// damage — a truncated or hostile length, a frame cut off mid-payload,
+// a CRC mismatch — ErrBadFrame alone for an unknown frame type, and
+// io.EOF only at a clean frame boundary.
 func ReadFrame(br *bufio.Reader) (Frame, int, error) {
 	var f Frame
 	read := 0
@@ -150,7 +158,7 @@ func ReadFrame(br *bufio.Reader) (Frame, int, error) {
 	}
 	typ, err := br.ReadByte()
 	if err != nil {
-		return f, read, fmt.Errorf("%w: truncated after version byte", ErrBadFrame)
+		return f, read, fmt.Errorf("%w: truncated after version byte", ErrFrameCorrupt)
 	}
 	read++
 	crc.Write([]byte{typ})
@@ -163,11 +171,11 @@ func ReadFrame(br *bufio.Reader) (Frame, int, error) {
 	var lnBuf []byte
 	for shift := uint(0); ; shift += 7 {
 		if shift >= 64 {
-			return f, read, fmt.Errorf("%w: unterminated length varint", ErrBadFrame)
+			return f, read, fmt.Errorf("%w: unterminated length varint", ErrFrameCorrupt)
 		}
 		b, err := br.ReadByte()
 		if err != nil {
-			return f, read, fmt.Errorf("%w: truncated length", ErrBadFrame)
+			return f, read, fmt.Errorf("%w: truncated length", ErrFrameCorrupt)
 		}
 		read++
 		lnBuf = append(lnBuf, b)
@@ -178,21 +186,21 @@ func ReadFrame(br *bufio.Reader) (Frame, int, error) {
 	}
 	crc.Write(lnBuf)
 	if ln > MaxFramePayload {
-		return f, read, fmt.Errorf("%w: payload of %d bytes exceeds limit", ErrBadFrame, ln)
+		return f, read, fmt.Errorf("%w: payload of %d bytes exceeds limit", ErrFrameCorrupt, ln)
 	}
 	f.Payload = make([]byte, ln)
 	if _, err := io.ReadFull(br, f.Payload); err != nil {
-		return f, read, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		return f, read, fmt.Errorf("%w: truncated payload: %v", ErrFrameCorrupt, err)
 	}
 	read += int(ln)
 	crc.Write(f.Payload)
 	var tail [4]byte
 	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return f, read, fmt.Errorf("%w: truncated checksum", ErrBadFrame)
+		return f, read, fmt.Errorf("%w: truncated checksum", ErrFrameCorrupt)
 	}
 	read += 4
 	if got, want := binary.LittleEndian.Uint32(tail[:]), crc.Sum32(); got != want {
-		return f, read, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrBadFrame, got, want)
+		return f, read, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrFrameCorrupt, got, want)
 	}
 	return f, read, nil
 }

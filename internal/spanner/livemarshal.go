@@ -1,0 +1,97 @@
+package spanner
+
+import (
+	"fmt"
+
+	"dynstream/internal/stream"
+)
+
+// Serialization of *live* two-pass states, the checkpoint substrate of
+// dynstream's Handle.Checkpoint. A live state is pass 1 kept open
+// forever (see live.go): its durable content is the phase-0 stream
+// state — configuration plus pass-1 vertex sketches, which already
+// reflect every applied update — and the live update log. Everything
+// else (cluster structure, pass-2 tables, decode caches) is derived
+// and rebuilt by the first QueryLive after restore, so a restored
+// state answers queries bit-identically to the state it was saved
+// from.
+
+// tagTwoPassLive frames a live-state encoding: a phase-0 MarshalBinary
+// blob plus the live log.
+const tagTwoPassLive uint64 = 0xd15c_0206
+
+// MarshalLive encodes a live two-pass state for checkpointing. The
+// base stream is not part of the encoding — RestoreLive re-attaches
+// it, exactly as StartLive attached it originally.
+func (tp *TwoPass) MarshalLive() ([]byte, error) {
+	if tp.liveSrc == nil {
+		return nil, fmt.Errorf("spanner: MarshalLive before StartLive")
+	}
+	base, err := tp.MarshalBinary() // phase 0: cfg + pass-1 vertex sketches
+	if err != nil {
+		return nil, err
+	}
+	w := &wbuf{}
+	w.u64(tagTwoPassLive)
+	w.block(base)
+	w.u64(uint64(len(tp.liveLog)))
+	for _, u := range tp.liveLog {
+		w.i64(int64(u.U))
+		w.i64(int64(u.V))
+		w.i64(int64(u.Delta))
+		w.f64(u.W)
+	}
+	return w.b, nil
+}
+
+// RestoreLive reconstructs a live state from a MarshalLive encoding
+// over the replayable base stream src. The restored state is in the
+// same live phase as the saved one: pass 1 open, tables unallocated —
+// the first QueryLive re-clusters and replays src plus the log, which
+// by linearity reproduces the saved state's query output bit for bit.
+func (tp *TwoPass) RestoreLive(src stream.Stream, data []byte) error {
+	r := &rbuf{b: data}
+	tag, err := r.u64()
+	if err != nil || tag != tagTwoPassLive {
+		return fmt.Errorf("spanner: not a live TwoPass encoding: %w", errCorrupt)
+	}
+	base, err := r.block()
+	if err != nil {
+		return err
+	}
+	rebuilt := &TwoPass{}
+	if err := rebuilt.UnmarshalBinary(base); err != nil {
+		return err
+	}
+	if rebuilt.phase != 0 {
+		return fmt.Errorf("spanner: live encoding holds a phase-%d state: %w", rebuilt.phase, errCorrupt)
+	}
+	if rebuilt.n != src.N() {
+		return fmt.Errorf("spanner: live state has n=%d, stream has n=%d: %w", rebuilt.n, src.N(), errCorrupt)
+	}
+	count, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(r.b))/32 { // 4 fixed u64 fields per record
+		return errCorrupt
+	}
+	log := make([]stream.Update, count)
+	for i := range log {
+		u, err1 := r.i64()
+		v, err2 := r.i64()
+		d, err3 := r.i64()
+		wt, err4 := r.f64()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return errCorrupt
+		}
+		log[i] = stream.Update{U: int(u), V: int(v), Delta: int(d), W: wt}
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("spanner: %d trailing bytes in live encoding: %w", len(r.b), errCorrupt)
+	}
+	rebuilt.liveSrc = src
+	rebuilt.liveLog = log
+	*tp = *rebuilt
+	return nil
+}

@@ -40,6 +40,8 @@ type buildOptions struct {
 	workerShards   bool
 	decodeCache    bool
 	decodeCacheSet bool
+	localFallback  bool
+	remoteOpts     RemoteOptions
 }
 
 // cacheOn resolves the live-handle decode-cache setting: an explicit
@@ -130,6 +132,26 @@ func WithRemoteCluster(c *RemoteCluster) Option {
 	return func(o *buildOptions) { o.cluster = c }
 }
 
+// WithLocalFallback makes a remote build degrade to a local build when
+// the cluster is lost — it cannot be established at dial time, or
+// every worker drops mid-build (ErrNoWorkers) — and the source is
+// replayable. The fallback reruns the build in-process with the same
+// seeds, so its result is bit-identical to what the cluster would have
+// produced. Typed worker errors (a bad update, a non-replayable local
+// shard) are not retried: they would recur locally.
+func WithLocalFallback() Option {
+	return func(o *buildOptions) { o.localFallback = true }
+}
+
+// WithRemoteOptions tunes the connection management of a remote build
+// that dials its own workers (WithRemoteWorkers): handshake and
+// per-frame timeouts, dial retry/backoff, and redialing. Builds on an
+// established cluster (WithRemoteCluster) carry the options the
+// cluster was dialed with instead.
+func WithRemoteOptions(ro RemoteOptions) Option {
+	return func(o *buildOptions) { o.remoteOpts = ro }
+}
+
 // WithWorkerShards makes a remote build ingest each worker's own local
 // shard source (`dynstream worker -shard FILE`) instead of streaming
 // the coordinator's source: src then only supplies the vertex count.
@@ -165,6 +187,12 @@ func (o *buildOptions) validate() error {
 	}
 	if o.workerShards && !o.remote() {
 		return fmt.Errorf("%w: WithWorkerShards requires remote workers", ErrBadConfig)
+	}
+	if o.localFallback && !o.remote() {
+		return fmt.Errorf("%w: WithLocalFallback requires remote workers (a local build has nothing to fall back from)", ErrBadConfig)
+	}
+	if err := o.remoteOpts.validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
@@ -34,6 +35,12 @@ import (
 // Worker processes run `dynstream worker -listen ADDR` (or register
 // with a listening coordinator; see AcceptWorkers).
 
+// ErrNoWorkers reports a remote build with no live workers left —
+// every connection dropped (or timed out) and no worker could be
+// redialed. With WithLocalFallback and a replayable source, Build
+// converts this into a local rerun instead of returning it.
+var ErrNoWorkers = dynnet.ErrNoWorkers
+
 // RemoteCluster is an established set of registered worker connections,
 // reusable across Build calls (every pass of every build re-ships a
 // prototype state, so one cluster serves any sequence of targets).
@@ -41,12 +48,83 @@ type RemoteCluster struct {
 	coord *dynnet.Coordinator
 }
 
+// RemoteOptions tunes the connection management of a worker cluster.
+// The zero value gives the defaults: a 10s handshake timeout, one dial
+// attempt per address, no per-frame deadlines, redialing enabled for
+// dialed clusters.
+type RemoteOptions struct {
+	// HandshakeTimeout bounds the HELLO registration exchange per
+	// worker (default 10s). Must be > 0 if set.
+	HandshakeTimeout time.Duration
+	// FrameTimeout, when > 0, bounds every protocol frame read/write —
+	// the heartbeat that declares a silent worker dead (its shard is
+	// then re-replayed) instead of hanging the build. Size it to the
+	// slowest expected single-frame exchange; the worker's end-of-pass
+	// marshal+SKETCH is the longest gap.
+	FrameTimeout time.Duration
+	// DialAttempts is the number of connection attempts per worker
+	// address (default 1), with exponential backoff from DialBackoff
+	// (default 100ms) up to DialMaxBackoff (default 5s) between
+	// attempts, jittered deterministically from JitterSeed.
+	DialAttempts   int
+	DialBackoff    time.Duration
+	DialMaxBackoff time.Duration
+	JitterSeed     uint64
+	// NoRedial disables re-dialing dropped workers during shard
+	// recovery. By default a dialed cluster may re-register a
+	// restarted worker mid-build and re-replay its shard to it;
+	// accepted clusters (AcceptWorkers) never redial — they have no
+	// address to dial.
+	NoRedial bool
+}
+
+// validate rejects nonsensical settings with typed errors (negative
+// durations and counts; zero means "default").
+func (ro RemoteOptions) validate() error {
+	if ro.HandshakeTimeout < 0 {
+		return fmt.Errorf("%w: handshake timeout must be > 0, got %v", ErrBadConfig, ro.HandshakeTimeout)
+	}
+	if ro.FrameTimeout < 0 {
+		return fmt.Errorf("%w: frame timeout must be >= 0, got %v", ErrBadConfig, ro.FrameTimeout)
+	}
+	if ro.DialAttempts < 0 {
+		return fmt.Errorf("%w: dial attempts must be >= 1, got %d", ErrBadConfig, ro.DialAttempts)
+	}
+	if ro.DialBackoff < 0 || ro.DialMaxBackoff < 0 {
+		return fmt.Errorf("%w: dial backoff must be >= 0", ErrBadConfig)
+	}
+	return nil
+}
+
+// dynnetOpts maps the exported options onto the dynnet layer's.
+func (ro RemoteOptions) dynnetOpts() dynnet.Options {
+	return dynnet.Options{
+		HandshakeTimeout: ro.HandshakeTimeout,
+		FrameTimeout:     ro.FrameTimeout,
+		DialAttempts:     ro.DialAttempts,
+		DialBackoff:      ro.DialBackoff,
+		DialMaxBackoff:   ro.DialMaxBackoff,
+		JitterSeed:       ro.JitterSeed,
+		Redial:           !ro.NoRedial,
+	}
+}
+
 // DialWorkers connects to worker processes listening at addrs and
 // performs the registration handshake. Addresses are "host:port",
 // "unix:/path/to.sock", or a bare socket path (anything containing a
 // path separator dials a unix socket).
 func DialWorkers(ctx context.Context, addrs ...string) (*RemoteCluster, error) {
-	coord, err := dynnet.Dial(ctx, addrs...)
+	return DialWorkersWith(ctx, RemoteOptions{}, addrs...)
+}
+
+// DialWorkersWith is DialWorkers with explicit connection-management
+// options: dial retry/backoff with deterministic jitter, handshake and
+// per-frame deadlines, and mid-build redial of dropped workers.
+func DialWorkersWith(ctx context.Context, ro RemoteOptions, addrs ...string) (*RemoteCluster, error) {
+	if err := ro.validate(); err != nil {
+		return nil, err
+	}
+	coord, err := dynnet.DialOpts(ctx, ro.dynnetOpts(), addrs...)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +135,18 @@ func DialWorkers(ctx context.Context, addrs ...string) (*RemoteCluster, error) {
 // register — the coordinator-listens topology (`dynstream worker
 // -connect ADDR` on the worker side).
 func AcceptWorkers(ctx context.Context, ln net.Listener, count int) (*RemoteCluster, error) {
-	coord, err := dynnet.Accept(ctx, ln, count)
+	return AcceptWorkersWith(ctx, ln, count, RemoteOptions{})
+}
+
+// AcceptWorkersWith is AcceptWorkers with explicit
+// connection-management options. Accepted workers carry no dialable
+// address, so the redial setting does not apply; the handshake and
+// frame deadlines do.
+func AcceptWorkersWith(ctx context.Context, ln net.Listener, count int, ro RemoteOptions) (*RemoteCluster, error) {
+	if err := ro.validate(); err != nil {
+		return nil, err
+	}
+	coord, err := dynnet.AcceptOpts(ctx, ln, count, ro.dynnetOpts())
 	if err != nil {
 		return nil, err
 	}
