@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
@@ -166,6 +168,32 @@ func (h *Handle[R]) Checkpoint(w io.Writer) error {
 	return bw.Flush()
 }
 
+// CheckpointFile writes a Checkpoint snapshot atomically to path: the
+// container is written to a temporary file in the same directory, fsynced,
+// and renamed into place, so a crash mid-write leaves either the previous
+// snapshot or none — never a torn file. ErrBadCheckpoint on open is then
+// always a damaged disk, not an interrupted writer.
+func CheckpointFile[R any](h *Handle[R], path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := h.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // readCheckpoint decodes the container: magic, meta, state, end.
 func readCheckpoint(r io.Reader) (checkpointMeta, []byte, error) {
 	var meta checkpointMeta
@@ -243,11 +271,8 @@ func Restore[R any](ctx context.Context, r io.Reader, src Source, target Target[
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	if o.remote() {
-		return nil, fmt.Errorf("%w: live handles run locally; ship sketch states and Handle.Merge them", ErrBadConfig)
-	}
-	if o.classBase != 0 {
-		return nil, fmt.Errorf("%w: live handles have no weight-class mode", ErrBadConfig)
+	if err := o.validateLive(); err != nil {
+		return nil, err
 	}
 	if target.Passes() > 1 && !CanReplay(src) {
 		return nil, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",

@@ -1,0 +1,190 @@
+package main
+
+// The `dynstream client` subcommand: a thin HTTP client for a running
+// dynstreamd, kpod-style — it reuses the daemon's own request/response
+// types from internal/serve instead of duplicating them, so the two
+// sides cannot drift.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dynstream/internal/serve"
+)
+
+// runClient dispatches `dynstream client <update|query|status|checkpoint>`.
+func runClient(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("client", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "daemon address (host:port)")
+		target  = fs.String("target", "", "target to query (optional when the daemon serves one)")
+		batch   = fs.Int("batch", 1024, "update lines per POST (>= 1)")
+		timeout = fs.Duration("timeout", 60*time.Second, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("usage: dynstream client [-addr HOST:PORT] <update|query|status|checkpoint>")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("client: -batch must be >= 1, got %d", *batch)
+	}
+	c := &client{base: "http://" + *addr, hc: &http.Client{Timeout: *timeout}, ctx: ctx}
+	switch rest[0] {
+	case "update":
+		return c.update(stdin, stderr, *batch)
+	case "query":
+		return c.query(*target, stdout, stderr)
+	case "status":
+		return c.status(stdout)
+	case "checkpoint":
+		return c.checkpoint(stderr)
+	default:
+		return fmt.Errorf("client: unknown action %q (want update|query|status|checkpoint)", rest[0])
+	}
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+	ctx  context.Context
+}
+
+// do issues one request and decodes the JSON response into out,
+// surfacing the daemon's ErrorResponse on non-2xx statuses.
+func (c *client) do(method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(c.ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e serve.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s: %s (%s)", path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("client: %s: %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// update streams update lines from stdin to POST /v1/update in batches
+// of `batch` lines. Lines are validated locally with the shared parser,
+// so a malformed line is reported (and skipped) without burning a
+// round-trip.
+func (c *client) update(stdin io.Reader, stderr io.Writer, batch int) error {
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var (
+		buf   bytes.Buffer
+		lines int
+		total int64
+	)
+	flush := func() error {
+		if lines == 0 {
+			return nil
+		}
+		var resp serve.UpdateResponse
+		if err := c.do(http.MethodPost, "/v1/update", "text/plain", bytes.NewReader(buf.Bytes()), &resp); err != nil {
+			return err
+		}
+		total = resp.Applied
+		buf.Reset()
+		lines = 0
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") || fields[0] == "n" {
+			continue
+		}
+		if _, err := serve.ParseUpdate(fields); err != nil {
+			fmt.Fprintf(stderr, "client: skipping bad line: %v\n", err)
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		lines++
+		if lines >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "client: daemon at %d applied updates\n", total)
+	return nil
+}
+
+// query prints the result edges as "u v w" lines on stdout — the same
+// format the offline subcommands write, so outputs diff directly — and
+// the summary on stderr.
+func (c *client) query(target string, stdout, stderr io.Writer) error {
+	path := "/v1/query"
+	if target != "" {
+		path += "?target=" + target
+	}
+	var resp serve.QueryResponse
+	if err := c.do(http.MethodGet, path, "", nil, &resp); err != nil {
+		return err
+	}
+	if resp.Bipartite != nil {
+		fmt.Fprintf(stdout, "bipartite: %v\n", *resp.Bipartite)
+	}
+	for _, e := range resp.Edges {
+		if _, err := fmt.Fprintf(stdout, "%d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "client: %s (applied %d)\n", resp.Summary, resp.Applied)
+	return nil
+}
+
+// status pretty-prints GET /v1/status.
+func (c *client) status(stdout io.Writer) error {
+	var resp serve.StatusResponse
+	if err := c.do(http.MethodGet, "/v1/status", "", nil, &resp); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}
+
+// checkpoint forces a snapshot now.
+func (c *client) checkpoint(stderr io.Writer) error {
+	var resp serve.CheckpointResponse
+	if err := c.do(http.MethodPost, "/v1/checkpoint", "", nil, &resp); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "client: checkpoint saved to %s (%d updates applied)\n",
+		strings.Join(resp.Paths, ", "), resp.Applied)
+	return nil
+}

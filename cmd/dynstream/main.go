@@ -83,7 +83,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -91,6 +90,7 @@ import (
 	"dynstream"
 	"dynstream/internal/dynnet"
 	"dynstream/internal/graph"
+	"dynstream/internal/serve"
 )
 
 func main() {
@@ -111,13 +111,15 @@ func main() {
 
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: dynstream <spanner|additive|sparsify|forest|kcert|msf|bipartite|worker|coord> [flags] < stream.txt")
+		return fmt.Errorf("usage: dynstream <spanner|additive|sparsify|forest|kcert|msf|bipartite|worker|coord|client> [flags] < stream.txt")
 	}
 	switch args[0] {
 	case "worker":
 		return runWorker(ctx, args[1:], stderr)
 	case "coord":
 		return runCoord(ctx, args[1:], stdin, stdout, stderr)
+	case "client":
+		return runClient(ctx, args[1:], stdin, stdout, stderr)
 	}
 	return runBuild(ctx, args, nil, nil, stdin, stdout, stderr)
 }
@@ -631,34 +633,21 @@ func serveLive[R any](ctx context.Context, base dynstream.Source, target dynstre
 	return serveReplErr(ctx, h, restore, ck, stdin, stdout, stderr, render)
 }
 
-// saveCheckpoint writes the handle's snapshot atomically: a temp file
-// in the same directory, renamed into place only after a clean close —
-// a process killed mid-write can never leave a torn checkpoint at
-// path.
+// saveCheckpoint writes the handle's snapshot atomically (temp file +
+// rename, via the library's CheckpointFile): a process killed mid-write
+// can never leave a torn checkpoint at path.
 func saveCheckpoint[R any](h *dynstream.Handle[R], path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := h.Checkpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return dynstream.CheckpointFile(h, path)
 }
 
 // serveReplErr drives the live command loop: +/- lines accumulate into
 // a pending batch, "query" flushes the batch into the handle and
 // prints the freshly extracted result (edges on stdout, a summary line
 // on stderr), "save"/"load" checkpoint and restore the live state, and
-// "quit" exits. Malformed lines are reported and skipped, so a
-// scripted session survives typos. With an auto-snapshot schedule
+// "quit" exits. A malformed line is answered with a distinguishable
+// "err <reason>" line on stdout (mirrored on stderr) and skipped, so a
+// scripted producer reading the response stream sees every rejection
+// in-band instead of a silent gap. With an auto-snapshot schedule
 // (-checkpoint/-every) the pending batch is flushed and the state
 // saved every `every` applied updates.
 func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
@@ -668,6 +657,16 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	var pending []dynstream.Update
 	queries := 0
+	// reject answers a malformed line in-band: "err <reason>" on stdout
+	// (where a scripted producer reads responses), a note on stderr.
+	reject := func(format string, a ...any) error {
+		msg := fmt.Sprintf(format, a...)
+		if _, err := fmt.Fprintf(stdout, "err %s\n", msg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "repl: %s\n", msg)
+		return nil
+	}
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
@@ -688,9 +687,11 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 		}
 		switch fields[0] {
 		case "+", "-":
-			u, err := parseReplUpdate(fields)
+			u, err := serve.ParseUpdate(fields)
 			if err != nil {
-				fmt.Fprintf(stderr, "repl: %v\n", err)
+				if err := reject("%v", err); err != nil {
+					return err
+				}
 				continue
 			}
 			pending = append(pending, u)
@@ -725,7 +726,9 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 			fmt.Fprintf(stderr, "repl query %d: %s\n", queries, summary)
 		case "save":
 			if len(fields) != 2 {
-				fmt.Fprintf(stderr, "repl: want: save <path>\n")
+				if err := reject("want: save <path>"); err != nil {
+					return err
+				}
 				continue
 			}
 			if err := flush(); err != nil {
@@ -738,7 +741,9 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 			fmt.Fprintf(stderr, "repl: checkpoint saved to %s (%d updates applied)\n", fields[1], h.AppliedUpdates())
 		case "load":
 			if len(fields) != 2 {
-				fmt.Fprintf(stderr, "repl: want: load <path>\n")
+				if err := reject("want: load <path>"); err != nil {
+					return err
+				}
 				continue
 			}
 			if len(pending) > 0 {
@@ -761,38 +766,12 @@ func serveReplErr[R any](ctx context.Context, h *dynstream.Handle[R],
 		case "quit", "exit":
 			return nil
 		default:
-			fmt.Fprintf(stderr, "repl: unknown command %q (want: + u v [w] | - u v [w] | query | save PATH | load PATH | quit)\n", fields[0])
+			if err := reject("unknown command %q (want: + u v [w] | - u v [w] | query | save PATH | load PATH | quit)", fields[0]); err != nil {
+				return err
+			}
 		}
 	}
 	return sc.Err()
-}
-
-// parseReplUpdate parses "+ u v [w]" / "- u v [w]" into an Update.
-func parseReplUpdate(fields []string) (dynstream.Update, error) {
-	var u dynstream.Update
-	if len(fields) < 3 || len(fields) > 4 {
-		return u, fmt.Errorf("want: %s u v [w], got %q", fields[0], strings.Join(fields, " "))
-	}
-	a, err := strconv.Atoi(fields[1])
-	if err != nil {
-		return u, fmt.Errorf("bad vertex %q: %v", fields[1], err)
-	}
-	b, err := strconv.Atoi(fields[2])
-	if err != nil {
-		return u, fmt.Errorf("bad vertex %q: %v", fields[2], err)
-	}
-	w := 1.0
-	if len(fields) == 4 {
-		w, err = strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return u, fmt.Errorf("bad weight %q: %v", fields[3], err)
-		}
-	}
-	u = dynstream.Update{U: a, V: b, W: w, Delta: 1}
-	if fields[0] == "-" {
-		u.Delta = -1
-	}
-	return u, nil
 }
 
 // replayableFor hands src through when the target's passes fit its

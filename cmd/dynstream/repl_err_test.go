@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestReplMalformedInput drives the repl with garbled lines mixed into
+// valid ones: every rejection must surface as a distinguishable "err"
+// line on stdout, in-band with the responses a scripted producer
+// reads, and the session must keep working afterwards.
+func TestReplMalformedInput(t *testing.T) {
+	script := strings.Join([]string{
+		"+ x 2",     // non-numeric vertex
+		"+ 1",       // missing vertex
+		"+ 1 2 3 4", // too many fields
+		"bogus 1 2", // unknown command
+		"save",      // missing path
+		"+ 0 1",     // valid — the session survives
+		"+ 1 2",
+		"query",
+		"quit",
+	}, "\n") + "\n"
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), []string{"forest", "-repl", "-n", "8", "-seed", "2"},
+		strings.NewReader(script), &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	var errLines, okLines int
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "err "):
+			errLines++
+		case strings.HasPrefix(l, "ok "):
+			okLines++
+		}
+	}
+	if errLines != 5 {
+		t.Fatalf("want 5 in-band err lines, got %d:\n%s", errLines, out.String())
+	}
+	if okLines != 1 {
+		t.Fatalf("session did not answer the query after rejections:\n%s", out.String())
+	}
+	// The query result reflects only the valid updates.
+	if !strings.Contains(out.String(), "ok 2\n") {
+		t.Fatalf("query should see 2 forest edges from the valid updates:\n%s", out.String())
+	}
+	// Each rejection is mirrored on stderr for the human operator.
+	if got := strings.Count(errOut.String(), "repl: "); got < 5 {
+		t.Fatalf("want >= 5 repl: notes on stderr, got %d:\n%s", got, errOut.String())
+	}
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Two-process daemon walkthrough: a real dynstreamd serving a forest
+# sketch, driven by the `dynstream client` subcommand over HTTP.
+#
+#   sh examples/daemon/run.sh
+#
+# The in-process version of the same flow is main.go in this directory.
+set -eu
+
+cd "$(dirname "$0")/../.."
+workdir=$(mktemp -d)
+trap 'kill $daemon_pid 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "==> building dynstreamd and dynstream"
+go build -o "$workdir/dynstreamd" ./cmd/dynstreamd
+go build -o "$workdir/dynstream" ./cmd/dynstream
+
+n=500
+addr=127.0.0.1:8091
+
+echo "==> starting dynstreamd (forest, n=$n, checkpoint every 1000 updates)"
+"$workdir/dynstreamd" -n "$n" -listen "$addr" -feed none \
+    -checkpoint "$workdir/forest.ckpt" -every 1000 2>"$workdir/daemon.log" &
+daemon_pid=$!
+
+for i in $(seq 1 50); do
+    if "$workdir/dynstream" client -addr "$addr" status >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+
+echo "==> generating a random update stream and pushing it via the client"
+awk -v n="$n" 'BEGIN {
+    srand(7)
+    for (i = 0; i < 5000; i++) {
+        u = int(rand() * n); v = int(rand() * n)
+        if (u != v) print "+", u, v
+    }
+}' >"$workdir/updates.txt"
+"$workdir/dynstream" client -addr "$addr" update <"$workdir/updates.txt"
+
+echo "==> querying the live forest over HTTP"
+"$workdir/dynstream" client -addr "$addr" query >"$workdir/live.out"
+wc -l <"$workdir/live.out" | xargs echo "    forest edges:"
+
+echo "==> daemon status"
+"$workdir/dynstream" client -addr "$addr" status
+
+echo "==> forcing a checkpoint, then draining with SIGTERM"
+"$workdir/dynstream" client -addr "$addr" checkpoint
+kill -TERM $daemon_pid
+wait $daemon_pid
+echo "    daemon exited $? (0 = clean drain)"
+
+echo "==> restarting from the final checkpoint and re-querying"
+"$workdir/dynstreamd" -n "$n" -listen "$addr" -feed none \
+    -checkpoint "$workdir/forest.ckpt" 2>>"$workdir/daemon.log" &
+daemon_pid=$!
+for i in $(seq 1 50); do
+    if "$workdir/dynstream" client -addr "$addr" status >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+"$workdir/dynstream" client -addr "$addr" query >"$workdir/restored.out"
+
+if cmp -s "$workdir/live.out" "$workdir/restored.out"; then
+    echo "==> restored answer is bit-identical to the pre-drain answer"
+else
+    echo "==> MISMATCH between live and restored answers" >&2
+    exit 1
+fi

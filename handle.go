@@ -47,12 +47,27 @@ type Handle[R any] struct {
 	applied int64
 }
 
+// CacheStats reports the live state's decode-cache traffic: Hits counts
+// cached region decodes (component picks, cluster attachments, terminal
+// recoveries, per-vertex peels) reused because their generation-counter
+// digests proved the inputs unchanged; Misses counts regions that had
+// to re-decode. Both are cumulative over the handle's lifetime and only
+// advance while the cache is enabled (WithDecodeCache). The serving
+// layer exports them as Prometheus counters.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
 // liveState is the per-target mutable state behind a Handle.
 type liveState[R any] interface {
 	apply(batch []Update) error
 	query(p *parallel.Policy) (R, error)
 	enableCache(on bool)
 	invalidate()
+	// cacheStats reports cumulative decode-cache hits and misses (see
+	// CacheStats).
+	cacheStats() (hits, misses uint64)
 	merge(state any) error
 	// snapshot returns the state's kind tag and its serialized live
 	// contents for Handle.Checkpoint (see checkpoint.go).
@@ -87,11 +102,8 @@ func Open[R any](ctx context.Context, src Source, target Target[R], opts ...Opti
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	if o.remote() {
-		return nil, fmt.Errorf("%w: live handles run locally; ship sketch states and Handle.Merge them", ErrBadConfig)
-	}
-	if o.classBase != 0 {
-		return nil, fmt.Errorf("%w: live handles have no weight-class mode", ErrBadConfig)
+	if err := o.validateLive(); err != nil {
+		return nil, err
 	}
 	if target.Passes() > 1 && !CanReplay(src) {
 		return nil, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
@@ -157,11 +169,34 @@ func (h *Handle[R]) AppliedUpdates() int64 {
 // what re-decode incrementally. Decode-family targets (spanner,
 // additive spanner, sparsifier) return a freshly extracted result.
 func (h *Handle[R]) Query(ctx context.Context) (R, error) {
+	r, _, err := h.QueryAt(ctx)
+	return r, err
+}
+
+// QueryAt is Query plus the applied-update count the result observed,
+// both read under one hold of the handle's mutex. Concurrent servers
+// need the pair to be atomic: a Query followed by a separate
+// AppliedUpdates call can race an Apply in between, mislabeling which
+// stream prefix the result corresponds to. The count always lands on a
+// batch boundary (Apply is all-or-nothing), so a caller can prove the
+// result against an offline Build over exactly the first `applied`
+// updates of its log.
+func (h *Handle[R]) QueryAt(ctx context.Context) (R, int64, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	p := parallel.NewPolicy(ctx, h.o.resolveWorkers(h.src), h.o.batch, h.o.progress).
 		WithDecode(h.o.resolveDecodeWorkers(h.src))
-	return h.live.query(p)
+	r, err := h.live.query(p)
+	return r, h.applied, err
+}
+
+// DecodeCacheStats reports the cumulative decode-cache hit/miss
+// counters of the live state (see CacheStats).
+func (h *Handle[R]) DecodeCacheStats() CacheStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hits, misses := h.live.cacheStats()
+	return CacheStats{Hits: hits, Misses: misses}
 }
 
 // Merge folds another sketch state — typically unmarshaled from a
@@ -199,8 +234,9 @@ func (l forestLive) query(p *parallel.Policy) (*ForestSketch, error) {
 	_ = p
 	return l.s, nil
 }
-func (l forestLive) enableCache(on bool) { l.s.EnableDecodeCache(on) }
-func (l forestLive) invalidate()         { l.s.InvalidateDecodeCache() }
+func (l forestLive) enableCache(on bool)          { l.s.EnableDecodeCache(on) }
+func (l forestLive) invalidate()                  { l.s.InvalidateDecodeCache() }
+func (l forestLive) cacheStats() (uint64, uint64) { return l.s.DecodeCacheStats() }
 func (l forestLive) merge(state any) error {
 	o, ok := state.(*agm.Sketch)
 	if !ok {
@@ -230,8 +266,9 @@ func (l kconnLive) query(p *parallel.Policy) (*KConnectivity, error) {
 	_ = p
 	return l.kc, nil
 }
-func (l kconnLive) enableCache(on bool) { l.kc.EnableDecodeCache(on) }
-func (l kconnLive) invalidate()         { l.kc.InvalidateDecodeCache() }
+func (l kconnLive) enableCache(on bool)          { l.kc.EnableDecodeCache(on) }
+func (l kconnLive) invalidate()                  { l.kc.InvalidateDecodeCache() }
+func (l kconnLive) cacheStats() (uint64, uint64) { return l.kc.DecodeCacheStats() }
 func (l kconnLive) merge(state any) error {
 	o, ok := state.(*agm.KConnectivity)
 	if !ok {
@@ -261,8 +298,9 @@ func (l bipLive) query(p *parallel.Policy) (*Bipartiteness, error) {
 	_ = p
 	return l.b, nil
 }
-func (l bipLive) enableCache(on bool) { l.b.EnableDecodeCache(on) }
-func (l bipLive) invalidate()         { l.b.InvalidateDecodeCache() }
+func (l bipLive) enableCache(on bool)          { l.b.EnableDecodeCache(on) }
+func (l bipLive) invalidate()                  { l.b.InvalidateDecodeCache() }
+func (l bipLive) cacheStats() (uint64, uint64) { return l.b.DecodeCacheStats() }
 func (l bipLive) merge(state any) error {
 	o, ok := state.(*agm.Bipartiteness)
 	if !ok {
@@ -292,8 +330,9 @@ func (l msfLive) query(p *parallel.Policy) (*MSF, error) {
 	_ = p
 	return l.m, nil
 }
-func (l msfLive) enableCache(on bool) { l.m.EnableDecodeCache(on) }
-func (l msfLive) invalidate()         { l.m.InvalidateDecodeCache() }
+func (l msfLive) enableCache(on bool)          { l.m.EnableDecodeCache(on) }
+func (l msfLive) invalidate()                  { l.m.InvalidateDecodeCache() }
+func (l msfLive) cacheStats() (uint64, uint64) { return l.m.DecodeCacheStats() }
 func (l msfLive) merge(state any) error {
 	o, ok := state.(*agm.MSF)
 	if !ok {
@@ -325,8 +364,9 @@ func (l additiveLive) apply(b []Update) error { return l.a.AddBatch(b) }
 func (l additiveLive) query(p *parallel.Policy) (*AdditiveResult, error) {
 	return l.a.ExtractOpts(p)
 }
-func (l additiveLive) enableCache(on bool) { l.a.EnableDecodeCache(on) }
-func (l additiveLive) invalidate()         { l.a.InvalidateDecodeCache() }
+func (l additiveLive) enableCache(on bool)          { l.a.EnableDecodeCache(on) }
+func (l additiveLive) invalidate()                  { l.a.InvalidateDecodeCache() }
+func (l additiveLive) cacheStats() (uint64, uint64) { return l.a.DecodeCacheStats() }
 func (l additiveLive) merge(state any) error {
 	o, ok := state.(*spanner.Additive)
 	if !ok {
@@ -355,8 +395,9 @@ func (l twoPassLive) apply(b []Update) error { return l.tp.ApplyLive(b) }
 func (l twoPassLive) query(p *parallel.Policy) (*SpannerResult, error) {
 	return l.tp.QueryLive(p)
 }
-func (l twoPassLive) enableCache(on bool) { l.tp.EnableDecodeCache(on) }
-func (l twoPassLive) invalidate()         { l.tp.InvalidateDecodeCache() }
+func (l twoPassLive) enableCache(on bool)          { l.tp.EnableDecodeCache(on) }
+func (l twoPassLive) invalidate()                  { l.tp.InvalidateDecodeCache() }
+func (l twoPassLive) cacheStats() (uint64, uint64) { return l.tp.DecodeCacheStats() }
 func (l twoPassLive) merge(any) error {
 	return fmt.Errorf("%w: a two-pass spanner handle cannot merge remote state (its live log never saw those updates); Apply them instead", ErrBadConfig)
 }
@@ -380,8 +421,9 @@ func (l sparsifyLive) apply(b []Update) error { return l.ls.Apply(b) }
 func (l sparsifyLive) query(p *parallel.Policy) (*SparsifierResult, error) {
 	return l.ls.Query(p)
 }
-func (l sparsifyLive) enableCache(on bool) { l.ls.EnableDecodeCache(on) }
-func (l sparsifyLive) invalidate()         { l.ls.InvalidateDecodeCache() }
+func (l sparsifyLive) enableCache(on bool)          { l.ls.EnableDecodeCache(on) }
+func (l sparsifyLive) invalidate()                  { l.ls.InvalidateDecodeCache() }
+func (l sparsifyLive) cacheStats() (uint64, uint64) { return l.ls.DecodeCacheStats() }
 func (l sparsifyLive) merge(any) error {
 	return fmt.Errorf("%w: a sparsifier handle cannot merge remote state (its live logs never saw those updates); Apply them instead", ErrBadConfig)
 }

@@ -62,6 +62,21 @@ type Sketch struct {
 	log    []logUpd
 	logGen uint64
 	epoch  uint64
+
+	// Cumulative cache-pass outcomes while caching is on: a hit is a
+	// component whose cached pick was served without re-decoding, a miss
+	// is a dirty component that fanned out to the workers. Read by
+	// DecodeCacheStats for operational visibility (daemon /metrics).
+	cacheHits   uint64
+	cacheMisses uint64
+}
+
+// DecodeCacheStats reports the cumulative decode-cache hit and miss
+// counts of this sketch's extraction cache pass. Both are zero until a
+// cached extraction runs (EnableDecodeCache). Counters are cumulative
+// across queries and survive cache invalidation.
+func (s *Sketch) DecodeCacheStats() (hits, misses uint64) {
+	return s.cacheHits, s.cacheMisses
 }
 
 // mergeCacheMinMembers is the component size from which extraction
@@ -419,6 +434,7 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 				m := members[root]
 				genSums[i] = s.genSumOf(r, m)
 				if e := &s.picks[r][root]; e.members != nil && e.genSum == genSums[i] && intsEqual(e.members, m) {
+					s.cacheHits++
 					picks[i] = found{a: e.a, b: e.b, ok: e.ok}
 					// The generation match proves the member samplers —
 					// and so their cached sum — are untouched since the
@@ -432,6 +448,7 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 					}
 					continue
 				}
+				s.cacheMisses++
 				dirty = append(dirty, i)
 			}
 		} else {

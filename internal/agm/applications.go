@@ -70,6 +70,17 @@ func (kc *KConnectivity) InvalidateDecodeCache() {
 	}
 }
 
+// DecodeCacheStats sums the decode-cache hit/miss counters of the k
+// constituent forest sketches.
+func (kc *KConnectivity) DecodeCacheStats() (hits, misses uint64) {
+	for _, s := range kc.sketches {
+		h, m := s.DecodeCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // reconcile adjusts sketch i so that exactly `want` is folded out of
 // it, applying only the multiset difference against what is currently
 // subtracted. An unchanged `want` is a no-op that touches no sampler.
@@ -264,6 +275,14 @@ func (b *Bipartiteness) EnableDecodeCache(on bool) {
 func (b *Bipartiteness) InvalidateDecodeCache() {
 	b.base.InvalidateDecodeCache()
 	b.cover.InvalidateDecodeCache()
+}
+
+// DecodeCacheStats sums the decode-cache hit/miss counters of the base
+// and double-cover sketches.
+func (b *Bipartiteness) DecodeCacheStats() (hits, misses uint64) {
+	h1, m1 := b.base.DecodeCacheStats()
+	h2, m2 := b.cover.DecodeCacheStats()
+	return h1 + h2, m1 + m2
 }
 
 // AddUpdate folds a stream update into both sketches.

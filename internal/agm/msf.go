@@ -67,6 +67,17 @@ func (m *MSF) InvalidateDecodeCache() {
 	}
 }
 
+// DecodeCacheStats sums the decode-cache hit/miss counters of every
+// prefix sketch.
+func (m *MSF) DecodeCacheStats() (hits, misses uint64) {
+	for _, s := range m.prefixes {
+		h, ms := s.DecodeCacheStats()
+		hits += h
+		misses += ms
+	}
+	return hits, misses
+}
+
 // AddUpdate folds a weighted update into every prefix sketch whose
 // class bound covers the edge's weight class.
 func (m *MSF) AddUpdate(u stream.Update) {

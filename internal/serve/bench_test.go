@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkDaemonQuery measures query latency against a live forest
+// backend at n=10k while an ingest goroutine continuously applies
+// batches — the daemon's steady-state workload. Reports p50/p99 query
+// latency and sustained qps via ReportMetric. This lives here (not in
+// the root bench_test.go) because the root package cannot import
+// internal/serve without a cycle.
+func BenchmarkDaemonQuery(b *testing.B) {
+	const (
+		n     = 10000
+		m     = 200000
+		batch = 512
+	)
+	log := testLog(n, m, 0xdecafbad)
+	be, _, _, err := OpenBackend(context.Background(),
+		Spec{Target: "forest", N: n, Seed: 1}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewServer([]Backend{be}, ServerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: apply a prefix so queries decode a nontrivial forest.
+	if err := s.ApplyBatch(log[:m/2]); err != nil {
+		b.Fatal(err)
+	}
+
+	// Continuous ingest in the background for the whole measurement.
+	stop := make(chan struct{})
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		i := m / 2
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			j := i + batch
+			if j > m {
+				i, j = m/2, m/2+batch
+			}
+			if err := s.ApplyBatch(log[i:j]); err != nil {
+				b.Errorf("ApplyBatch: %v", err)
+				return
+			}
+			i = j
+		}
+	}()
+
+	lat := make([]time.Duration, 0, b.N)
+	ctx := context.Background()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := be.Query(ctx); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	close(stop)
+	<-ingestDone
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	b.ReportMetric(float64(pct(0.50).Microseconds()), "p50-µs")
+	b.ReportMetric(float64(pct(0.99).Microseconds()), "p99-µs")
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+}
+
+// BenchmarkDaemonIngest measures raw ApplyBatch throughput through the
+// server's ingest lock (single forest backend, n=10k), the ceiling for
+// any feed.
+func BenchmarkDaemonIngest(b *testing.B) {
+	const (
+		n     = 10000
+		batch = 512
+	)
+	log := testLog(n, batch*64, 0xfeedbeef)
+	be, _, _, err := OpenBackend(context.Background(),
+		Spec{Target: "forest", N: n, Seed: 1}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewServer([]Backend{be}, ServerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	i := 0
+	for j := 0; j < b.N; j++ {
+		k := i + batch
+		if k > len(log) {
+			i, k = 0, batch
+		}
+		if err := s.ApplyBatch(log[i:k]); err != nil {
+			b.Fatal(err)
+		}
+		i = k
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "updates/s")
+}

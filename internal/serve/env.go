@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Twelve-factor configuration: every daemon flag can also be supplied
+// through the environment, so a container runs on env vars alone while
+// an operator's explicit flag always wins.
+
+// EnvPrefix is the prefix of every recognized environment variable.
+const EnvPrefix = "DYNSTREAM_"
+
+// EnvKey maps a flag name to its environment variable: -feed-batch
+// reads DYNSTREAM_FEED_BATCH.
+func EnvKey(flagName string) string {
+	return EnvPrefix + strings.ToUpper(strings.ReplaceAll(flagName, "-", "_"))
+}
+
+// ApplyEnv fills every flag of the (already parsed) flag set that was
+// NOT set on the command line from its EnvKey environment variable.
+// Precedence is flag > env > default: a flag present on the command
+// line is never overridden, an env var overrides the flag's default,
+// and an absent env var leaves the default. lookup is os.LookupEnv in
+// the daemon; tests inject a map.
+func ApplyEnv(fs *flag.FlagSet, lookup func(string) (string, bool)) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var err error
+	fs.VisitAll(func(f *flag.Flag) {
+		if err != nil || set[f.Name] {
+			return
+		}
+		key := EnvKey(f.Name)
+		v, ok := lookup(key)
+		if !ok {
+			return
+		}
+		if e := fs.Set(f.Name, v); e != nil {
+			err = fmt.Errorf("env %s=%q: %v", key, v, e)
+		}
+	})
+	return err
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestApplyEnvPrecedence is the twelve-factor contract, table-driven:
+// flag > env > default, with env type errors surfaced.
+func TestApplyEnvPrecedence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		env     map[string]string
+		wantN   int
+		wantStr string
+		wantErr bool
+	}{
+		{
+			name:    "defaults only",
+			wantN:   10,
+			wantStr: "stdin",
+		},
+		{
+			name:    "env overrides default",
+			env:     map[string]string{"DYNSTREAM_N": "42", "DYNSTREAM_FEED": "none"},
+			wantN:   42,
+			wantStr: "none",
+		},
+		{
+			name:    "flag beats env",
+			args:    []string{"-n", "7"},
+			env:     map[string]string{"DYNSTREAM_N": "42"},
+			wantN:   7,
+			wantStr: "stdin",
+		},
+		{
+			name:    "flag and env mix per flag",
+			args:    []string{"-feed", "tcp:127.0.0.1:9"},
+			env:     map[string]string{"DYNSTREAM_N": "42", "DYNSTREAM_FEED": "none"},
+			wantN:   42,
+			wantStr: "tcp:127.0.0.1:9",
+		},
+		{
+			name:    "dashed flag maps to underscored key",
+			env:     map[string]string{"DYNSTREAM_FEED_BATCH": "99"},
+			wantN:   10,
+			wantStr: "stdin",
+		},
+		{
+			name:    "unparsable env value errors",
+			env:     map[string]string{"DYNSTREAM_N": "not-a-number"},
+			wantErr: true,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			n := fs.Int("n", 10, "")
+			feed := fs.String("feed", "stdin", "")
+			feedBatch := fs.Int("feed-batch", 256, "")
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := ApplyEnv(fs, func(k string) (string, bool) { v, ok := tc.env[k]; return v, ok })
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error, got nil")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *n != tc.wantN {
+				t.Errorf("n = %d, want %d", *n, tc.wantN)
+			}
+			if *feed != tc.wantStr {
+				t.Errorf("feed = %q, want %q", *feed, tc.wantStr)
+			}
+			if tc.env["DYNSTREAM_FEED_BATCH"] != "" && *feedBatch != 99 {
+				t.Errorf("feed-batch = %d, want 99 (from DYNSTREAM_FEED_BATCH)", *feedBatch)
+			}
+		})
+	}
+}
+
+func TestEnvKey(t *testing.T) {
+	for flagName, want := range map[string]string{
+		"n":          "DYNSTREAM_N",
+		"feed-batch": "DYNSTREAM_FEED_BATCH",
+		"listen":     "DYNSTREAM_LISTEN",
+	} {
+		if got := EnvKey(flagName); got != want {
+			t.Errorf("EnvKey(%q) = %q, want %q", flagName, got, want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package serve is the daemon layer over live build handles: the
+// request/response types, update-line parser, metrics registry, env
+// configuration, and HTTP server shared by cmd/dynstreamd (the
+// resident daemon) and the thin `dynstream client` subcommand — one
+// vocabulary, no duplicated wire types on either side.
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dynstream"
+)
+
+// ParseUpdate parses one whitespace-split update line
+//
+//   - <u> <v> [w]    insert
+//   - <u> <v> [w]    delete
+//
+// into an Update. This is the one text-update parser in the tree: the
+// repl (cmd/dynstream -repl), the daemon's ingest feed, and the client
+// all decode through it, so a line means the same thing everywhere.
+func ParseUpdate(fields []string) (dynstream.Update, error) {
+	var u dynstream.Update
+	if len(fields) == 0 || (fields[0] != "+" && fields[0] != "-") {
+		return u, fmt.Errorf("want: + u v [w] or - u v [w], got %q", strings.Join(fields, " "))
+	}
+	if len(fields) < 3 || len(fields) > 4 {
+		return u, fmt.Errorf("want: %s u v [w], got %q", fields[0], strings.Join(fields, " "))
+	}
+	a, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return u, fmt.Errorf("bad vertex %q: %v", fields[1], err)
+	}
+	b, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return u, fmt.Errorf("bad vertex %q: %v", fields[2], err)
+	}
+	w := 1.0
+	if len(fields) == 4 {
+		w, err = strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return u, fmt.Errorf("bad weight %q: %v", fields[3], err)
+		}
+	}
+	u = dynstream.Update{U: a, V: b, W: w, Delta: 1}
+	if fields[0] == "-" {
+		u.Delta = -1
+	}
+	return u, nil
+}
+
+// ParseLine parses one raw feed line. Blank lines and #-comments are
+// skipped (ok=false, err=nil); an "n N" header is tolerated when N
+// matches the daemon's vertex count, so a file in the CLI stream format
+// can be piped straight into the feed.
+func ParseLine(line string, n int) (u dynstream.Update, ok bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return u, false, nil
+	}
+	if fields[0] == "n" {
+		if len(fields) != 2 {
+			return u, false, fmt.Errorf("want: n <vertices>, got %q", line)
+		}
+		hn, err := strconv.Atoi(fields[1])
+		if err != nil || hn != n {
+			return u, false, fmt.Errorf("stream header %q does not match daemon vertex count %d", line, n)
+		}
+		return u, false, nil
+	}
+	u, err = ParseUpdate(fields)
+	if err != nil {
+		return u, false, err
+	}
+	return u, true, nil
+}

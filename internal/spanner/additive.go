@@ -87,6 +87,20 @@ type Additive struct {
 	caching  bool
 	lowCache map[int]lowEntry // per-vertex neighborhood decode
 	parCache map[int]parEntry // per-vertex center attachment
+
+	// Cumulative decode-cache outcomes across both consult sites
+	// (low-degree neighborhoods, center attachments) while caching is on.
+	cacheHits   uint64
+	cacheMisses uint64
+}
+
+// DecodeCacheStats reports the cumulative decode-cache hit and miss
+// counts across the neighborhood/attachment caches and the embedded
+// forest sketch's component cache. Counters are cumulative across
+// queries and survive cache invalidation.
+func (a *Additive) DecodeCacheStats() (hits, misses uint64) {
+	fh, fm := a.forest.DecodeCacheStats()
+	return a.cacheHits + fh, a.cacheMisses + fm
 }
 
 // lowEntry caches one vertex's low-degree classification and decoded
@@ -310,8 +324,12 @@ func (a *Additive) ExtractOpts(p *parallel.Policy) (*AdditiveResult, error) {
 		// cache for that (rarely used) configuration.
 		cacheable := a.caching && a.degF0 == nil
 		if ent, ok := a.lowCache[u]; cacheable && ok && ent.gen == gen && ent.deg == deg {
+			a.cacheHits++
 			low, items = ent.low, ent.nbrs
 		} else {
+			if cacheable {
+				a.cacheMisses++
+			}
 			if a.isLowDegree(u) {
 				raw, ok := a.nbr[u].Decode()
 				if ok {
@@ -371,8 +389,12 @@ func (a *Additive) ExtractOpts(p *parallel.Policy) (*AdditiveResult, error) {
 			gens += s.Gen()
 		}
 		if ent, ok := a.parCache[u]; a.caching && ok && ent.gens == gens {
+			a.cacheHits++
 			parent[u] = ent.parent
 		} else {
+			if a.caching {
+				a.cacheMisses++
+			}
 			for r := a.log2n; r >= 0 && parent[u] == -1; r-- {
 				items, ok := a.centerS[u][r].Decode()
 				if !ok || len(items) == 0 {

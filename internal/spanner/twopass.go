@@ -152,6 +152,19 @@ type TwoPass struct {
 	clusterKey string                    // digest of current cluster structure
 	attach     map[attachKey]attachEntry // per-(level, center) decode cache
 	recCache   map[int]recEntry          // per-terminal recovery cache
+
+	// Cumulative decode-cache outcomes across both cache consult sites
+	// (per-center attachments, per-terminal recoveries) while caching is
+	// on. Read by DecodeCacheStats for operational visibility.
+	cacheHits   uint64
+	cacheMisses uint64
+}
+
+// DecodeCacheStats reports the cumulative decode-cache hit and miss
+// counts across this state's attachment and recovery caches. Counters
+// are cumulative across queries and survive cache invalidation.
+func (tp *TwoPass) DecodeCacheStats() (hits, misses uint64) {
+	return tp.cacheHits, tp.cacheMisses
 }
 
 // NewTwoPass creates the streaming state for a graph on n vertices.
@@ -400,9 +413,11 @@ func (tp *TwoPass) clusterize(p *parallel.Policy) (*clusterResult, error) {
 				c := &cr.copies[copyIdx[i][u]]
 				keys[idx] = tp.attachDigest(i, c.members)
 				if ent, ok := tp.attach[attachKey{level: i, u: u}]; ok && ent.key == keys[idx] {
+					tp.cacheHits++
 					results[idx] = ent.res
 					continue
 				}
+				tp.cacheMisses++
 				dirty = append(dirty, idx)
 			}
 		} else {
@@ -727,9 +742,11 @@ func (tp *TwoPass) extractOpts(p *parallel.Policy) (*Result, error) {
 		}
 		if tp.caching {
 			if ent, ok := tp.recCache[ci]; ok && ent.gens == gens[i] {
+				tp.cacheHits++
 				recs[i] = ent.edges
 				continue
 			}
+			tp.cacheMisses++
 		}
 		dirty = append(dirty, i)
 	}

@@ -107,6 +107,26 @@ func (ls *Live) InvalidateDecodeCache() {
 	}
 }
 
+// DecodeCacheStats sums the decode-cache hit/miss counters of every
+// underlying live spanner state (grid cells and sample spanners).
+func (ls *Live) DecodeCacheStats() (hits, misses uint64) {
+	for _, row := range ls.grid.cells {
+		for _, c := range row {
+			h, m := c.DecodeCacheStats()
+			hits += h
+			misses += m
+		}
+	}
+	for _, row := range ls.reps {
+		for _, tp := range row {
+			h, m := tp.DecodeCacheStats()
+			hits += h
+			misses += m
+		}
+	}
+	return hits, misses
+}
+
 // Apply folds a batch of updates into the live state. Each update
 // reaches exactly the grid cells and sample spanners whose subsampled
 // edge set contains it — the same membership the cold pipeline's

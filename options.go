@@ -197,6 +197,21 @@ func (o *buildOptions) validate() error {
 	return nil
 }
 
+// validateLive is the extra options gate of the live front doors (Open,
+// Restore, and the serving layer built on them): live handles run
+// locally — remote state arrives through Handle.Merge — and have no
+// weight-class mode (the class split is a per-build reduction, not a
+// live state).
+func (o *buildOptions) validateLive() error {
+	if o.remote() {
+		return fmt.Errorf("%w: live handles run locally; ship sketch states and Handle.Merge them", ErrBadConfig)
+	}
+	if o.classBase != 0 {
+		return fmt.Errorf("%w: live handles have no weight-class mode", ErrBadConfig)
+	}
+	return nil
+}
+
 // autoParallelThreshold is the stream length above which Build picks
 // sharded-merge execution when no explicit worker count is given.
 const autoParallelThreshold = 1 << 15
