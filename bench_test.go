@@ -36,6 +36,33 @@ import (
 
 const benchSeed = 0xbe7c
 
+// benchHostJSON renders the host-metadata object BENCH_ingest.json
+// records next to every tracked block: the GOMAXPROCS/NumCPU the
+// numbers were measured under, the toolchain, and the commit. Tracked
+// benchmarks log it so a recording session captures the block to paste
+// verbatim.
+func benchHostJSON() string {
+	commit := "unknown"
+	if data, err := os.ReadFile(filepath.Join(".git", "HEAD")); err == nil {
+		ref := string(bytes.TrimSpace(data))
+		if rest, ok := bytes.CutPrefix([]byte(ref), []byte("ref: ")); ok {
+			if sha, err := os.ReadFile(filepath.Join(".git", string(bytes.TrimSpace(rest)))); err == nil && len(sha) >= 7 {
+				commit = string(sha[:7])
+			}
+		} else if len(ref) >= 7 {
+			commit = ref[:7]
+		}
+	}
+	return fmt.Sprintf(`{ "gomaxprocs": %d, "numcpu": %d, "go": %q, "commit": %q }`,
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.Version(), commit)
+}
+
+// reportHost logs the host-metadata block once per tracked benchmark.
+func reportHost(b *testing.B) {
+	b.Helper()
+	b.Logf("host: %s", benchHostJSON())
+}
+
 // BenchmarkE1TwoPassSpanner measures the two-pass 2^k-spanner pipeline
 // (Theorem 1) end to end on a churned dynamic stream.
 func BenchmarkE1TwoPassSpanner(b *testing.B) {
@@ -265,6 +292,7 @@ func BenchmarkParallelIngest(b *testing.B) {
 // shard replay. (The n=10k instance is construction-heavy: sketch
 // allocation is part of what the trajectory tracks.)
 func BenchmarkIngestThroughput(b *testing.B) {
+	reportHost(b)
 	for _, n := range []int{1000, 10000} {
 		g := graph.ConnectedGNP(n, 4.0/float64(n), benchSeed+40)
 		st := stream.WithChurn(g, 20000, benchSeed+41)
@@ -292,6 +320,7 @@ func BenchmarkIngestThroughput(b *testing.B) {
 // asserted identical across worker counts by the decode equivalence
 // tests — here only the wall clock varies.
 func BenchmarkDecodeThroughput(b *testing.B) {
+	reportHost(b)
 	multi := runtime.NumCPU()
 	if multi < 2 {
 		multi = 4 // single-core host: the point still tracks fan-out overhead
@@ -433,6 +462,7 @@ func BenchmarkDecodeThroughput(b *testing.B) {
 // streaming, and the coordinator merge). The result is asserted
 // byte-identical to a local build once per worker count.
 func BenchmarkDistributedIngest(b *testing.B) {
+	reportHost(b)
 	g := graph.ConnectedGNP(1000, 4.0/1000, benchSeed+50)
 	st := stream.WithChurn(g, 50000, benchSeed+51)
 	ctx := context.Background()
@@ -597,6 +627,7 @@ func BenchmarkA3Oracles(b *testing.B) {
 // the edge set. The apply itself is untimed ingest; the metric is
 // queries/sec.
 func BenchmarkIncrementalQuery(b *testing.B) {
+	reportHost(b)
 	churn := func(rng *rand.Rand, n, k int, extra *[][2]int, apply func(u, v, delta int)) {
 		del := k / 2
 		if del > len(*extra) {

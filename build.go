@@ -7,6 +7,7 @@ import (
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
+	"dynstream/internal/obs"
 	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
@@ -53,6 +54,24 @@ func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Opt
 		return zero, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
 			target, target.Passes(), ErrNotReplayable)
 	}
+	tr, traceDone := o.effectiveTracer()
+	defer traceDone()
+	res, err := buildDispatch(ctx, src, target, o, tr)
+	if err != nil {
+		return res, err
+	}
+	if werr := o.writeTraceFile(tr); werr != nil {
+		return res, werr
+	}
+	return res, nil
+}
+
+// buildDispatch routes a validated Build between the remote and local
+// execution paths. tr (possibly nil) is the resolved tracer; the
+// progress callback, when any, is already registered on it, so
+// policies carry only the tracer.
+func buildDispatch[R any](ctx context.Context, src Source, target Target[R], o *buildOptions, tr *obs.Tracer) (R, error) {
+	var zero R
 	if o.remote() {
 		cluster := o.cluster
 		var dialErr error
@@ -67,7 +86,8 @@ func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Opt
 		if dialErr != nil {
 			res, err = zero, dialErr
 		} else {
-			decodeP := parallel.NewPolicy(ctx, o.resolveDecodeWorkers(src), o.batch, nil)
+			decodeP := parallel.NewPolicy(ctx, o.resolveDecodeWorkers(src), o.batch, nil).
+				WithTracer(tr)
 			res, err = target.buildRemote(ctx, src, o, &remoteRun{cluster: cluster, o: o, p: decodeP})
 		}
 		// Opt-in degradation: when the whole cluster is gone (every
@@ -80,14 +100,14 @@ func Build[R any](ctx context.Context, src Source, target Target[R], opts ...Opt
 		clusterLost := dialErr != nil || errors.Is(err, dynnet.ErrNoWorkers)
 		if err != nil && o.localFallback && ctx.Err() == nil &&
 			clusterLost && CanReplay(src) {
-			p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
-				WithDecode(o.resolveDecodeWorkers(src))
+			p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, nil).
+				WithDecode(o.resolveDecodeWorkers(src)).WithTracer(tr)
 			return target.build(src, o, p)
 		}
 		return res, err
 	}
-	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
-		WithDecode(o.resolveDecodeWorkers(src))
+	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, nil).
+		WithDecode(o.resolveDecodeWorkers(src)).WithTracer(tr)
 	return target.build(src, o, p)
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
+	"dynstream/internal/obs"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
 )
@@ -144,10 +145,14 @@ func readSection(br *bufio.Reader) (kind byte, payload []byte, err error) {
 func (h *Handle[R]) Checkpoint(w io.Writer) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	sp := h.o.tracer.Span("checkpoint/write")
 	kind, blob, err := h.live.snapshot()
 	if err != nil {
 		return fmt.Errorf("dynstream: checkpoint: %w", err)
 	}
+	defer func() {
+		sp.End(obs.A("bytes", int64(len(blob))), obs.A("applied", h.applied))
+	}()
 	var meta []byte
 	meta = append(meta, byte(kind))
 	meta = binary.AppendUvarint(meta, uint64(h.n))
@@ -278,6 +283,11 @@ func Restore[R any](ctx context.Context, r io.Reader, src Source, target Target[
 		return nil, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
 			target, target.Passes(), ErrNotReplayable)
 	}
+	// As in Open, the tracer (with any WithProgress observer) persists
+	// for the restored handle's lifetime.
+	tr, _ := o.effectiveTracer()
+	o.tracer = tr
+	sp := tr.Span("checkpoint/restore")
 	meta, state, err := readCheckpoint(r)
 	if err != nil {
 		return nil, err
@@ -290,6 +300,7 @@ func Restore[R any](ctx context.Context, r io.Reader, src Source, target Target[
 		return nil, err
 	}
 	live.enableCache(o.cacheOn())
+	sp.End(obs.A("bytes", int64(len(state))), obs.A("applied", meta.applied))
 	return &Handle[R]{n: src.N(), src: src, o: o, live: live, applied: meta.applied}, nil
 }
 

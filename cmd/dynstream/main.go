@@ -90,6 +90,7 @@ import (
 	"dynstream"
 	"dynstream/internal/dynnet"
 	"dynstream/internal/graph"
+	"dynstream/internal/parallel"
 	"dynstream/internal/serve"
 )
 
@@ -281,9 +282,18 @@ func runCoord(ctx context.Context, args []string, stdin io.Reader, stdout, stder
 		srcOverride = dynstream.NewMemoryStream(*nFlag)
 	}
 	err = runBuild(ctx, sub, extra, srcOverride, stdin, stdout, stderr)
+	// Final wire accounting, straight from the per-frame-type counters
+	// (the same source BytesOnWire and the tracer report from).
 	out, in := cluster.BytesOnWire()
 	fmt.Fprintf(stderr, "coordinator: wire total %d B out / %d B in across %d workers\n",
 		out, in, len(cluster.WorkerIDs()))
+	sent, received := cluster.FrameStats()
+	for _, st := range sent {
+		fmt.Fprintf(stderr, "coordinator: wire out %-7s %7d frames %12d B\n", st.Type, st.Count, st.Bytes)
+	}
+	for _, st := range received {
+		fmt.Fprintf(stderr, "coordinator: wire in  %-7s %7d frames %12d B\n", st.Type, st.Count, st.Bytes)
+	}
 	return err
 }
 
@@ -309,6 +319,8 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		nFlag   = fs.Int("n", 0, "vertex count for -repl without -in (empty base graph)")
 		ckpt    = fs.String("checkpoint", "", "repl: auto-snapshot the live state to this path (atomic rename; with -every)")
 		every   = fs.Int("every", 0, "repl: flush and snapshot after this many applied updates (with -checkpoint)")
+		trace   = fs.Bool("trace", false, "print a per-phase timeline (and counters) to stderr when done")
+		traceF  = fs.String("trace-out", "", "write the build's spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -343,7 +355,24 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments after flags: %v", extra)
 	}
+	// -trace/-trace-out attach one tracer to every phase of the run;
+	// the timeline prints on the way out (success or failure — a
+	// partial timeline is exactly what a stuck build needs).
+	var tr *dynstream.Tracer
+	if *trace || *traceF != "" {
+		tr = dynstream.NewTracer()
+		if *trace {
+			defer tr.WriteTimeline(stderr)
+		}
+	}
+	// Post-build extraction runs outside Build, so it needs its own
+	// policy to land in the same timeline (agm/round, certificate, and
+	// MSF phases). A nil tracer keeps it the plain parallel decode.
+	dpol := parallel.Default().WithWorkers(dw).WithTracer(tr)
 	if *repl {
+		if *traceF != "" {
+			return fmt.Errorf("-trace-out needs a bounded build; use -trace for repl sessions: %w", dynstream.ErrBadConfig)
+		}
 		if len(extraOpts) > 0 || srcOverride != nil {
 			return fmt.Errorf("-repl is a local serving loop; it does not compose with coord: %w", dynstream.ErrBadConfig)
 		}
@@ -372,7 +401,10 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if *decodeW > 0 {
 			opts = append(opts, dynstream.WithDecodeWorkers(*decodeW))
 		}
-		return runRepl(ctx, cmd, base, replParams{k: *k, d: *d, z: *z, seed: *seed, wmax: *wmax, dw: dw},
+		if tr != nil {
+			opts = append(opts, dynstream.WithTracer(tr))
+		}
+		return runRepl(ctx, cmd, base, replParams{k: *k, d: *d, z: *z, seed: *seed, wmax: *wmax, dpol: dpol},
 			replCkpt{path: *ckpt, every: *every}, opts, stdin, stdout, stderr)
 	}
 	var src dynstream.Source
@@ -403,6 +435,12 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 	}, extraOpts...)
 	if *decodeW > 0 {
 		opts = append(opts, dynstream.WithDecodeWorkers(*decodeW))
+	}
+	if tr != nil {
+		opts = append(opts, dynstream.WithTracer(tr))
+	}
+	if *traceF != "" {
+		opts = append(opts, dynstream.WithTraceFile(*traceF))
 	}
 
 	switch cmd {
@@ -449,7 +487,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		forest, err := sk.SpanningForestParallel(nil, dw)
+		forest, err := sk.SpanningForestOpts(nil, dpol)
 		if err != nil {
 			return err
 		}
@@ -467,7 +505,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		cert, err := kc.CertificateGraphParallel(dw)
+		cert, err := kc.CertificateGraphOpts(dpol)
 		if err != nil {
 			return err
 		}
@@ -485,7 +523,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		forest, err := m.ForestParallel(dw)
+		forest, err := m.ForestOpts(dpol)
 		if err != nil {
 			return err
 		}
@@ -504,7 +542,7 @@ func runBuild(ctx context.Context, args []string, extraOpts []dynstream.Option, 
 		if err != nil {
 			return err
 		}
-		bip, err := b.IsBipartiteParallel(dw)
+		bip, err := b.IsBipartiteOpts(dpol)
 		if err != nil {
 			return err
 		}
@@ -521,7 +559,7 @@ type replParams struct {
 	k, d, z int
 	seed    uint64
 	wmax    float64
-	dw      int
+	dpol    *parallel.Policy // decode policy: worker count + tracer
 }
 
 // replCkpt is the repl's auto-snapshot schedule (-checkpoint/-every).
@@ -564,7 +602,7 @@ func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replPara
 		return serveLive(ctx, base, dynstream.ForestTarget{Seed: pr.seed},
 			ck, opts, stdin, stdout, stderr,
 			func(sk *dynstream.ForestSketch) (*graph.Graph, string, error) {
-				forest, err := sk.SpanningForestParallel(nil, pr.dw)
+				forest, err := sk.SpanningForestOpts(nil, pr.dpol)
 				if err != nil {
 					return nil, "", err
 				}
@@ -579,7 +617,7 @@ func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replPara
 		return serveLive(ctx, base, dynstream.KConnectivityTarget{Seed: pr.seed, K: pr.k},
 			ck, opts, stdin, stdout, stderr,
 			func(kc *dynstream.KConnectivity) (*graph.Graph, string, error) {
-				cert, err := kc.CertificateGraphParallel(pr.dw)
+				cert, err := kc.CertificateGraphOpts(pr.dpol)
 				if err != nil {
 					return nil, "", err
 				}
@@ -590,7 +628,7 @@ func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replPara
 		return serveLive(ctx, base, dynstream.MSFTarget{Seed: pr.seed, WMax: pr.wmax, Gamma: 0.5},
 			ck, opts, stdin, stdout, stderr,
 			func(m *dynstream.MSF) (*graph.Graph, string, error) {
-				forest, err := m.ForestParallel(pr.dw)
+				forest, err := m.ForestOpts(pr.dpol)
 				if err != nil {
 					return nil, "", err
 				}
@@ -605,7 +643,7 @@ func runRepl(ctx context.Context, cmd string, base dynstream.Source, pr replPara
 		return serveLive(ctx, base, dynstream.BipartitenessTarget{Seed: pr.seed},
 			ck, opts, stdin, stdout, stderr,
 			func(b *dynstream.Bipartiteness) (*graph.Graph, string, error) {
-				bip, err := b.IsBipartiteParallel(pr.dw)
+				bip, err := b.IsBipartiteOpts(pr.dpol)
 				if err != nil {
 					return nil, "", err
 				}

@@ -230,3 +230,19 @@ func TestCLITypedErrors(t *testing.T) {
 		t.Errorf("-wmax -1: err = %v, want ErrBadConfig", err)
 	}
 }
+
+func TestCLIForestTraceCoversDecode(t *testing.T) {
+	// -trace must cover the post-build extraction too: the decode runs
+	// outside Build, on its own policy, and a regression there silently
+	// drops every agm/round row from the timeline.
+	out, errOut := runCLI(t, []string{"forest", "-seed", "4", "-trace"}, testStream)
+	for _, phase := range []string{"== trace:", "ingest", "agm/round00", "ingested updates:"} {
+		if !strings.Contains(errOut, phase) {
+			t.Errorf("timeline missing %q:\n%s", phase, errOut)
+		}
+	}
+	base, _ := runCLI(t, []string{"forest", "-seed", "4"}, testStream)
+	if out != base {
+		t.Error("forest output changed under -trace")
+	}
+}

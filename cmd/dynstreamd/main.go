@@ -48,6 +48,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -84,6 +85,8 @@ func run(args []string, stdin io.Reader, stderr io.Writer, lookupEnv func(string
 		feedBatch = fs.Int("feed-batch", 256, "feed lines per applied batch (>= 1)")
 		ckpt      = fs.String("checkpoint", "", "snapshot path (atomic rename; .<target> suffix per target when serving several)")
 		every     = fs.Int("every", 0, "auto-snapshot after this many admitted updates (with -checkpoint)")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		slowQ     = fs.Duration("slow-query", 0, "log queries slower than this threshold (0 = disabled)")
 		quiet     = fs.Bool("q", false, "suppress operational log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,13 +129,27 @@ func run(args []string, stdin io.Reader, stderr io.Writer, lookupEnv func(string
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One tracer observes every backend's pipeline phases (ingest
+	// shards, decode, query, checkpoint) and bridges them into the
+	// /metrics phase histograms. The server doesn't exist yet while
+	// backends open/restore — phases fired before it does are kept in
+	// the tracer's aggregates but skipped by the bridge (same
+	// goroutine, so the nil check is race-free).
+	tr := dynstream.NewTracer()
+	var srv *serve.Server
+	tr.OnSpanEnd(func(e dynstream.TraceEvent) {
+		if srv != nil {
+			srv.Metrics().ObservePhase(e.Phase, e.Dur)
+		}
+	})
+
 	// Open (or restore) every target over an empty n-vertex base graph.
 	ckptPaths := serve.CheckpointPathsFor(*ckpt, names)
 	backends := make([]serve.Backend, 0, len(names))
 	for _, name := range names {
 		spec := serve.Spec{
 			Target: name, N: *nFlag, K: *k, D: *d, Z: *z, Seed: *seed, WMax: *wmax,
-			Workers: *workers, DecodeWorkers: *decodeW, Batch: *batch,
+			Workers: *workers, DecodeWorkers: *decodeW, Batch: *batch, Tracer: tr,
 		}
 		b, restored, note, err := serve.OpenBackend(ctx, spec, ckptPaths[name])
 		if err != nil {
@@ -147,10 +164,22 @@ func run(args []string, stdin io.Reader, stderr io.Writer, lookupEnv func(string
 		backends = append(backends, b)
 	}
 	srv, err := serve.NewServer(backends, serve.ServerConfig{
-		Checkpoint: *ckpt, Every: *every, Logf: logf,
+		Checkpoint: *ckpt, Every: *every, Logf: logf, SlowQuery: *slowQ,
 	})
 	if err != nil {
 		return fail(err)
+	}
+
+	// pprof serves on its own listener so profiling never shares a port
+	// (or an exposure decision) with the query API.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fail(fmt.Errorf("pprof listen: %w", err))
+		}
+		defer pln.Close()
+		logf("pprof listening on http://%s/debug/pprof/", pln.Addr())
+		go http.Serve(pln, nil) // DefaultServeMux carries net/http/pprof
 	}
 
 	ln, err := net.Listen("tcp", *listen)

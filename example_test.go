@@ -185,3 +185,40 @@ func ExampleHandle_query() {
 	// forest edges: 3
 	// after apply: 4
 }
+
+// ExampleWithTracer attaches a tracer to a build and reads its phase
+// aggregates back. Tracing is purely observational — the traced result
+// is bit-identical to an untraced build — and the same tracer feeds
+// the human-readable timeline (WriteTimeline) and the Perfetto-loadable
+// Chrome sink (EnableEvents + WriteChromeTrace, or WithTraceFile).
+func ExampleWithTracer() {
+	input := `n 5
++ 0 1
++ 1 2
++ 2 3
++ 3 4
++ 0 4
+`
+	src, err := dynstream.NewReaderSource(strings.NewReader(input))
+	if err != nil {
+		panic(err)
+	}
+	tr := dynstream.NewTracer()
+	_, err = dynstream.Build(context.Background(), src,
+		dynstream.SpannerTarget{Config: dynstream.SpannerConfig{K: 2}},
+		dynstream.WithSeed(7),
+		dynstream.WithTracer(tr),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, ph := range tr.Phases() {
+		fmt.Printf("%s x%d\n", ph.Phase, ph.Count)
+	}
+	fmt.Println("updates ingested:", tr.IngestedTotal())
+	// Output:
+	// ingest x2
+	// spanner/cluster/level00 x1
+	// spanner/recover x1
+	// updates ingested: 10
+}

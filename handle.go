@@ -7,6 +7,7 @@ import (
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
+	"dynstream/internal/obs"
 	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
@@ -109,8 +110,13 @@ func Open[R any](ctx context.Context, src Source, target Target[R], opts ...Opti
 		return nil, fmt.Errorf("dynstream: %T needs %d passes over the stream: %w",
 			target, target.Passes(), ErrNotReplayable)
 	}
-	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, o.progress).
-		WithDecode(o.resolveDecodeWorkers(src))
+	// The tracer (and the WithProgress observer riding on it) persists
+	// for the handle's lifetime: ingest here, then every QueryAt and
+	// Checkpoint report into the same tracer.
+	tr, _ := o.effectiveTracer()
+	o.tracer = tr
+	p := parallel.NewPolicy(ctx, o.resolveWorkers(src), o.batch, nil).
+		WithDecode(o.resolveDecodeWorkers(src)).WithTracer(tr)
 	live, err := target.openLive(src, o, p)
 	if err != nil {
 		return nil, err
@@ -184,9 +190,13 @@ func (h *Handle[R]) Query(ctx context.Context) (R, error) {
 func (h *Handle[R]) QueryAt(ctx context.Context) (R, int64, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	p := parallel.NewPolicy(ctx, h.o.resolveWorkers(h.src), h.o.batch, h.o.progress).
-		WithDecode(h.o.resolveDecodeWorkers(h.src))
+	sp := h.o.tracer.Span("query")
+	p := parallel.NewPolicy(ctx, h.o.resolveWorkers(h.src), h.o.batch, nil).
+		WithDecode(h.o.resolveDecodeWorkers(h.src)).WithTracer(h.o.tracer)
 	r, err := h.live.query(p)
+	if err == nil {
+		sp.End(obs.A("applied", h.applied))
+	}
 	return r, h.applied, err
 }
 

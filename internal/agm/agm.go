@@ -20,6 +20,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/obs"
 	"dynstream/internal/parallel"
 	"dynstream/internal/sketch"
 	"dynstream/internal/stream"
@@ -415,6 +416,11 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 			}
 			roots = roots[:k]
 		}
+		var sp obs.Span
+		if tr := p.Tracer(); tr != nil {
+			sp = tr.Span(fmt.Sprintf("agm/round%02d", r))
+		}
+		hits0, misses0 := s.cacheHits, s.cacheMisses
 		picks = picks[:len(roots)]
 		genSums = genSums[:len(roots)]
 		dirty = dirty[:0]
@@ -552,10 +558,12 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 			}
 		}
 		progress := false
+		var sampled, unions int64
 		for _, pk := range picks {
 			if !pk.ok {
 				continue
 			}
+			sampled++
 			ra, rb := uf.Find(pk.a), uf.Find(pk.b)
 			if ra == rb {
 				continue
@@ -568,7 +576,16 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 			members[root] = merged
 			forest = append(forest, graph.Edge{U: pk.a, V: pk.b, W: 1}.Canon())
 			progress = true
+			unions++
 		}
+		sp.End(
+			obs.A("components", int64(len(roots))),
+			obs.A("dirty", int64(len(dirty))),
+			obs.A("sampled", sampled),
+			obs.A("sample_empty", int64(len(roots))-sampled),
+			obs.A("merges", unions),
+			obs.A("cache_hit", int64(s.cacheHits-hits0)),
+			obs.A("cache_miss", int64(s.cacheMisses-misses0)))
 		if !progress {
 			break
 		}

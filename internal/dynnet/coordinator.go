@@ -128,10 +128,69 @@ func (w *workerConn) adopt(nw *workerConn) {
 // A Coordinator serves one RunPass at a time (passes of one build are
 // sequential by nature); it is not safe for concurrent RunPass calls.
 type Coordinator struct {
-	opts     Options
-	workers  []*workerConn
-	bytesOut atomic.Int64
-	bytesIn  atomic.Int64
+	opts    Options
+	workers []*workerConn
+	out     frameCounters
+	in      frameCounters
+}
+
+// frameCounters is per-frame-type wire accounting for one direction:
+// frames, bytes, and wall time spent in the frame read or write call.
+// Index 0 collects frames whose type could not be decoded (a torn or
+// corrupt read). This is the single accounting source for everything
+// wire-related: Bytes(), the CLI's progress output, and the tracer's
+// dynnet counters all derive from it.
+type frameCounters struct {
+	count [maxFrameType + 1]atomic.Int64
+	bytes [maxFrameType + 1]atomic.Int64
+	wall  [maxFrameType + 1]atomic.Int64 // nanoseconds
+}
+
+func (fc *frameCounters) add(t FrameType, n int, d time.Duration) {
+	if t > maxFrameType {
+		t = 0
+	}
+	fc.count[t].Add(1)
+	fc.bytes[t].Add(int64(n))
+	fc.wall[t].Add(int64(d))
+}
+
+func (fc *frameCounters) total() int64 {
+	var sum int64
+	for i := range fc.bytes {
+		sum += fc.bytes[i].Load()
+	}
+	return sum
+}
+
+func (fc *frameCounters) stats() []FrameStat {
+	var out []FrameStat
+	for i := range fc.count {
+		if c := fc.count[i].Load(); c > 0 {
+			out = append(out, FrameStat{
+				Type:  FrameType(i),
+				Count: c,
+				Bytes: fc.bytes[i].Load(),
+				Wall:  time.Duration(fc.wall[i].Load()),
+			})
+		}
+	}
+	return out
+}
+
+// FrameStat is the cumulative wire accounting of one frame type in one
+// direction.
+type FrameStat struct {
+	Type  FrameType
+	Count int64
+	Bytes int64
+	Wall  time.Duration
+}
+
+// FrameStats returns the per-frame-type accounting of both directions,
+// in frame-type order, omitting types never seen.
+func (c *Coordinator) FrameStats() (out, in []FrameStat) {
+	return c.out.stats(), c.in.stats()
 }
 
 // ResolveNetwork maps a worker address to its network: "unix" for
@@ -324,8 +383,9 @@ func (c *Coordinator) handshake(conn net.Conn, fallbackID string) (*workerConn, 
 		bw:   bufio.NewWriterSize(conn, 1<<16),
 	}
 	conn.SetDeadline(time.Now().Add(c.opts.HandshakeTimeout))
+	start := time.Now()
 	f, nr, err := ReadFrame(w.br)
-	c.bytesIn.Add(int64(nr))
+	c.in.add(f.Type, nr, time.Since(start))
 	if err != nil {
 		if errors.Is(err, ErrWrongVersion) {
 			c.write(w, FrameError, EncodeError(ErrorMsg{
@@ -388,8 +448,9 @@ func (c *Coordinator) WorkerIDs() []string {
 
 // Bytes returns the cumulative bytes put on and read off the wire —
 // the bytes-on-wire figure the coordinator's progress output reports.
+// It is the sum of the per-frame-type counters (FrameStats).
 func (c *Coordinator) Bytes() (out, in int64) {
-	return c.bytesOut.Load(), c.bytesIn.Load()
+	return c.out.total(), c.in.total()
 }
 
 // write ships one frame to a worker, under the per-frame write
@@ -399,8 +460,9 @@ func (c *Coordinator) write(w *workerConn, t FrameType, payload []byte) error {
 		w.netConn().SetWriteDeadline(time.Now().Add(d))
 		defer w.netConn().SetWriteDeadline(time.Time{})
 	}
+	start := time.Now()
 	n, err := WriteFrame(w.bw, t, payload)
-	c.bytesOut.Add(int64(n))
+	c.out.add(t, n, time.Since(start))
 	return err
 }
 
@@ -412,8 +474,9 @@ func (c *Coordinator) read(w *workerConn) (Frame, error) {
 		w.netConn().SetReadDeadline(time.Now().Add(d))
 		defer w.netConn().SetReadDeadline(time.Time{})
 	}
+	start := time.Now()
 	f, n, err := ReadFrame(w.br)
-	c.bytesIn.Add(int64(n))
+	c.in.add(f.Type, n, time.Since(start))
 	return f, err
 }
 

@@ -53,6 +53,9 @@ const (
 	FrameFlush   FrameType = 4 // coordinator → worker: end of pass, send state
 	FrameSketch  FrameType = 5 // worker → coordinator: marshaled state
 	FrameError   FrameType = 6 // either direction: typed failure
+
+	// maxFrameType bounds the per-frame-type accounting arrays.
+	maxFrameType = FrameError
 )
 
 func (t FrameType) String() string {

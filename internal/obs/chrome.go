@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The Chrome trace_event format: a JSON object with a traceEvents
+// array of "X" (complete) events whose ts/dur are microseconds.
+// Loadable in chrome://tracing and Perfetto. Each distinct phase name
+// gets its own tid (with a thread_name metadata record), so phases
+// render as labeled rows instead of one interleaved stack.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the recorded raw events (EnableEvents must
+// have been on during the build) as a Chrome trace_event JSON
+// document. An error is returned if no events were recorded — the
+// usual cause is a tracer that never had events enabled.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer has no events")
+	}
+	events := t.Events()
+	if len(events) == 0 {
+		return fmt.Errorf("obs: no events recorded (EnableEvents before the build)")
+	}
+	tids := map[string]int{}
+	var doc chromeTrace
+	for _, ev := range events {
+		tid, ok := tids[ev.Phase]
+		if !ok {
+			tid = len(tids) + 1
+			tids[ev.Phase] = tid
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]any{"name": ev.Phase},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Phase,
+			Ph:   "X",
+			Ts:   ev.Start.Microseconds(),
+			Dur:  ev.Dur.Microseconds(),
+			Pid:  1,
+			Tid:  tid,
+		}
+		if ce.Dur == 0 {
+			ce.Dur = 1 // zero-width events vanish in viewers
+		}
+		if len(ev.Attrs) > 0 {
+			ce.Args = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,375 @@
+// Package obs is the pipeline's tracing layer: a Tracer collects
+// phase spans (wall time plus integer attributes) and named counters
+// from every stage of a build — sharded ingest, Borůvka rounds,
+// cluster construction, grid extraction, dynnet frames, checkpoint
+// I/O — and renders them as a human-readable phase timeline or a
+// Chrome trace_event JSON file.
+//
+// The package has no dependencies outside the standard library and is
+// designed to be free when unused: a nil *Tracer is a valid tracer on
+// which every method is a no-op, and the Span/End pair performs zero
+// heap allocations on the nil path, so instrumentation can stay
+// compiled into hot loops unconditionally. Spans observe; they never
+// influence the computation, so traced and untraced builds are
+// bit-identical.
+//
+// Aggregates (per-phase count/wall/attr sums and counters) are always
+// maintained and are bounded by the number of distinct phase names,
+// so a resident daemon can keep one Tracer alive indefinitely. Raw
+// per-span events — needed only for the Chrome trace sink — are
+// recorded only after EnableEvents and are capped, with a dropped
+// count past the cap.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one integer-valued span attribute, e.g. {"components", 42}.
+// Attributes are summed into the per-phase aggregate and carried
+// verbatim on raw events.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// A is shorthand for constructing an Attr at a span's End site.
+func A(key string, val int64) Attr { return Attr{Key: key, Val: val} }
+
+// Counter is one named running total, e.g. dynnet bytes per frame type.
+type Counter struct {
+	Key string
+	Val int64
+}
+
+// PhaseStat is the aggregate over every completed span of one phase:
+// how many spans ended, their summed wall time, and their summed
+// attributes in first-seen key order.
+type PhaseStat struct {
+	Phase string
+	Count int64
+	Wall  time.Duration
+	Attrs []Attr
+}
+
+// Event is one completed span, recorded only when EnableEvents is on.
+// Start is the offset from the tracer's creation.
+type Event struct {
+	Phase string
+	Start time.Duration
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+type ingestObserver struct {
+	id int
+	fn func(total int64)
+}
+
+type spanObserver struct {
+	id int
+	fn func(Event)
+}
+
+// Tracer collects spans and counters. The zero value is not usable;
+// construct with New. A nil *Tracer disables all tracing: every
+// method is a nil-safe no-op.
+//
+// All methods are safe for concurrent use; spans routinely end on
+// worker goroutines.
+type Tracer struct {
+	start    time.Time
+	ingested atomic.Int64
+
+	mu        sync.Mutex
+	phases    map[string]*PhaseStat
+	order     []string
+	counters  map[string]int64
+	countOrd  []string
+	events    []Event
+	eventCap  int
+	dropped   int64
+	nextObs   int
+	ingestObs []ingestObserver
+	spanObs   []spanObserver
+}
+
+// New returns an enabled Tracer with aggregate collection on and raw
+// event recording off (see EnableEvents).
+func New() *Tracer {
+	return &Tracer{
+		start:    time.Now(),
+		phases:   make(map[string]*PhaseStat),
+		counters: make(map[string]int64),
+	}
+}
+
+// Span opens a span for the named phase. The returned Span is a value;
+// pass it along or End it on any goroutine. On a nil Tracer the
+// returned Span is inert and End is free.
+func (t *Tracer) Span(phase string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, phase: phase, start: time.Now()}
+}
+
+// Span is an open interval of one phase. End completes it; a Span
+// whose tracer is nil ignores End entirely.
+type Span struct {
+	t     *Tracer
+	phase string
+	start time.Time
+}
+
+// End completes the span, folding its wall time and attributes into
+// the phase aggregate, recording a raw event when enabled, and
+// notifying OnSpanEnd observers. attrs does not escape: callers may
+// build it inline without heap allocation on the nil-tracer path.
+func (s Span) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	s.t.endSpan(s.phase, s.start, attrs)
+}
+
+func (t *Tracer) endSpan(phase string, start time.Time, attrs []Attr) {
+	dur := time.Since(start)
+	t.mu.Lock()
+	ps := t.phases[phase]
+	if ps == nil {
+		ps = &PhaseStat{Phase: phase}
+		t.phases[phase] = ps
+		t.order = append(t.order, phase)
+	}
+	ps.Count++
+	ps.Wall += dur
+	for _, a := range attrs {
+		ps.addAttr(a)
+	}
+	needEvent := t.eventCap > 0 || len(t.spanObs) > 0
+	var ev Event
+	if needEvent {
+		ev = Event{
+			Phase: phase,
+			Start: start.Sub(t.start),
+			Dur:   dur,
+			Attrs: append([]Attr(nil), attrs...),
+		}
+	}
+	if t.eventCap > 0 {
+		if len(t.events) < t.eventCap {
+			t.events = append(t.events, ev)
+		} else {
+			t.dropped++
+		}
+	}
+	var obs []spanObserver
+	if len(t.spanObs) > 0 {
+		obs = append(obs, t.spanObs...)
+	}
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.fn(ev)
+	}
+}
+
+func (ps *PhaseStat) addAttr(a Attr) {
+	for i := range ps.Attrs {
+		if ps.Attrs[i].Key == a.Key {
+			ps.Attrs[i].Val += a.Val
+			return
+		}
+	}
+	ps.Attrs = append(ps.Attrs, a)
+}
+
+// Count adds delta to the named counter, creating it at zero on first
+// use. Counters keep first-seen order in Counters and the timeline.
+func (t *Tracer) Count(key string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.counters[key]; !ok {
+		t.countOrd = append(t.countOrd, key)
+	}
+	t.counters[key] += delta
+	t.mu.Unlock()
+}
+
+// CounterSet overwrites the named counter with an absolute value. Used
+// by sources that maintain their own running totals (dynnet frame
+// stats) and refresh the tracer's view idempotently.
+func (t *Tracer) CounterSet(key string, val int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.counters[key]; !ok {
+		t.countOrd = append(t.countOrd, key)
+	}
+	t.counters[key] = val
+	t.mu.Unlock()
+}
+
+// CounterValue returns the named counter's current value (0 if unset
+// or the tracer is nil).
+func (t *Tracer) CounterValue(key string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[key]
+}
+
+// Counters returns a copy of all counters in first-seen order.
+func (t *Tracer) Counters() []Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Counter, 0, len(t.countOrd))
+	for _, k := range t.countOrd {
+		out = append(out, Counter{Key: k, Val: t.counters[k]})
+	}
+	return out
+}
+
+// Ingested reports the running update total of the stream pass. The
+// pipeline calls it with monotonically increasing totals from sharded
+// ingest workers; the tracer keeps the maximum seen and forwards
+// every report to OnIngest observers in registration order (reports
+// from concurrent shards may be forwarded out of order, exactly as
+// the progress callbacks they replace were invoked).
+func (t *Tracer) Ingested(total int64) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := t.ingested.Load()
+		if total <= cur || t.ingested.CompareAndSwap(cur, total) {
+			break
+		}
+	}
+	t.mu.Lock()
+	var obs []ingestObserver
+	if len(t.ingestObs) > 0 {
+		obs = append(obs, t.ingestObs...)
+	}
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.fn(total)
+	}
+}
+
+// IngestedTotal returns the highest update total reported so far.
+func (t *Tracer) IngestedTotal() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.ingested.Load()
+}
+
+// OnIngest registers fn to receive every Ingested report and returns
+// a function that unregisters it. WithProgress is implemented as one
+// of these observers.
+func (t *Tracer) OnIngest(fn func(total int64)) (remove func()) {
+	if t == nil || fn == nil {
+		return func() {}
+	}
+	t.mu.Lock()
+	id := t.nextObs
+	t.nextObs++
+	t.ingestObs = append(t.ingestObs, ingestObserver{id: id, fn: fn})
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		for i := range t.ingestObs {
+			if t.ingestObs[i].id == id {
+				t.ingestObs = append(t.ingestObs[:i], t.ingestObs[i+1:]...)
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// OnSpanEnd registers fn to receive every completed span and returns
+// a function that unregisters it. The daemon's Prometheus bridge is
+// one of these observers. fn runs outside the tracer's lock, on the
+// goroutine that ended the span.
+func (t *Tracer) OnSpanEnd(fn func(Event)) (remove func()) {
+	if t == nil || fn == nil {
+		return func() {}
+	}
+	t.mu.Lock()
+	id := t.nextObs
+	t.nextObs++
+	t.spanObs = append(t.spanObs, spanObserver{id: id, fn: fn})
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		for i := range t.spanObs {
+			if t.spanObs[i].id == id {
+				t.spanObs = append(t.spanObs[:i], t.spanObs[i+1:]...)
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// EnableEvents turns on raw per-span event recording (required by the
+// Chrome trace sink) with a hard cap on retained events; spans past
+// the cap still aggregate but are counted in Dropped instead of
+// stored. A cap <= 0 leaves recording off.
+func (t *Tracer) EnableEvents(cap int) {
+	if t == nil || cap <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.eventCap = cap
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded raw events in end order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Dropped returns how many spans were discarded past the event cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Phases returns a deep copy of the per-phase aggregates in
+// first-seen order.
+func (t *Tracer) Phases() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseStat, 0, len(t.order))
+	for _, name := range t.order {
+		ps := *t.phases[name]
+		ps.Attrs = append([]Attr(nil), ps.Attrs...)
+		out = append(out, ps)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAggregates(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3; i++ {
+		sp := tr.Span("agm/round00")
+		sp.End(A("components", 10), A("merges", 2))
+	}
+	tr.Span("ingest").End(A("updates", 500))
+	phases := tr.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(phases))
+	}
+	if phases[0].Phase != "agm/round00" || phases[0].Count != 3 {
+		t.Fatalf("phase[0] = %+v, want agm/round00 count 3", phases[0])
+	}
+	if got := phases[0].Attrs; len(got) != 2 || got[0] != (Attr{"components", 30}) || got[1] != (Attr{"merges", 6}) {
+		t.Fatalf("summed attrs = %+v", got)
+	}
+	if phases[1].Phase != "ingest" || phases[1].Attrs[0].Val != 500 {
+		t.Fatalf("phase[1] = %+v", phases[1])
+	}
+}
+
+func TestCounters(t *testing.T) {
+	tr := New()
+	tr.Count("dynnet/UPDATES/bytes_out", 100)
+	tr.Count("dynnet/SKETCH/bytes_in", 7)
+	tr.Count("dynnet/UPDATES/bytes_out", 23)
+	tr.CounterSet("dynnet/SKETCH/bytes_in", 99)
+	cs := tr.Counters()
+	if len(cs) != 2 || cs[0] != (Counter{"dynnet/UPDATES/bytes_out", 123}) || cs[1] != (Counter{"dynnet/SKETCH/bytes_in", 99}) {
+		t.Fatalf("counters = %+v", cs)
+	}
+	if v := tr.CounterValue("dynnet/UPDATES/bytes_out"); v != 123 {
+		t.Fatalf("CounterValue = %d", v)
+	}
+}
+
+func TestEventCapAndDropped(t *testing.T) {
+	tr := New()
+	tr.EnableEvents(2)
+	for i := 0; i < 5; i++ {
+		tr.Span("p").End()
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("retained %d events, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	// Aggregates still see every span.
+	if ps := tr.Phases(); ps[0].Count != 5 {
+		t.Fatalf("aggregate count = %d, want 5", ps[0].Count)
+	}
+}
+
+func TestIngestObservers(t *testing.T) {
+	tr := New()
+	var got []int64
+	remove := tr.OnIngest(func(total int64) { got = append(got, total) })
+	tr.Ingested(10)
+	tr.Ingested(25)
+	remove()
+	tr.Ingested(99)
+	if len(got) != 2 || got[0] != 10 || got[1] != 25 {
+		t.Fatalf("observer saw %v, want [10 25]", got)
+	}
+	if tr.IngestedTotal() != 99 {
+		t.Fatalf("IngestedTotal = %d", tr.IngestedTotal())
+	}
+	// Out-of-order reports keep the maximum.
+	tr.Ingested(50)
+	if tr.IngestedTotal() != 99 {
+		t.Fatalf("IngestedTotal after stale report = %d", tr.IngestedTotal())
+	}
+}
+
+func TestSpanObservers(t *testing.T) {
+	tr := New()
+	var mu sync.Mutex
+	var seen []string
+	remove := tr.OnSpanEnd(func(ev Event) {
+		mu.Lock()
+		seen = append(seen, ev.Phase)
+		mu.Unlock()
+	})
+	tr.Span("a").End(A("x", 1))
+	remove()
+	tr.Span("b").End()
+	if len(seen) != 1 || seen[0] != "a" {
+		t.Fatalf("observer saw %v, want [a]", seen)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Span("anything")
+	sp.End(A("k", 1))
+	tr.Count("c", 1)
+	tr.Ingested(5)
+	tr.EnableEvents(10)
+	if tr.Phases() != nil || tr.Counters() != nil || tr.Events() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+	var buf bytes.Buffer
+	tr.WriteTimeline(&buf)
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil timeline = %q", buf.String())
+	}
+	if err := tr.WriteChromeTrace(&buf); err == nil {
+		t.Fatal("nil WriteChromeTrace should error")
+	}
+}
+
+// TestNilTracerZeroAlloc is the CI-asserted half of the zero-overhead
+// claim: the Span/End pair on a nil tracer, attributes included, must
+// not touch the heap.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	n := int64(7)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Span("agm/round00")
+		sp.End(A("components", n), A("merges", n))
+		tr.Count("bytes", n)
+		tr.Ingested(n)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	tr.EnableEvents(1 << 12)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("shard").End(A("updates", 1))
+				tr.Count("n", 1)
+				tr.Ingested(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if ps := tr.Phases(); ps[0].Count != 800 || ps[0].Attrs[0].Val != 800 {
+		t.Fatalf("aggregate = %+v", ps[0])
+	}
+	if v := tr.CounterValue("n"); v != 800 {
+		t.Fatalf("counter = %d", v)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	tr := New()
+	tr.EnableEvents(100)
+	sp := tr.Span("ingest")
+	time.Sleep(time.Millisecond)
+	sp.End(A("updates", 42))
+	tr.Span("agm/round00").End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			for _, k := range []string{"name", "ts", "pid", "tid"} {
+				if _, ok := ev[k]; !ok {
+					t.Fatalf("X event missing %q: %v", k, ev)
+				}
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected ph %v", ev["ph"])
+		}
+	}
+	if complete != 2 || meta != 2 {
+		t.Fatalf("got %d X + %d M events, want 2 + 2", complete, meta)
+	}
+
+	// No events enabled -> explicit error, not an empty file.
+	if err := New().WriteChromeTrace(&buf); err == nil {
+		t.Fatal("want error when no events were recorded")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := New()
+	tr.Span("ingest").End(A("updates", 1000))
+	tr.Span("agm/round00").End(A("components", 8))
+	tr.Count("dynnet/UPDATES/bytes_out", 555)
+	tr.Ingested(1000)
+	var buf bytes.Buffer
+	tr.WriteTimeline(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"2 phases", "ingest", "updates=1000", "agm/round00", "components=8",
+		"dynnet/UPDATES/bytes_out", "555", "ingested updates: 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkNilSpan is the other half of the zero-overhead claim: a
+// Span/End pair against a nil tracer should cost a couple of branch
+// instructions, no clock reads, no allocation.
+func BenchmarkNilSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("phase")
+		sp.End(A("k", int64(i)))
+	}
+}
+
+func BenchmarkLiveSpan(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("phase")
+		sp.End(A("k", int64(i)))
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteTimeline renders the human-readable phase summary the CLI's
+// -trace flag prints after a build: one row per phase in first-seen
+// order (count, summed wall time, summed attributes), followed by the
+// counters, the ingested-update total, and a dropped-event note when
+// the raw buffer overflowed. Nil tracers write a single line saying
+// tracing was off.
+func (t *Tracer) WriteTimeline(w io.Writer) {
+	if t == nil {
+		fmt.Fprintln(w, "trace: disabled (nil tracer)")
+		return
+	}
+	phases := t.Phases()
+	counters := t.Counters()
+	var total time.Duration
+	nameW := len("PHASE")
+	for _, ps := range phases {
+		total += ps.Wall
+		if len(ps.Phase) > nameW {
+			nameW = len(ps.Phase)
+		}
+	}
+	fmt.Fprintf(w, "== trace: %d phases, %s summed wall ==\n", len(phases), fmtDur(total))
+	fmt.Fprintf(w, "%-*s  %6s  %10s  %s\n", nameW, "PHASE", "COUNT", "WALL", "ATTRS")
+	for _, ps := range phases {
+		fmt.Fprintf(w, "%-*s  %6d  %10s ", nameW, ps.Phase, ps.Count, fmtDur(ps.Wall))
+		for _, a := range ps.Attrs {
+			fmt.Fprintf(w, " %s=%d", a.Key, a.Val)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(counters) > 0 {
+		keyW := len("COUNTER")
+		for _, c := range counters {
+			if len(c.Key) > keyW {
+				keyW = len(c.Key)
+			}
+		}
+		fmt.Fprintf(w, "%-*s  %12s\n", keyW, "COUNTER", "VALUE")
+		for _, c := range counters {
+			fmt.Fprintf(w, "%-*s  %12d\n", keyW, c.Key, c.Val)
+		}
+	}
+	if n := t.IngestedTotal(); n > 0 {
+		fmt.Fprintf(w, "ingested updates: %d\n", n)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "dropped events: %d (raise the event cap for a complete Chrome trace)\n", d)
+	}
+}
+
+// fmtDur rounds durations to a stable display precision so timelines
+// stay narrow.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}

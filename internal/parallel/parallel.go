@@ -22,20 +22,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dynstream/internal/obs"
 	"dynstream/internal/stream"
 )
 
 // Policy bundles the execution parameters of one build: cancellation
-// context, worker count, update-batch size, and an optional progress
-// callback. A single Policy is threaded through every pass of a build
-// so cancellation and progress are cumulative across passes.
+// context, worker count, update-batch size, an optional progress
+// callback, and an optional tracer. A single Policy is threaded
+// through every pass of a build so cancellation, progress, and trace
+// spans are cumulative across passes.
 type Policy struct {
 	ctx      context.Context
 	workers  int
 	batch    int
 	decode   int // decode-phase worker count; 0 follows workers
 	progress func(int64)
-	done     *int64 // cumulative updates processed, shared across passes
+	tracer   *obs.Tracer // nil disables tracing
+	done     *int64      // cumulative updates processed, shared across passes
 }
 
 // NewPolicy creates an execution policy. ctx may be nil (no
@@ -70,6 +73,23 @@ func (p *Policy) WithDecode(workers int) *Policy {
 	return &cp
 }
 
+// WithTracer returns a policy like p but with the given tracer (nil
+// disables tracing), sharing p's context, batch size, progress sink,
+// and counter. Every pass run under the policy emits its phase spans
+// and ingest totals to the tracer; instrumentation is observational
+// only, so a traced build's output is bit-identical to an untraced
+// one.
+func (p *Policy) WithTracer(t *obs.Tracer) *Policy {
+	cp := *p
+	cp.tracer = t
+	return &cp
+}
+
+// Tracer returns the policy's tracer; nil means tracing is off. The
+// returned value is safe to call methods on either way — a nil
+// *obs.Tracer is the disabled tracer.
+func (p *Policy) Tracer() *obs.Tracer { return p.tracer }
+
 // Context returns the policy's context (never nil).
 func (p *Policy) Context() context.Context { return p.ctx }
 
@@ -98,13 +118,20 @@ func (p *Policy) DecodePolicy() *Policy {
 }
 
 // tick is the per-batch bookkeeping hook: it observes cancellation and
-// publishes progress. n is the number of updates in the batch.
+// publishes progress. n is the number of updates in the batch. The
+// cumulative total is computed once and fanned to both sinks: the
+// legacy direct callback and the tracer's ingest event (which carries
+// its own observers — the public WithProgress option rides there).
 func (p *Policy) tick(n int) error {
 	if err := p.ctx.Err(); err != nil {
 		return err
 	}
-	if n > 0 && p.progress != nil {
-		p.progress(atomic.AddInt64(p.done, int64(n)))
+	if n > 0 && (p.progress != nil || p.tracer != nil) {
+		total := atomic.AddInt64(p.done, int64(n))
+		if p.progress != nil {
+			p.progress(total)
+		}
+		p.tracer.Ingested(total)
 	}
 	return nil
 }
@@ -156,6 +183,28 @@ func IngestOpts[S any](
 	if err := p.validate(); err != nil {
 		return zero, err
 	}
+	sp := p.tracer.Span("ingest")
+	before := atomic.LoadInt64(p.done)
+	s, err := ingestDispatch(p, src, newState, update, merge)
+	if err != nil {
+		return zero, err
+	}
+	sp.End(
+		obs.A("updates", atomic.LoadInt64(p.done)-before),
+		obs.A("workers", int64(p.workers)))
+	return s, nil
+}
+
+// ingestDispatch picks the ingest strategy: serial, sharded replay, or
+// single-cursor fan-out.
+func ingestDispatch[S any](
+	p *Policy,
+	src stream.Source,
+	newState func() (S, error),
+	update func(S, []stream.Update) error,
+	merge func(dst, src S) error,
+) (S, error) {
+	var zero S
 	if p.workers == 1 {
 		s, err := newState()
 		if err != nil {
@@ -170,6 +219,15 @@ func IngestOpts[S any](
 		return shardIngest(p, src, newState, update, merge)
 	}
 	return fanoutIngest(p, src, newState, update, merge)
+}
+
+// shardSpan opens the per-shard ingest span; the Sprintf only runs
+// when tracing is on.
+func (p *Policy) shardSpan(i int) obs.Span {
+	if p.tracer == nil {
+		return obs.Span{}
+	}
+	return p.tracer.Span(fmt.Sprintf("ingest/shard%02d", i))
 }
 
 // shardIngest runs one worker per round-robin shard, each replaying
@@ -194,18 +252,22 @@ func shardIngest[S any](
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sp := p.shardSpan(i)
 			s, err := newState()
 			if err != nil {
 				errs[i] = err
 				return
 			}
+			var n int64
 			errs[i] = stream.ReplayBatches(shards[i], p.batch, func(b []stream.Update) error {
 				if err := p.tick(len(b)); err != nil {
 					return err
 				}
+				n += int64(len(b))
 				return update(s, b)
 			})
 			states[i] = s
+			sp.End(obs.A("updates", n))
 		}(i)
 	}
 	wg.Wait()
@@ -214,11 +276,13 @@ func shardIngest[S any](
 			return zero, fmt.Errorf("parallel: shard %d: %w", i, e)
 		}
 	}
+	msp := p.tracer.Span("ingest/merge")
 	for i := 1; i < p.workers; i++ {
 		if err := merge(states[0], states[i]); err != nil {
 			return zero, err
 		}
 	}
+	msp.End(obs.A("states", int64(p.workers)))
 	return states[0], nil
 }
 
@@ -245,6 +309,7 @@ func fanoutIngest[S any](
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sp := p.shardSpan(i)
 			s, err := newState()
 			if err != nil {
 				errs[i] = err
@@ -252,10 +317,12 @@ func fanoutIngest[S any](
 			}
 			// Keep draining even after a failure so the dispatcher's
 			// sends never block; batches are simply discarded.
+			var n int64
 			for b := range ch {
 				if errs[i] != nil {
 					continue
 				}
+				n += int64(len(b))
 				if err := update(s, b); err != nil {
 					errs[i] = err
 					atomic.StoreInt32(&failed, 1)
@@ -263,6 +330,7 @@ func fanoutIngest[S any](
 			}
 			if errs[i] == nil {
 				states[i] = s
+				sp.End(obs.A("updates", n))
 			}
 		}(i)
 	}
@@ -288,11 +356,13 @@ func fanoutIngest[S any](
 	if derr != nil {
 		return zero, derr
 	}
+	msp := p.tracer.Span("ingest/merge")
 	for i := 1; i < p.workers; i++ {
 		if err := merge(states[0], states[i]); err != nil {
 			return zero, err
 		}
 	}
+	msp.End(obs.A("states", int64(p.workers)))
 	return states[0], nil
 }
 

@@ -37,6 +37,10 @@ type Spec struct {
 	Workers       int
 	DecodeWorkers int
 	Batch         int
+	// Tracer, when non-nil, observes every pipeline phase of the opened
+	// handle (ingest shards, decode, query, checkpoint) — the daemon
+	// bridges it into the /metrics phase histograms.
+	Tracer *dynstream.Tracer
 }
 
 // Targets lists the recognized Spec.Target names.
@@ -85,6 +89,9 @@ func openBackend[R any](ctx context.Context, spec Spec, target dynstream.Target[
 	}
 	if spec.DecodeWorkers > 0 {
 		opts = append(opts, dynstream.WithDecodeWorkers(spec.DecodeWorkers))
+	}
+	if spec.Tracer != nil {
+		opts = append(opts, dynstream.WithTracer(spec.Tracer))
 	}
 	note := ""
 	if ckptPath != "" {

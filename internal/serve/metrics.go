@@ -25,6 +25,8 @@ type Metrics struct {
 	mu      sync.Mutex
 	queries map[string]*queryStats // per target
 	latency histogram
+	phases  map[string]*histogram // per build/ingest phase, fed by the tracer
+	phOrder []string              // first-observed phase order, for stable output
 }
 
 // queryStats is one target's query counters.
@@ -49,7 +51,7 @@ const numBuckets = 12 // len(latencyBuckets); const so the array is fixed-size
 
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), queries: map[string]*queryStats{}}
+	return &Metrics{start: time.Now(), queries: map[string]*queryStats{}, phases: map[string]*histogram{}}
 }
 
 // AddUpdates records one admitted update batch of the given size.
@@ -82,16 +84,36 @@ func (m *Metrics) ObserveQuery(target string, d time.Duration, err error) {
 		return
 	}
 	qs.served++
-	sec := d.Seconds()
-	m.latency.sum += sec
-	m.latency.total++
+	m.latency.observe(d.Seconds())
+}
+
+// ObservePhase records one completed pipeline phase (an obs span end)
+// with its wall-clock duration. Phases share the query-latency bucket
+// bounds: ingest shards and Borůvka rounds land in the same sub-second
+// range as queries.
+func (m *Metrics) ObservePhase(phase string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.phases[phase]
+	if h == nil {
+		h = &histogram{}
+		m.phases[phase] = h
+		m.phOrder = append(m.phOrder, phase)
+	}
+	h.observe(d.Seconds())
+}
+
+// observe folds one reading into the histogram. Caller holds m.mu.
+func (h *histogram) observe(sec float64) {
+	h.sum += sec
+	h.total++
 	for i, b := range latencyBuckets {
 		if sec <= b {
-			m.latency.counts[i]++
+			h.counts[i]++
 			return
 		}
 	}
-	m.latency.counts[numBuckets]++
+	h.counts[numBuckets]++
 }
 
 // Snapshot totals for /v1/status.
@@ -174,6 +196,20 @@ func (m *Metrics) WritePrometheus(w io.Writer, ready, draining bool, targets []t
 	fmt.Fprintf(w, "dynstream_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", m.latency.total)
 	fmt.Fprintf(w, "dynstream_query_latency_seconds_sum %g\n", m.latency.sum)
 	fmt.Fprintf(w, "dynstream_query_latency_seconds_count %d\n", m.latency.total)
+	if len(m.phOrder) > 0 {
+		fmt.Fprintf(w, "# HELP dynstream_phase_duration_seconds Pipeline phase wall time (ingest shards, Borůvka rounds, decode, checkpoint), by phase.\n# TYPE dynstream_phase_duration_seconds histogram\n")
+		for _, ph := range m.phOrder {
+			h := m.phases[ph]
+			var cum uint64
+			for i, b := range latencyBuckets {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "dynstream_phase_duration_seconds_bucket{phase=%q,le=\"%g\"} %d\n", ph, b, cum)
+			}
+			fmt.Fprintf(w, "dynstream_phase_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", ph, h.total)
+			fmt.Fprintf(w, "dynstream_phase_duration_seconds_sum{phase=%q} %g\n", ph, h.sum)
+			fmt.Fprintf(w, "dynstream_phase_duration_seconds_count{phase=%q} %d\n", ph, h.total)
+		}
+	}
 	m.mu.Unlock()
 
 	fmt.Fprintf(w, "# HELP dynstream_applied_updates Updates folded into the live handle, by target.\n# TYPE dynstream_applied_updates gauge\n")

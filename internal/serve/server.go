@@ -43,8 +43,9 @@ type Server struct {
 	ingestMu  sync.Mutex
 	sinceCkpt int
 
-	ckptPath string
-	every    int
+	ckptPath  string
+	every     int
+	slowQuery time.Duration
 }
 
 // ServerConfig configures NewServer.
@@ -57,6 +58,9 @@ type ServerConfig struct {
 	Every int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, a ...any)
+	// SlowQuery logs any query slower than this threshold through Logf
+	// (0 disables the slow-query log).
+	SlowQuery time.Duration
 }
 
 // NewServer wraps the given backends (at least one) in a server.
@@ -65,11 +69,12 @@ func NewServer(backends []Backend, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("serve: no backends")
 	}
 	s := &Server{
-		backends: map[string]Backend{},
-		metrics:  NewMetrics(),
-		ckptPath: cfg.Checkpoint,
-		every:    cfg.Every,
-		logf:     cfg.Logf,
+		backends:  map[string]Backend{},
+		metrics:   NewMetrics(),
+		ckptPath:  cfg.Checkpoint,
+		every:     cfg.Every,
+		logf:      cfg.Logf,
+		slowQuery: cfg.SlowQuery,
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -334,7 +339,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res, err := b.Query(r.Context())
-	s.metrics.ObserveQuery(b.Target(), time.Since(start), err)
+	elapsed := time.Since(start)
+	s.metrics.ObserveQuery(b.Target(), elapsed, err)
+	if s.slowQuery > 0 && elapsed >= s.slowQuery {
+		s.logf("slow query: target=%s elapsed=%s applied=%d err=%v", b.Target(), elapsed.Round(time.Microsecond), b.Applied(), err)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "query %s: %v", b.Target(), err)
 		return

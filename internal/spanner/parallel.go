@@ -112,20 +112,9 @@ func BuildTwoPassOpts(src stream.Source, cfg Config, p *parallel.Policy) (*Resul
 	if !stream.CanReplay(src) {
 		return nil, fmt.Errorf("spanner: two-pass build: %w", stream.ErrNotReplayable)
 	}
-	if p.Workers() == 1 {
-		tp := NewTwoPass(src.N(), cfg)
-		if err := p.Replay(src, tp.Pass1AddBatch); err != nil {
-			return nil, fmt.Errorf("spanner: pass 1: %w", err)
-		}
-		if err := tp.EndPass1Opts(p); err != nil {
-			return nil, err
-		}
-		if err := p.Replay(src, tp.Pass2AddBatch); err != nil {
-			return nil, fmt.Errorf("spanner: pass 2: %w", err)
-		}
-		return tp.FinishOpts(p)
-	}
-	// Pass 1: independent states, one per shard, batched ingest.
+	// Pass 1: independent states, one per shard, batched ingest. At one
+	// worker the dispatcher degenerates to a serial replay of the same
+	// state — one code path (and one set of trace spans) for all widths.
 	main, err := parallel.IngestOpts(p, src,
 		func() (*TwoPass, error) { return NewTwoPass(src.N(), cfg), nil },
 		(*TwoPass).Pass1AddBatch, (*TwoPass).MergePass1)

@@ -17,6 +17,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/obs"
 	"dynstream/internal/parallel"
 	"dynstream/internal/sketch"
 	"dynstream/internal/stream"
@@ -393,6 +394,11 @@ func (tp *TwoPass) clusterize(p *parallel.Policy) (*clusterResult, error) {
 	scratch := make([]*sketch.SketchB, p.Workers())
 
 	for i := 0; i < k-1; i++ {
+		var sp obs.Span
+		if tr := p.Tracer(); tr != nil {
+			sp = tr.Span(fmt.Sprintf("spanner/cluster/level%02d", i))
+		}
+		hits0, misses0 := tp.cacheHits, tp.cacheMisses
 		// Centers of level i in ascending vertex order — the serial
 		// iteration order the result application below replays.
 		centers := make([]int, 0, len(copyIdx[i]))
@@ -445,6 +451,7 @@ func (tp *TwoPass) clusterize(p *parallel.Policy) (*clusterResult, error) {
 		}
 		// Apply in center order: parent assignment, member folds into
 		// the next level's clusters, augmented recording.
+		var attached int64
 		for idx, u := range centers {
 			c := &cr.copies[copyIdx[i][u]]
 			res := &results[idx]
@@ -457,7 +464,14 @@ func (tp *TwoPass) clusterize(p *parallel.Policy) (*clusterResult, error) {
 			c.witness = res.witness
 			par := &cr.copies[res.parent]
 			par.members = mergeSortedUnique(par.members, c.members)
+			attached++
 		}
+		sp.End(
+			obs.A("centers", int64(len(centers))),
+			obs.A("dirty", int64(len(dirty))),
+			obs.A("attached", attached),
+			obs.A("cache_hit", int64(tp.cacheHits-hits0)),
+			obs.A("cache_miss", int64(tp.cacheMisses-misses0)))
 	}
 	// Level k-1 copies are always terminal.
 	for u := range copyIdx[k-1] {
@@ -712,6 +726,8 @@ func (tp *TwoPass) FinishOpts(p *parallel.Policy) (*Result, error) {
 // unchanged since its cached recovery is served from the cache instead
 // of re-peeling all n outside vertices.
 func (tp *TwoPass) extractOpts(p *parallel.Policy) (*Result, error) {
+	sp := p.Tracer().Span("spanner/recover")
+	hits0, misses0 := tp.cacheHits, tp.cacheMisses
 	h := graph.New(tp.n)
 	recovered := 0
 
@@ -790,6 +806,12 @@ func (tp *TwoPass) extractOpts(p *parallel.Policy) (*Result, error) {
 			recovered++
 		}
 	}
+	sp.End(
+		obs.A("terminals", int64(len(terms))),
+		obs.A("dirty", int64(len(dirty))),
+		obs.A("recovered", int64(recovered)),
+		obs.A("cache_hit", int64(tp.cacheHits-hits0)),
+		obs.A("cache_miss", int64(tp.cacheMisses-misses0)))
 
 	res := &Result{Spanner: h, SpaceWords: tp.SpaceWords()}
 	res.Stats.CopiesPerLevel = make([]int, tp.k)

@@ -6,6 +6,7 @@ import (
 
 	"dynstream/internal/graph"
 	"dynstream/internal/hashing"
+	"dynstream/internal/obs"
 	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/stream"
@@ -143,6 +144,7 @@ func (g *Grid) EndPass1Opts(p *parallel.Policy) error {
 	if g.phase != 0 {
 		return fmt.Errorf("sparsify: grid EndPass1 in phase %d", g.phase)
 	}
+	sp := p.Tracer().Span("sparsify/grid/endpass1")
 	J := g.cfg.J
 	err := parallel.ForEachOpts(p.DecodePolicy(), len(g.cells)*J, func(i int) error {
 		t, j := i/J, i%J
@@ -155,6 +157,7 @@ func (g *Grid) EndPass1Opts(p *parallel.Policy) error {
 		return err
 	}
 	g.phase = 1
+	sp.End(obs.A("cells", int64(len(g.cells)*J)))
 	return nil
 }
 
@@ -241,6 +244,7 @@ func (g *Grid) FinishOpts(p *parallel.Policy) (*Estimator, error) {
 		return nil, fmt.Errorf("sparsify: %w", err)
 	}
 	g.phase = 2
+	sp := p.Tracer().Span("sparsify/grid/extract")
 	e := &Estimator{cfg: g.cfg}
 	e.threshold = g.cfg.Threshold
 	if e.threshold == 0 {
@@ -268,6 +272,7 @@ func (g *Grid) FinishOpts(p *parallel.Policy) (*Estimator, error) {
 			e.space += o.SpaceWords()
 		}
 	}
+	sp.End(obs.A("cells", int64(len(g.cells)*J)))
 	return e, nil
 }
 
@@ -285,22 +290,9 @@ func NewEstimatorOpts(src stream.Source, cfg EstimateConfig, p *parallel.Policy)
 	if cfg.ExactOracles {
 		return newExactEstimatorOpts(src, cfg, p)
 	}
-	if p.Workers() == 1 {
-		g, err := NewGrid(src.N(), cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Replay(src, g.Pass1AddBatch); err != nil {
-			return nil, fmt.Errorf("sparsify: estimator pass 1: %w", err)
-		}
-		if err := g.EndPass1Opts(p); err != nil {
-			return nil, err
-		}
-		if err := p.Replay(src, g.Pass2AddBatch); err != nil {
-			return nil, fmt.Errorf("sparsify: estimator pass 2: %w", err)
-		}
-		return g.FinishOpts(p)
-	}
+	// At one worker the ingest dispatcher degenerates to a serial replay
+	// of a single grid — one code path (and one set of trace spans) for
+	// all widths.
 	main, err := parallel.IngestOpts(p, src,
 		func() (*Grid, error) { return NewGrid(src.N(), cfg) },
 		(*Grid).Pass1AddBatch, (*Grid).MergePass1)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"dynstream/internal/obs"
 	"dynstream/internal/stream"
 )
 
@@ -34,6 +35,8 @@ type buildOptions struct {
 	seed           uint64
 	seedSet        bool
 	progress       func(int64)
+	tracer         *obs.Tracer
+	traceFile      string
 	remoteAddrs    []string
 	remoteSet      bool
 	cluster        *RemoteCluster
@@ -109,8 +112,35 @@ func WithDecodeCache(on bool) Option {
 // WithProgress installs a progress callback invoked with the
 // cumulative number of updates processed (across all passes and
 // workers). fn must be safe for concurrent use.
+//
+// WithProgress is implemented as an adapter over the tracer's ingest
+// events (see WithTracer): the build registers fn as an ingest
+// observer on its tracer — the user's, or a private one when tracing
+// was not requested — so progress and tracing share one event path.
+// The observer is removed when the call that installed it returns.
 func WithProgress(fn func(updates int64)) Option {
 	return func(o *buildOptions) { o.progress = fn }
+}
+
+// WithTracer attaches a Tracer to the build: every phase of the
+// pipeline — sharded ingest, each Borůvka round, cluster construction
+// and recovery peeling, grid extraction, dynnet frame traffic,
+// checkpoint I/O — emits spans and counters into it. Tracing is
+// observational only: a traced build's output is bit-identical to an
+// untraced one, and a nil tracer costs nothing. The same tracer may
+// be reused across builds and queries; aggregates accumulate.
+func WithTracer(t *Tracer) Option {
+	return func(o *buildOptions) { o.tracer = t }
+}
+
+// WithTraceFile makes Build write a Chrome trace_event JSON file
+// (loadable in chrome://tracing or Perfetto) to path when the build
+// finishes. It enables raw event recording on the build's tracer —
+// the WithTracer one, or a private tracer when none was given. A
+// failure to write the file is reported only if the build itself
+// succeeded.
+func WithTraceFile(path string) Option {
+	return func(o *buildOptions) { o.traceFile = path }
 }
 
 // WithRemoteWorkers runs the build on remote worker processes: Build

@@ -9,6 +9,7 @@ import (
 
 	"dynstream/internal/agm"
 	"dynstream/internal/dynnet"
+	"dynstream/internal/obs"
 	"dynstream/internal/parallel"
 	"dynstream/internal/spanner"
 	"dynstream/internal/sparsify"
@@ -163,8 +164,17 @@ func (c *RemoteCluster) WorkerIDs() []string { return c.coord.WorkerIDs() }
 func (c *RemoteCluster) Live() int { return c.coord.Live() }
 
 // BytesOnWire returns the cumulative protocol bytes sent to and
-// received from the workers — the coordinator's wire-cost figure.
+// received from the workers — the coordinator's wire-cost figure. It
+// is the sum of the FrameStats counters.
 func (c *RemoteCluster) BytesOnWire() (sent, received int64) { return c.coord.Bytes() }
+
+// FrameStats returns the coordinator's cumulative per-frame-type wire
+// accounting (frames, bytes, and time in frame I/O calls), per
+// direction — the single source behind BytesOnWire, the CLI's wire
+// report, and the tracer's dynnet counters.
+func (c *RemoteCluster) FrameStats() (sent, received []dynnet.FrameStat) {
+	return c.coord.FrameStats()
+}
 
 // remoteRun threads one Build's remote execution: the cluster, the
 // resolved options, the coordinator-side decode policy (worker-blob
@@ -196,11 +206,49 @@ func (r *remoteRun) pass(ctx context.Context, kind dynnet.StateKind, n int, blob
 	if !p.Local {
 		p.Src = src
 	}
-	if r.o.progress != nil {
-		progress := r.o.progress
-		p.Progress = func(nu int) { progress(atomic.AddInt64(&r.done, int64(nu))) }
+	tr := r.p.Tracer()
+	if tr != nil {
+		// The ingest event path: the tracer fans each cumulative total
+		// out to its observers, which is where a WithProgress callback
+		// was registered by Build.
+		p.Progress = func(nu int) { tr.Ingested(atomic.AddInt64(&r.done, int64(nu))) }
 	}
-	return r.cluster.coord.RunPass(ctx, p)
+	var sp obs.Span
+	outBefore, inBefore := r.cluster.coord.Bytes()
+	if tr != nil {
+		sp = tr.Span(fmt.Sprintf("dynnet/pass%02d", r.seq))
+	}
+	err := r.cluster.coord.RunPass(ctx, p)
+	if tr != nil {
+		r.syncFrameCounters(tr)
+		if err == nil {
+			out, in := r.cluster.coord.Bytes()
+			sp.End(
+				obs.A("bytes_out", out-outBefore),
+				obs.A("bytes_in", in-inBefore),
+				obs.A("workers", int64(r.cluster.Live())))
+		}
+	}
+	return err
+}
+
+// syncFrameCounters refreshes the tracer's per-frame-type wire
+// counters from the coordinator's accounting — the same counters
+// Bytes() sums, so the CLI's wire report and the trace timeline can
+// never disagree. CounterSet is absolute, so repeated syncs (one per
+// pass) are idempotent.
+func (r *remoteRun) syncFrameCounters(tr *obs.Tracer) {
+	out, in := r.cluster.coord.FrameStats()
+	for _, fs := range out {
+		tr.CounterSet("dynnet/out/"+fs.Type.String()+"/frames", fs.Count)
+		tr.CounterSet("dynnet/out/"+fs.Type.String()+"/bytes", fs.Bytes)
+		tr.CounterSet("dynnet/out/"+fs.Type.String()+"/wall_us", fs.Wall.Microseconds())
+	}
+	for _, fs := range in {
+		tr.CounterSet("dynnet/in/"+fs.Type.String()+"/frames", fs.Count)
+		tr.CounterSet("dynnet/in/"+fs.Type.String()+"/bytes", fs.Bytes)
+		tr.CounterSet("dynnet/in/"+fs.Type.String()+"/wall_us", fs.Wall.Microseconds())
+	}
 }
 
 // remoteProto is the common surface of every coordinator-side

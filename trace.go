@@ -1,0 +1,76 @@
+package dynstream
+
+import (
+	"fmt"
+	"os"
+
+	"dynstream/internal/obs"
+)
+
+// Tracer collects phase spans and counters from every stage of a
+// build; attach one with WithTracer and render it with WriteTimeline
+// (human-readable phase table) or WriteChromeTrace (Perfetto-loadable
+// JSON). It is an alias of the internal tracing type, so the full
+// method set — Span, Count, OnIngest, OnSpanEnd, EnableEvents,
+// Phases, Counters — is available here. A nil *Tracer is valid and
+// disables tracing at ~zero cost.
+type Tracer = obs.Tracer
+
+// TraceEvent is one completed span, as delivered to OnSpanEnd
+// observers and retained (after EnableEvents) for the Chrome sink.
+type TraceEvent = obs.Event
+
+// TraceAttr is one integer span attribute ({Key, Val}).
+type TraceAttr = obs.Attr
+
+// NewTracer returns an enabled tracer with aggregate collection on
+// and raw event recording off; call EnableEvents before the build to
+// also retain per-span events for WriteChromeTrace.
+func NewTracer() *Tracer { return obs.New() }
+
+// defaultEventCap bounds the raw event buffer WithTraceFile enables:
+// far above what any single build emits (spans per build are
+// O(rounds + levels + shards)), small enough that a forgotten
+// long-lived tracer cannot grow without bound.
+const defaultEventCap = 1 << 16
+
+// effectiveTracer resolves the tracer of one Build/Open/Restore call:
+// the WithTracer tracer when given, otherwise a private one when
+// WithProgress or WithTraceFile need an event spine, otherwise nil
+// (tracing off). A WithProgress callback is registered as an ingest
+// observer on the tracer; the returned cleanup unregisters it, so a
+// tracer reused across builds never accumulates stale callbacks.
+func (o *buildOptions) effectiveTracer() (tr *obs.Tracer, cleanup func()) {
+	tr = o.tracer
+	if tr == nil && (o.progress != nil || o.traceFile != "") {
+		tr = obs.New()
+	}
+	if o.traceFile != "" {
+		tr.EnableEvents(defaultEventCap)
+	}
+	cleanup = func() {}
+	if o.progress != nil {
+		cleanup = tr.OnIngest(o.progress)
+	}
+	return tr, cleanup
+}
+
+// writeTraceFile renders tr's recorded events to the WithTraceFile
+// path. Only called after a successful build.
+func (o *buildOptions) writeTraceFile(tr *obs.Tracer) error {
+	if o.traceFile == "" {
+		return nil
+	}
+	f, err := os.Create(o.traceFile)
+	if err != nil {
+		return fmt.Errorf("dynstream: trace file: %w", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("dynstream: trace file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dynstream: trace file: %w", err)
+	}
+	return nil
+}
