@@ -235,16 +235,19 @@ func New(seed uint64, n int, cfg Config) *Sketch {
 	s := &Sketch{seed: seed, n: n, rounds: rounds, perLvl: perLvl}
 	universe := uint64(n) * uint64(n)
 	s.fam = make([]*sketch.L0Family, rounds)
-	s.samp = make([][]*sketch.L0Sampler, rounds)
 	for r := 0; r < rounds; r++ {
 		// All vertices share one projection per round: summing vertex
 		// sketches must equal sketching the summed incidence vectors,
 		// so the hash functions are a function of the round only — one
-		// family per round, cell state in one backing allocation.
+		// family per round.
 		roundSeed := hashing.Mix(seed, uint64(r))
 		s.fam[r] = sketch.NewL0Family(roundSeed, universe, perLvl)
-		s.samp[r] = s.fam[r].NewSamplers(n)
 	}
+	// One grid-wide arena, vertex-major: every edge update touches all
+	// rounds of its two endpoints, so the level-0 cells of one vertex
+	// are laid out consecutively across rounds (a strided sweep) rather
+	// than scattered over per-round allocations.
+	s.samp = sketch.NewSamplerGrid(s.fam, n)
 	return s
 }
 
@@ -507,8 +510,13 @@ func (s *Sketch) SpanningForestOpts(groups [][]int, p *parallel.Policy) ([]graph
 			if !(s.caching && s.composeCover(r, m, &hints[w], sc)) {
 				sc.SetTo(s.samp[r][m[0]])
 				for _, v := range m[1:] {
-					if err := sc.Merge(s.samp[r][v]); err != nil {
-						return fmt.Errorf("agm: merge: %w", err)
+					// A member that never absorbed an update folds to a
+					// no-op; the early-exit zero scan is far cheaper than
+					// a three-lane merge sweep over its level-0 arena.
+					if o := s.samp[r][v]; !o.IsZero() {
+						if err := sc.Merge(o); err != nil {
+							return fmt.Errorf("agm: merge: %w", err)
+						}
 					}
 				}
 			}
@@ -720,7 +728,11 @@ func (s *Sketch) composeCover(r int, m []int, h *sketch.L0Hint, sc *sketch.L0Sam
 	}
 	for idx, v := range m {
 		if !claimed[idx] {
-			if sc.Merge(s.samp[r][v]) != nil {
+			o := s.samp[r][v]
+			if o.IsZero() {
+				continue // no-op fold, same skip as the direct merge loop
+			}
+			if sc.Merge(o) != nil {
 				return false
 			}
 		}

@@ -53,3 +53,67 @@ func BenchmarkInv(b *testing.B) {
 	}
 	_ = sink
 }
+
+// BenchmarkFingerprintVec measures the shared-window batch power
+// evaluation against per-element table Pow (BenchmarkPowTableWide is
+// the per-element baseline at the same exponent width).
+func BenchmarkFingerprintVec(b *testing.B) {
+	tab := NewPowTable(31337)
+	const n = 64
+	exps := make([]uint64, n)
+	dst := make([]uint64, n)
+	for i := range exps {
+		exps[i] = P - 2 - uint64(i)*0x9e3779b9
+	}
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.FingerprintVec(dst, exps)
+	}
+}
+
+func BenchmarkPowPair(b *testing.B) {
+	ta := NewPowTable(31337)
+	tb := NewPowTable(271828)
+	var sa, sb uint64
+	for i := 0; i < b.N; i++ {
+		sa, sb = PowPair(ta, tb, P-2-uint64(i), uint64(i)*0x9e3779b9)
+	}
+	_, _ = sa, sb
+}
+
+func BenchmarkMergeCells(b *testing.B) {
+	const n = 1024
+	dc := make([]int64, n)
+	sc := make([]int64, n)
+	dk := make([]uint64, n)
+	sk := make([]uint64, n)
+	df := make([]uint64, n)
+	sf := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		sc[i] = int64(i) - 512
+		sk[i] = Reduce(uint64(i) * 0x9e3779b97f4a7c15)
+		sf[i] = Reduce(uint64(i) * 0xbf58476d1ce4e5b9)
+	}
+	b.SetBytes(n * 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeCells(dc, dk, df, sc, sk, sf)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	const n = 1024
+	x := make([]uint64, n)
+	y := make([]uint64, n)
+	dst := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		x[i] = Reduce(uint64(i) * 0x9e3779b97f4a7c15)
+		y[i] = Reduce(uint64(i) * 0xbf58476d1ce4e5b9)
+	}
+	b.SetBytes(n * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVec(dst, x, y)
+	}
+}

@@ -4,6 +4,14 @@
 // polynomial-identity fingerprint tests used by the sparse-recovery
 // sketches fail with probability at most poly(n)/p, and Mersenne
 // reduction keeps multiplication branch-free and fast.
+//
+// Alongside the scalar operations, kernels.go provides batch kernels
+// (AddVec, MulVec, MergeCells, FingerprintVec, ...) that apply one
+// field operation across whole structure-of-arrays cell slices. The
+// kernels are the hot loops of every sketch; their contract — exact
+// canonical representatives, aliasing rules, tail handling — is
+// documented in kernels.go, and the `purego` build tag swaps in plain
+// scalar reference loops.
 package field
 
 import "math/bits"
@@ -127,8 +135,18 @@ func (t *PowTable) Pow(e uint64) uint64 {
 // inverses are only requested for provably nonzero counts.
 func Inv(a uint64) uint64 {
 	a = Reduce(a)
-	if a == 0 {
+	switch a {
+	case 0:
 		panic("field: inverse of zero")
+	case 1:
+		// Fast paths for the self-inverse elements ±1, which dominate
+		// decode: a pure sketch cell of a ±1-count item inverts its
+		// count on every peel test, and Fermat below costs ~120 Muls.
+		// Bit-identical: Pow(1, P-2) = 1 and, P-2 being odd,
+		// Pow(P-1, P-2) = P-1.
+		return 1
+	case P - 1:
+		return P - 1
 	}
 	// Fermat: a^(P-2) = a^{-1}.
 	return Pow(a, P-2)

@@ -1,0 +1,110 @@
+//go:build purego
+
+package field
+
+// Pure-Go reference kernels: plain scalar loops over the exported
+// field operations, with none of the unrolling or branch-free carry
+// tricks of the default build. This is the semantic definition of
+// every kernel — the fast path must match it bit for bit — and the
+// escape hatch (`go build -tags purego`) if a platform ever miscompiles
+// the tuned loops.
+
+func addVec(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = Add(a[i], b[i])
+	}
+}
+
+func subVec(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = Sub(a[i], b[i])
+	}
+}
+
+func negVec(dst, a []uint64) {
+	for i := range dst {
+		dst[i] = Neg(a[i])
+	}
+}
+
+func mulVec(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = Mul(a[i], b[i])
+	}
+}
+
+func axpyVec(dst []uint64, c uint64, a []uint64) {
+	for i := range dst {
+		dst[i] = Add(dst[i], Mul(c, a[i]))
+	}
+}
+
+func hornerStepVec(acc []uint64, x uint64, c []uint64) {
+	for i := range acc {
+		acc[i] = Add(Mul(acc[i], x), c[i])
+	}
+}
+
+func mergeCells(dc []int64, dk, df []uint64, sc []int64, sk, sf []uint64) {
+	for i := range dc {
+		dc[i] += sc[i]
+		dk[i] = Add(dk[i], sk[i])
+		df[i] = Add(df[i], sf[i])
+	}
+}
+
+func subCells(dc []int64, dk, df []uint64, sc []int64, sk, sf []uint64) {
+	for i := range dc {
+		dc[i] -= sc[i]
+		dk[i] = Sub(dk[i], sk[i])
+		df[i] = Sub(df[i], sf[i])
+	}
+}
+
+func scatterAdd3(counts []int64, keys, fings []uint64, delta int64, ks, fg uint64, idx []int32) {
+	for _, i := range idx {
+		counts[i] += delta
+		keys[i] = Add(keys[i], ks)
+		fings[i] = Add(fings[i], fg)
+	}
+}
+
+func addI64Vec(dst, a []int64) {
+	for i := range dst {
+		dst[i] += a[i]
+	}
+}
+
+func subI64Vec(dst, a []int64) {
+	for i := range dst {
+		dst[i] -= a[i]
+	}
+}
+
+func allZero(a []uint64) bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func allZeroI64(a []int64) bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func fingerprintVec(t *PowTable, dst, exps []uint64) {
+	for i, e := range exps {
+		dst[i] = t.Pow(e)
+	}
+}
+
+func powPair(ta, tb *PowTable, ea, eb uint64) (uint64, uint64) {
+	return ta.Pow(ea), tb.Pow(eb)
+}

@@ -36,3 +36,17 @@ func BenchmarkMix(b *testing.B) {
 	}
 	_ = sink
 }
+
+func BenchmarkPolyBankHash9(b *testing.B) {
+	// 9 degree-6 lanes — the 3-level × 3-row prefix a typical AGM
+	// update consumes; compare against 9× BenchmarkPolyHashDegree6.
+	polys := make([]*Poly, 9)
+	for i := range polys {
+		polys[i] = NewPoly(Mix(0xbeef, uint64(i)), 6)
+	}
+	bank := NewPolyBank(polys...)
+	dst := make([]uint64, len(polys))
+	for i := 0; i < b.N; i++ {
+		bank.HashPrefix(uint64(i)*0x9e3779b97f4a7c15, dst)
+	}
+}

@@ -119,6 +119,60 @@ func (p *Poly) Bucket(x uint64, m int) int {
 	return int(p.Hash(x) % uint64(m))
 }
 
+// PolyBank evaluates a fixed ordered set of equal-degree Polys at one
+// point in a single interleaved Horner sweep: coefficients are stored
+// coefficient-major (one contiguous row per coefficient index across
+// all lanes), and each Horner step advances every lane through
+// field.HornerStepVec. Sketches that hash one key with several row
+// functions per update — every structure in internal/sketch — evaluate
+// the whole bank at once instead of re-walking Horner per row. Lane i
+// returns exactly polys[i].Hash(x), bit for bit.
+type PolyBank struct {
+	lanes int
+	deg   int
+	coef  []uint64 // deg rows × lanes: coef[c*lanes+i] = polys[i].coeffs[c]
+}
+
+// NewPolyBank builds a bank over the given polynomials. It returns nil
+// if the set is empty or the degrees differ (callers fall back to
+// per-Poly Hash).
+func NewPolyBank(polys ...*Poly) *PolyBank {
+	if len(polys) == 0 {
+		return nil
+	}
+	deg := len(polys[0].coeffs)
+	for _, p := range polys {
+		if len(p.coeffs) != deg {
+			return nil
+		}
+	}
+	b := &PolyBank{lanes: len(polys), deg: deg, coef: make([]uint64, deg*len(polys))}
+	for i, p := range polys {
+		for c, v := range p.coeffs {
+			b.coef[c*b.lanes+i] = v
+		}
+	}
+	return b
+}
+
+// Lanes returns the number of polynomials in the bank.
+func (b *PolyBank) Lanes() int { return b.lanes }
+
+// HashPrefix fills dst[i] with the hash of x under lane i, for the
+// first len(dst) lanes (len(dst) must be at most Lanes). Evaluating a
+// prefix is what level-sampled sketches need: an update surviving to
+// level j only consumes the first (j+1)×rows lane hashes.
+func (b *PolyBank) HashPrefix(x uint64, dst []uint64) {
+	x = field.Reduce(x)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c := b.deg - 1; c >= 0; c-- {
+		row := b.coef[c*b.lanes : c*b.lanes+len(dst)]
+		field.HornerStepVec(dst, x, row)
+	}
+}
+
 // Bernoulli reports whether x is sampled at probability rate in [0, 1].
 // The decision is a deterministic function of (hash, x), so replaying a
 // stream yields identical sample sets — the property Section 6.3 needs.

@@ -203,3 +203,37 @@ func TestPolyIndependenceFloor(t *testing.T) {
 		t.Errorf("independence floor not applied: %d coeffs", len(h.coeffs))
 	}
 }
+
+func TestPolyBankMatchesPerPolyHash(t *testing.T) {
+	polys := make([]*Poly, 9)
+	for i := range polys {
+		polys[i] = NewPoly(Mix(0xbeef, uint64(i)), 6)
+	}
+	bank := NewPolyBank(polys...)
+	if bank == nil || bank.Lanes() != len(polys) {
+		t.Fatal("bank construction failed for uniform degrees")
+	}
+	dst := make([]uint64, len(polys))
+	rng := NewSplitMix64(0x1234)
+	for trial := 0; trial < 500; trial++ {
+		x := rng.Next()
+		// Full bank and a strict prefix (the level-sampled path).
+		for _, k := range []int{len(polys), 1 + trial%len(polys)} {
+			bank.HashPrefix(x, dst[:k])
+			for i := 0; i < k; i++ {
+				if want := polys[i].Hash(x); dst[i] != want {
+					t.Fatalf("trial %d lane %d: bank %d, Hash %d", trial, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPolyBankRejectsMixedDegrees(t *testing.T) {
+	if NewPolyBank() != nil {
+		t.Fatal("empty bank should be nil")
+	}
+	if NewPolyBank(NewPoly(1, 6), NewPoly(2, 8)) != nil {
+		t.Fatal("mixed-degree bank should be nil")
+	}
+}

@@ -131,6 +131,34 @@ func TestL0FamilySamplersMatchStandalone(t *testing.T) {
 	}
 }
 
+func TestL0SamplerGridMatchesStandalone(t *testing.T) {
+	// Samplers sliced out of the vertex-major grid arena must be
+	// indistinguishable from standalone per-family samplers.
+	const rounds, n = 3, 4
+	fams := make([]*L0Family, rounds)
+	for r := range fams {
+		fams[r] = NewL0Family(0x1000+uint64(r), 1<<16, 4)
+	}
+	grid := NewSamplerGrid(fams, n)
+	keys, deltas := batchWorkload(0x99, 2000, 1<<16)
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			solo := NewL0Sampler(0x1000+uint64(r), 1<<16, 4)
+			for j := range keys {
+				if j%n == v {
+					solo.Add(keys[j], deltas[j])
+					grid[r][v].Add(keys[j], deltas[j])
+				}
+			}
+			b1, _ := solo.MarshalBinary()
+			b2, _ := grid[r][v].MarshalBinary()
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("grid sampler (%d,%d) differs from standalone", r, v)
+			}
+		}
+	}
+}
+
 func TestL0HintEquivalence(t *testing.T) {
 	fam := NewL0Family(0x77, 1<<18, 4)
 	plain := fam.NewSampler()
@@ -181,11 +209,15 @@ func TestKeyedEdgeSketchAddBatchEquivalence(t *testing.T) {
 		}
 		batched.AddBatch(batch[i:end])
 	}
-	if len(one.buckets) != len(batched.buckets) {
+	if len(one.counts) != len(batched.counts) {
 		t.Fatal("geometry mismatch")
 	}
-	for i := range one.buckets {
-		if one.buckets[i] != batched.buckets[i] {
+	for i := range one.counts {
+		if one.counts[i] != batched.counts[i] ||
+			one.keySums[i] != batched.keySums[i] ||
+			one.keyFings[i] != batched.keyFings[i] ||
+			one.edgeSums[i] != batched.edgeSums[i] ||
+			one.edgeFings[i] != batched.edgeFings[i] {
 			t.Fatalf("bucket %d differs after AddBatch", i)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"dynstream/internal/field"
 	"dynstream/internal/hashing"
 )
 
@@ -31,6 +32,10 @@ type CountSketch struct {
 	data []int64 // rows*cols signed counters
 	hash []*hashing.Poly
 	sign []*hashing.Poly
+	// bank interleaves the bucket and sign hashes (hash rows first,
+	// then sign rows) so Add evaluates all 2×rows hashes of one update
+	// in a single Horner sweep.
+	bank *hashing.PolyBank
 	// aux enumerates candidate keys for Decode; every candidate is
 	// then point-queried against the counter array.
 	aux  *SketchB
@@ -61,6 +66,10 @@ func NewCountSketch(seed uint64, capacity int) *CountSketch {
 		cs.hash[r] = hashing.NewPoly(hashing.Mix(seed, 0x40, uint64(r)), 6)
 		cs.sign[r] = hashing.NewPoly(hashing.Mix(seed, 0x50, uint64(r)), 6)
 	}
+	lanes := make([]*hashing.Poly, 0, 2*rows)
+	lanes = append(lanes, cs.hash...)
+	lanes = append(lanes, cs.sign...)
+	cs.bank = hashing.NewPolyBank(lanes...)
 	return cs
 }
 
@@ -71,16 +80,63 @@ func (cs *CountSketch) signOf(r int, key uint64) int64 {
 	return 1
 }
 
-// Add folds x[key] += delta.
+// Add folds x[key] += delta. The bucket and sign hashes of every row
+// come from one banked Horner sweep, bit-identical to per-row Hash.
 func (cs *CountSketch) Add(key uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
-	for r := 0; r < cs.rows; r++ {
-		idx := r*cs.cols + cs.hash[r].Bucket(key, cs.cols)
-		cs.data[idx] += cs.signOf(r, key) * delta
+	if cs.bank != nil && 2*cs.rows <= 2*maxBankRows {
+		var hbuf [2 * maxBankRows]uint64
+		hs := hbuf[:2*cs.rows]
+		cs.bank.HashPrefix(key, hs)
+		cols := uint64(cs.cols)
+		for r := 0; r < cs.rows; r++ {
+			idx := r*cs.cols + int(hs[r]%cols)
+			sgn := int64(1)
+			if hs[cs.rows+r]&1 == 0 {
+				sgn = -1
+			}
+			cs.data[idx] += sgn * delta
+		}
+	} else {
+		for r := 0; r < cs.rows; r++ {
+			idx := r*cs.cols + cs.hash[r].Bucket(key, cs.cols)
+			cs.data[idx] += cs.signOf(r, key) * delta
+		}
 	}
 	cs.aux.Add(key, delta)
+}
+
+// AddBatch folds a batch of updates; bit-identical to calling Add per
+// element. keys and deltas must have equal length.
+func (cs *CountSketch) AddBatch(keys []uint64, deltas []int64) {
+	for i, key := range keys {
+		if deltas[i] == 0 {
+			continue
+		}
+		if cs.bank != nil && 2*cs.rows <= 2*maxBankRows {
+			var hbuf [2 * maxBankRows]uint64
+			hs := hbuf[:2*cs.rows]
+			cs.bank.HashPrefix(key, hs)
+			cols := uint64(cs.cols)
+			for r := 0; r < cs.rows; r++ {
+				idx := r*cs.cols + int(hs[r]%cols)
+				sgn := int64(1)
+				if hs[cs.rows+r]&1 == 0 {
+					sgn = -1
+				}
+				cs.data[idx] += sgn * deltas[i]
+			}
+		} else {
+			for r := 0; r < cs.rows; r++ {
+				idx := r*cs.cols + cs.hash[r].Bucket(key, cs.cols)
+				cs.data[idx] += cs.signOf(r, key) * deltas[i]
+			}
+		}
+	}
+	// The fingerprinted enumerator batches its own fingerprint powers.
+	cs.aux.AddBatch(keys, deltas)
 }
 
 // Merge adds a compatible CountSketch (same seed/geometry).
@@ -88,9 +144,7 @@ func (cs *CountSketch) Merge(o *CountSketch) error {
 	if cs.seed != o.seed || cs.rows != o.rows || cs.cols != o.cols {
 		return errIncompatible
 	}
-	for i := range cs.data {
-		cs.data[i] += o.data[i]
-	}
+	field.AddI64Vec(cs.data, o.data)
 	return cs.aux.Merge(o.aux)
 }
 
@@ -99,9 +153,7 @@ func (cs *CountSketch) Sub(o *CountSketch) error {
 	if cs.seed != o.seed || cs.rows != o.rows || cs.cols != o.cols {
 		return errIncompatible
 	}
-	for i := range cs.data {
-		cs.data[i] -= o.data[i]
-	}
+	field.SubI64Vec(cs.data, o.data)
 	return cs.aux.Sub(o.aux)
 }
 

@@ -27,6 +27,11 @@ type F0 struct {
 	levelHash *hashing.Poly
 	bucketFns []*hashing.Poly
 	coeffFns  []*hashing.Poly
+	// bank interleaves (bucketFns[j], coeffFns[j]) pairs, level-major,
+	// so Add evaluates the 2×(level+1) hashes of one update in a single
+	// Horner sweep.
+	bank    *hashing.PolyBank
+	scratch []uint64
 }
 
 // NewF0 creates an estimator for keys drawn from a universe of size at
@@ -58,10 +63,18 @@ func newF0Geom(seed uint64, levels int) *F0 {
 		f.bucketFns[j] = hashing.NewPoly(hashing.Mix(seed, 0xb0, uint64(j)), 6)
 		f.coeffFns[j] = hashing.NewPoly(hashing.Mix(seed, 0xc0, uint64(j)), 6)
 	}
+	lanes := make([]*hashing.Poly, 0, 2*levels)
+	for j := 0; j < levels; j++ {
+		lanes = append(lanes, f.bucketFns[j], f.coeffFns[j])
+	}
+	f.bank = hashing.NewPolyBank(lanes...)
+	f.scratch = make([]uint64, 2*levels)
 	return f
 }
 
-// Add folds x[key] += delta into the estimator.
+// Add folds x[key] += delta into the estimator. The bucket and
+// coefficient hashes of every surviving level come from one banked
+// Horner sweep, bit-identical to the per-Poly evaluation.
 func (f *F0) Add(key uint64, delta int64) {
 	if delta == 0 {
 		return
@@ -71,6 +84,15 @@ func (f *F0) Add(key uint64, delta int64) {
 		lv = f.levels - 1
 	}
 	d := field.FromInt64(delta)
+	if f.bank != nil {
+		hs := f.scratch[:2*(lv+1)]
+		f.bank.HashPrefix(key, hs)
+		for j := 0; j <= lv; j++ {
+			b := int(hs[2*j] % uint64(f.buckets))
+			f.acc[j][b] = field.Add(f.acc[j][b], field.Mul(d, hs[2*j+1]))
+		}
+		return
+	}
 	for j := 0; j <= lv; j++ {
 		b := f.bucketFns[j].Bucket(key, f.buckets)
 		coeff := f.coeffFns[j].Hash(key)
@@ -93,10 +115,8 @@ func (f *F0) AddBatch(keys []uint64, deltas []int64) {
 // fresh estimator, which is what lets compressed encodings suppress it.
 func (f *F0) IsZero() bool {
 	for j := range f.acc {
-		for _, v := range f.acc[j] {
-			if v != 0 {
-				return false
-			}
+		if !field.AllZero(f.acc[j]) {
+			return false
 		}
 	}
 	return true
@@ -105,18 +125,14 @@ func (f *F0) IsZero() bool {
 // Merge adds another estimator built with the same seed.
 func (f *F0) Merge(o *F0) {
 	for j := range f.acc {
-		for b := range f.acc[j] {
-			f.acc[j][b] = field.Add(f.acc[j][b], o.acc[j][b])
-		}
+		field.AddVec(f.acc[j], f.acc[j], o.acc[j])
 	}
 }
 
 // Sub subtracts another estimator built with the same seed.
 func (f *F0) Sub(o *F0) {
 	for j := range f.acc {
-		for b := range f.acc[j] {
-			f.acc[j][b] = field.Sub(f.acc[j][b], o.acc[j][b])
-		}
+		field.SubVec(f.acc[j], f.acc[j], o.acc[j])
 	}
 }
 

@@ -31,19 +31,31 @@ import (
 // per-key aggregate is a one-sparse edge sketch: at the subsampling
 // level Y_j where v has a single surviving neighbor in T_u it decodes
 // to a concrete edge, mirroring SKETCH_{O(log n)}(N(v) ∩ T_u ∩ Y_j).
+//
+// Bucket state is stored structure-of-arrays — five flat lanes
+// (counts / keySums / keyFings / edgeSums / edgeFings) — so that Merge
+// and zero scans run through the field batch kernels, like every other
+// sketch in this package.
 type KeyedEdgeSketch struct {
-	seed     uint64
-	n        int
-	rows     int
-	cells    int
-	buckets  []keyedBucket
+	seed  uint64
+	n     int
+	rows  int
+	cells int
+
+	counts    []int64  // edgeCount lane
+	keySums   []uint64 // Σ δ·v
+	keyFings  []uint64 // Σ δ·r1^v
+	edgeSums  []uint64 // Σ δ·e
+	edgeFings []uint64 // Σ δ·r2^e
+
 	rowHash  []*hashing.Poly
+	bank     *hashing.PolyBank // all row hashes, one interleaved Horner sweep
 	keyBase  uint64
 	edgeBase uint64
 	keyTab   *field.PowTable
 	edgeTab  *field.PowTable
 
-	recovered map[uint64]keyedBucket
+	recovered map[uint64]keyedAgg
 	dirty     bool
 	gen       uint64
 }
@@ -57,7 +69,9 @@ func (t *KeyedEdgeSketch) Gen() uint64 { return t.gen }
 // such as deserialization).
 func (t *KeyedEdgeSketch) BumpGen() { t.gen++; t.dirty = true }
 
-type keyedBucket struct {
+// keyedAgg is one bucket's (or one recovered key's) accumulator
+// tuple — the scalar view of the five SoA lanes.
+type keyedAgg struct {
 	edgeCount int64
 	keySum    uint64
 	keyFing   uint64
@@ -65,24 +79,12 @@ type keyedBucket struct {
 	edgeFing  uint64
 }
 
-func (b *keyedBucket) isZero() bool {
+func (b *keyedAgg) isZero() bool {
 	return b.edgeCount == 0 && b.keySum == 0 && b.keyFing == 0 &&
 		b.edgeSum == 0 && b.edgeFing == 0
 }
 
-// IsZero reports whether the table holds the zero vector's state —
-// indistinguishable from a fresh table, which is what lets compressed
-// encodings suppress it.
-func (t *KeyedEdgeSketch) IsZero() bool {
-	for i := range t.buckets {
-		if !t.buckets[i].isZero() {
-			return false
-		}
-	}
-	return true
-}
-
-func (b *keyedBucket) merge(o keyedBucket) {
+func (b *keyedAgg) merge(o keyedAgg) {
 	b.edgeCount += o.edgeCount
 	b.keySum = field.Add(b.keySum, o.keySum)
 	b.keyFing = field.Add(b.keyFing, o.keyFing)
@@ -90,25 +92,26 @@ func (b *keyedBucket) merge(o keyedBucket) {
 	b.edgeFing = field.Add(b.edgeFing, o.edgeFing)
 }
 
-func (b *keyedBucket) sub(o keyedBucket) {
-	b.edgeCount -= o.edgeCount
-	b.keySum = field.Sub(b.keySum, o.keySum)
-	b.keyFing = field.Sub(b.keyFing, o.keyFing)
-	b.edgeSum = field.Sub(b.edgeSum, o.edgeSum)
-	b.edgeFing = field.Sub(b.edgeFing, o.edgeFing)
+// IsZero reports whether the table holds the zero vector's state —
+// indistinguishable from a fresh table, which is what lets compressed
+// encodings suppress it. Each lane is an early-exit kernel word scan,
+// count lane first.
+func (t *KeyedEdgeSketch) IsZero() bool {
+	return field.AllZeroI64(t.counts) && field.AllZero(t.keySums) &&
+		field.AllZero(t.keyFings) && field.AllZero(t.edgeSums) &&
+		field.AllZero(t.edgeFings)
 }
 
-// pureKey reports whether all mass in the bucket belongs to a single
+// pureKey reports whether all mass in a bucket belongs to a single
 // key, and returns that key. It is a polynomial-identity fingerprint
-// test, sound except with probability ≤ poly(n)/p. keyTab is the power
-// table of the sketch's key fingerprint base.
-func (b *keyedBucket) pureKey(keyTab *field.PowTable) (key uint64, ok bool) {
-	if b.edgeCount == 0 {
+// test, sound except with probability ≤ poly(n)/p.
+func (t *KeyedEdgeSketch) pureKey(cnt int64, keySum, keyFing uint64) (key uint64, ok bool) {
+	if cnt == 0 {
 		return 0, false
 	}
-	cf := field.FromInt64(b.edgeCount)
-	key = field.Mul(b.keySum, field.Inv(cf))
-	if b.keyFing != field.Mul(cf, keyTab.Pow(key)) {
+	cf := field.FromInt64(cnt)
+	key = field.Mul(keySum, field.Inv(cf))
+	if keyFing != field.Mul(cf, t.keyTab.Pow(key)) {
 		return 0, false
 	}
 	return key, true
@@ -130,15 +133,19 @@ func NewKeyedEdgeSketch(seed uint64, n, capacity int) *KeyedEdgeSketch {
 // so a decoded table matches its encoder cell for cell).
 func newKeyedEdgeSketchGeom(seed uint64, n, rows, cells int) *KeyedEdgeSketch {
 	t := &KeyedEdgeSketch{
-		seed:     seed,
-		n:        n,
-		rows:     rows,
-		cells:    cells,
-		buckets:  make([]keyedBucket, rows*cells),
-		rowHash:  make([]*hashing.Poly, rows),
-		keyBase:  field.Reduce(hashing.Mix(seed, 0xaa)),
-		edgeBase: field.Reduce(hashing.Mix(seed, 0xbb)),
-		dirty:    true,
+		seed:      seed,
+		n:         n,
+		rows:      rows,
+		cells:     cells,
+		counts:    make([]int64, rows*cells),
+		keySums:   make([]uint64, rows*cells),
+		keyFings:  make([]uint64, rows*cells),
+		edgeSums:  make([]uint64, rows*cells),
+		edgeFings: make([]uint64, rows*cells),
+		rowHash:   make([]*hashing.Poly, rows),
+		keyBase:   field.Reduce(hashing.Mix(seed, 0xaa)),
+		edgeBase:  field.Reduce(hashing.Mix(seed, 0xbb)),
+		dirty:     true,
 	}
 	if t.keyBase < 2 {
 		t.keyBase = 2
@@ -151,6 +158,10 @@ func newKeyedEdgeSketchGeom(seed uint64, n, rows, cells int) *KeyedEdgeSketch {
 	for r := 0; r < rows; r++ {
 		t.rowHash[r] = hashing.NewPoly(hashing.Mix(seed, 0xcc, uint64(r)), 6)
 	}
+	// The row-hash bank is built lazily in rowBuckets: the spanner's
+	// second pass allocates tens of thousands of tables per cluster
+	// structure, most of which never see an update, and eager bank
+	// construction was a measurable share of EndPass1.
 	return t
 }
 
@@ -158,8 +169,43 @@ func (t *KeyedEdgeSketch) encode(w, v int) uint64 {
 	return uint64(w)*uint64(t.n) + uint64(v)
 }
 
+// rowBuckets fills hs[:rows] with the row hashes of key through the
+// bank (bit-identical to per-row Poly.Hash, so laziness cannot change
+// results). The bank is materialized on first use; like cell
+// mutation, hashing is confined to the table's owning goroutine.
+func (t *KeyedEdgeSketch) rowBuckets(key uint64, hs []uint64) {
+	if t.rows <= maxBankRows {
+		if t.bank == nil {
+			t.bank = hashing.NewPolyBank(t.rowHash...)
+		}
+		t.bank.HashPrefix(key, hs)
+		return
+	}
+	for r := 0; r < t.rows; r++ {
+		hs[r] = t.rowHash[r].Hash(key)
+	}
+}
+
+// addAgg folds upd into the buckets of key, one per row.
+func (t *KeyedEdgeSketch) addAgg(key uint64, upd keyedAgg) {
+	var hbuf [maxBankRows]uint64
+	hs := hbuf[:t.rows]
+	t.rowBuckets(key, hs)
+	cells := uint64(t.cells)
+	for r := 0; r < t.rows; r++ {
+		i := r*t.cells + int(hs[r]%cells)
+		t.counts[i] += upd.edgeCount
+		t.keySums[i] = field.Add(t.keySums[i], upd.keySum)
+		t.keyFings[i] = field.Add(t.keyFings[i], upd.keyFing)
+		t.edgeSums[i] = field.Add(t.edgeSums[i], upd.edgeSum)
+		t.edgeFings[i] = field.Add(t.edgeFings[i], upd.edgeFing)
+	}
+}
+
 // Add folds an update for edge (w, v) — w inside the cluster, v the
-// outside key — with multiplicity delta.
+// outside key — with multiplicity delta. The two fingerprint powers
+// (key and edge, distinct bases) share one window traversal through
+// field.PowPair.
 func (t *KeyedEdgeSketch) Add(w, v int, delta int64) {
 	if delta == 0 {
 		return
@@ -169,16 +215,14 @@ func (t *KeyedEdgeSketch) Add(w, v int, delta int64) {
 	key := uint64(v)
 	e := t.encode(w, v)
 	d := field.FromInt64(delta)
-	upd := keyedBucket{
+	kp, ep := field.PowPair(t.keyTab, t.edgeTab, key, field.Reduce(e))
+	t.addAgg(key, keyedAgg{
 		edgeCount: delta,
 		keySum:    field.Mul(d, field.Reduce(key)),
-		keyFing:   field.Mul(d, t.keyTab.Pow(key)),
+		keyFing:   field.Mul(d, kp),
 		edgeSum:   field.Mul(d, field.Reduce(e)),
-		edgeFing:  field.Mul(d, t.edgeTab.Pow(field.Reduce(e))),
-	}
-	for r := 0; r < t.rows; r++ {
-		t.buckets[r*t.cells+t.rowHash[r].Bucket(key, t.cells)].merge(upd)
-	}
+		edgeFing:  field.Mul(d, ep),
+	})
 }
 
 // KeyedEdgeUpdate is one (w, v, delta) edge update for AddBatch.
@@ -188,25 +232,53 @@ type KeyedEdgeUpdate struct {
 }
 
 // AddBatch folds a batch of edge updates; bit-identical to calling Add
-// per element.
+// per element. Both fingerprint lanes of the whole batch are evaluated
+// with shared window traversals (field.FingerprintVec) before the
+// per-update scatter.
 func (t *KeyedEdgeSketch) AddBatch(batch []KeyedEdgeUpdate) {
-	for _, u := range batch {
-		t.Add(u.W, u.V, u.Delta)
+	if len(batch) == 0 {
+		return
+	}
+	keyExps := make([]uint64, len(batch))
+	edgeExps := make([]uint64, len(batch))
+	for i, u := range batch {
+		keyExps[i] = uint64(u.V)
+		edgeExps[i] = field.Reduce(t.encode(u.W, u.V))
+	}
+	keyPows := make([]uint64, len(batch))
+	edgePows := make([]uint64, len(batch))
+	t.keyTab.FingerprintVec(keyPows, keyExps)
+	t.edgeTab.FingerprintVec(edgePows, edgeExps)
+	for i, u := range batch {
+		if u.Delta == 0 {
+			continue
+		}
+		t.dirty = true
+		t.gen++
+		d := field.FromInt64(u.Delta)
+		t.addAgg(uint64(u.V), keyedAgg{
+			edgeCount: u.Delta,
+			keySum:    field.Mul(d, field.Reduce(uint64(u.V))),
+			keyFing:   field.Mul(d, keyPows[i]),
+			edgeSum:   field.Mul(d, edgeExps[i]),
+			edgeFing:  field.Mul(d, edgePows[i]),
+		})
 	}
 }
 
 // Merge adds another table built with the same seed and geometry; the
 // result is the table of the summed update streams, exactly as if every
 // update of o had been Added to t. The linearity is what lets Algorithm
-// 2's second pass be ingested in parallel shards.
+// 2's second pass be ingested in parallel shards. The five SoA lanes
+// fold through the batch kernels.
 func (t *KeyedEdgeSketch) Merge(o *KeyedEdgeSketch) error {
 	if t.seed != o.seed || t.n != o.n || t.rows != o.rows || t.cells != o.cells {
 		return fmt.Errorf("sketch: merging incompatible keyed tables (seed %d/%d, %dx%d vs %dx%d)",
 			t.seed, o.seed, t.rows, t.cells, o.rows, o.cells)
 	}
-	for i := range t.buckets {
-		t.buckets[i].merge(o.buckets[i])
-	}
+	field.MergeCells(t.counts, t.keySums, t.keyFings, o.counts, o.keySums, o.keyFings)
+	field.AddVec(t.edgeSums, t.edgeSums, o.edgeSums)
+	field.AddVec(t.edgeFings, t.edgeFings, o.edgeFings)
 	t.dirty = true
 	t.gen++
 	return nil
@@ -220,22 +292,57 @@ func (t *KeyedEdgeSketch) peel() {
 	if !t.dirty {
 		return
 	}
-	work := make([]keyedBucket, len(t.buckets))
-	copy(work, t.buckets)
-	t.recovered = make(map[uint64]keyedBucket)
+	// Most tables of a cluster structure are never touched by pass-2
+	// routing (wrong subsampling level, empty neighborhood). The
+	// kernel zero scan costs one read pass and no allocation, versus
+	// copying five work lanes just to discover there is nothing to
+	// peel.
+	if t.IsZero() {
+		t.recovered = nil
+		t.dirty = false
+		return
+	}
+	// One backing allocation for all five work lanes. The count lane
+	// rides in the uint64 buffer as two's complement: addition and
+	// subtraction are bit-identical under the reinterpretation, and
+	// the zero test is unchanged.
+	nb := len(t.counts)
+	wbuf := make([]uint64, 5*nb)
+	wc := wbuf[:nb:nb]
+	wks := wbuf[nb : 2*nb : 2*nb]
+	wkf := wbuf[2*nb : 3*nb : 3*nb]
+	wes := wbuf[3*nb : 4*nb : 4*nb]
+	wef := wbuf[4*nb : 5*nb : 5*nb]
+	for i, c := range t.counts {
+		wc[i] = uint64(c)
+	}
+	copy(wks, t.keySums)
+	copy(wkf, t.keyFings)
+	copy(wes, t.edgeSums)
+	copy(wef, t.edgeFings)
+	t.recovered = make(map[uint64]keyedAgg)
+	var hbuf [maxBankRows]uint64
+	hs := hbuf[:t.rows]
+	cells := uint64(t.cells)
 	for {
 		progress := false
-		for i := range work {
-			if work[i].isZero() {
+		for i := range wc {
+			if wc[i] == 0 && wks[i] == 0 && wkf[i] == 0 && wes[i] == 0 && wef[i] == 0 {
 				continue
 			}
-			key, ok := work[i].pureKey(t.keyTab)
+			key, ok := t.pureKey(int64(wc[i]), wks[i], wkf[i])
 			if !ok {
 				continue
 			}
-			agg := work[i]
+			agg := keyedAgg{int64(wc[i]), wks[i], wkf[i], wes[i], wef[i]}
+			t.rowBuckets(key, hs)
 			for r := 0; r < t.rows; r++ {
-				work[r*t.cells+t.rowHash[r].Bucket(key, t.cells)].sub(agg)
+				j := r*t.cells + int(hs[r]%cells)
+				wc[j] -= uint64(agg.edgeCount)
+				wks[j] = field.Sub(wks[j], agg.keySum)
+				wkf[j] = field.Sub(wkf[j], agg.keyFing)
+				wes[j] = field.Sub(wes[j], agg.edgeSum)
+				wef[j] = field.Sub(wef[j], agg.edgeFing)
 			}
 			prev := t.recovered[key]
 			prev.merge(agg)
@@ -288,5 +395,5 @@ func (t *KeyedEdgeSketch) Keys() []int {
 
 // SpaceWords returns the memory footprint in 64-bit words.
 func (t *KeyedEdgeSketch) SpaceWords() int {
-	return 5*len(t.buckets) + 6
+	return 5*len(t.counts) + 6
 }

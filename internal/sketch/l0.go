@@ -22,6 +22,11 @@ type L0Family struct {
 	levelHash *hashing.Poly
 	choiceFn  *hashing.Poly
 	levels    []*sketchBShape
+	// bank interleaves every level's row hashes (level-major, row-minor)
+	// so Hint evaluates the (level+1)×rows bucket hashes of one update
+	// in a single Horner sweep instead of one Horner walk per row per
+	// level.
+	bank *hashing.PolyBank
 }
 
 // NewL0Family derives the family exactly as NewL0Sampler always did, so
@@ -46,6 +51,11 @@ func NewL0Family(seed uint64, universe uint64, perLevel int) *L0Family {
 		f.levels[j] = newSketchBShape(hashing.Mix(seed, 0x1b, uint64(j)), perLevel, SketchConfig{})
 	}
 	f.rows = f.levels[0].rows
+	var rowPolys []*hashing.Poly
+	for _, sh := range f.levels {
+		rowPolys = append(rowPolys, sh.hashes...)
+	}
+	f.bank = hashing.NewPolyBank(rowPolys...)
 	return f
 }
 
@@ -61,17 +71,100 @@ func (f *L0Family) NewSampler() *L0Sampler {
 	return &L0Sampler{fam: f, levels: make([]*SketchB, len(f.levels))}
 }
 
-// NewSamplers returns n zeroed samplers backed by two contiguous
-// allocations (the sampler structs and their level-pointer slices) —
-// agm.New calls this once per round instead of allocating
-// n×levels objects. Cell state materializes lazily per touched level.
+// NewSamplers returns n zeroed samplers backed by a handful of
+// contiguous allocations — agm.New calls this once per round instead
+// of allocating n×levels objects.
+//
+// Level 0 is special-cased: every update routes into it (geometric
+// sampling only thins levels j >= 1), so for array-of-samplers uses
+// every sampler with any incident update materializes it anyway.
+// Allocating all n level-0 sketches eagerly out of three flat backing
+// arrays replaces ~4n tiny allocations (and their GC scan load) with
+// four, and lays the hottest cells out vertex-contiguously. Levels
+// j >= 1 — touched with probability 2^-j per update — stay lazy, which
+// is what keeps construction from zeroing the (much larger) never-
+// touched tail. A materialized zero level is indistinguishable from a
+// nil one to every observer (marshal and IsZero are content-canonical).
 func (f *L0Family) NewSamplers(n int) []*L0Sampler {
+	L := len(f.levels)
 	samplers := make([]L0Sampler, n)
-	levels := make([]*SketchB, n*len(f.levels))
+	levels := make([]*SketchB, n*L)
 	out := make([]*L0Sampler, n)
+	sh0 := f.levels[0]
+	cells := sh0.cells()
+	sk0 := make([]SketchB, n)
+	counts := make([]int64, n*cells)
+	sums := make([]uint64, 2*n*cells)
 	for i := range samplers {
-		samplers[i] = L0Sampler{fam: f, levels: levels[i*len(f.levels) : (i+1)*len(f.levels) : (i+1)*len(f.levels)]}
+		lv := levels[i*L : (i+1)*L : (i+1)*L]
+		c0 := i * cells
+		pair := sums[2*c0 : 2*c0+2*cells : 2*c0+2*cells]
+		sk0[i] = SketchB{
+			shape:   sh0,
+			counts:  counts[c0 : c0+cells : c0+cells],
+			keySums: pair[:cells:cells],
+			fings:   pair[cells : 2*cells : 2*cells],
+		}
+		lv[0] = &sk0[i]
+		samplers[i] = L0Sampler{fam: f, levels: lv}
 		out[i] = &samplers[i]
+	}
+	return out
+}
+
+// NewSamplerGrid returns one sampler per (family, vertex) pair —
+// out[r][v] belongs to fams[r] — with every level-0 arena in a single
+// backing allocation laid out vertex-major, round-minor: the level-0
+// cells of vertex v sit at consecutive 288-byte-class strides across
+// all rounds. An edge update fans into every round for each of its two
+// endpoints, so this turns the hottest scatter of ingest from R random
+// regions per endpoint into one short strided sweep the hardware
+// prefetcher tracks. Content and wire format are identical to
+// per-family NewSamplers (a materialized zero level is content-
+// canonical); only the allocation layout differs. Families must share
+// a geometry (same level count and level-0 cell count) — mixed
+// geometries fall back to per-family arenas.
+func NewSamplerGrid(fams []*L0Family, n int) [][]*L0Sampler {
+	R := len(fams)
+	if R == 0 {
+		return nil
+	}
+	L := len(fams[0].levels)
+	cells := fams[0].levels[0].cells()
+	for _, f := range fams[1:] {
+		if len(f.levels) != L || f.levels[0].cells() != cells {
+			out := make([][]*L0Sampler, R)
+			for r, f := range fams {
+				out[r] = f.NewSamplers(n)
+			}
+			return out
+		}
+	}
+	samplers := make([]L0Sampler, n*R)
+	levels := make([]*SketchB, n*R*L)
+	sk0 := make([]SketchB, n*R)
+	counts := make([]int64, n*R*cells)
+	sums := make([]uint64, 2*n*R*cells)
+	out := make([][]*L0Sampler, R)
+	for r := range out {
+		out[r] = make([]*L0Sampler, n)
+	}
+	for v := 0; v < n; v++ {
+		for r := 0; r < R; r++ {
+			i := v*R + r
+			lv := levels[i*L : (i+1)*L : (i+1)*L]
+			c0 := i * cells
+			pair := sums[2*c0 : 2*c0+2*cells : 2*c0+2*cells]
+			sk0[i] = SketchB{
+				shape:   fams[r].levels[0],
+				counts:  counts[c0 : c0+cells : c0+cells],
+				keySums: pair[:cells:cells],
+				fings:   pair[cells : 2*cells : 2*cells],
+			}
+			lv[0] = &sk0[i]
+			samplers[i] = L0Sampler{fam: fams[r], levels: lv}
+			out[r][v] = &samplers[i]
+		}
 	}
 	return out
 }
@@ -96,25 +189,51 @@ func (f *L0Family) Warm() {
 type L0Hint struct {
 	level int
 	fkeys []uint64
-	cells []int32 // (level+1)×rows target indices, row-major per level
+	cells []int32  // (level+1)×rows target indices, row-major per level
+	hash  []uint64 // banked row-hash scratch, reused across calls
 }
 
-// Hint fills h with the routing of key. Slices are reused across calls.
+// Hint fills h with the routing of key. Slices are reused across
+// calls. The bucket hashes of every surviving level come from one
+// interleaved Horner sweep over the family bank, and the per-level
+// fingerprint powers are evaluated two levels at a time with a shared
+// window traversal (field.PowPair) — both bit-identical to the
+// per-row, per-level scalar evaluation.
 func (f *L0Family) Hint(key uint64, h *L0Hint) {
 	lv := f.levelHash.Level(key)
 	if lv >= len(f.levels) {
 		lv = len(f.levels) - 1
 	}
 	h.level = lv
-	h.fkeys = h.fkeys[:0]
-	h.cells = h.cells[:0]
 	red := field.Reduce(key)
+	rows := f.rows
+	lanes := (lv + 1) * rows
+	if cap(h.hash) < lanes {
+		h.hash = make([]uint64, lanes)
+	}
+	hs := h.hash[:lanes]
+	f.bank.HashPrefix(key, hs)
+	if cap(h.cells) < lanes {
+		h.cells = make([]int32, lanes)
+	}
+	h.cells = h.cells[:lanes]
 	for j := 0; j <= lv; j++ {
 		sh := f.levels[j]
-		h.fkeys = append(h.fkeys, sh.tab().Pow(red))
-		for r := 0; r < sh.rows; r++ {
-			h.cells = append(h.cells, int32(r*sh.cols+sh.hashes[r].Bucket(key, sh.cols)))
+		cols := uint64(sh.cols)
+		for r := 0; r < rows; r++ {
+			h.cells[j*rows+r] = int32(r*sh.cols + int(hs[j*rows+r]%cols))
 		}
+	}
+	if cap(h.fkeys) < lv+1 {
+		h.fkeys = make([]uint64, lv+1)
+	}
+	h.fkeys = h.fkeys[:lv+1]
+	j := 0
+	for ; j+1 <= lv; j += 2 {
+		h.fkeys[j], h.fkeys[j+1] = field.PowPair(f.levels[j].tab(), f.levels[j+1].tab(), red, red)
+	}
+	if j <= lv {
+		h.fkeys[j] = f.levels[j].tab().Pow(red)
 	}
 }
 
@@ -196,14 +315,19 @@ func (s *L0Sampler) AddBatch(keys []uint64, deltas []int64) {
 
 // AddHint folds x[key] += delta using a routing hint produced by this
 // sampler's family for the same key; bit-identical to Add(key, delta).
+// The level-independent field values d and d·key are computed once here
+// and shared across all surviving levels (AddFkey recomputes them per
+// level sketch).
 func (s *L0Sampler) AddHint(key uint64, delta int64, h *L0Hint) {
 	if delta == 0 {
 		return
 	}
 	s.gen++
+	d := field.FromInt64(delta)
+	ks := field.Mul(d, field.Reduce(key))
 	rows := s.fam.rows
 	for j := 0; j <= h.level; j++ {
-		s.level(j).addRouted(key, delta, h.fkeys[j], h.cells[j*rows:(j+1)*rows])
+		s.level(j).addRouted(delta, ks, field.Mul(d, h.fkeys[j]), h.cells[j*rows:(j+1)*rows])
 	}
 }
 
@@ -217,7 +341,13 @@ func (s *L0Sampler) Merge(o *L0Sampler) error {
 	}
 	touched := false
 	for j := range s.levels {
-		if o.levels[j] == nil {
+		// A nil level and a materialized-but-zero level (an eager
+		// level-0 arena, or churn canceled back to zero) both sketch
+		// the zero vector: folding either is a no-op, so skip the
+		// merge sweep and leave the generation — and with it every
+		// cached decode keyed on it — untouched. The early-exit
+		// kernel scan makes the zero test cheap for nonzero levels.
+		if o.levels[j] == nil || o.levels[j].IsZero() {
 			continue
 		}
 		touched = true
@@ -238,7 +368,9 @@ func (s *L0Sampler) Sub(o *L0Sampler) error {
 	}
 	touched := false
 	for j := range s.levels {
-		if o.levels[j] == nil {
+		// Same zero-content skip as Merge: subtracting a zero level is
+		// a no-op and must not dirty the generation.
+		if o.levels[j] == nil || o.levels[j].IsZero() {
 			continue
 		}
 		touched = true

@@ -265,7 +265,9 @@ func (s *L0Sampler) UnmarshalBinary(data []byte) error {
 
 // MarshalBinary encodes the keyed edge table: parameters plus the raw
 // bucket accumulators. Hash functions and power tables are re-derived
-// from the seed on decode.
+// from the seed on decode. The wire format is bucket-interleaved
+// (count, keySum, keyFing, edgeSum, edgeFing per bucket), independent
+// of the in-memory structure-of-arrays layout.
 func (t *KeyedEdgeSketch) MarshalBinary() ([]byte, error) {
 	w := &wbuf{}
 	w.u64(tagKeyed)
@@ -273,13 +275,12 @@ func (t *KeyedEdgeSketch) MarshalBinary() ([]byte, error) {
 	w.u64(uint64(t.n))
 	w.u64(uint64(t.rows))
 	w.u64(uint64(t.cells))
-	for i := range t.buckets {
-		b := &t.buckets[i]
-		w.i64(b.edgeCount)
-		w.u64(b.keySum)
-		w.u64(b.keyFing)
-		w.u64(b.edgeSum)
-		w.u64(b.edgeFing)
+	for i := range t.counts {
+		w.i64(t.counts[i])
+		w.u64(t.keySums[i])
+		w.u64(t.keyFings[i])
+		w.u64(t.edgeSums[i])
+		w.u64(t.edgeFings[i])
 	}
 	return w.b, nil
 }
@@ -301,12 +302,14 @@ func (t *KeyedEdgeSketch) UnmarshalBinary(data []byte) error {
 		return errCorrupt
 	}
 	rebuilt := newKeyedEdgeSketchGeom(seed, int(n), int(rows), int(cells))
-	for i := range rebuilt.buckets {
-		b := &rebuilt.buckets[i]
-		if b.edgeCount, err = r.i64(); err != nil {
+	for i := range rebuilt.counts {
+		if rebuilt.counts[i], err = r.i64(); err != nil {
 			return err
 		}
-		for _, dst := range []*uint64{&b.keySum, &b.keyFing, &b.edgeSum, &b.edgeFing} {
+		for _, dst := range []*uint64{
+			&rebuilt.keySums[i], &rebuilt.keyFings[i],
+			&rebuilt.edgeSums[i], &rebuilt.edgeFings[i],
+		} {
 			if *dst, err = r.u64(); err != nil {
 				return err
 			}

@@ -19,6 +19,7 @@ type sketchBShape struct {
 	rows     int
 	cols     int
 	hashes   []*hashing.Poly
+	bank     *hashing.PolyBank // all row hashes, one interleaved Horner sweep
 	fingBase uint64
 	fingTab  *field.PowTable // lazy; access via tab()
 }
@@ -62,8 +63,13 @@ func newSketchBShape(seed uint64, capacity int, cfg SketchConfig) *sketchBShape 
 	for r := 0; r < cfg.Rows; r++ {
 		sh.hashes[r] = hashing.NewPoly(hashing.Mix(seed, uint64(r)+1), 6)
 	}
+	sh.bank = hashing.NewPolyBank(sh.hashes...)
 	return sh
 }
+
+// maxBankRows bounds the stack scratch used for banked row hashes; the
+// wire format already rejects rows > 16.
+const maxBankRows = 16
 
 func (sh *sketchBShape) cells() int { return sh.rows * sh.cols }
 
@@ -155,11 +161,15 @@ func (f *SketchBFamily) New() *SketchB { return f.sh.instance() }
 // instance returns a zeroed sketch over the shared shape.
 func (sh *sketchBShape) instance() *SketchB {
 	n := sh.cells()
+	// One backing array for both field lanes: lazy level
+	// materialization during ingest allocates thousands of these, and
+	// halving the object count halves the GC scan load they add.
+	pair := make([]uint64, 2*n)
 	return &SketchB{
 		shape:   sh,
 		counts:  make([]int64, n),
-		keySums: make([]uint64, n),
-		fings:   make([]uint64, n),
+		keySums: pair[:n:n],
+		fings:   pair[n:],
 	}
 }
 
@@ -187,15 +197,40 @@ func (s *SketchB) Add(key uint64, delta int64) {
 }
 
 // AddBatch folds a batch of updates; bit-identical to calling Add per
-// element. keys and deltas must have equal length.
+// element. keys and deltas must have equal length. Fingerprint powers
+// for the whole batch are evaluated with one shared window traversal
+// (field.FingerprintVec) before the per-update cell scatter.
 func (s *SketchB) AddBatch(keys []uint64, deltas []int64) {
+	if len(keys) == 0 {
+		return
+	}
+	tab := s.shape.tab()
+	exps := make([]uint64, len(keys))
 	for i, key := range keys {
-		s.Add(key, deltas[i])
+		exps[i] = field.Reduce(key)
+	}
+	fkeys := make([]uint64, len(keys))
+	tab.FingerprintVec(fkeys, exps)
+	for i, key := range keys {
+		if deltas[i] == 0 {
+			continue
+		}
+		s.AddFkey(key, deltas[i], fkeys[i])
 	}
 }
 
+// Fkey2 returns the fingerprint powers of two keys through one shared
+// window traversal (field.PowPair) — the two-endpoint form of Fkey
+// used when one stream update routes into a pair of same-family
+// sketches.
+func (s *SketchB) Fkey2(ka, kb uint64) (uint64, uint64) {
+	tab := s.shape.tab()
+	return field.PowPair(tab, tab, field.Reduce(ka), field.Reduce(kb))
+}
+
 // AddFkey is Add with the fingerprint power precomputed (fkey must
-// equal r^key for this sketch's base).
+// equal r^key for this sketch's base). All row hashes are evaluated in
+// one interleaved Horner sweep over the shape's bank.
 func (s *SketchB) AddFkey(key uint64, delta int64, fkey uint64) {
 	if delta == 0 {
 		return
@@ -205,6 +240,19 @@ func (s *SketchB) AddFkey(key uint64, delta int64, fkey uint64) {
 	ks := field.Mul(d, field.Reduce(key))
 	fg := field.Mul(d, fkey)
 	sh := s.shape
+	if sh.bank != nil && sh.rows <= maxBankRows {
+		var hbuf [maxBankRows]uint64
+		var ibuf [maxBankRows]int32
+		hs := hbuf[:sh.rows]
+		sh.bank.HashPrefix(key, hs)
+		cols := uint64(sh.cols)
+		idx := ibuf[:sh.rows]
+		for r := 0; r < sh.rows; r++ {
+			idx[r] = int32(r*sh.cols + int(hs[r]%cols))
+		}
+		field.ScatterAdd3(s.counts, s.keySums, s.fings, delta, ks, fg, idx)
+		return
+	}
 	for r := 0; r < sh.rows; r++ {
 		idx := r*sh.cols + sh.hashes[r].Bucket(key, sh.cols)
 		s.counts[idx] += delta
@@ -213,18 +261,13 @@ func (s *SketchB) AddFkey(key uint64, delta int64, fkey uint64) {
 	}
 }
 
-// addRouted is AddFkey with the per-row cell indices also precomputed
-// (idx[r] as computed by AddFkey); the hint path of L0 families.
-func (s *SketchB) addRouted(key uint64, delta int64, fkey uint64, idx []int32) {
+// addRouted folds one update whose field values (d·key, d·fkey) and
+// per-row cell indices are already computed — the hint path of L0
+// families, where one update fans into several samplers and the
+// routing is shared across them and across levels.
+func (s *SketchB) addRouted(delta int64, ks, fg uint64, idx []int32) {
 	s.gen++
-	d := field.FromInt64(delta)
-	ks := field.Mul(d, field.Reduce(key))
-	fg := field.Mul(d, fkey)
-	for _, i := range idx {
-		s.counts[i] += delta
-		s.keySums[i] = field.Add(s.keySums[i], ks)
-		s.fings[i] = field.Add(s.fings[i], fg)
-	}
+	field.ScatterAdd3(s.counts, s.keySums, s.fings, delta, ks, fg, idx)
 }
 
 func (s *SketchB) compatible(o *SketchB) error {
@@ -236,17 +279,14 @@ func (s *SketchB) compatible(o *SketchB) error {
 }
 
 // Merge adds another sketch built with the same seed and geometry; the
-// result sketches the sum of the two underlying vectors.
+// result sketches the sum of the two underlying vectors. The three SoA
+// lanes fold in one kernel pass (field.MergeCells).
 func (s *SketchB) Merge(o *SketchB) error {
 	if err := s.compatible(o); err != nil {
 		return err
 	}
 	s.gen++
-	for i := range s.counts {
-		s.counts[i] += o.counts[i]
-		s.keySums[i] = field.Add(s.keySums[i], o.keySums[i])
-		s.fings[i] = field.Add(s.fings[i], o.fings[i])
-	}
+	field.MergeCells(s.counts, s.keySums, s.fings, o.counts, o.keySums, o.fings)
 	return nil
 }
 
@@ -256,11 +296,7 @@ func (s *SketchB) Sub(o *SketchB) error {
 		return err
 	}
 	s.gen++
-	for i := range s.counts {
-		s.counts[i] -= o.counts[i]
-		s.keySums[i] = field.Sub(s.keySums[i], o.keySums[i])
-		s.fings[i] = field.Sub(s.fings[i], o.fings[i])
-	}
+	field.SubCells(s.counts, s.keySums, s.fings, o.counts, o.keySums, o.fings)
 	return nil
 }
 
@@ -298,14 +334,12 @@ func (s *SketchB) SetTo(o *SketchB) {
 // call Warm once before fanning out.
 func (s *SketchB) Warm() { s.shape.tab() }
 
-// IsZero reports whether the sketch is (whp) of the zero vector.
+// IsZero reports whether the sketch is (whp) of the zero vector. Each
+// SoA lane is scanned with an early-exit word loop — count lane first,
+// since any touched cell has a nonzero count far more often than a
+// canceled one — instead of per-cell struct loads.
 func (s *SketchB) IsZero() bool {
-	for i := range s.counts {
-		if s.counts[i] != 0 || s.keySums[i] != 0 || s.fings[i] != 0 {
-			return false
-		}
-	}
-	return true
+	return field.AllZeroI64(s.counts) && field.AllZero(s.keySums) && field.AllZero(s.fings)
 }
 
 // decodeCell attempts one-sparse recovery of cell i: Cell.DecodeTable
@@ -327,6 +361,12 @@ func (s *SketchB) Decode() (map[uint64]int64, bool) {
 	for {
 		progress := false
 		for i := range work.counts {
+			if work.counts[i] == 0 {
+				// Cheap count-lane skip: a zero-count cell never decodes
+				// (decodeCell rejects it first thing), and most cells of a
+				// peeled-down sketch are zero.
+				continue
+			}
 			key, w, ok := work.decodeCell(i)
 			if !ok {
 				continue

@@ -259,19 +259,30 @@ func (tp *TwoPass) Pass1Update(u stream.Update) error {
 		maxJ = tp.jMax
 	}
 	d := int64(u.Delta)
+	keyUV := uint64(u.U)*uint64(tp.n) + uint64(u.V)
+	keyVU := uint64(u.V)*uint64(tp.n) + uint64(u.U)
 	for r := 1; r < tp.k; r++ {
 		// Edge {a, b} appears in a's sketch row r iff b ∈ C_r, under
-		// the directed key a*n+b, and vice versa.
-		if tp.inC[r][u.V] {
-			key := uint64(u.U)*uint64(tp.n) + uint64(u.V)
+		// the directed key a*n+b, and vice versa. The two endpoint
+		// sketches of a given (r, j) share one family table, so when
+		// both endpoints are live their fingerprint powers come from a
+		// single shared window traversal (Fkey2).
+		uLive, vLive := tp.inC[r][u.V], tp.inC[r][u.U]
+		switch {
+		case uLive && vLive:
 			for j := 0; j <= maxJ; j++ {
-				tp.vertexSk[u.U][r-1][j].Add(key, d)
+				su, sv := tp.vertexSk[u.U][r-1][j], tp.vertexSk[u.V][r-1][j]
+				fu, fv := su.Fkey2(keyUV, keyVU)
+				su.AddFkey(keyUV, d, fu)
+				sv.AddFkey(keyVU, d, fv)
 			}
-		}
-		if tp.inC[r][u.U] {
-			key := uint64(u.V)*uint64(tp.n) + uint64(u.U)
+		case uLive:
 			for j := 0; j <= maxJ; j++ {
-				tp.vertexSk[u.V][r-1][j].Add(key, d)
+				tp.vertexSk[u.U][r-1][j].Add(keyUV, d)
+			}
+		case vLive:
+			for j := 0; j <= maxJ; j++ {
+				tp.vertexSk[u.V][r-1][j].Add(keyVU, d)
 			}
 		}
 	}

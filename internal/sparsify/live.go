@@ -139,9 +139,15 @@ func (ls *Live) Apply(batch []stream.Update) error {
 	}
 	ecfg := ls.grid.cfg
 	levels := make([]int, len(batch))
+	// Pair keys are loop-invariant across the J columns and Z sample
+	// invocations below; hoist them out of the per-column level sweeps.
+	keys := make([]uint64, len(batch))
+	for i, u := range batch {
+		keys[i] = stream.PairKey(u.U, u.V, ls.n)
+	}
 	for j := 0; j < ecfg.J; j++ {
-		for i, u := range batch {
-			levels[i] = ls.grid.colHash[j].Level(stream.PairKey(u.U, u.V, ls.n))
+		for i := range batch {
+			levels[i] = ls.grid.colHash[j].Level(keys[i])
 		}
 		for t := 1; t <= ecfg.T; t++ {
 			// Cell (t, j) sketches E^j_t: edges with column-j level >= t-1.
@@ -160,8 +166,8 @@ func (ls *Live) Apply(batch []stream.Update) error {
 		}
 	}
 	for s := 0; s < ls.cfg.Z; s++ {
-		for i, u := range batch {
-			levels[i] = ls.repHash[s].Level(stream.PairKey(u.U, u.V, ls.n))
+		for i := range batch {
+			levels[i] = ls.repHash[s].Level(keys[i])
 		}
 		for j := 1; j <= ls.cfg.H; j++ {
 			// Sample stream E_j keeps the edges with invocation-s level >= j.
